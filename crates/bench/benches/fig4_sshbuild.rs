@@ -1,0 +1,61 @@
+//! Figure 4: SSH-build (unpack / configure / build) for the four systems.
+//!
+//! Paper result: "Performance is similar across the S4 and BSD
+//! configurations. The superior performance of the Linux NFS server in
+//! the configure stage is due to a much lower number of write I/Os ...
+//! apparently due to a flaw in the synchronous mount option."
+
+use s4_bench::{banner, build_system, run_phase, secs, SystemConfig, SystemKind};
+use s4_workloads::sshbuild::{sshbuild_phases, SshBuildConfig};
+
+fn main() {
+    let config = SshBuildConfig::default();
+    banner(
+        "Figure 4: SSH-build benchmark",
+        &format!(
+            "{} sources, {} headers, {} configure probes",
+            config.sources, config.headers, config.probes
+        ),
+    );
+    let phases = sshbuild_phases(&config);
+
+    println!(
+        "{:<24} {:>10} {:>10} {:>12} {:>10}",
+        "system", "unpack", "configure", "(cfg wIO)", "build"
+    );
+    let mut cfg_rows = Vec::new();
+    for kind in SystemKind::ALL {
+        let sys = build_system(kind, &SystemConfig::default());
+        let unpack = run_phase(&sys, &phases.unpack);
+        let w0 = sys.disk_stats.snapshot();
+        let configure = run_phase(&sys, &phases.configure);
+        let w1 = sys.disk_stats.snapshot();
+        let build = run_phase(&sys, &phases.build);
+        assert_eq!(
+            unpack.errors + configure.errors + build.errors,
+            0,
+            "{kind:?} had errors"
+        );
+        let cfg_wio = w1.since(&w0).writes;
+        println!(
+            "{:<24} {:>10} {:>10} {:>12} {:>10}",
+            kind.label(),
+            secs(unpack.elapsed),
+            secs(configure.elapsed),
+            cfg_wio,
+            secs(build.elapsed),
+        );
+        cfg_rows.push((kind, configure.elapsed, cfg_wio));
+    }
+
+    // Paper-shape check: the Linux sync-mount "flaw" shows up as fewer
+    // configure-phase write I/Os than BSD.
+    let get = |k: SystemKind| cfg_rows.iter().find(|(rk, _, _)| *rk == k).unwrap();
+    let bsd = get(SystemKind::FreeBsdNfs);
+    let linux = get(SystemKind::LinuxNfs);
+    println!();
+    println!(
+        "configure-phase write I/Os: BSD {} vs Linux {} (paper: Linux much lower)",
+        bsd.2, linux.2
+    );
+}

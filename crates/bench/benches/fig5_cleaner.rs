@@ -1,0 +1,207 @@
+//! Figure 5: overhead of foreground cleaning in S4.
+//!
+//! The paper runs PostMark transactions over initial file sets filling
+//! 2%..90% of the disk, once "without cleaning" and once with the
+//! cleaner "competing with foreground activity", and reports up to ~50%
+//! degradation (worse than a standard LFS cleaner's ~34%, because S4
+//! cleans *objects* rather than segments and pays extra reads).
+//!
+//! In this reproduction the detection window is set to zero for the
+//! experiment (the cleaner must have expired work to reclaim on any
+//! timescale a benchmark can exercise):
+//!
+//! * the *baseline* run performs expiry, frees fully-dead segments, and
+//!   copy-cleans only when free space drops below a small emergency
+//!   reserve (the "normal S4 system");
+//! * the *cleaner* run copy-forwards live blocks out of the
+//!   lowest-utilization segments continuously, competing with every
+//!   chunk of foreground work.
+//!
+//! Reported metric: transactions per simulated second vs initial
+//! utilization.
+
+use s4_bench::bench_ctx;
+use s4_clock::{SimClock, SimDuration};
+use s4_core::{DriveConfig, S4Drive};
+use s4_fs::{FileServer, LoopbackTransport, S4FileServer, S4FsConfig};
+use s4_lfs::CleanerConfig;
+use s4_simdisk::{DiskModelParams, MemDisk, TimedDisk};
+use s4_workloads::postmark::{self, PostmarkConfig};
+use s4_workloads::replay;
+use std::sync::Arc;
+
+const DISK_BYTES: u64 = 192 << 20;
+const CHUNK: usize = 200;
+
+fn run_once(utilization_pct: u64, continuous: bool, transactions: usize) -> (f64, u64) {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let disk = TimedDisk::new(
+        MemDisk::with_capacity_bytes(DISK_BYTES),
+        DiskModelParams::cheetah_9gb_10k(),
+        clock.clone(),
+    );
+    let dconf = DriveConfig {
+        detection_window: SimDuration::ZERO,
+        cleaner: if continuous {
+            CleanerConfig {
+                min_free_target: u32::MAX, // never satisfied: always clean
+                max_segments_per_pass: 2,
+            }
+        } else {
+            CleanerConfig {
+                min_free_target: 32, // emergency reserve only
+                max_segments_per_pass: 4,
+            }
+        },
+        ..DriveConfig::default()
+    };
+    let drive = Arc::new(S4Drive::format(disk, dconf, clock.clone()).unwrap());
+    let fs = S4FileServer::mount(
+        LoopbackTransport::new(drive.clone(), s4_clock::NetworkModel::lan_100mbit()),
+        bench_ctx(),
+        "fig5",
+        S4FsConfig::default(),
+    )
+    .unwrap();
+
+    // Initial set sized to the requested utilization in *blocks* (a
+    // 512B..9KB file occupies ceil(size/4K) blocks, ~6.7 KB on average).
+    // The fill phase runs full maintenance so transient version churn
+    // expires as it would in steady state.
+    // ~1.71 data blocks per file plus per-file metadata (checkpoint
+    // share, directory entry, audit records) and block rounding.
+    let avg_footprint = 8_000;
+    let nfiles = (DISK_BYTES * utilization_pct / 100 / avg_footprint) as usize;
+    let pm = postmark::generate(&PostmarkConfig {
+        nfiles: nfiles.max(10),
+        transactions,
+        ..PostmarkConfig::default()
+    });
+    // Reclaims until `target` segments are allocatable. Reclamation
+    // (expiry + dead-freeing + copy-cleaning) produces *pending-free*
+    // segments; an anchor is written only when pending segments must be
+    // converted to allocatable ones — anchors carry the object map, so
+    // anchoring per chunk would dominate the write stream.
+    let num_segments = drive.log().geometry().num_segments;
+    // The reachable watermark shrinks as the live set grows.
+    let slack = num_segments.saturating_sub(num_segments * utilization_pct as u32 / 100);
+    let healthy = (slack / 2).clamp(12, num_segments / 8);
+    // Any maintenance step can hit PoolFull at extreme utilization; the
+    // row is then reported unattainable.
+    let reclaim_to = |target: u32, copy: bool| -> Result<(), s4_core::S4Error> {
+        drive.expire_versions()?;
+        drive.log().free_dead_segments();
+        if copy {
+            // Bounded per invocation: at very high utilization the
+            // cleaner cannot keep up with foreground churn no matter
+            // what (each freed segment costs ~u/(1-u) copies); the run
+            // then ends early and reports throughput up to that point.
+            for _ in 0..8 {
+                let u = drive.log().usage_snapshot();
+                if u.free_segments() + u.pending_free_segments() >= target {
+                    break;
+                }
+                // Copy-cleaning consumes free segments and produces only
+                // *pending* ones; promote before the log head starves.
+                if drive.free_segments() < 8 {
+                    drive.force_anchor()?;
+                }
+                match drive.clean() {
+                    Ok(o) if o.dead_freed + o.copied_segments > 0 => {}
+                    _ => break,
+                }
+            }
+        }
+        if drive.free_segments() < target {
+            // Promote pending-free segments for reuse.
+            drive.force_anchor()?;
+        }
+        Ok(())
+    };
+    for chunk in pm.create.chunks(CHUNK) {
+        let stats = replay(&fs, chunk);
+        if stats.errors > 0 || reclaim_to(healthy, true).is_err() {
+            // The pool cannot host this utilization plus transient churn;
+            // report the row as unattainable.
+            return (f64::NAN, 0);
+        }
+    }
+
+    // Measured phase: transactions with per-mode maintenance.
+    let start = fs.now();
+    let mut done = 0u64;
+    for chunk in pm.transactions.chunks(CHUNK) {
+        let stats = replay(&fs, chunk);
+        done += stats.ops - stats.errors;
+        if stats.errors > 0 {
+            break; // pool exhausted: report throughput up to here
+        }
+        let r = if continuous {
+            // Competing cleaner: several copy passes per chunk regardless
+            // of need ("continuous foreground cleaner activity"), plus
+            // whatever it takes to stay at the healthy watermark. At high
+            // utilization each pass relocates more live blocks, so the
+            // competition cost grows with utilization as in the paper.
+            for _ in 0..4 {
+                if drive.free_segments() < 8 {
+                    let _ = drive.force_anchor();
+                }
+                let _ = drive.clean();
+            }
+            reclaim_to(healthy, true)
+        } else {
+            // "Cleaner disabled": expiry and free-of-dead-segments only,
+            // never copying. At high utilization the run may exhaust the
+            // pool and be reported partial, exactly what a cleanerless S4
+            // would do.
+            reclaim_to(healthy, false)
+        };
+        if r.is_err() {
+            break;
+        }
+    }
+    let elapsed = (fs.now() - start).as_secs_f64();
+    (done as f64 / elapsed, done)
+}
+
+fn main() {
+    let scale: f64 = std::env::var("S4_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    // Default is a 1/40 scale of the paper's 50,000 transactions: the
+    // sweep runs 20 drive-lifetimes (10 utilizations x 2 modes) and the
+    // 90% fills dominate; S4_BENCH_SCALE multiplies.
+    let transactions = ((1_250.0 * scale) as usize).max(400);
+    println!();
+    println!("================================================================");
+    println!("Figure 5: overhead of foreground cleaning in S4");
+    println!(
+        "PostMark, {transactions} transactions, {} MB drive, window=0",
+        DISK_BYTES >> 20
+    );
+    println!("================================================================");
+    println!(
+        "{:>6} {:>16} {:>16} {:>12}",
+        "util%", "no-clean txn/s", "cleaner txn/s", "overhead%"
+    );
+    for util in [2u64, 10, 20, 30, 40, 50, 60, 70, 80, 90] {
+        let (base, bdone) = run_once(util, false, transactions);
+        let (cleaned, cdone) = run_once(util, true, transactions);
+        if base.is_nan() || cleaned.is_nan() {
+            println!("{util:>6} {:>16} {:>16} {:>12}", "-", "-", "unattainable");
+            continue;
+        }
+        let overhead = (base - cleaned) / base * 100.0;
+        let note = if bdone < transactions as u64 * 2 || cdone < transactions as u64 * 2 {
+            " (partial)"
+        } else {
+            ""
+        };
+        println!("{util:>6} {base:>16.1} {cleaned:>16.1} {overhead:>11.1}%{note}");
+    }
+    println!();
+    println!("paper shape: performance falls with utilization; continuous cleaning");
+    println!("costs up to ~50% at high utilization (S4 cleans objects, not segments)");
+}

@@ -1,0 +1,133 @@
+//! Network and CPU service-time models.
+//!
+//! The paper's testbed connected a 550 MHz PIII client to a 600 MHz PIII
+//! server over switched 100 Mb Ethernet, speaking NFSv2 (4 KB transfers) or
+//! S4 RPC. These models charge the simulated clock for each RPC and for
+//! server/client CPU work, so end-to-end benchmark numbers include the same
+//! components as the paper's wall-clock measurements.
+
+use crate::time::SimDuration;
+
+/// Cost model for a request/response RPC over a local-area network.
+///
+/// Service time is `2 * per_message_latency + bytes / bandwidth` — one
+/// latency each way plus serialization of both payloads onto the wire.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// One-way per-message latency (interrupt handling, protocol stack,
+    /// switch forwarding).
+    pub per_message_latency: SimDuration,
+    /// Usable wire bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl NetworkModel {
+    /// Switched 100 Mb Ethernet as in the paper's testbed: ~100 us of
+    /// per-message overhead (typical for late-1990s NICs and kernel UDP
+    /// stacks) and ~11.5 MB/s of usable bandwidth.
+    pub fn lan_100mbit() -> Self {
+        NetworkModel {
+            per_message_latency: SimDuration::from_micros(100),
+            bandwidth_bytes_per_sec: 11_500_000,
+        }
+    }
+
+    /// A zero-cost network, for isolating storage costs in unit tests.
+    pub fn free() -> Self {
+        NetworkModel {
+            per_message_latency: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX,
+        }
+    }
+
+    /// Service time for one RPC carrying `request_bytes` out and
+    /// `response_bytes` back.
+    pub fn rpc_cost(&self, request_bytes: usize, response_bytes: usize) -> SimDuration {
+        let wire = request_bytes as u64 + response_bytes as u64;
+        let transfer_us = if self.bandwidth_bytes_per_sec == u64::MAX {
+            0
+        } else {
+            wire * 1_000_000 / self.bandwidth_bytes_per_sec
+        };
+        self.per_message_latency
+            .mul(2)
+            .saturating_add(SimDuration::from_micros(transfer_us))
+    }
+}
+
+/// Cost model for CPU work, expressed as time per operation plus time per
+/// byte touched.
+///
+/// Used for server-side request processing and for client think time such
+/// as the compile phase of the SSH-build benchmark (which the paper notes
+/// is "the most CPU intensive" phase).
+#[derive(Clone, Copy, Debug)]
+pub struct CpuModel {
+    /// Fixed cost per operation (syscall + dispatch).
+    pub per_op: SimDuration,
+    /// Marginal cost per byte processed (copying, checksumming).
+    pub per_byte_ns: u64,
+}
+
+impl CpuModel {
+    /// A late-1990s server-class CPU (~600 MHz PIII): ~10 us fixed dispatch
+    /// cost and ~2 ns/byte of copy cost.
+    pub fn pentium3_600() -> Self {
+        CpuModel {
+            per_op: SimDuration::from_micros(10),
+            per_byte_ns: 2,
+        }
+    }
+
+    /// A zero-cost CPU, for isolating storage costs in unit tests.
+    pub fn free() -> Self {
+        CpuModel {
+            per_op: SimDuration::ZERO,
+            per_byte_ns: 0,
+        }
+    }
+
+    /// Service time for one operation touching `bytes` bytes.
+    pub fn op_cost(&self, bytes: usize) -> SimDuration {
+        self.per_op.saturating_add(SimDuration::from_micros(
+            (bytes as u64 * self.per_byte_ns) / 1000,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_network_is_free() {
+        let n = NetworkModel::free();
+        assert_eq!(n.rpc_cost(1 << 20, 1 << 20), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lan_rpc_cost_includes_both_directions() {
+        let n = NetworkModel::lan_100mbit();
+        let small = n.rpc_cost(128, 128);
+        // Two 100us latencies dominate for small messages.
+        assert!(small.as_micros() >= 200);
+        let big = n.rpc_cost(128, 4096);
+        assert!(big > small, "payload bytes must add transfer time");
+    }
+
+    #[test]
+    fn lan_bulk_transfer_rate_is_plausible() {
+        let n = NetworkModel::lan_100mbit();
+        // 1 MB transfer should take on the order of 90ms at 11.5 MB/s.
+        let t = n.rpc_cost(1 << 20, 0);
+        let ms = t.as_millis_f64();
+        assert!((80.0..120.0).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn cpu_cost_scales_with_bytes() {
+        let c = CpuModel::pentium3_600();
+        assert!(c.op_cost(65536) > c.op_cost(0));
+        assert_eq!(CpuModel::free().op_cost(1 << 20), SimDuration::ZERO);
+    }
+}

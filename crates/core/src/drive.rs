@@ -1,0 +1,2702 @@
+//! [`S4Drive`]: the self-securing storage server.
+//!
+//! The drive composes the substrates: every object mutation appends data
+//! blocks and a journal entry; sync packs entries into per-object journal
+//! sectors — several objects' sectors share each 4 KiB journal block, as
+//! the paper's 512-byte journal sectors share segments — and flushes the
+//! log as one sequential batch. Periodic *anchors* persist the object
+//! map (checkpoint locations plus each object's sector list); object
+//! metadata checkpoints are written only when an object is evicted from
+//! the object cache or when a cleaner relocation rewrote state the
+//! journal cannot re-derive. The expiry scan walks the object map
+//! releasing versions older than the detection window, and the cleaner
+//! reclaims segments, forwarding still-referenced blocks.
+//!
+//! Crash recovery (mount) reloads the anchored object map, re-applies
+//! journal sectors newer than each checkpoint and every journal block
+//! flushed after the anchor, then rebuilds the reachable-block set (and
+//! from it the segment usage counts) from first principles.
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use s4_clock::{CpuModel, HybridClock, HybridTimestamp, SimClock, SimDuration, SimTime};
+use s4_journal::{decode_sector, encode_sectors, redo, undo, JournalEntry, ObjectMeta, PtrChange};
+use s4_lfs::{
+    BlockAddr, BlockKind, BlockTag, CleanOutcome, Cleaner, CleanerConfig, Log, LogConfig,
+    RelocationCallbacks, BLOCK_SIZE,
+};
+use s4_simdisk::BlockDev;
+
+use crate::acl::{AclEntry, AclTable, Perm};
+use crate::audit::AuditState;
+use crate::ids::{ObjectId, RequestContext};
+use crate::object::{DeltaRef, EvictInfo, ObjectEntry, SectorInfo, Slot};
+use crate::stats::DriveStats;
+use crate::throttle::{ThrottleConfig, ThrottleState};
+use crate::{Result, S4Error};
+
+/// The reserved audit-log object (§4.2.3): writable only by the drive
+/// front end, not versioned.
+pub const AUDIT_OBJECT: ObjectId = ObjectId(1);
+
+/// The reserved named-object (partition) table (§4.1): "implemented as a
+/// special S4 object accessed through dedicated partition manipulation
+/// RPC calls ... versioned in the same manner as other objects".
+pub const PARTITION_OBJECT: ObjectId = ObjectId(2);
+
+const FIRST_DYNAMIC_OID: u64 = 3;
+const ANCHOR_MAGIC: u32 = 0x5334_414E; // "S4AN"
+const JBLOCK_MAGIC: u32 = 0x5334_4A42; // "S4JB"
+const CPBLOCK_MAGIC: u32 = 0x5334_4342; // "S4CB"
+const DBLOCK_MAGIC: u32 = 0x5334_4444; // "S4DD"
+const SHARED_CP_THRESHOLD: usize = 1000;
+const CHECKPOINT_CHUNK: usize = BLOCK_SIZE - 12;
+
+/// Drive configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DriveConfig {
+    /// Log layout and buffer-cache size.
+    pub log: LogConfig,
+    /// Maximum objects kept fully in memory (the paper's 32 MB object
+    /// cache); excess objects are checkpointed and evicted at sync.
+    pub object_cache_entries: usize,
+    /// Guaranteed detection window (adjustable later via `SetWindow`).
+    pub detection_window: SimDuration,
+    /// Whether to record audit records (Figure 6 toggles this).
+    pub audit_enabled: bool,
+    /// Write an anchor every this many syncs.
+    pub anchor_interval_syncs: u32,
+    /// Server CPU cost model.
+    pub cpu: CpuModel,
+    /// History-pool abuse throttling.
+    pub throttle: ThrottleConfig,
+    /// Secret required for administrative commands (§3.5).
+    pub admin_token: u64,
+    /// Cleaner tuning.
+    pub cleaner: CleanerConfig,
+}
+
+impl Default for DriveConfig {
+    fn default() -> Self {
+        DriveConfig {
+            log: LogConfig::default(),
+            object_cache_entries: 1 << 20,
+            detection_window: SimDuration::from_days(7),
+            audit_enabled: true,
+            anchor_interval_syncs: 2048,
+            cpu: CpuModel::pentium3_600(),
+            throttle: ThrottleConfig::default(),
+            admin_token: 0x5345_4355_5245_5334, // "SECURES4"
+            cleaner: CleanerConfig::default(),
+        }
+    }
+}
+
+impl DriveConfig {
+    /// A small, fast configuration for unit tests: tiny segments, free
+    /// CPU, tiny caches, frequent anchors.
+    pub fn small_test() -> Self {
+        DriveConfig {
+            log: LogConfig {
+                blocks_per_segment: 16,
+                cache_blocks: 256,
+                readahead_blocks: 1,
+            },
+            object_cache_entries: 1 << 20,
+            detection_window: SimDuration::from_secs(3600),
+            audit_enabled: true,
+            anchor_interval_syncs: 64,
+            cpu: CpuModel::free(),
+            throttle: ThrottleConfig::disabled(),
+            admin_token: 42,
+            cleaner: CleanerConfig::default(),
+        }
+    }
+}
+
+/// Attributes returned by `GetAttr` (the S4-specific part plus the opaque
+/// client blob).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectAttrs {
+    /// Object size in bytes.
+    pub size: u64,
+    /// Creation time.
+    pub created: SimTime,
+    /// Last-modification time (of the version being inspected).
+    pub modified: SimTime,
+    /// Deletion time, if the version is a deleted tombstone.
+    pub deleted: Option<SimTime>,
+    /// The opaque attribute blob maintained by client file systems.
+    pub opaque: Vec<u8>,
+}
+
+struct Inner {
+    table: HashMap<u64, Slot>,
+    next_oid: u64,
+    window: SimDuration,
+    audit: AuditState,
+    /// Every reachable block (current data, in-window history, journal
+    /// blocks, checkpoints, audit blocks). Rebuilt from first principles
+    /// at mount.
+    live: HashSet<u64>,
+    /// Per journal-block count of sectors still referenced by some
+    /// object's sector list; the block is released when it reaches zero.
+    jblock_refs: HashMap<u64, u32>,
+    /// Per shared-checkpoint-block count of object checkpoints stored in
+    /// it; released at zero.
+    cpblock_refs: HashMap<u64, u32>,
+    /// Per shared-delta-block count of delta payloads still referenced;
+    /// released at zero.
+    dblock_refs: HashMap<u64, u32>,
+    throttle: ThrottleState,
+    syncs_since_anchor: u32,
+    lru: u64,
+}
+
+/// The S4 drive.
+pub struct S4Drive<D: BlockDev> {
+    log: Log<D>,
+    clock: SimClock,
+    stamps: HybridClock,
+    config: DriveConfig,
+    inner: Mutex<Inner>,
+    stats: DriveStats,
+    cleaner: Cleaner,
+}
+
+impl<D: BlockDev> S4Drive<D> {
+    /// Formats `dev` as a fresh S4 drive and writes the initial anchor.
+    pub fn format(dev: D, config: DriveConfig, clock: SimClock) -> Result<S4Drive<D>> {
+        let log = Log::format(dev, config.log)?;
+        let stamps = HybridClock::new(clock.clone());
+        let drive = S4Drive {
+            log,
+            clock,
+            stamps,
+            cleaner: Cleaner::new(config.cleaner),
+            config,
+            inner: Mutex::new(Inner {
+                table: HashMap::new(),
+                next_oid: FIRST_DYNAMIC_OID,
+                window: config.detection_window,
+                audit: AuditState::default(),
+                live: HashSet::new(),
+                jblock_refs: HashMap::new(),
+                cpblock_refs: HashMap::new(),
+                dblock_refs: HashMap::new(),
+                throttle: ThrottleState::new(config.throttle),
+                syncs_since_anchor: 0,
+                lru: 0,
+            }),
+            stats: DriveStats::new(),
+        };
+        // Create the partition-table object (versioned like any other).
+        {
+            let mut inner = drive.inner.lock();
+            let stamp = drive.stamps.next();
+            let meta = ObjectMeta::new(PARTITION_OBJECT.0, stamp);
+            let mut entry = ObjectEntry::new(meta);
+            entry.pending.push(JournalEntry::Create { stamp });
+            inner
+                .table
+                .insert(PARTITION_OBJECT.0, Slot::Cached(Box::new(entry)));
+            drive.sync_locked(&mut inner)?;
+            drive.anchor_locked(&mut inner)?;
+        }
+        Ok(drive)
+    }
+
+    /// Mounts an existing S4 drive, recovering to the last completed sync.
+    pub fn mount(dev: D, config: DriveConfig, clock: SimClock) -> Result<S4Drive<D>> {
+        let (log, payload, batches, sb) = Log::mount(dev, config.log.cache_blocks)?;
+        clock.advance_to(SimTime::from_micros(sb.anchor_time_us));
+
+        let (mut inner, records) = decode_anchor_payload(&payload, &config)?;
+
+        // Phase 1: rebuild each anchored object from its checkpoint plus
+        // the journal sectors newer than the checkpointed metadata.
+        for rec in &records {
+            let mut entry = if rec.root.is_none() {
+                // Journal-only object: its entire history (from the
+                // Create entry) is in the anchored sector list.
+                let sectors = rec.sectors.clone().unwrap_or_default();
+                let Some(first) = sectors.first() else {
+                    return Err(S4Error::BadRequest("anchored object with no state"));
+                };
+                let (_o, entries) = read_subsector(&log, first.addr, first.slot)?;
+                let Some(JournalEntry::Create { stamp }) = entries.first() else {
+                    return Err(S4Error::BadRequest("journal-only object without create"));
+                };
+                ObjectEntry::new(ObjectMeta::new(rec.oid, *stamp))
+            } else {
+                let (mut e, blocks) = read_checkpoint_static(&log, rec.root, rec.slot)?;
+                e.checkpoint_root = rec.root;
+                e.checkpoint_slot = rec.slot;
+                e.checkpoint_blocks = blocks;
+                e
+            };
+            if let Some(sectors) = &rec.sectors {
+                entry.sectors = sectors.clone();
+                entry.history_floor = entry.history_floor.max(rec.floor);
+            }
+            let cp_modified = entry.meta.modified;
+            let sectors = entry.sectors.clone();
+            for s in &sectors {
+                if s.newest <= cp_modified {
+                    continue;
+                }
+                let (_oid, entries) = read_subsector(&log, s.addr, s.slot)?;
+                for e in &entries {
+                    if e.stamp() > cp_modified {
+                        redo(&mut entry.meta, e);
+                    }
+                }
+            }
+            if let Some(last) = entry.sectors.last() {
+                entry.meta.journal_head = last.addr;
+            }
+            entry.dirty = false;
+            inner.table.insert(rec.oid, Slot::Cached(Box::new(entry)));
+            inner.next_oid = inner.next_oid.max(rec.oid + 1);
+        }
+
+        // Phase 2: re-apply every journal block flushed after the anchor.
+        let mut max_seq = sb.next_stamp_seq;
+        for batch in &batches {
+            for &(addr, tag) in &batch.blocks {
+                match tag.kind {
+                    BlockKind::JournalSector => {
+                        let block = log.read_block(addr)?;
+                        let subs = split_container(JBLOCK_MAGIC, &block)?;
+                        for (slot, sub) in subs.iter().enumerate() {
+                            let (oid, _prev, entries) = decode_sector(sub)?;
+                            apply_recovered_sector(&mut inner, oid, addr, slot as u32, &entries)?;
+                            for e in &entries {
+                                max_seq = max_seq.max(e.stamp().seq + 1);
+                            }
+                        }
+                    }
+                    BlockKind::Audit => {
+                        inner.audit.blocks.push(addr);
+                    }
+                    // Data blocks become reachable via the journal entries
+                    // referencing them; orphaned post-anchor checkpoints
+                    // and relocated copies are intentionally dropped.
+                    _ => {}
+                }
+            }
+        }
+
+        // Phase 3: rebuild the reachable-block set and journal-block
+        // refcounts from the recovered object table.
+        rebuild_liveness(&log, &mut inner)?;
+        log.rebuild_live_counts(inner.live.iter().map(|&a| BlockAddr(a)));
+
+        let stamps = HybridClock::resuming_from(clock.clone(), max_seq.max(sb.next_stamp_seq));
+        Ok(S4Drive {
+            log,
+            clock,
+            stamps,
+            cleaner: Cleaner::new(config.cleaner),
+            config,
+            inner: Mutex::new(inner),
+            stats: DriveStats::new(),
+        })
+    }
+
+    /// Drops the drive *without* syncing or anchoring and returns the
+    /// underlying device — simulating power loss for crash-recovery
+    /// tests and experiments. All volatile state (caches, pending
+    /// journal entries, buffered audit records) is lost, exactly as on a
+    /// real crash.
+    pub fn crash(self) -> D {
+        self.log.into_device()
+    }
+
+    /// Syncs, anchors, and returns the underlying device.
+    pub fn unmount(self) -> Result<D> {
+        {
+            let mut inner = self.inner.lock();
+            self.sync_locked(&mut inner)?;
+            self.anchor_locked(&mut inner)?;
+        }
+        Ok(self.log.into_device())
+    }
+
+    /// The simulated clock this drive charges.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Live operation counters.
+    pub fn stats(&self) -> &DriveStats {
+        &self.stats
+    }
+
+    /// Fraction of data-area blocks referenced (current + history).
+    pub fn utilization(&self) -> f64 {
+        self.log.utilization()
+    }
+
+    /// Free segments remaining in the log.
+    pub fn free_segments(&self) -> u32 {
+        self.log.free_segments()
+    }
+
+    /// The current detection window.
+    pub fn detection_window(&self) -> SimDuration {
+        self.inner.lock().window
+    }
+
+    /// The drive configuration.
+    pub fn config(&self) -> &DriveConfig {
+        &self.config
+    }
+
+    /// The underlying log (exposed for benchmarks and tests).
+    pub fn log(&self) -> &Log<D> {
+        &self.log
+    }
+
+    /// True if `ctx` carries the drive's administrative credential.
+    pub fn is_admin(&self, ctx: &RequestContext) -> bool {
+        ctx.admin_token == Some(self.config.admin_token)
+    }
+
+    // ------------------------------------------------------------------
+    // Object operations (authorization included; auditing happens in the
+    // RPC dispatcher).
+    // ------------------------------------------------------------------
+
+    /// Creates an object; the creator receives a full-permission ACL
+    /// entry unless an explicit table is supplied.
+    pub fn op_create(&self, ctx: &RequestContext, acl: Option<AclTable>) -> Result<ObjectId> {
+        let mut inner = self.inner.lock();
+        let oid = inner.next_oid;
+        inner.next_oid += 1;
+        let stamp = self.stamps.next();
+        let table = acl.unwrap_or_else(|| AclTable::owner_default(ctx.user));
+        let mut entry = ObjectEntry::new(ObjectMeta::new(oid, stamp));
+        entry.pending.push(JournalEntry::Create { stamp });
+        let acl_stamp = self.stamps.next();
+        let set = JournalEntry::SetAcl {
+            stamp: acl_stamp,
+            old: Vec::new(),
+            new: table.encode(),
+        };
+        redo(&mut entry.meta, &set);
+        entry.pending.push(set);
+        entry.last_used = inner.bump_lru();
+        inner.table.insert(oid, Slot::Cached(Box::new(entry)));
+        self.stats.versions_created(1);
+        Ok(ObjectId(oid))
+    }
+
+    /// Deletes an object (its versions remain recoverable for the
+    /// detection window).
+    pub fn op_delete(&self, ctx: &RequestContext, oid: ObjectId) -> Result<()> {
+        self.check_not_reserved(oid)?;
+        let mut inner = self.inner.lock();
+        let mut entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            self.authorize(ctx, &entry, Perm::OWNER)?;
+            if !entry.meta.is_live() {
+                return Err(S4Error::NoSuchObject);
+            }
+            let e = JournalEntry::Delete {
+                stamp: self.stamps.next(),
+            };
+            redo(&mut entry.meta, &e);
+            entry.pending.push(e);
+            entry.dirty = true;
+            self.stats.versions_created(1);
+            Ok(())
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Reads `len` bytes at `offset`, optionally from the version current
+    /// at `time` (Table 1: time-based access).
+    pub fn op_read(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+        offset: u64,
+        len: u64,
+        time: Option<SimTime>,
+    ) -> Result<Vec<u8>> {
+        if oid == AUDIT_OBJECT {
+            return self.read_audit_raw(ctx, offset, len);
+        }
+        let mut inner = self.inner.lock();
+        let entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            let meta = match time {
+                None => {
+                    self.authorize(ctx, &entry, Perm::READ)?;
+                    if !entry.meta.is_live() {
+                        return Err(S4Error::NoSuchObject);
+                    }
+                    entry.meta.clone()
+                }
+                Some(t) => {
+                    self.stats.time_based_reads(1);
+                    let meta = self.version_at(&entry, t)?;
+                    self.authorize_historical(ctx, &entry, &meta)?;
+                    if !meta.is_live() {
+                        return Err(S4Error::NoSuchObject);
+                    }
+                    meta
+                }
+            };
+            self.read_extent(&entry, &meta, offset, len)
+        })();
+        self.put_back(&mut inner, entry);
+        if let Ok(data) = &r {
+            self.stats.bytes_read(data.len() as u64);
+        }
+        r
+    }
+
+    /// Writes `data` at `offset`, creating a new version.
+    pub fn op_write(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        self.check_not_reserved(oid)?;
+        self.throttle(ctx, data.len() as u64);
+        let mut inner = self.inner.lock();
+        let mut entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            self.authorize(ctx, &entry, Perm::WRITE)?;
+            if !entry.meta.is_live() {
+                return Err(S4Error::NoSuchObject);
+            }
+            self.write_extent(&mut inner, &mut entry, offset, data)
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Appends `data` at the end of the object, returning the new size.
+    pub fn op_append(&self, ctx: &RequestContext, oid: ObjectId, data: &[u8]) -> Result<u64> {
+        self.check_not_reserved(oid)?;
+        self.throttle(ctx, data.len() as u64);
+        let mut inner = self.inner.lock();
+        let mut entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            self.authorize(ctx, &entry, Perm::WRITE)?;
+            if !entry.meta.is_live() {
+                return Err(S4Error::NoSuchObject);
+            }
+            let off = entry.meta.size;
+            self.write_extent(&mut inner, &mut entry, off, data)?;
+            Ok(entry.meta.size)
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Truncates (or sparsely extends) the object to `new_len` bytes.
+    pub fn op_truncate(&self, ctx: &RequestContext, oid: ObjectId, new_len: u64) -> Result<()> {
+        self.check_not_reserved(oid)?;
+        let mut inner = self.inner.lock();
+        let mut entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            self.authorize(ctx, &entry, Perm::WRITE)?;
+            if !entry.meta.is_live() {
+                return Err(S4Error::NoSuchObject);
+            }
+            self.truncate_inner(&mut inner, &mut entry, new_len)
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Returns object attributes, optionally of a historical version.
+    pub fn op_getattr(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+        time: Option<SimTime>,
+    ) -> Result<ObjectAttrs> {
+        let mut inner = self.inner.lock();
+        let entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            let meta = match time {
+                None => {
+                    self.authorize(ctx, &entry, Perm::READ)?;
+                    if !entry.meta.is_live() {
+                        return Err(S4Error::NoSuchObject);
+                    }
+                    entry.meta.clone()
+                }
+                Some(t) => {
+                    self.stats.time_based_reads(1);
+                    let meta = self.version_at(&entry, t)?;
+                    self.authorize_historical(ctx, &entry, &meta)?;
+                    meta
+                }
+            };
+            Ok(ObjectAttrs {
+                size: meta.size,
+                created: meta.created.time,
+                modified: meta.modified.time,
+                deleted: meta.deleted.map(|d| d.time),
+                opaque: meta.attrs,
+            })
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Replaces the opaque attribute blob.
+    pub fn op_setattr(&self, ctx: &RequestContext, oid: ObjectId, attrs: Vec<u8>) -> Result<()> {
+        self.check_not_reserved(oid)?;
+        self.throttle(ctx, attrs.len() as u64);
+        let mut inner = self.inner.lock();
+        let mut entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            self.authorize(ctx, &entry, Perm::WRITE)?;
+            if !entry.meta.is_live() {
+                return Err(S4Error::NoSuchObject);
+            }
+            let e = JournalEntry::SetAttr {
+                stamp: self.stamps.next(),
+                old: entry.meta.attrs.clone(),
+                new: attrs,
+            };
+            redo(&mut entry.meta, &e);
+            entry.pending.push(e);
+            entry.dirty = true;
+            self.stats.versions_created(1);
+            Ok(())
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Looks up the ACL entry for `user`, optionally in a historical
+    /// version.
+    pub fn op_get_acl_by_user(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+        user: crate::ids::UserId,
+        time: Option<SimTime>,
+    ) -> Result<Option<AclEntry>> {
+        self.acl_table_at(ctx, oid, time).map(|t| t.get_user(user))
+    }
+
+    /// Looks up the ACL entry at table index `idx`, optionally in a
+    /// historical version.
+    pub fn op_get_acl_by_index(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+        idx: u32,
+        time: Option<SimTime>,
+    ) -> Result<Option<AclEntry>> {
+        self.acl_table_at(ctx, oid, time)
+            .map(|t| t.get_index(idx as usize))
+    }
+
+    /// Installs (or clears, when the permission bits are empty) one ACL
+    /// entry.
+    pub fn op_set_acl(&self, ctx: &RequestContext, oid: ObjectId, acl: AclEntry) -> Result<()> {
+        self.check_not_reserved(oid)?;
+        let mut inner = self.inner.lock();
+        let mut entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            self.authorize(ctx, &entry, Perm::OWNER)?;
+            if !entry.meta.is_live() {
+                return Err(S4Error::NoSuchObject);
+            }
+            let mut table = AclTable::decode(&entry.meta.acl)?;
+            table.set(acl);
+            let e = JournalEntry::SetAcl {
+                stamp: self.stamps.next(),
+                old: entry.meta.acl.clone(),
+                new: table.encode(),
+            };
+            redo(&mut entry.meta, &e);
+            entry.pending.push(e);
+            entry.dirty = true;
+            self.stats.versions_created(1);
+            Ok(())
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Associates `name` with an existing object (persistent mount
+    /// points, §4.1).
+    pub fn op_pcreate(&self, _ctx: &RequestContext, name: &str, oid: ObjectId) -> Result<()> {
+        if name.is_empty() || name.len() > 255 {
+            return Err(S4Error::BadRequest("partition name length"));
+        }
+        let mut inner = self.inner.lock();
+        // The target must exist.
+        self.ensure_cached(&mut inner, oid)?;
+        let mut parts = self.read_partitions(&mut inner, None)?;
+        if parts.iter().any(|(n, _)| n == name) {
+            return Err(S4Error::PartitionExists);
+        }
+        parts.push((name.to_string(), oid.0));
+        self.write_partitions(&mut inner, &parts)
+    }
+
+    /// Removes a name/ObjectID association.
+    pub fn op_pdelete(&self, _ctx: &RequestContext, name: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let mut parts = self.read_partitions(&mut inner, None)?;
+        let before = parts.len();
+        parts.retain(|(n, _)| n != name);
+        if parts.len() == before {
+            return Err(S4Error::NoSuchPartition);
+        }
+        self.write_partitions(&mut inner, &parts)
+    }
+
+    /// Lists partitions, optionally as of `time`.
+    pub fn op_plist(
+        &self,
+        _ctx: &RequestContext,
+        time: Option<SimTime>,
+    ) -> Result<Vec<(String, ObjectId)>> {
+        let mut inner = self.inner.lock();
+        if time.is_some() {
+            self.stats.time_based_reads(1);
+        }
+        Ok(self
+            .read_partitions(&mut inner, time)?
+            .into_iter()
+            .map(|(n, o)| (n, ObjectId(o)))
+            .collect())
+    }
+
+    /// Resolves a partition name to its ObjectID, optionally as of
+    /// `time`.
+    pub fn op_pmount(
+        &self,
+        _ctx: &RequestContext,
+        name: &str,
+        time: Option<SimTime>,
+    ) -> Result<ObjectId> {
+        let mut inner = self.inner.lock();
+        if time.is_some() {
+            self.stats.time_based_reads(1);
+        }
+        self.read_partitions(&mut inner, time)?
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, o)| ObjectId(o))
+            .ok_or(S4Error::NoSuchPartition)
+    }
+
+    /// Makes everything written so far durable (NFSv2 clients call this
+    /// after every mutating operation).
+    pub fn op_sync(&self, _ctx: &RequestContext) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.sync_locked(&mut inner)
+    }
+
+    /// Administrative: adjusts the guaranteed detection window.
+    pub fn op_set_window(&self, ctx: &RequestContext, window: SimDuration) -> Result<()> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        self.inner.lock().window = window;
+        Ok(())
+    }
+
+    /// Administrative: removes all versions of all objects whose creating
+    /// mutation falls in `[from, to]`.
+    pub fn op_flush(&self, ctx: &RequestContext, from: SimTime, to: SimTime) -> Result<()> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let mut inner = self.inner.lock();
+        let oids: Vec<u64> = inner.table.keys().copied().collect();
+        for oid in oids {
+            self.flush_object_range(&mut inner, ObjectId(oid), from, to)?;
+        }
+        Ok(())
+    }
+
+    /// Administrative: removes versions of one object in `[from, to]`.
+    pub fn op_flusho(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<()> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let mut inner = self.inner.lock();
+        self.flush_object_range(&mut inner, oid, from, to)
+    }
+
+    /// Decodes every record currently in the audit log (admin only).
+    pub fn read_audit_records(
+        &self,
+        ctx: &RequestContext,
+    ) -> Result<Vec<crate::audit::AuditRecord>> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        for &addr in &inner.audit.blocks {
+            let block = self.log.read_block(addr)?;
+            out.extend(AuditState::decode_block(&block)?);
+        }
+        // Plus the buffered tail.
+        let mut off = 0;
+        while off + crate::audit::RECORD_BYTES <= inner.audit.pending.len() {
+            out.push(crate::audit::AuditRecord::decode(
+                &inner.audit.pending[off..off + crate::audit::RECORD_BYTES],
+            )?);
+            off += crate::audit::RECORD_BYTES;
+        }
+        Ok(out)
+    }
+
+    /// Appends one audit record (called by the RPC dispatcher).
+    pub(crate) fn audit_append(&self, rec: &crate::audit::AuditRecord) {
+        if !self.config.audit_enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        self.stats.audit_records(1);
+        let full_blocks = inner.audit.push(rec);
+        for payload in full_blocks {
+            let idx = inner.audit.blocks.len() as u64;
+            if let Ok(addr) = self.log.append(
+                BlockTag::new(BlockKind::Audit, AUDIT_OBJECT.0, idx),
+                &payload,
+            ) {
+                inner.audit.blocks.push(addr);
+                inner.live.insert(addr.0);
+                self.stats.audit_blocks(1);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance: expiry and cleaning.
+    // ------------------------------------------------------------------
+
+    /// Releases every version older than the detection window; returns
+    /// the number of blocks released. This is the scan the paper's
+    /// cleaner performs over the object map (§4.2.1).
+    pub fn expire_versions(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let now = self.clock.now();
+        let window = inner.window;
+        let cutoff = HybridTimestamp::upper_bound_at(now.saturating_sub(window));
+        let oids: Vec<u64> = inner.table.keys().copied().collect();
+        let mut released = 0u64;
+        for oid in oids {
+            released += self.expire_object(&mut inner, ObjectId(oid), cutoff)?;
+        }
+        self.stats.expired_blocks(released);
+        Ok(released)
+    }
+
+    /// Runs one cleaner pass (expiry first, then segment reclamation).
+    pub fn clean(&self) -> Result<CleanOutcome> {
+        self.expire_versions()?;
+        let cb = DriveCallbacks { drive: self };
+        let outcome = self
+            .cleaner
+            .clean_pass(&self.log, &cb)
+            .map_err(S4Error::from)?;
+        self.stats
+            .cleaner_relocations(outcome.blocks_relocated as u64);
+        self.stats
+            .cleaner_segments((outcome.dead_freed + outcome.copied_segments) as u64);
+        Ok(outcome)
+    }
+
+    /// Re-encodes history-pool data blocks as cross-version deltas
+    /// against their successor versions, releasing the original blocks —
+    /// the differencing pass the paper proposes for the S4 cleaner
+    /// (§4.2.2). Only deltas smaller than half a block are kept; other
+    /// versions stay plain. Returns `(blocks_encoded, blocks_released)`.
+    pub fn compact_history(&self) -> Result<(u64, u64)> {
+        let mut inner = self.inner.lock();
+        // Pack pending entries so the journal reflects every mutation.
+        let oids: Vec<u64> = inner.table.keys().copied().collect();
+        self.pack_objects(&mut inner, &oids)?;
+        let mut encoded = 0u64;
+        let mut released = 0u64;
+        // Collected payloads: (object, key, base, delta bytes).
+        let mut payloads: Vec<(u64, u64, BlockAddr, Vec<u8>)> = Vec::new();
+        for oid in oids {
+            if oid == AUDIT_OBJECT.0 {
+                continue;
+            }
+            let Ok(entry) = self.take_cached(&mut inner, ObjectId(oid)) else {
+                continue;
+            };
+            // Build per-lbn history chains (oldest first) from the
+            // retained journal.
+            let mut chains: HashMap<u64, Vec<BlockAddr>> = HashMap::new();
+            let mut read_failed = false;
+            for s in &entry.sectors {
+                let Ok((_o, entries)) = read_subsector(&self.log, s.addr, s.slot) else {
+                    read_failed = true;
+                    break;
+                };
+                for e in &entries {
+                    let changes = match e {
+                        JournalEntry::Write { changes, .. } => changes,
+                        JournalEntry::Truncate { freed, .. } => freed,
+                        _ => continue,
+                    };
+                    for c in changes {
+                        if !c.old.is_none() {
+                            chains.entry(c.lbn).or_default().push(c.old);
+                        }
+                    }
+                }
+            }
+            if read_failed {
+                self.put_back(&mut inner, entry);
+                continue;
+            }
+            for (lbn, olds) in chains {
+                // Successor of the newest old is the current block (if
+                // any); each older version's successor is the next old.
+                let mut seq: Vec<BlockAddr> = olds;
+                if let Some(&cur) = entry.meta.blocks.get(&lbn) {
+                    seq.push(cur);
+                }
+                if seq.len() < 2 {
+                    continue;
+                }
+                // Newest-first pairs: (target = seq[i], base = seq[i+1]).
+                let mut succ_content: Option<Vec<u8>> = None;
+                for i in (0..seq.len() - 1).rev() {
+                    let target = entry.resolve_forward(seq[i]);
+                    let base = entry.resolve_forward(seq[i + 1]);
+                    if target == base
+                        || entry.deltas.contains_key(&target.0)
+                        || !inner.live.contains(&target.0)
+                        || entry.is_landmark_block(target)
+                    {
+                        succ_content = None;
+                        continue;
+                    }
+                    let base_content = match succ_content.take() {
+                        Some(c) => c,
+                        None => match self.materialize_block(&entry, base) {
+                            Ok(c) => c,
+                            Err(_) => continue,
+                        },
+                    };
+                    let Ok(target_content) = self.materialize_block(&entry, target) else {
+                        continue;
+                    };
+                    let delta = s4_delta::diff(&base_content, &target_content);
+                    let enc = delta.encode();
+                    if enc.len() + 16 <= BLOCK_SIZE / 2 {
+                        let mut payload = Vec::with_capacity(16 + enc.len());
+                        payload.extend_from_slice(&oid.to_le_bytes());
+                        payload.extend_from_slice(&target.0.to_le_bytes());
+                        payload.extend_from_slice(&enc);
+                        payloads.push((oid, target.0, base, payload));
+                    }
+                    succ_content = Some(target_content);
+                }
+            }
+            self.put_back(&mut inner, entry);
+        }
+
+        // Pack delta payloads into shared blocks and install references.
+        let mut batch: Vec<(u64, u64, BlockAddr, Vec<u8>)> = Vec::new();
+        let mut used = 6usize;
+        let flush = |inner: &mut Inner,
+                     batch: &mut Vec<(u64, u64, BlockAddr, Vec<u8>)>,
+                     encoded: &mut u64,
+                     released: &mut u64|
+         -> Result<()> {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let payload =
+                encode_container(DBLOCK_MAGIC, batch.iter().map(|(_, _, _, p)| p.as_slice()));
+            let addr = self.log.append(
+                BlockTag::new(BlockKind::DeltaData, batch[0].0, batch.len() as u64),
+                &payload,
+            )?;
+            inner.live.insert(addr.0);
+            inner.dblock_refs.insert(addr.0, batch.len() as u32);
+            for (slot, (oid, key, base, _)) in batch.drain(..).enumerate() {
+                if let Some(Slot::Cached(entry)) = inner.table.get_mut(&oid) {
+                    entry.deltas.insert(
+                        key,
+                        DeltaRef {
+                            base,
+                            block: addr,
+                            slot: slot as u32,
+                        },
+                    );
+                    entry.needs_checkpoint = true;
+                    entry.dirty = true;
+                    // The original block's bytes are no longer needed.
+                    inner.live.remove(&key);
+                    self.log.release_blocks([BlockAddr(key)]);
+                    *encoded += 1;
+                    *released += 1;
+                }
+            }
+            Ok(())
+        };
+        for item in payloads {
+            let need = 4 + item.3.len();
+            if used + need > BLOCK_SIZE {
+                flush(&mut inner, &mut batch, &mut encoded, &mut released)?;
+                used = 6;
+            }
+            used += need;
+            batch.push(item);
+        }
+        flush(&mut inner, &mut batch, &mut encoded, &mut released)?;
+        self.log.flush()?;
+        Ok((encoded, released))
+    }
+
+    /// Pins the version of `oid` current at `time` as a *landmark*
+    /// (§6's proposed combination with Elephant-style long-term
+    /// versioning): the version's metadata is materialized and its blocks
+    /// survive detection-window expiry until the landmark is removed.
+    /// Requires OWNER permission (or the administrator).
+    pub fn op_mark_landmark(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+        time: SimTime,
+    ) -> Result<()> {
+        self.check_not_reserved(oid)?;
+        let mut inner = self.inner.lock();
+        let mut entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            self.authorize(ctx, &entry, Perm::OWNER)?;
+            let meta = self.version_at(&entry, time)?;
+            if entry.landmarks.iter().any(|m| m.modified == meta.modified) {
+                return Ok(()); // already pinned
+            }
+            // Materialize any delta-encoded blocks: a landmark must not
+            // depend on expirable delta bases.
+            let mut meta = meta;
+            let lbns: Vec<u64> = meta.blocks.keys().copied().collect();
+            for lbn in lbns {
+                let addr = meta.blocks[&lbn];
+                let resolved = entry.resolve_forward(addr);
+                if entry.deltas.contains_key(&resolved.0) {
+                    let data = self.materialize_block(&entry, resolved)?;
+                    let trimmed = data.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+                    let new = self.log.append(
+                        BlockTag::new(BlockKind::Data, entry.meta.id, lbn),
+                        &data[..trimmed],
+                    )?;
+                    inner.live.insert(new.0);
+                    meta.blocks.insert(lbn, new);
+                } else {
+                    meta.blocks.insert(lbn, resolved);
+                }
+            }
+            entry.landmarks.push(meta);
+            entry.landmarks.sort_by_key(|m| m.modified);
+            entry.needs_checkpoint = true;
+            entry.dirty = true;
+            Ok(())
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Removes the landmark pinned at exactly `modified` (as reported by
+    /// [`S4Drive::landmarks`]); its blocks become ordinary history again
+    /// (releasable if no longer referenced).
+    pub fn op_unmark_landmark(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+        modified: SimTime,
+    ) -> Result<()> {
+        self.check_not_reserved(oid)?;
+        let mut inner = self.inner.lock();
+        let mut entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            self.authorize(ctx, &entry, Perm::OWNER)?;
+            let before = entry.landmarks.len();
+            let removed: Vec<ObjectMeta> = entry
+                .landmarks
+                .iter()
+                .filter(|m| m.modified.time == modified)
+                .cloned()
+                .collect();
+            entry.landmarks.retain(|m| m.modified.time != modified);
+            if entry.landmarks.len() == before {
+                return Err(S4Error::NoSuchObject);
+            }
+            // Blocks that only the landmark kept alive: if they are not
+            // referenced by current state and their journal entries have
+            // already expired, release them now.
+            for m in removed {
+                for (_lbn, addr) in m.blocks {
+                    if entry.is_landmark_block(addr) {
+                        continue; // still pinned by another landmark
+                    }
+                    let current = entry.meta.blocks.values().any(|&a| a == addr);
+                    let retained_floor = entry.history_floor;
+                    if !current && m.modified <= retained_floor {
+                        inner.live.remove(&addr.0);
+                        self.log.release_blocks([addr]);
+                    }
+                }
+            }
+            entry.needs_checkpoint = true;
+            entry.dirty = true;
+            Ok(())
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Lists an object's landmark versions as `(modified, size)` pairs.
+    pub fn landmarks(&self, ctx: &RequestContext, oid: ObjectId) -> Result<Vec<(SimTime, u64)>> {
+        let mut inner = self.inner.lock();
+        let entry = self.take_cached(&mut inner, oid)?;
+        let r = self.authorize(ctx, &entry, Perm::READ).map(|()| {
+            entry
+                .landmarks
+                .iter()
+                .map(|m| (m.modified.time, m.size))
+                .collect()
+        });
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Forces an anchor now (used by orderly shutdown, tests, and
+    /// experiments that want pending-free segments promoted).
+    pub fn force_anchor(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.sync_locked(&mut inner)?;
+        self.anchor_locked(&mut inner)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn check_not_reserved(&self, oid: ObjectId) -> Result<()> {
+        if oid == AUDIT_OBJECT || oid == PARTITION_OBJECT {
+            return Err(S4Error::AccessDenied);
+        }
+        Ok(())
+    }
+
+    fn throttle(&self, ctx: &RequestContext, bytes: u64) {
+        let pressure = self.log.utilization();
+        let now = self.clock.now();
+        let penalty = self
+            .inner
+            .lock()
+            .throttle
+            .on_write(ctx.client.0, bytes, now, pressure);
+        if penalty > SimDuration::ZERO {
+            self.clock.advance(penalty);
+            self.stats.throttle_penalty_us(penalty.as_micros());
+        }
+    }
+
+    fn authorize(&self, ctx: &RequestContext, entry: &ObjectEntry, need: Perm) -> Result<()> {
+        if self.is_admin(ctx) {
+            return Ok(());
+        }
+        let table = AclTable::decode(&entry.meta.acl)?;
+        if table.perms_of(ctx.user).includes(need) {
+            Ok(())
+        } else {
+            Err(S4Error::AccessDenied)
+        }
+    }
+
+    /// History-pool access control (§3.4): the current version needs READ;
+    /// an old version additionally needs the Recovery flag in the ACL *of
+    /// that version* — or the administrator.
+    fn authorize_historical(
+        &self,
+        ctx: &RequestContext,
+        entry: &ObjectEntry,
+        version: &ObjectMeta,
+    ) -> Result<()> {
+        if self.is_admin(ctx) {
+            return Ok(());
+        }
+        let is_current = entry.meta.is_live() && version.modified == entry.meta.modified;
+        let table = AclTable::decode(&version.acl)?;
+        let need = if is_current {
+            Perm::READ
+        } else {
+            Perm::READ.union(Perm::RECOVERY)
+        };
+        if table.perms_of(ctx.user).includes(need) {
+            Ok(())
+        } else {
+            Err(S4Error::AccessDenied)
+        }
+    }
+
+    fn acl_table_at(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+        time: Option<SimTime>,
+    ) -> Result<AclTable> {
+        let mut inner = self.inner.lock();
+        let entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            let meta = match time {
+                None => {
+                    self.authorize(ctx, &entry, Perm::READ)?;
+                    entry.meta.clone()
+                }
+                Some(t) => {
+                    self.stats.time_based_reads(1);
+                    let meta = self.version_at(&entry, t)?;
+                    self.authorize_historical(ctx, &entry, &meta)?;
+                    meta
+                }
+            };
+            AclTable::decode(&meta.acl)
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Loads an evicted object back into the cache.
+    fn ensure_cached(&self, inner: &mut Inner, oid: ObjectId) -> Result<()> {
+        let info = match inner.table.get(&oid.0) {
+            None => return Err(S4Error::NoSuchObject),
+            Some(Slot::Cached(_)) => return Ok(()),
+            Some(Slot::Evicted(info)) => *info,
+        };
+        let (mut entry, blocks) =
+            read_checkpoint_static(&self.log, info.checkpoint_root, info.checkpoint_slot)?;
+        entry.checkpoint_root = info.checkpoint_root;
+        entry.checkpoint_slot = info.checkpoint_slot;
+        entry.checkpoint_blocks = blocks;
+        entry.last_used = inner.bump_lru();
+        inner.table.insert(oid.0, Slot::Cached(Box::new(entry)));
+        Ok(())
+    }
+
+    fn take_cached(&self, inner: &mut Inner, oid: ObjectId) -> Result<ObjectEntry> {
+        self.ensure_cached(inner, oid)?;
+        match inner.table.remove(&oid.0) {
+            Some(Slot::Cached(mut e)) => {
+                e.last_used = inner.bump_lru();
+                Ok(*e)
+            }
+            _ => Err(S4Error::NoSuchObject),
+        }
+    }
+
+    fn put_back(&self, inner: &mut Inner, entry: ObjectEntry) {
+        inner
+            .table
+            .insert(entry.meta.id, Slot::Cached(Box::new(entry)));
+    }
+
+    /// Reads `[offset, offset+len)` of the given version's data.
+    fn read_extent(
+        &self,
+        entry: &ObjectEntry,
+        meta: &ObjectMeta,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>> {
+        if offset >= meta.size {
+            return Ok(Vec::new());
+        }
+        let len = len.min(meta.size - offset) as usize;
+        let mut out = vec![0u8; len];
+        let bs = BLOCK_SIZE as u64;
+        let first = offset / bs;
+        let last = (offset + len as u64 - 1) / bs;
+        for lbn in first..=last {
+            let Some(&addr) = meta.blocks.get(&lbn) else {
+                continue; // sparse hole reads as zeros
+            };
+            let block = self.materialize_block(entry, addr)?;
+            let block_start = lbn * bs;
+            let copy_from = offset.max(block_start);
+            let copy_to = (offset + len as u64).min(block_start + bs);
+            let src = (copy_from - block_start) as usize..(copy_to - block_start) as usize;
+            let dst = (copy_from - offset) as usize..(copy_to - offset) as usize;
+            out[dst].copy_from_slice(&block[src]);
+        }
+        Ok(out)
+    }
+
+    /// Fetches the bytes of `addr` for `entry`, materializing through the
+    /// forwarding map and any cross-version delta encoding (§4.2.2: "for
+    /// subsequent reads of old versions, the data for each block must be
+    /// recreated as the entries are traversed").
+    fn materialize_block(&self, entry: &ObjectEntry, addr: BlockAddr) -> Result<Vec<u8>> {
+        let addr = entry.resolve_forward(addr);
+        let Some(&dref) = entry.deltas.get(&addr.0) else {
+            return Ok(self.log.read_block(addr)?.to_vec());
+        };
+        let base = self.materialize_block(entry, dref.base)?;
+        let dblock = self.log.read_block(dref.block)?;
+        let subs = split_container(DBLOCK_MAGIC, &dblock)?;
+        let sub = subs
+            .get(dref.slot as usize)
+            .ok_or(S4Error::BadRequest("delta slot out of range"))?;
+        if sub.len() < 16 {
+            return Err(S4Error::BadRequest("delta payload truncated"));
+        }
+        let delta =
+            s4_delta::Delta::decode(&sub[16..]).map_err(|_| S4Error::BadRequest("delta decode"))?;
+        let mut data =
+            s4_delta::apply(&base, &delta).map_err(|_| S4Error::BadRequest("delta apply"))?;
+        data.resize(BLOCK_SIZE, 0);
+        Ok(data)
+    }
+
+    /// Releases one history block: removes delta encodings, re-bases any
+    /// deltas that used this block as their source, drops forwarding, and
+    /// frees the storage. Returns blocks released.
+    fn release_history_block(
+        &self,
+        inner: &mut Inner,
+        entry: &mut ObjectEntry,
+        old: BlockAddr,
+    ) -> Result<u64> {
+        let key = entry.resolve_forward_and_prune(old);
+        // Landmark-pinned blocks survive expiry and flushes.
+        if entry.is_landmark_block(key) {
+            return Ok(0);
+        }
+        // Delta-encoded: drop the reference; the real bytes were released
+        // when the delta was installed.
+        if let Some(dref) = entry.deltas.remove(&key.0) {
+            return Ok(self.deref_dblock(inner, dref.block));
+        }
+        // Blocks whose deltas are based on `key` must be re-materialized
+        // before the base disappears.
+        let dependents: Vec<u64> = entry
+            .deltas
+            .iter()
+            .filter(|(_, d)| d.base == key)
+            .map(|(&k, _)| k)
+            .collect();
+        let mut released = 0;
+        for dep in dependents {
+            let data = self.materialize_block(entry, BlockAddr(dep))?;
+            let trimmed = data.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+            let new = self.log.append(
+                BlockTag::new(BlockKind::Data, entry.meta.id, 0),
+                &data[..trimmed],
+            )?;
+            inner.live.insert(new.0);
+            let dref = entry.deltas.remove(&dep).expect("collected above");
+            released += self.deref_dblock(inner, dref.block);
+            entry.forwards.insert(dep, new.0);
+            entry.needs_checkpoint = true;
+        }
+        inner.live.remove(&key.0);
+        self.log.release_blocks([key]);
+        Ok(released + 1)
+    }
+
+    /// Drops one reference on a shared delta block.
+    fn deref_dblock(&self, inner: &mut Inner, block: BlockAddr) -> u64 {
+        match inner.dblock_refs.get_mut(&block.0) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                0
+            }
+            _ => {
+                inner.dblock_refs.remove(&block.0);
+                inner.live.remove(&block.0);
+                self.log.release_blocks([block]);
+                1
+            }
+        }
+    }
+
+    /// Writes `data` at `offset` as one journaled mutation.
+    fn write_extent(
+        &self,
+        inner: &mut Inner,
+        entry: &mut ObjectEntry,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let bs = BLOCK_SIZE as u64;
+        let old_size = entry.meta.size;
+        let new_size = old_size.max(offset + data.len() as u64);
+        let first = offset / bs;
+        let last = (offset + data.len() as u64 - 1) / bs;
+        let stamp = self.stamps.next();
+        let mut changes = Vec::with_capacity((last - first + 1) as usize);
+        for lbn in first..=last {
+            let block_start = lbn * bs;
+            let copy_from = offset.max(block_start);
+            let copy_to = (offset + data.len() as u64).min(block_start + bs);
+            let old = entry.meta.blocks.get(&lbn).copied();
+            // Build the new block contents, merging with the old block for
+            // partial coverage.
+            let mut content = if copy_to - copy_from < bs {
+                match old {
+                    Some(a) => self.materialize_block(entry, a)?,
+                    None => vec![0u8; BLOCK_SIZE],
+                }
+            } else {
+                vec![0u8; BLOCK_SIZE]
+            };
+            content.resize(BLOCK_SIZE, 0);
+            let src = (copy_from - offset) as usize..(copy_to - offset) as usize;
+            content[(copy_from - block_start) as usize..(copy_to - block_start) as usize]
+                .copy_from_slice(&data[src]);
+            let new = self
+                .log
+                .append(BlockTag::new(BlockKind::Data, entry.meta.id, lbn), &content)?;
+            inner.live.insert(new.0);
+            changes.push(PtrChange {
+                lbn,
+                old: old.unwrap_or(BlockAddr::NONE),
+                new,
+            });
+        }
+        let e = JournalEntry::Write {
+            stamp,
+            old_size,
+            new_size,
+            changes,
+        };
+        redo(&mut entry.meta, &e);
+        entry.pending.push(e);
+        entry.dirty = true;
+        self.stats.versions_created(1);
+        self.stats.bytes_written(data.len() as u64);
+        Ok(())
+    }
+
+    fn truncate_inner(
+        &self,
+        inner: &mut Inner,
+        entry: &mut ObjectEntry,
+        new_len: u64,
+    ) -> Result<()> {
+        let bs = BLOCK_SIZE as u64;
+        // Shrinking into the middle of a block must zero the retained
+        // block's tail, or the stale bytes would resurface if the file
+        // later grows (POSIX truncate semantics).
+        if new_len < entry.meta.size && !new_len.is_multiple_of(bs) {
+            let lbn = new_len / bs;
+            if let Some(&old) = entry.meta.blocks.get(&lbn) {
+                let block = self.materialize_block(entry, old)?;
+                let rem = (new_len % bs) as usize;
+                let mut buf = vec![0u8; BLOCK_SIZE];
+                buf[..rem].copy_from_slice(&block[..rem]);
+                self.write_extent(inner, entry, lbn * bs, &buf)?;
+            }
+        }
+        let keep_blocks = new_len.div_ceil(bs);
+        let freed: Vec<PtrChange> = entry
+            .meta
+            .blocks
+            .range(keep_blocks..)
+            .map(|(&lbn, &old)| PtrChange {
+                lbn,
+                old,
+                new: BlockAddr::NONE,
+            })
+            .collect();
+        let e = JournalEntry::Truncate {
+            stamp: self.stamps.next(),
+            old_size: entry.meta.size,
+            new_size: new_len,
+            freed,
+        };
+        redo(&mut entry.meta, &e);
+        entry.pending.push(e);
+        entry.dirty = true;
+        self.stats.versions_created(1);
+        Ok(())
+    }
+
+    /// Materializes the version of `entry` current at `t`, falling back
+    /// to pinned landmark versions for instants below the history floor.
+    fn version_at(&self, entry: &ObjectEntry, t: SimTime) -> Result<ObjectMeta> {
+        let bound = HybridTimestamp::upper_bound_at(t);
+        if bound <= entry.history_floor {
+            // The journal no longer reaches t; a landmark may.
+            if let Some(m) = entry.landmarks.iter().rev().find(|m| m.modified <= bound) {
+                return Ok(m.clone());
+            }
+            return Err(S4Error::VersionUnavailable);
+        }
+        let mut meta = entry.meta.clone();
+        let mut boundary: Option<HybridTimestamp> = None;
+        let mut done = false;
+        for e in entry.pending.iter().rev() {
+            if e.stamp() <= bound {
+                boundary = Some(e.stamp());
+                done = true;
+                break;
+            }
+            if !undo(&mut meta, e) {
+                return Err(S4Error::NoSuchObject);
+            }
+        }
+        if !done {
+            for s in entry.sectors.iter().rev() {
+                if s.newest <= bound {
+                    boundary = Some(s.newest);
+                    break;
+                }
+                let (_oid, entries) = read_subsector(&self.log, s.addr, s.slot)?;
+                for e in entries.iter().rev() {
+                    if e.stamp() <= bound {
+                        boundary = Some(e.stamp());
+                        done = true;
+                        break;
+                    }
+                    if !undo(&mut meta, e) {
+                        return Err(S4Error::NoSuchObject);
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        if meta.created > bound {
+            return Err(S4Error::NoSuchObject);
+        }
+        meta.modified = boundary.unwrap_or(meta.created);
+        Ok(meta)
+    }
+
+    /// Releases an entry's current checkpoint storage (chain blocks, or
+    /// one reference on a shared block).
+    fn release_checkpoint(&self, inner: &mut Inner, entry: &mut ObjectEntry) {
+        if entry.checkpoint_root.is_none() {
+            return;
+        }
+        if entry.checkpoint_slot != u32::MAX {
+            let addr = entry.checkpoint_root;
+            match inner.cpblock_refs.get_mut(&addr.0) {
+                Some(n) if *n > 1 => *n -= 1,
+                _ => {
+                    inner.cpblock_refs.remove(&addr.0);
+                    inner.live.remove(&addr.0);
+                    self.log.release_blocks([addr]);
+                }
+            }
+        } else {
+            for old in entry.checkpoint_blocks.drain(..) {
+                inner.live.remove(&old.0);
+                self.log.release_blocks([old]);
+            }
+        }
+        entry.checkpoint_root = BlockAddr::NONE;
+        entry.checkpoint_slot = u32::MAX;
+        entry.checkpoint_blocks.clear();
+    }
+
+    /// Writes fresh metadata checkpoints for `oids`, packing small blobs
+    /// into shared checkpoint blocks (several objects per 4 KiB block,
+    /// mirroring the paper's sector-sized on-disk inodes) and spilling
+    /// large blobs into dedicated chains.
+    fn pack_checkpoints(&self, inner: &mut Inner, oids: &[u64]) -> Result<()> {
+        let mut small: Vec<(u64, Vec<u8>)> = Vec::new();
+        for &oid in oids {
+            let mut entry = match self.take_cached(inner, ObjectId(oid)) {
+                Ok(e) => e,
+                Err(_) => continue,
+            };
+            let blob = entry.encode();
+            self.release_checkpoint(inner, &mut entry);
+            if blob.len() <= SHARED_CP_THRESHOLD {
+                small.push((oid, blob));
+                entry.dirty = false;
+                entry.needs_checkpoint = false;
+                self.put_back(inner, entry);
+            } else {
+                // Dedicated chain, written back-to-front.
+                let chunks: Vec<&[u8]> = blob.chunks(CHECKPOINT_CHUNK).collect();
+                let mut next = BlockAddr::NONE;
+                let mut new_blocks = Vec::with_capacity(chunks.len());
+                for (i, chunk) in chunks.iter().enumerate().rev() {
+                    let mut payload = Vec::with_capacity(12 + chunk.len());
+                    payload.extend_from_slice(&next.0.to_le_bytes());
+                    payload.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(chunk);
+                    let addr = self.log.append(
+                        BlockTag::new(BlockKind::ObjectCheckpoint, oid, i as u64),
+                        &payload,
+                    )?;
+                    inner.live.insert(addr.0);
+                    new_blocks.push(addr);
+                    next = addr;
+                }
+                entry.checkpoint_root = next;
+                entry.checkpoint_slot = u32::MAX;
+                entry.checkpoint_blocks = new_blocks;
+                entry.dirty = false;
+                entry.needs_checkpoint = false;
+                self.stats.checkpoints(1);
+                self.put_back(inner, entry);
+            }
+        }
+        // Pack the small blobs into shared blocks.
+        let mut batch: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut used = 6usize;
+        let flush = |inner: &mut Inner, batch: &mut Vec<(u64, Vec<u8>)>| -> Result<()> {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let payload = encode_container(CPBLOCK_MAGIC, batch.iter().map(|(_, b)| b.as_slice()));
+            let addr = self.log.append(
+                BlockTag::new(BlockKind::ObjectCheckpoint, batch[0].0, u64::MAX),
+                &payload,
+            )?;
+            inner.live.insert(addr.0);
+            inner.cpblock_refs.insert(addr.0, batch.len() as u32);
+            for (slot, (oid, _)) in batch.drain(..).enumerate() {
+                if let Some(Slot::Cached(entry)) = inner.table.get_mut(&oid) {
+                    entry.checkpoint_root = addr;
+                    entry.checkpoint_slot = slot as u32;
+                }
+                self.stats.checkpoints(1);
+            }
+            Ok(())
+        };
+        for (oid, blob) in small {
+            let need = 4 + blob.len();
+            if used + need > BLOCK_SIZE {
+                flush(inner, &mut batch)?;
+                used = 6;
+            }
+            used += need;
+            batch.push((oid, blob));
+        }
+        flush(inner, &mut batch)?;
+        Ok(())
+    }
+
+    /// Writes a fresh checkpoint for one object (eviction, cleaner
+    /// relocation).
+    fn write_checkpoint(&self, inner: &mut Inner, entry: &mut ObjectEntry) -> Result<()> {
+        let oid = entry.meta.id;
+        self.put_back(
+            inner,
+            std::mem::replace(entry, ObjectEntry::new(ObjectMeta::default())),
+        );
+        self.pack_checkpoints(inner, &[oid])?;
+        *entry = self.take_cached(inner, ObjectId(oid))?;
+        Ok(())
+    }
+
+    /// Packs the pending journal entries of `oids` into shared journal
+    /// blocks (several objects' sectors per 4 KiB block, §4.2.2).
+    fn pack_objects(&self, inner: &mut Inner, oids: &[u64]) -> Result<()> {
+        struct Item {
+            oid: u64,
+            payload: Vec<u8>,
+            oldest: HybridTimestamp,
+            newest: HybridTimestamp,
+        }
+        let mut items: Vec<Item> = Vec::new();
+        for &oid in oids {
+            let Some(Slot::Cached(entry)) = inner.table.get_mut(&oid) else {
+                continue;
+            };
+            if entry.pending.is_empty() {
+                continue;
+            }
+            for s in encode_sectors(&entry.pending) {
+                let payload = s.finish(oid, entry.meta.journal_head);
+                items.push(Item {
+                    oid,
+                    payload,
+                    oldest: s.entries.first().expect("non-empty").stamp(),
+                    newest: s.entries.last().expect("non-empty").stamp(),
+                });
+            }
+            entry.pending.clear();
+            entry.dirty = true;
+        }
+        if items.is_empty() {
+            return Ok(());
+        }
+
+        // Greedily fill journal blocks.
+        let mut block: Vec<Item> = Vec::new();
+        let mut used = 6usize; // magic + count
+        let flush = |inner: &mut Inner, block: &mut Vec<Item>| -> Result<()> {
+            if block.is_empty() {
+                return Ok(());
+            }
+            let payload =
+                encode_container(JBLOCK_MAGIC, block.iter().map(|i| i.payload.as_slice()));
+            let addr = self.log.append(
+                BlockTag::new(BlockKind::JournalSector, block[0].oid, block.len() as u64),
+                &payload,
+            )?;
+            inner.live.insert(addr.0);
+            inner.jblock_refs.insert(addr.0, block.len() as u32);
+            for (slot, item) in block.drain(..).enumerate() {
+                if let Some(Slot::Cached(entry)) = inner.table.get_mut(&item.oid) {
+                    entry.sectors.push(SectorInfo {
+                        addr,
+                        slot: slot as u32,
+                        oldest: item.oldest,
+                        newest: item.newest,
+                    });
+                    entry.meta.journal_head = addr;
+                }
+                self.stats.journal_sectors(1);
+            }
+            Ok(())
+        };
+        for item in items {
+            let need = 4 + item.payload.len();
+            if used + need > BLOCK_SIZE {
+                flush(inner, &mut block)?;
+                used = 6;
+            }
+            used += need;
+            block.push(item);
+        }
+        flush(inner, &mut block)?;
+        Ok(())
+    }
+
+    /// Drops one reference to the journal block at `addr`, releasing the
+    /// block when no object's sector list points into it anymore.
+    /// Returns 1 if the block itself was released.
+    fn release_sector_ref(&self, inner: &mut Inner, addr: BlockAddr) -> u64 {
+        match inner.jblock_refs.get_mut(&addr.0) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                0
+            }
+            _ => {
+                inner.jblock_refs.remove(&addr.0);
+                inner.live.remove(&addr.0);
+                self.log.release_blocks([addr]);
+                1
+            }
+        }
+    }
+
+    /// Sync: pack all pending journal entries, flush the log, and perform
+    /// periodic anchoring / object-cache eviction.
+    fn sync_locked(&self, inner: &mut Inner) -> Result<()> {
+        let oids: Vec<u64> = inner
+            .table
+            .iter()
+            .filter_map(|(&oid, slot)| match slot {
+                Slot::Cached(e) if !e.pending.is_empty() => Some(oid),
+                _ => None,
+            })
+            .collect();
+        self.pack_objects(inner, &oids)?;
+        self.log.flush()?;
+        self.stats.syncs(1);
+        inner.syncs_since_anchor += 1;
+        if inner.syncs_since_anchor >= self.config.anchor_interval_syncs {
+            self.anchor_locked(inner)?;
+        }
+        self.evict_excess(inner)?;
+        Ok(())
+    }
+
+    /// Evicts least-recently-used objects beyond the object-cache limit,
+    /// checkpointing them first (§4.2.2: "an object's metadata is
+    /// checkpointed to a log segment before being evicted from the
+    /// cache").
+    fn evict_excess(&self, inner: &mut Inner) -> Result<()> {
+        let limit = self.config.object_cache_entries.max(1);
+        loop {
+            let cached: Vec<(u64, u64)> = inner
+                .table
+                .iter()
+                .filter_map(|(&oid, slot)| match slot {
+                    Slot::Cached(e) => Some((e.last_used, oid)),
+                    _ => None,
+                })
+                .collect();
+            if cached.len() <= limit {
+                return Ok(());
+            }
+            let (_, victim) = cached.iter().copied().min().expect("non-empty");
+            self.pack_objects(inner, &[victim])?;
+            let mut entry = self.take_cached(inner, ObjectId(victim))?;
+            if entry.dirty || entry.checkpoint_root.is_none() {
+                self.write_checkpoint(inner, &mut entry)?;
+            }
+            let info = EvictInfo {
+                checkpoint_root: entry.checkpoint_root,
+                checkpoint_slot: entry.checkpoint_slot,
+                expiry_hint: entry.expiry_hint(),
+                deleted: entry.meta.deleted,
+            };
+            inner.table.insert(victim, Slot::Evicted(info));
+        }
+    }
+
+    /// Writes a drive anchor: ensures every object is recoverable
+    /// (first-time and relocation-dirtied objects get fresh checkpoints;
+    /// everything else is covered by its checkpoint plus the anchored
+    /// sector list), then persists the object map through the log's
+    /// anchor mechanism.
+    fn anchor_locked(&self, inner: &mut Inner) -> Result<()> {
+        // Pack any pending journal entries first.
+        let pending_oids: Vec<u64> = inner
+            .table
+            .iter()
+            .filter_map(|(&oid, slot)| match slot {
+                Slot::Cached(e) if !e.pending.is_empty() => Some(oid),
+                _ => None,
+            })
+            .collect();
+        self.pack_objects(inner, &pending_oids)?;
+
+        // Checkpoint objects that a crash could not otherwise recover: a
+        // checkpoint-less object is fine as long as its full journal
+        // history (starting at its Create entry) is retained.
+        let need_cp: Vec<u64> = inner
+            .table
+            .iter()
+            .filter_map(|(&oid, slot)| match slot {
+                Slot::Cached(e)
+                    if e.needs_checkpoint
+                        || (e.checkpoint_root.is_none()
+                            && e.history_floor != HybridTimestamp::ZERO) =>
+                {
+                    Some(oid)
+                }
+                _ => None,
+            })
+            .collect();
+        self.pack_checkpoints(inner, &need_cp)?;
+
+        // Persist any buffered audit tail so records survive restarts.
+        if let Some(tail) = inner.audit.take_pending_block() {
+            let idx = inner.audit.blocks.len() as u64;
+            let addr = self
+                .log
+                .append(BlockTag::new(BlockKind::Audit, AUDIT_OBJECT.0, idx), &tail)?;
+            inner.audit.blocks.push(addr);
+            inner.live.insert(addr.0);
+            self.stats.audit_blocks(1);
+        }
+
+        let payload = encode_anchor_payload(inner);
+        self.log.write_anchor(
+            &payload,
+            self.stamps.peek_seq(),
+            self.clock.now().as_micros(),
+        )?;
+        inner.syncs_since_anchor = 0;
+        self.stats.anchors(1);
+        Ok(())
+    }
+
+    /// Expires the history of one object up to `cutoff`.
+    fn expire_object(
+        &self,
+        inner: &mut Inner,
+        oid: ObjectId,
+        cutoff: HybridTimestamp,
+    ) -> Result<u64> {
+        // Skip loading evicted objects that cannot have expirable state.
+        if let Some(Slot::Evicted(info)) = inner.table.get(&oid.0) {
+            let deletable = info.deleted.is_some_and(|d| d <= cutoff);
+            if info.expiry_hint > cutoff && !deletable {
+                return Ok(0);
+            }
+        }
+        let mut entry = self.take_cached(inner, oid)?;
+        // Dropping journal prefix makes the object unrecoverable from the
+        // journal alone: persist a checkpoint first (unless the whole
+        // object is about to disappear).
+        let fully_expiring = entry.meta.deleted.is_some_and(|d| d <= cutoff)
+            && entry.pending.is_empty()
+            && entry.sectors.last().is_none_or(|s| s.newest <= cutoff);
+        if !fully_expiring
+            && entry.checkpoint_root.is_none()
+            && entry.sectors.first().is_some_and(|s| s.newest <= cutoff)
+        {
+            self.write_checkpoint(inner, &mut entry)?;
+        }
+        let mut released = 0u64;
+        while let Some(first) = entry.sectors.first().copied() {
+            if first.newest > cutoff {
+                break;
+            }
+            let (_oid, entries) = read_subsector(&self.log, first.addr, first.slot)?;
+            for e in &entries {
+                let olds: Vec<BlockAddr> = match e {
+                    JournalEntry::Write { changes, .. } => changes.iter().map(|c| c.old).collect(),
+                    JournalEntry::Truncate { freed, .. } => freed.iter().map(|c| c.old).collect(),
+                    _ => Vec::new(),
+                };
+                for old in olds {
+                    if old.is_none() {
+                        continue;
+                    }
+                    released += self.release_history_block(inner, &mut entry, old)?;
+                }
+            }
+            released += self.release_sector_ref(inner, first.addr);
+            entry.history_floor = first.newest;
+            entry.sectors.remove(0);
+            entry.dirty = true;
+        }
+        // A deleted object whose entire history has aged out disappears.
+        let fully_expired = entry.meta.deleted.is_some_and(|d| d <= cutoff)
+            && entry.sectors.is_empty()
+            && entry.pending.is_empty()
+            && entry.landmarks.is_empty();
+        if fully_expired {
+            let addrs: Vec<BlockAddr> = entry.meta.blocks.values().copied().collect();
+            for a in addrs {
+                released += self.release_history_block(inner, &mut entry, a)?;
+            }
+            self.release_checkpoint(inner, &mut entry);
+            released += 1;
+            // Entry intentionally not re-inserted: the object is gone.
+        } else {
+            self.put_back(inner, entry);
+        }
+        Ok(released)
+    }
+
+    /// Rewrites one object's history with versions in `[from, to]`
+    /// removed (the chain surgery behind `Flush`/`FlushO`).
+    fn flush_object_range(
+        &self,
+        inner: &mut Inner,
+        oid: ObjectId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<()> {
+        let lo = HybridTimestamp::new(from, 0);
+        let hi = HybridTimestamp::upper_bound_at(to);
+        let mut entry = self.take_cached(inner, oid)?;
+
+        // Collect the object's full retained history, oldest first.
+        let mut all: Vec<JournalEntry> = Vec::new();
+        for s in &entry.sectors {
+            match read_subsector(&self.log, s.addr, s.slot) {
+                Ok((_o, es)) => all.extend(es),
+                Err(e) => {
+                    self.put_back(inner, entry);
+                    return Err(e);
+                }
+            }
+        }
+        all.extend(entry.pending.iter().cloned());
+
+        // Pass 1 (newest -> oldest): an in-range entry is droppable only
+        // if every item it touches is superseded by a kept, later entry;
+        // Create/Delete are never dropped.
+        #[derive(PartialEq, Eq, Hash, Clone, Copy)]
+        enum Item {
+            Lbn(u64),
+            Attrs,
+            Acl,
+            Size,
+        }
+        fn items_of(e: &JournalEntry) -> Vec<Item> {
+            match e {
+                JournalEntry::Write { changes, .. } => {
+                    let mut v: Vec<Item> = changes.iter().map(|c| Item::Lbn(c.lbn)).collect();
+                    v.push(Item::Size);
+                    v
+                }
+                JournalEntry::Truncate { freed, .. } => {
+                    let mut v: Vec<Item> = freed.iter().map(|c| Item::Lbn(c.lbn)).collect();
+                    v.push(Item::Size);
+                    v
+                }
+                JournalEntry::SetAttr { .. } => vec![Item::Attrs],
+                JournalEntry::SetAcl { .. } => vec![Item::Acl],
+                _ => Vec::new(),
+            }
+        }
+        let mut superseded: HashSet<Item> = HashSet::new();
+        let mut drop_flags = vec![false; all.len()];
+        for (i, e) in all.iter().enumerate().rev() {
+            let items = items_of(e);
+            let in_range = e.stamp() >= lo && e.stamp() <= hi;
+            let droppable = in_range
+                && !items.is_empty()
+                && items.iter().all(|it| superseded.contains(it))
+                && !matches!(e, JournalEntry::Create { .. } | JournalEntry::Delete { .. });
+            if droppable {
+                drop_flags[i] = true;
+            } else {
+                for it in items {
+                    superseded.insert(it);
+                }
+            }
+        }
+        if !drop_flags.iter().any(|&d| d) {
+            self.put_back(inner, entry);
+            return Ok(());
+        }
+
+        // Pass 2 (oldest -> newest): rewrite kept entries' old fields to
+        // skip dropped versions, and release the dropped blocks.
+        let mut last_val: HashMap<u64, BlockAddr> = HashMap::new();
+        let mut last_attrs: Option<Vec<u8>> = None;
+        let mut last_acl: Option<Vec<u8>> = None;
+        let mut last_size: Option<u64> = None;
+        let mut kept: Vec<JournalEntry> = Vec::with_capacity(all.len());
+        let mut to_release: Vec<BlockAddr> = Vec::new();
+        for (i, mut e) in all.into_iter().enumerate() {
+            let dropped = drop_flags[i];
+            match &mut e {
+                JournalEntry::Write {
+                    old_size,
+                    new_size,
+                    changes,
+                    ..
+                }
+                | JournalEntry::Truncate {
+                    old_size,
+                    new_size,
+                    freed: changes,
+                    ..
+                } => {
+                    for c in changes.iter_mut() {
+                        let baseline = *last_val.entry(c.lbn).or_insert(c.old);
+                        if dropped {
+                            if !c.new.is_none() {
+                                to_release.push(c.new);
+                            }
+                        } else {
+                            c.old = baseline;
+                            last_val.insert(c.lbn, c.new);
+                        }
+                    }
+                    let size_baseline = *last_size.get_or_insert(*old_size);
+                    if !dropped {
+                        *old_size = size_baseline;
+                        last_size = Some(*new_size);
+                    }
+                }
+                JournalEntry::SetAttr { old, new, .. } => {
+                    let baseline = last_attrs.get_or_insert_with(|| old.clone()).clone();
+                    if !dropped {
+                        *old = baseline;
+                        last_attrs = Some(new.clone());
+                    }
+                }
+                JournalEntry::SetAcl { old, new, .. } => {
+                    let baseline = last_acl.get_or_insert_with(|| old.clone()).clone();
+                    if !dropped {
+                        *old = baseline;
+                        last_acl = Some(new.clone());
+                    }
+                }
+                _ => {}
+            }
+            if !dropped {
+                kept.push(e);
+            }
+        }
+
+        // Release dropped data blocks.
+        for a in to_release {
+            self.release_history_block(inner, &mut entry, a)?;
+        }
+        // Release the old sector chain and repack the rewritten history.
+        for s in entry.sectors.drain(..) {
+            self.release_sector_ref(inner, s.addr);
+        }
+        entry.meta.journal_head = BlockAddr::NONE;
+        entry.pending = kept;
+        entry.dirty = true;
+        entry.needs_checkpoint = true;
+        let oid_raw = entry.meta.id;
+        self.put_back(inner, entry);
+        self.pack_objects(inner, &[oid_raw])?;
+        Ok(())
+    }
+
+    fn read_audit_raw(&self, ctx: &RequestContext, offset: u64, len: u64) -> Result<Vec<u8>> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let inner = self.inner.lock();
+        let mut stream = Vec::new();
+        for &addr in &inner.audit.blocks {
+            let block = self.log.read_block(addr)?;
+            stream.extend_from_slice(&block);
+        }
+        stream.extend_from_slice(&inner.audit.pending);
+        let off = (offset as usize).min(stream.len());
+        let end = (off + len as usize).min(stream.len());
+        Ok(stream[off..end].to_vec())
+    }
+
+    fn read_partitions(
+        &self,
+        inner: &mut Inner,
+        time: Option<SimTime>,
+    ) -> Result<Vec<(String, u64)>> {
+        let entry = self.take_cached(inner, PARTITION_OBJECT)?;
+        let r = (|| {
+            let meta = match time {
+                None => entry.meta.clone(),
+                Some(t) => self.version_at(&entry, t)?,
+            };
+            let data = self.read_extent(&entry, &meta, 0, meta.size)?;
+            decode_partition_blob(&data)
+        })();
+        self.put_back(inner, entry);
+        r
+    }
+
+    fn write_partitions(&self, inner: &mut Inner, parts: &[(String, u64)]) -> Result<()> {
+        let blob = encode_partition_blob(parts);
+        let mut entry = self.take_cached(inner, PARTITION_OBJECT)?;
+        let r = (|| {
+            let old_size = entry.meta.size;
+            if !blob.is_empty() {
+                self.write_extent(inner, &mut entry, 0, &blob)?;
+            }
+            if old_size > blob.len() as u64 {
+                self.truncate_inner(inner, &mut entry, blob.len() as u64)?;
+            }
+            Ok(())
+        })();
+        self.put_back(&mut *inner, entry);
+        r
+    }
+}
+
+impl Inner {
+    fn bump_lru(&mut self) -> u64 {
+        self.lru += 1;
+        self.lru
+    }
+}
+
+// ----------------------------------------------------------------------
+// Journal-block packing (several objects' sectors per 4 KiB block).
+// ----------------------------------------------------------------------
+
+fn encode_container<'a, I: Iterator<Item = &'a [u8]>>(magic: u32, subs: I) -> Vec<u8> {
+    let mut out = Vec::with_capacity(BLOCK_SIZE);
+    out.extend_from_slice(&magic.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // count patched below
+    let mut count = 0u16;
+    for sub in subs {
+        out.extend_from_slice(&(sub.len() as u32).to_le_bytes());
+        out.extend_from_slice(sub);
+        count += 1;
+    }
+    out[4..6].copy_from_slice(&count.to_le_bytes());
+    debug_assert!(out.len() <= BLOCK_SIZE, "journal block overflow");
+    out
+}
+
+fn split_container(magic: u32, buf: &[u8]) -> Result<Vec<Vec<u8>>> {
+    if buf.len() < 6 || buf[0..4] != magic.to_le_bytes() {
+        return Err(S4Error::BadRequest("container block magic"));
+    }
+    let count = u16::from_le_bytes(buf[4..6].try_into().unwrap()) as usize;
+    let mut pos = 6;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if pos + 4 > buf.len() {
+            return Err(S4Error::BadRequest("journal block truncated"));
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if pos + len > buf.len() {
+            return Err(S4Error::BadRequest("journal sub-sector truncated"));
+        }
+        out.push(buf[pos..pos + len].to_vec());
+        pos += len;
+    }
+    Ok(out)
+}
+
+/// Reads one object's sector out of a shared journal block.
+fn read_subsector<D: BlockDev>(
+    log: &Log<D>,
+    addr: BlockAddr,
+    slot: u32,
+) -> Result<(u64, Vec<JournalEntry>)> {
+    let block = log.read_block(addr)?;
+    let subs = split_container(JBLOCK_MAGIC, &block)?;
+    let sub = subs
+        .get(slot as usize)
+        .ok_or(S4Error::BadRequest("journal slot out of range"))?;
+    let (oid, _prev, entries) = decode_sector(sub)?;
+    Ok((oid, entries))
+}
+
+// ----------------------------------------------------------------------
+// Cleaner callbacks.
+// ----------------------------------------------------------------------
+
+struct DriveCallbacks<'a, D: BlockDev> {
+    drive: &'a S4Drive<D>,
+}
+
+impl<D: BlockDev> RelocationCallbacks for DriveCallbacks<'_, D> {
+    fn is_live(&self, _tag: &BlockTag, addr: BlockAddr) -> bool {
+        self.drive.inner.lock().live.contains(&addr.0)
+    }
+
+    fn relocate(&self, tag: &BlockTag, addr: BlockAddr, data: &[u8]) -> s4_lfs::Result<()> {
+        let drive = self.drive;
+        let mut inner = drive.inner.lock();
+        match tag.kind {
+            BlockKind::Data => {
+                let new = drive.log.append(*tag, data)?;
+                inner.live.remove(&addr.0);
+                inner.live.insert(new.0);
+                if tag.object == AUDIT_OBJECT.0 {
+                    if let Some(slot) = inner.audit.blocks.iter_mut().find(|a| **a == addr) {
+                        *slot = new;
+                    }
+                    return Ok(());
+                }
+                if drive
+                    .ensure_cached(&mut inner, ObjectId(tag.object))
+                    .is_err()
+                {
+                    return Ok(()); // object vanished; block was stale
+                }
+                if let Some(Slot::Cached(entry)) = inner.table.get_mut(&tag.object) {
+                    // Current map pointer, if it is this address.
+                    if entry.meta.blocks.get(&tag.aux) == Some(&addr) {
+                        entry.meta.blocks.insert(tag.aux, new);
+                    }
+                    // History references resolve through forwarding.
+                    entry.forwards.insert(addr.0, new.0);
+                    entry.dirty = true;
+                    entry.needs_checkpoint = true;
+                }
+                Ok(())
+            }
+            BlockKind::Audit => {
+                let new = drive.log.append(*tag, data)?;
+                inner.live.remove(&addr.0);
+                inner.live.insert(new.0);
+                if let Some(slot) = inner.audit.blocks.iter_mut().find(|a| **a == addr) {
+                    *slot = new;
+                }
+                Ok(())
+            }
+            BlockKind::JournalSector => {
+                let new = drive.log.append(*tag, data)?;
+                inner.live.remove(&addr.0);
+                inner.live.insert(new.0);
+                if let Some(refs) = inner.jblock_refs.remove(&addr.0) {
+                    inner.jblock_refs.insert(new.0, refs);
+                }
+                // Every object with a sector in this block must re-point.
+                let oids: Vec<u64> = match split_container(JBLOCK_MAGIC, data) {
+                    Ok(subs) => subs
+                        .iter()
+                        .filter_map(|sub| decode_sector(sub).ok().map(|(oid, _, _)| oid))
+                        .collect(),
+                    Err(_) => Vec::new(),
+                };
+                for oid in oids {
+                    if drive.ensure_cached(&mut inner, ObjectId(oid)).is_err() {
+                        continue;
+                    }
+                    if let Some(Slot::Cached(entry)) = inner.table.get_mut(&oid) {
+                        for info in entry.sectors.iter_mut().filter(|s| s.addr == addr) {
+                            info.addr = new;
+                        }
+                        if entry.meta.journal_head == addr {
+                            entry.meta.journal_head = new;
+                        }
+                        entry.dirty = true;
+                    }
+                }
+                Ok(())
+            }
+            BlockKind::ObjectCheckpoint => {
+                // Rewrite fresh checkpoints for every object whose
+                // checkpoint lives in this block, instead of copying the
+                // stale bytes.
+                inner.live.remove(&addr.0);
+                inner.cpblock_refs.remove(&addr.0);
+                let oids: Vec<u64> = match split_container(CPBLOCK_MAGIC, data) {
+                    Ok(subs) => subs
+                        .iter()
+                        .filter_map(|b| ObjectEntry::decode(b).ok().map(|e| e.meta.id))
+                        .collect(),
+                    // A dedicated chain block: tag.object owns it.
+                    Err(_) => vec![tag.object],
+                };
+                let mut repack: Vec<u64> = Vec::new();
+                for oid in oids {
+                    if drive.ensure_cached(&mut inner, ObjectId(oid)).is_err() {
+                        continue;
+                    }
+                    let stale_chain: Vec<BlockAddr> = match inner.table.get_mut(&oid) {
+                        Some(Slot::Cached(entry)) => {
+                            if entry.checkpoint_root != addr {
+                                continue; // superseded since
+                            }
+                            let chain = entry.checkpoint_blocks.drain(..).collect();
+                            entry.checkpoint_root = BlockAddr::NONE;
+                            entry.checkpoint_slot = u32::MAX;
+                            repack.push(oid);
+                            chain
+                        }
+                        _ => continue,
+                    };
+                    // Drop the stale chain without touching the block
+                    // being reclaimed.
+                    for cp in stale_chain {
+                        inner.live.remove(&cp.0);
+                        if cp != addr {
+                            drive.log.release_blocks([cp]);
+                        }
+                    }
+                }
+                drive
+                    .pack_checkpoints(&mut inner, &repack)
+                    .map_err(|_| s4_lfs::LfsError::Corrupt("checkpoint rewrite"))?;
+                Ok(())
+            }
+            BlockKind::DeltaData => {
+                let new = drive.log.append(*tag, data)?;
+                inner.live.remove(&addr.0);
+                inner.live.insert(new.0);
+                if let Some(refs) = inner.dblock_refs.remove(&addr.0) {
+                    inner.dblock_refs.insert(new.0, refs);
+                }
+                // Re-point every (object, key) delta reference into the
+                // relocated block.
+                let pairs: Vec<(u64, u64)> = match split_container(DBLOCK_MAGIC, data) {
+                    Ok(subs) => subs
+                        .iter()
+                        .filter(|sub| sub.len() >= 16)
+                        .map(|sub| {
+                            (
+                                u64::from_le_bytes(sub[0..8].try_into().unwrap()),
+                                u64::from_le_bytes(sub[8..16].try_into().unwrap()),
+                            )
+                        })
+                        .collect(),
+                    Err(_) => Vec::new(),
+                };
+                for (oid, key) in pairs {
+                    if drive.ensure_cached(&mut inner, ObjectId(oid)).is_err() {
+                        continue;
+                    }
+                    if let Some(Slot::Cached(entry)) = inner.table.get_mut(&oid) {
+                        if let Some(dref) = entry.deltas.get_mut(&key) {
+                            if dref.block == addr {
+                                dref.block = new;
+                                entry.needs_checkpoint = true;
+                                entry.dirty = true;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            BlockKind::SystemState => Ok(()),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Anchor payload codec (version 2: object map with per-object sector
+// lists; the reachable-block set is rebuilt at mount, not persisted).
+// ----------------------------------------------------------------------
+
+struct AnchorRecord {
+    oid: u64,
+    root: BlockAddr,
+    slot: u32,
+    floor: HybridTimestamp,
+    /// `None` means "use the sector list inside the checkpoint blob"
+    /// (always the case for evicted objects, whose checkpoint is exact).
+    sectors: Option<Vec<SectorInfo>>,
+}
+
+fn push_stamp(out: &mut Vec<u8>, s: HybridTimestamp) {
+    out.extend_from_slice(&s.time.as_micros().to_le_bytes());
+    out.extend_from_slice(&s.seq.to_le_bytes());
+}
+
+fn read_stamp(buf: &[u8], pos: &mut usize) -> Result<HybridTimestamp> {
+    if *pos + 16 > buf.len() {
+        return Err(S4Error::BadRequest("anchor stamp truncated"));
+    }
+    let t = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+    let q = u64::from_le_bytes(buf[*pos + 8..*pos + 16].try_into().unwrap());
+    *pos += 16;
+    Ok(HybridTimestamp::new(SimTime::from_micros(t), q))
+}
+
+fn encode_anchor_payload(inner: &Inner) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&ANCHOR_MAGIC.to_le_bytes());
+    out.extend_from_slice(&inner.next_oid.to_le_bytes());
+    out.extend_from_slice(&inner.window.as_micros().to_le_bytes());
+    out.extend_from_slice(&inner.audit.encode());
+    out.extend_from_slice(&(inner.table.len() as u32).to_le_bytes());
+    for (&oid, slot) in &inner.table {
+        out.extend_from_slice(&oid.to_le_bytes());
+        match slot {
+            Slot::Cached(e) => {
+                debug_assert!(
+                    e.pending.is_empty()
+                        && !e.needs_checkpoint
+                        && (!e.checkpoint_root.is_none()
+                            || e.history_floor == HybridTimestamp::ZERO),
+                    "anchor with unrecoverable object {oid}"
+                );
+                out.extend_from_slice(&e.checkpoint_root.0.to_le_bytes());
+                out.extend_from_slice(&e.checkpoint_slot.to_le_bytes());
+                push_stamp(&mut out, e.history_floor);
+                out.push(1); // explicit sector list
+                out.extend_from_slice(&(e.sectors.len() as u32).to_le_bytes());
+                for s in &e.sectors {
+                    out.extend_from_slice(&s.addr.0.to_le_bytes());
+                    out.extend_from_slice(&s.slot.to_le_bytes());
+                    push_stamp(&mut out, s.oldest);
+                    push_stamp(&mut out, s.newest);
+                }
+            }
+            Slot::Evicted(i) => {
+                out.extend_from_slice(&i.checkpoint_root.0.to_le_bytes());
+                out.extend_from_slice(&i.checkpoint_slot.to_le_bytes());
+                push_stamp(&mut out, HybridTimestamp::ZERO); // floor from blob
+                out.push(0); // sector list from blob
+            }
+        }
+    }
+    out
+}
+
+fn decode_anchor_payload(
+    payload: &[u8],
+    config: &DriveConfig,
+) -> Result<(Inner, Vec<AnchorRecord>)> {
+    let mut inner = Inner {
+        table: HashMap::new(),
+        next_oid: FIRST_DYNAMIC_OID,
+        window: config.detection_window,
+        audit: AuditState::default(),
+        live: HashSet::new(),
+        jblock_refs: HashMap::new(),
+        cpblock_refs: HashMap::new(),
+        dblock_refs: HashMap::new(),
+        throttle: ThrottleState::new(config.throttle),
+        syncs_since_anchor: 0,
+        lru: 0,
+    };
+    if payload.is_empty() {
+        return Ok((inner, Vec::new()));
+    }
+    let need = |p: usize, n: usize| {
+        if p + n > payload.len() {
+            Err(S4Error::BadRequest("anchor payload truncated"))
+        } else {
+            Ok(())
+        }
+    };
+    need(0, 20)?;
+    if payload[0..4] != ANCHOR_MAGIC.to_le_bytes() {
+        return Err(S4Error::BadRequest("anchor payload magic"));
+    }
+    inner.next_oid = u64::from_le_bytes(payload[4..12].try_into().unwrap());
+    inner.window =
+        SimDuration::from_micros(u64::from_le_bytes(payload[12..20].try_into().unwrap()));
+    let mut pos = 20;
+    inner.audit = AuditState::decode_from(payload, &mut pos)?;
+    need(pos, 4)?;
+    let nobj = u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap()) as usize;
+    pos += 4;
+    let mut records = Vec::with_capacity(nobj);
+    for _ in 0..nobj {
+        need(pos, 20)?;
+        let oid = u64::from_le_bytes(payload[pos..pos + 8].try_into().unwrap());
+        let root = BlockAddr(u64::from_le_bytes(
+            payload[pos + 8..pos + 16].try_into().unwrap(),
+        ));
+        let cp_slot = u32::from_le_bytes(payload[pos + 16..pos + 20].try_into().unwrap());
+        pos += 20;
+        let floor = read_stamp(payload, &mut pos)?;
+        need(pos, 1)?;
+        let explicit = payload[pos] == 1;
+        pos += 1;
+        let sectors = if explicit {
+            need(pos, 4)?;
+            let n = u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(pos, 12)?;
+                let addr = BlockAddr(u64::from_le_bytes(
+                    payload[pos..pos + 8].try_into().unwrap(),
+                ));
+                let slot = u32::from_le_bytes(payload[pos + 8..pos + 12].try_into().unwrap());
+                pos += 12;
+                let oldest = read_stamp(payload, &mut pos)?;
+                let newest = read_stamp(payload, &mut pos)?;
+                v.push(SectorInfo {
+                    addr,
+                    slot,
+                    oldest,
+                    newest,
+                });
+            }
+            Some(v)
+        } else {
+            None
+        };
+        records.push(AnchorRecord {
+            oid,
+            root,
+            slot: cp_slot,
+            floor,
+            sectors,
+        });
+    }
+    Ok((inner, records))
+}
+
+/// Applies one recovered (post-anchor) journal sector to the object
+/// table during mount.
+fn apply_recovered_sector(
+    inner: &mut Inner,
+    oid: u64,
+    addr: BlockAddr,
+    slot: u32,
+    entries: &[JournalEntry],
+) -> Result<()> {
+    // Materialize the object if it was born after the anchor.
+    if let std::collections::hash_map::Entry::Vacant(v) = inner.table.entry(oid) {
+        let Some(JournalEntry::Create { stamp }) = entries.first() else {
+            return Err(S4Error::BadRequest("recovered sector for unknown object"));
+        };
+        let entry = ObjectEntry::new(ObjectMeta::new(oid, *stamp));
+        v.insert(Slot::Cached(Box::new(entry)));
+    }
+    let Some(Slot::Cached(entry)) = inner.table.get_mut(&oid) else {
+        // All anchored objects are Cached during mount.
+        return Err(S4Error::BadRequest("recovered sector for evicted object"));
+    };
+    let mut oldest = None;
+    let mut newest = HybridTimestamp::ZERO;
+    for e in entries {
+        if e.stamp() > entry.meta.modified || matches!(e, JournalEntry::Create { .. }) {
+            redo(&mut entry.meta, e);
+        }
+        oldest.get_or_insert(e.stamp());
+        newest = newest.max(e.stamp());
+    }
+    entry.sectors.push(SectorInfo {
+        addr,
+        slot,
+        oldest: oldest.unwrap_or(HybridTimestamp::ZERO),
+        newest,
+    });
+    entry.meta.journal_head = addr;
+    entry.dirty = true;
+    inner.next_oid = inner.next_oid.max(oid + 1);
+    Ok(())
+}
+
+/// Rebuilds the reachable-block set and journal-block refcounts from the
+/// recovered object table (mount phase 3).
+fn rebuild_liveness<D: BlockDev>(log: &Log<D>, inner: &mut Inner) -> Result<()> {
+    inner.live.clear();
+    inner.jblock_refs.clear();
+    inner.cpblock_refs.clear();
+    inner.dblock_refs.clear();
+    let audit_blocks: Vec<u64> = inner.audit.blocks.iter().map(|a| a.0).collect();
+    for a in audit_blocks {
+        inner.live.insert(a);
+    }
+    let oids: Vec<u64> = inner.table.keys().copied().collect();
+    for oid in oids {
+        let Some(Slot::Cached(entry)) = inner.table.get(&oid) else {
+            continue;
+        };
+        // Current data blocks (resolved through forwarding).
+        let mut reach: Vec<u64> = entry
+            .meta
+            .blocks
+            .values()
+            .map(|a| entry.resolve_forward(*a).0)
+            .collect();
+        // Landmark versions pin their block maps.
+        for m in &entry.landmarks {
+            reach.extend(m.blocks.values().map(|a| a.0));
+        }
+        // Delta-encoded history: the shared delta blocks are reachable.
+        for dref in entry.deltas.values() {
+            reach.push(dref.block.0);
+            *inner.dblock_refs.entry(dref.block.0).or_insert(0) += 1;
+        }
+        // Checkpoint storage: chain blocks, or one shared-block reference.
+        reach.extend(entry.checkpoint_blocks.iter().map(|a| a.0));
+        if !entry.checkpoint_root.is_none() && entry.checkpoint_slot != u32::MAX {
+            reach.push(entry.checkpoint_root.0);
+            *inner
+                .cpblock_refs
+                .entry(entry.checkpoint_root.0)
+                .or_insert(0) += 1;
+        }
+        // Journal blocks + refcounts, and history old-pointers.
+        let sectors = entry.sectors.clone();
+        let forwards_resolve =
+            |inner_entry: &ObjectEntry, a: BlockAddr| inner_entry.resolve_forward(a).0;
+        let mut history: Vec<u64> = Vec::new();
+        for s in &sectors {
+            reach.push(s.addr.0);
+            let (_o, entries) = read_subsector(log, s.addr, s.slot)?;
+            for e in &entries {
+                let olds: Vec<BlockAddr> = match e {
+                    JournalEntry::Write { changes, .. } => changes.iter().map(|c| c.old).collect(),
+                    JournalEntry::Truncate { freed, .. } => freed.iter().map(|c| c.old).collect(),
+                    _ => Vec::new(),
+                };
+                for old in olds {
+                    if old.is_none() {
+                        continue;
+                    }
+                    let key = forwards_resolve(entry, old);
+                    // Delta-encoded history is accounted through its
+                    // shared delta block, not the (released) original.
+                    if !entry.deltas.contains_key(&key) {
+                        history.push(key);
+                    }
+                }
+            }
+        }
+        for s in &sectors {
+            *inner.jblock_refs.entry(s.addr.0).or_insert(0) += 1;
+        }
+        for a in reach.into_iter().chain(history) {
+            inner.live.insert(a);
+        }
+    }
+    Ok(())
+}
+
+fn read_checkpoint_static<D: BlockDev>(
+    log: &Log<D>,
+    root: BlockAddr,
+    slot: u32,
+) -> Result<(ObjectEntry, Vec<BlockAddr>)> {
+    if root.is_none() {
+        return Err(S4Error::NoSuchObject);
+    }
+    if slot != u32::MAX {
+        // Shared checkpoint block.
+        let block = log.read_block(root)?;
+        let subs = split_container(CPBLOCK_MAGIC, &block)?;
+        let blob = subs
+            .get(slot as usize)
+            .ok_or(S4Error::BadRequest("checkpoint slot out of range"))?;
+        let mut entry = ObjectEntry::decode(blob)?;
+        entry.checkpoint_slot = slot;
+        return Ok((entry, Vec::new()));
+    }
+    let mut blob = Vec::new();
+    let mut blocks = Vec::new();
+    let mut addr = root;
+    while !addr.is_none() {
+        let block = log.read_block(addr)?;
+        let next = BlockAddr(u64::from_le_bytes(block[0..8].try_into().unwrap()));
+        let len = u32::from_le_bytes(block[8..12].try_into().unwrap()) as usize;
+        if 12 + len > block.len() {
+            return Err(S4Error::BadRequest("checkpoint chunk length"));
+        }
+        blob.extend_from_slice(&block[12..12 + len]);
+        blocks.push(addr);
+        addr = next;
+    }
+    Ok((ObjectEntry::decode(&blob)?, blocks))
+}
+
+fn encode_partition_blob(parts: &[(String, u64)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+    for (name, oid) in parts {
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&oid.to_le_bytes());
+    }
+    out
+}
+
+fn decode_partition_blob(data: &[u8]) -> Result<Vec<(String, u64)>> {
+    if data.is_empty() {
+        return Ok(Vec::new());
+    }
+    if data.len() < 4 {
+        return Err(S4Error::BadRequest("partition table truncated"));
+    }
+    let n = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+    let mut pos = 4;
+    // Untrusted count: entries are >= 10 bytes each.
+    let mut out = Vec::with_capacity(n.min(data.len() / 10 + 1));
+    for _ in 0..n {
+        if pos + 2 > data.len() {
+            return Err(S4Error::BadRequest("partition entry truncated"));
+        }
+        let nl = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+        pos += 2;
+        if pos + nl + 8 > data.len() {
+            return Err(S4Error::BadRequest("partition name truncated"));
+        }
+        let name = String::from_utf8(data[pos..pos + nl].to_vec())
+            .map_err(|_| S4Error::BadRequest("partition name utf8"))?;
+        pos += nl;
+        let oid = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        out.push((name, oid));
+    }
+    Ok(out)
+}

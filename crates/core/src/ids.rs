@@ -1,0 +1,81 @@
+//! Identifiers and the per-request security context.
+
+use core::fmt;
+
+/// A drive-assigned object identifier (§4.1: "objects exist in a flat
+/// namespace managed by the drive ... given a unique identifier by the
+/// drive"). Identifiers are never reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj:{}", self.0)
+    }
+}
+
+/// A user principal, as authenticated by the transport.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct UserId(pub u32);
+
+/// A client machine, as authenticated by the transport (§3.2: tracking
+/// accesses to a single client machine bounds the scope of direct damage
+/// from that machine's compromise).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(pub u32);
+
+/// The drive administrator principal. Administrative commands
+/// additionally require the drive's admin token (modeling the paper's
+/// "physical access or well-protected cryptographic keys", §3.5).
+pub const ADMIN_USER: UserId = UserId(0);
+
+/// Security context attached to every request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestContext {
+    /// Requesting user.
+    pub user: UserId,
+    /// Originating client machine.
+    pub client: ClientId,
+    /// Present on administrative requests; must match the drive's token.
+    pub admin_token: Option<u64>,
+}
+
+impl RequestContext {
+    /// Context for an ordinary user request.
+    pub fn user(user: UserId, client: ClientId) -> Self {
+        RequestContext {
+            user,
+            client,
+            admin_token: None,
+        }
+    }
+
+    /// Context for an administrative request carrying the admin token.
+    pub fn admin(client: ClientId, token: u64) -> Self {
+        RequestContext {
+            user: ADMIN_USER,
+            client,
+            admin_token: Some(token),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let u = RequestContext::user(UserId(5), ClientId(2));
+        assert_eq!(u.user, UserId(5));
+        assert!(u.admin_token.is_none());
+        let a = RequestContext::admin(ClientId(1), 0xDEAD);
+        assert_eq!(a.user, ADMIN_USER);
+        assert_eq!(a.admin_token, Some(0xDEAD));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ObjectId(7).to_string(), "obj:7");
+    }
+}

@@ -1,0 +1,140 @@
+//! The S4 self-securing storage drive (§3–4 of the paper).
+//!
+//! S4 is a network-attached object store that treats its clients —
+//! including the host operating system — as untrusted. Behind its security
+//! perimeter it keeps **every version of every object** for a guaranteed
+//! *detection window*, maintains an append-only **audit log** of all
+//! requests, and serves time-based reads of the history pool so
+//! administrators can diagnose and recover from intrusions even when the
+//! host OS was compromised.
+//!
+//! This crate is the drive itself:
+//!
+//! * [`ids`] — object/user/client identifiers and the per-request context.
+//! * [`acl`] — per-object ACL table with the paper's **Recovery flag**
+//!   (who may read an object's history-pool versions).
+//! * [`audit`] — audit records and the reserved, drive-written-only audit
+//!   object (§4.2.3).
+//! * [`object`] — the object table: journal-based metadata per object,
+//!   checkpoints, sector chains, forwarding of cleaned blocks.
+//! * [`throttle`] — history-pool abuse detection and per-client
+//!   throttling (§3.3's hybrid answer to space-exhaustion attacks).
+//! * [`drive`] — [`S4Drive`]: format/mount/recovery, the internal
+//!   operation implementations, version expiry, and cleaner integration.
+//! * [`rpc`] — the Table-1 RPC request/response types, their wire codec,
+//!   and the authenticated dispatch entry point.
+//! * [`stats`] — operation counters exposed to the benchmarks.
+//!
+//! [`S4Drive::dispatch`] is the audited front door — every request
+//! (including denials) lands in the audit log. The `op_*` methods are the
+//! operation implementations; library embedders who need the §3.2
+//! security perimeter should go through `dispatch` or a transport.
+//!
+//! # Examples
+//!
+//! ```
+//! use s4_clock::{SimClock, SimDuration};
+//! use s4_core::{ClientId, DriveConfig, RequestContext, S4Drive, UserId};
+//! use s4_simdisk::MemDisk;
+//!
+//! let clock = SimClock::new();
+//! let drive = S4Drive::format(
+//!     MemDisk::with_capacity_bytes(32 << 20),
+//!     DriveConfig::small_test(),
+//!     clock.clone(),
+//! )?;
+//! let alice = RequestContext::user(UserId(1), ClientId(1));
+//!
+//! // Every modification creates a recoverable version.
+//! let oid = drive.op_create(&alice, None)?;
+//! drive.op_write(&alice, oid, 0, b"v1")?;
+//! let t1 = drive.now();
+//! clock.advance(SimDuration::from_secs(60));
+//! drive.op_write(&alice, oid, 0, b"v2")?;
+//!
+//! assert_eq!(drive.op_read(&alice, oid, 0, 16, None)?, b"v2");
+//! assert_eq!(drive.op_read(&alice, oid, 0, 16, Some(t1))?, b"v1");
+//! # Ok::<(), s4_core::S4Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod audit;
+pub mod drive;
+pub mod ids;
+pub mod object;
+pub mod rpc;
+pub mod stats;
+pub mod throttle;
+
+pub use acl::{AclEntry, AclTable, Perm};
+pub use audit::{AuditRecord, OpKind};
+pub use drive::{DriveConfig, S4Drive, AUDIT_OBJECT, PARTITION_OBJECT};
+pub use ids::{ClientId, ObjectId, RequestContext, UserId, ADMIN_USER};
+pub use rpc::{Request, Response};
+pub use stats::DriveStats;
+pub use throttle::ThrottleConfig;
+
+use std::fmt;
+
+/// Errors returned by drive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum S4Error {
+    /// The requesting principal lacks permission for this operation.
+    AccessDenied,
+    /// The object does not exist (or did not exist at the requested time).
+    NoSuchObject,
+    /// The requested historical version has aged out of the history pool.
+    VersionUnavailable,
+    /// A partition name was not found.
+    NoSuchPartition,
+    /// A partition name already exists.
+    PartitionExists,
+    /// The request was malformed (bad range, bad name, oversized payload).
+    BadRequest(&'static str),
+    /// The history pool has consumed the device; writes cannot proceed
+    /// until versions age out or an administrator intervenes (§3.3).
+    PoolFull,
+    /// The underlying log failed.
+    Storage(s4_lfs::LfsError),
+    /// A journal structure failed validation.
+    Journal(s4_journal::JournalError),
+}
+
+impl fmt::Display for S4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            S4Error::AccessDenied => write!(f, "access denied"),
+            S4Error::NoSuchObject => write!(f, "no such object"),
+            S4Error::VersionUnavailable => write!(f, "version aged out of history pool"),
+            S4Error::NoSuchPartition => write!(f, "no such partition"),
+            S4Error::PartitionExists => write!(f, "partition already exists"),
+            S4Error::BadRequest(why) => write!(f, "bad request: {why}"),
+            S4Error::PoolFull => write!(f, "history pool exhausted"),
+            S4Error::Storage(e) => write!(f, "storage error: {e}"),
+            S4Error::Journal(e) => write!(f, "journal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for S4Error {}
+
+impl From<s4_lfs::LfsError> for S4Error {
+    fn from(e: s4_lfs::LfsError) -> Self {
+        match e {
+            s4_lfs::LfsError::NoFreeSegments => S4Error::PoolFull,
+            other => S4Error::Storage(other),
+        }
+    }
+}
+
+impl From<s4_journal::JournalError> for S4Error {
+    fn from(e: s4_journal::JournalError) -> Self {
+        S4Error::Journal(e)
+    }
+}
+
+/// Result alias for drive operations.
+pub type Result<T> = std::result::Result<T, S4Error>;

@@ -1,0 +1,406 @@
+//! The object table: per-object versioning state and its checkpoint codec.
+//!
+//! Each object couples its [`ObjectMeta`] (the journal layer's "inode")
+//! with drive-level state: the list of on-disk journal sectors (oldest
+//! first — the authoritative backward chain used for time-based reads and
+//! expiry), the entries not yet packed to a sector, the current metadata
+//! checkpoint chain, and the forwarding map for blocks the cleaner has
+//! relocated while history versions still reference their old addresses.
+//!
+//! An object can be *cached* (full [`ObjectEntry`] in memory) or *evicted*
+//! (only its checkpoint root and expiry hints retained); the paper's 32 MB
+//! object cache corresponds to the cached set.
+
+use std::collections::HashMap;
+
+use s4_clock::{HybridTimestamp, SimTime};
+use s4_journal::{JournalEntry, ObjectMeta};
+use s4_lfs::BlockAddr;
+
+use crate::{Result, S4Error};
+
+/// Where a delta-encoded history block's bytes live: applying the delta
+/// stored at `(block, slot)` to the (possibly itself delta-encoded)
+/// content at `base` reproduces the original block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeltaRef {
+    /// Address whose content is the delta's source.
+    pub base: BlockAddr,
+    /// Shared delta block holding the encoded difference.
+    pub block: BlockAddr,
+    /// Sub-slot within the delta block.
+    pub slot: u32,
+}
+
+/// Summary of one on-disk journal sector.
+///
+/// Journal sectors are small (§4.2.2), so the drive packs sectors of
+/// *several* objects into each 4 KiB journal block; `slot` selects this
+/// object's sector within the block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SectorInfo {
+    /// Log address of the journal block holding the sector.
+    pub addr: BlockAddr,
+    /// Sub-sector index within the block.
+    pub slot: u32,
+    /// Stamp of the oldest entry in the sector.
+    pub oldest: HybridTimestamp,
+    /// Stamp of the newest entry in the sector.
+    pub newest: HybridTimestamp,
+}
+
+/// Full in-memory state of one object.
+#[derive(Clone, Debug)]
+pub struct ObjectEntry {
+    /// Current metadata (attributes, ACL blob, block map, journal head).
+    pub meta: ObjectMeta,
+    /// On-disk journal sectors, oldest first.
+    pub sectors: Vec<SectorInfo>,
+    /// Journal entries applied to `meta` but not yet packed to a sector.
+    pub pending: Vec<JournalEntry>,
+    /// Root of the current metadata checkpoint ([`BlockAddr::NONE`] if
+    /// never checkpointed — recoverable from the journal alone while the
+    /// full history is retained).
+    pub checkpoint_root: BlockAddr,
+    /// Sub-slot within a *shared* checkpoint block (small checkpoints of
+    /// several objects share one 4 KiB block, like journal sectors);
+    /// `u32::MAX` means the checkpoint is a dedicated chain of blocks.
+    pub checkpoint_slot: u32,
+    /// Every block of a dedicated checkpoint chain (released when a newer
+    /// checkpoint supersedes it); empty for shared checkpoints, whose
+    /// block is released through the drive's refcounts.
+    pub checkpoint_blocks: Vec<BlockAddr>,
+    /// Forwarding for relocated blocks: old address → new address.
+    /// Consulted when resolving addresses found in (immutable) historical
+    /// journal entries.
+    pub forwards: HashMap<u64, u64>,
+    /// History blocks whose bytes have been replaced by cross-version
+    /// deltas (the cleaner's differencing pass, §4.2.2), keyed by the
+    /// forward-resolved block address.
+    pub deltas: HashMap<u64, DeltaRef>,
+    /// Landmark versions (§6: "combining self-securing storage with
+    /// long-term landmark versioning"): materialized metadata snapshots
+    /// whose blocks are pinned past the detection window, newest last.
+    pub landmarks: Vec<ObjectMeta>,
+    /// Versions at or before this stamp have been reclaimed; time-based
+    /// reads below it fail with `VersionUnavailable`.
+    pub history_floor: HybridTimestamp,
+    /// True if `meta`/`sectors` changed since the last checkpoint.
+    pub dirty: bool,
+    /// True if state *not derivable from the journal* changed since the
+    /// last checkpoint (block-pointer rewrites and forwarding entries
+    /// installed by the cleaner): the next anchor must write a fresh
+    /// checkpoint or a crash would resurrect pointers into reclaimed
+    /// segments.
+    pub needs_checkpoint: bool,
+    /// LRU clock for object-cache eviction.
+    pub last_used: u64,
+}
+
+impl ObjectEntry {
+    /// Fresh entry for a newly created object.
+    pub fn new(meta: ObjectMeta) -> Self {
+        ObjectEntry {
+            meta,
+            sectors: Vec::new(),
+            pending: Vec::new(),
+            checkpoint_root: BlockAddr::NONE,
+            checkpoint_slot: u32::MAX,
+            checkpoint_blocks: Vec::new(),
+            forwards: HashMap::new(),
+            deltas: HashMap::new(),
+            landmarks: Vec::new(),
+            history_floor: HybridTimestamp::ZERO,
+            dirty: true,
+            needs_checkpoint: false,
+            last_used: 0,
+        }
+    }
+
+    /// Resolves `addr` through the forwarding map to its current
+    /// location.
+    pub fn resolve_forward(&self, addr: BlockAddr) -> BlockAddr {
+        let mut a = addr.0;
+        let mut hops = 0;
+        while let Some(&next) = self.forwards.get(&a) {
+            a = next;
+            hops += 1;
+            debug_assert!(hops < 1_000_000, "forwarding cycle");
+        }
+        BlockAddr(a)
+    }
+
+    /// Resolves `addr` and removes the traversed forwarding entries
+    /// (used when the address is being released and will never be looked
+    /// up again).
+    pub fn resolve_forward_and_prune(&mut self, addr: BlockAddr) -> BlockAddr {
+        let mut a = addr.0;
+        while let Some(next) = self.forwards.remove(&a) {
+            a = next;
+        }
+        BlockAddr(a)
+    }
+
+    /// True if `addr` belongs to a landmark version's block map (such
+    /// blocks are pinned: never released by expiry, flushes, or the
+    /// differencing pass).
+    pub fn is_landmark_block(&self, addr: BlockAddr) -> bool {
+        self.landmarks
+            .iter()
+            .any(|m| m.blocks.values().any(|&a| a == addr))
+    }
+
+    /// Stamp used to decide whether this object has journal history old
+    /// enough to expire: the newest stamp of the oldest sector
+    /// ([`HybridTimestamp::MAX`] if no sectors are on disk).
+    pub fn expiry_hint(&self) -> HybridTimestamp {
+        self.sectors
+            .first()
+            .map(|s| s.newest)
+            .unwrap_or(HybridTimestamp::MAX)
+    }
+
+    /// Serializes the entry for its metadata checkpoint.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.meta.encode();
+        out.extend_from_slice(&(self.sectors.len() as u32).to_le_bytes());
+        for s in &self.sectors {
+            out.extend_from_slice(&s.addr.0.to_le_bytes());
+            out.extend_from_slice(&s.slot.to_le_bytes());
+            push_stamp(&mut out, s.oldest);
+            push_stamp(&mut out, s.newest);
+        }
+        out.extend_from_slice(&(self.forwards.len() as u32).to_le_bytes());
+        // Deterministic order for reproducible images.
+        let mut fw: Vec<(u64, u64)> = self.forwards.iter().map(|(&a, &b)| (a, b)).collect();
+        fw.sort_unstable();
+        for (old, new) in fw {
+            out.extend_from_slice(&old.to_le_bytes());
+            out.extend_from_slice(&new.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.deltas.len() as u32).to_le_bytes());
+        let mut dl: Vec<(u64, DeltaRef)> = self.deltas.iter().map(|(&k, &v)| (k, v)).collect();
+        dl.sort_unstable_by_key(|(k, _)| *k);
+        for (key, d) in dl {
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&d.base.0.to_le_bytes());
+            out.extend_from_slice(&d.block.0.to_le_bytes());
+            out.extend_from_slice(&d.slot.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.landmarks.len() as u32).to_le_bytes());
+        for m in &self.landmarks {
+            let blob = m.encode();
+            out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+            out.extend_from_slice(&blob);
+        }
+        push_stamp(&mut out, self.history_floor);
+        out
+    }
+
+    /// Deserializes an entry from a checkpoint blob.
+    ///
+    /// The decoded entry is clean (`dirty == false`) and has no pending
+    /// journal entries; `checkpoint_root`/`checkpoint_blocks` are set by
+    /// the caller, which knows where the blob was read from.
+    pub fn decode(buf: &[u8]) -> Result<ObjectEntry> {
+        let mut pos = 0;
+        let meta = ObjectMeta::decode_from(buf, &mut pos)?;
+        let need = |p: usize, n: usize| {
+            if p + n > buf.len() {
+                Err(S4Error::BadRequest("object checkpoint truncated"))
+            } else {
+                Ok(())
+            }
+        };
+        need(pos, 4)?;
+        let ns = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        need(pos, ns * 44)?;
+        let mut sectors = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            let addr = BlockAddr(u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()));
+            pos += 8;
+            let slot = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+            pos += 4;
+            let oldest = read_stamp(buf, &mut pos)?;
+            let newest = read_stamp(buf, &mut pos)?;
+            sectors.push(SectorInfo {
+                addr,
+                slot,
+                oldest,
+                newest,
+            });
+        }
+        need(pos, 4)?;
+        let nf = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        need(pos, nf * 16)?;
+        let mut forwards = HashMap::with_capacity(nf.min(buf.len() / 16 + 1));
+        for _ in 0..nf {
+            let old = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+            let new = u64::from_le_bytes(buf[pos + 8..pos + 16].try_into().unwrap());
+            forwards.insert(old, new);
+            pos += 16;
+        }
+        need(pos, 4)?;
+        let nd = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        need(pos, nd * 28 + 16)?;
+        let mut deltas = HashMap::with_capacity(nd.min(buf.len() / 28 + 1));
+        for _ in 0..nd {
+            let key = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+            let base = BlockAddr(u64::from_le_bytes(
+                buf[pos + 8..pos + 16].try_into().unwrap(),
+            ));
+            let block = BlockAddr(u64::from_le_bytes(
+                buf[pos + 16..pos + 24].try_into().unwrap(),
+            ));
+            let slot = u32::from_le_bytes(buf[pos + 24..pos + 28].try_into().unwrap());
+            deltas.insert(key, DeltaRef { base, block, slot });
+            pos += 28;
+        }
+        need(pos, 4)?;
+        let nl = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        let mut landmarks = Vec::with_capacity(nl.min(64));
+        for _ in 0..nl {
+            need(pos, 4)?;
+            let blen = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            need(pos, blen)?;
+            let mut mp = 0;
+            let m = ObjectMeta::decode_from(&buf[pos..pos + blen], &mut mp)?;
+            landmarks.push(m);
+            pos += blen;
+        }
+        let history_floor = read_stamp(buf, &mut pos)?;
+        Ok(ObjectEntry {
+            meta,
+            sectors,
+            pending: Vec::new(),
+            checkpoint_root: BlockAddr::NONE,
+            checkpoint_slot: u32::MAX,
+            checkpoint_blocks: Vec::new(),
+            forwards,
+            deltas,
+            landmarks,
+            history_floor,
+            dirty: false,
+            needs_checkpoint: false,
+            last_used: 0,
+        })
+    }
+}
+
+/// Residual record for an object whose full state has been evicted from
+/// the object cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictInfo {
+    /// Checkpoint root holding the full [`ObjectEntry`].
+    pub checkpoint_root: BlockAddr,
+    /// Sub-slot within a shared checkpoint block (`u32::MAX` = dedicated
+    /// chain).
+    pub checkpoint_slot: u32,
+    /// Copy of [`ObjectEntry::expiry_hint`] at eviction time, so the
+    /// expiry scan can skip objects with nothing old enough to reclaim.
+    pub expiry_hint: HybridTimestamp,
+    /// Copy of the deletion stamp, so fully-expired deleted objects can be
+    /// detected without loading.
+    pub deleted: Option<HybridTimestamp>,
+}
+
+/// A slot in the object table.
+#[derive(Clone, Debug)]
+pub enum Slot {
+    /// Full state in memory.
+    Cached(Box<ObjectEntry>),
+    /// Only the checkpoint location retained.
+    Evicted(EvictInfo),
+}
+
+fn push_stamp(out: &mut Vec<u8>, s: HybridTimestamp) {
+    out.extend_from_slice(&s.time.as_micros().to_le_bytes());
+    out.extend_from_slice(&s.seq.to_le_bytes());
+}
+
+fn read_stamp(buf: &[u8], pos: &mut usize) -> Result<HybridTimestamp> {
+    if *pos + 16 > buf.len() {
+        return Err(S4Error::BadRequest("stamp truncated"));
+    }
+    let time = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+    let seq = u64::from_le_bytes(buf[*pos + 8..*pos + 16].try_into().unwrap());
+    *pos += 16;
+    Ok(HybridTimestamp::new(SimTime::from_micros(time), seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(t: u64) -> HybridTimestamp {
+        HybridTimestamp::new(SimTime::from_micros(t), t)
+    }
+
+    fn sample() -> ObjectEntry {
+        let mut meta = ObjectMeta::new(9, stamp(1));
+        meta.size = 8192;
+        meta.blocks.insert(0, BlockAddr(100));
+        meta.blocks.insert(1, BlockAddr(101));
+        meta.attrs = vec![1, 2, 3];
+        let mut e = ObjectEntry::new(meta);
+        e.sectors.push(SectorInfo {
+            addr: BlockAddr(50),
+            slot: 0,
+            oldest: stamp(1),
+            newest: stamp(5),
+        });
+        e.sectors.push(SectorInfo {
+            addr: BlockAddr(60),
+            slot: 3,
+            oldest: stamp(6),
+            newest: stamp(9),
+        });
+        e.forwards.insert(100, 200);
+        e.history_floor = stamp(2);
+        e
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let e = sample();
+        let d = ObjectEntry::decode(&e.encode()).unwrap();
+        assert_eq!(d.meta, e.meta);
+        assert_eq!(d.sectors, e.sectors);
+        assert_eq!(d.forwards, e.forwards);
+        assert_eq!(d.history_floor, e.history_floor);
+        assert!(!d.dirty);
+        assert!(d.pending.is_empty());
+    }
+
+    #[test]
+    fn forwarding_chains_resolve() {
+        let mut e = sample();
+        e.forwards.insert(200, 300);
+        assert_eq!(e.resolve_forward(BlockAddr(100)), BlockAddr(300));
+        assert_eq!(e.resolve_forward(BlockAddr(999)), BlockAddr(999));
+        // Prune removes the whole chain.
+        assert_eq!(e.resolve_forward_and_prune(BlockAddr(100)), BlockAddr(300));
+        assert!(e.forwards.is_empty());
+    }
+
+    #[test]
+    fn expiry_hint_tracks_oldest_sector() {
+        let mut e = sample();
+        assert_eq!(e.expiry_hint(), stamp(5));
+        e.sectors.clear();
+        assert_eq!(e.expiry_hint(), HybridTimestamp::MAX);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let buf = sample().encode();
+        for cut in [0, 10, buf.len() / 2, buf.len() - 1] {
+            assert!(ObjectEntry::decode(&buf[..cut]).is_err());
+        }
+    }
+}

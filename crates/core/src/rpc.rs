@@ -1,0 +1,906 @@
+//! The S4 RPC interface (Table 1 of the paper) and its wire codec.
+//!
+//! Every operation in the paper's Table 1 is represented: the read-type
+//! operations (`Read`, `GetAttr`, `GetACLByUser`, `GetACLByIndex`,
+//! `PList`, `PMount`) carry an optional `time` parameter selecting "the
+//! version of the object that was most current at the time specified",
+//! and all modifications create new versions without affecting previous
+//! ones. [`S4Drive::dispatch`] authenticates, executes, and audits a
+//! request; the binary codec lets transports (loopback or TCP) ship
+//! requests without caring about their contents.
+
+use s4_clock::{SimDuration, SimTime};
+use s4_simdisk::BlockDev;
+
+use crate::acl::{AclEntry, Perm};
+use crate::audit::{AuditRecord, OpKind};
+use crate::drive::{ObjectAttrs, S4Drive};
+use crate::ids::{ObjectId, RequestContext, UserId};
+use crate::{Result, S4Error};
+
+/// A request to the drive (Table 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Request {
+    /// Create an object.
+    Create,
+    /// Delete an object (versions remain in the history pool).
+    Delete { oid: ObjectId },
+    /// Read data; `time` selects a historical version.
+    Read {
+        oid: ObjectId,
+        offset: u64,
+        len: u64,
+        time: Option<SimTime>,
+    },
+    /// Write data at an offset.
+    Write {
+        oid: ObjectId,
+        offset: u64,
+        data: Vec<u8>,
+    },
+    /// Append data at the end of the object.
+    Append { oid: ObjectId, data: Vec<u8> },
+    /// Truncate the object to a length.
+    Truncate { oid: ObjectId, len: u64 },
+    /// Get attributes (S4-specific and opaque); supports time-based access.
+    GetAttr {
+        oid: ObjectId,
+        time: Option<SimTime>,
+    },
+    /// Set the opaque attributes.
+    SetAttr { oid: ObjectId, attrs: Vec<u8> },
+    /// Get an ACL entry by user; supports time-based access.
+    GetAclByUser {
+        oid: ObjectId,
+        user: UserId,
+        time: Option<SimTime>,
+    },
+    /// Get an ACL entry by index; supports time-based access.
+    GetAclByIndex {
+        oid: ObjectId,
+        index: u32,
+        time: Option<SimTime>,
+    },
+    /// Set an ACL entry.
+    SetAcl { oid: ObjectId, entry: AclEntry },
+    /// Create a partition (name → ObjectID association).
+    PCreate { name: String, oid: ObjectId },
+    /// Delete a partition association.
+    PDelete { name: String },
+    /// List partitions; supports time-based access.
+    PList { time: Option<SimTime> },
+    /// Resolve a partition name; supports time-based access.
+    PMount { name: String, time: Option<SimTime> },
+    /// Sync the entire cache to disk.
+    Sync,
+    /// Admin: remove all versions of all objects between two times.
+    Flush { from: SimTime, to: SimTime },
+    /// Admin: remove versions of one object between two times.
+    FlushO {
+        oid: ObjectId,
+        from: SimTime,
+        to: SimTime,
+    },
+    /// Admin: adjust the guaranteed detection window.
+    SetWindow { window: SimDuration },
+    /// Several operations in one round trip (§4.1.2: "the drive also
+    /// supports batching of setattr, getattr, and sync operations with
+    /// create, read, write, and append operations"). Sub-requests run in
+    /// order; each is audited individually; the first failure aborts the
+    /// rest (earlier effects remain, as with separate RPCs). Within a
+    /// batch, [`LAST_CREATED`] as an ObjectID refers to the object made
+    /// by the batch's most recent `Create`.
+    Batch(Vec<Request>),
+}
+
+/// Placeholder ObjectID usable inside a [`Request::Batch`]: "the object
+/// created by the most recent Create in this batch".
+pub const LAST_CREATED: ObjectId = ObjectId(u64::MAX);
+
+/// A successful response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Response {
+    /// New object's identifier.
+    Created(ObjectId),
+    /// Generic success.
+    Ok,
+    /// Read data.
+    Data(Vec<u8>),
+    /// New object size after an append.
+    NewSize(u64),
+    /// Attributes.
+    Attrs(ObjectAttrs),
+    /// ACL lookup result (None = no entry).
+    Acl(Option<AclEntry>),
+    /// Partition listing.
+    Partitions(Vec<(String, ObjectId)>),
+    /// Resolved partition object.
+    Mounted(ObjectId),
+    /// Responses of a batch's sub-requests, in order.
+    Batch(Vec<Response>),
+}
+
+impl Request {
+    /// The audit classification of this request.
+    pub fn op_kind(&self) -> OpKind {
+        match self {
+            Request::Create => OpKind::Create,
+            Request::Delete { .. } => OpKind::Delete,
+            Request::Read { .. } => OpKind::Read,
+            Request::Write { .. } => OpKind::Write,
+            Request::Append { .. } => OpKind::Append,
+            Request::Truncate { .. } => OpKind::Truncate,
+            Request::GetAttr { .. } => OpKind::GetAttr,
+            Request::SetAttr { .. } => OpKind::SetAttr,
+            Request::GetAclByUser { .. } => OpKind::GetAclByUser,
+            Request::GetAclByIndex { .. } => OpKind::GetAclByIndex,
+            Request::SetAcl { .. } => OpKind::SetAcl,
+            Request::PCreate { .. } => OpKind::PCreate,
+            Request::PDelete { .. } => OpKind::PDelete,
+            Request::PList { .. } => OpKind::PList,
+            Request::PMount { .. } => OpKind::PMount,
+            Request::Sync => OpKind::Sync,
+            Request::Flush { .. } => OpKind::Flush,
+            Request::FlushO { .. } => OpKind::FlushO,
+            Request::SetWindow { .. } => OpKind::SetWindow,
+            // Batches are audited per sub-request, not as a whole.
+            Request::Batch(_) => OpKind::Sync,
+        }
+    }
+
+    /// Target object, for auditing (0 when not object-directed).
+    pub fn target(&self) -> ObjectId {
+        match self {
+            Request::Delete { oid }
+            | Request::Read { oid, .. }
+            | Request::Write { oid, .. }
+            | Request::Append { oid, .. }
+            | Request::Truncate { oid, .. }
+            | Request::GetAttr { oid, .. }
+            | Request::SetAttr { oid, .. }
+            | Request::GetAclByUser { oid, .. }
+            | Request::GetAclByIndex { oid, .. }
+            | Request::SetAcl { oid, .. }
+            | Request::PCreate { oid, .. }
+            | Request::FlushO { oid, .. } => *oid,
+            _ => ObjectId(0),
+        }
+    }
+
+    /// Audit arguments `(arg1, arg2)` for this request.
+    pub fn audit_args(&self) -> (u64, u64) {
+        match self {
+            Request::Read { offset, len, .. } => (*offset, *len),
+            Request::Write { offset, data, .. } => (*offset, data.len() as u64),
+            Request::Append { data, .. } => (data.len() as u64, 0),
+            Request::Truncate { len, .. } => (*len, 0),
+            Request::SetAttr { attrs, .. } => (attrs.len() as u64, 0),
+            Request::Flush { from, to } | Request::FlushO { from, to, .. } => {
+                (from.as_micros(), to.as_micros())
+            }
+            Request::SetWindow { window } => (window.as_micros(), 0),
+            _ => (0, 0),
+        }
+    }
+
+    /// Approximate request size on the wire, for network cost models.
+    pub fn wire_size(&self) -> usize {
+        let body = match self {
+            Request::Write { data, .. } | Request::Append { data, .. } => data.len(),
+            Request::SetAttr { attrs, .. } => attrs.len(),
+            Request::PCreate { name, .. }
+            | Request::PDelete { name }
+            | Request::PMount { name, .. } => name.len(),
+            Request::Batch(reqs) => reqs.iter().map(|r| r.wire_size()).sum(),
+            _ => 0,
+        };
+        48 + body
+    }
+}
+
+impl Response {
+    /// Approximate response size on the wire, for network cost models.
+    pub fn wire_size(&self) -> usize {
+        let body = match self {
+            Response::Data(d) => d.len(),
+            Response::Attrs(a) => 48 + a.opaque.len(),
+            Response::Partitions(p) => p.iter().map(|(n, _)| n.len() + 10).sum(),
+            Response::Batch(rs) => rs.iter().map(|r| r.wire_size()).sum(),
+            _ => 0,
+        };
+        16 + body
+    }
+}
+
+impl<D: BlockDev> S4Drive<D> {
+    /// Verifies, executes, audits, and charges CPU time for one request.
+    ///
+    /// This is the drive's security perimeter (§3.2): *every* command —
+    /// read, write, or administrative, successful or denied — is recorded
+    /// in the audit log before the response leaves the drive.
+    pub fn dispatch(&self, ctx: &RequestContext, req: &Request) -> Result<Response> {
+        if let Request::Batch(reqs) = req {
+            return self.dispatch_batch(ctx, reqs);
+        }
+        self.stats().requests(1);
+        let touched = match req {
+            Request::Write { data, .. } | Request::Append { data, .. } => data.len(),
+            Request::Read { len, .. } => *len as usize,
+            _ => 0,
+        };
+        self.clock().advance(self.config().cpu.op_cost(touched));
+
+        let result = self.execute(ctx, req);
+
+        let (arg1, arg2) = req.audit_args();
+        self.audit_append(&AuditRecord {
+            time: self.now(),
+            user: ctx.user,
+            client: ctx.client,
+            op: req.op_kind(),
+            ok: result.is_ok(),
+            object: req.target(),
+            arg1,
+            arg2,
+        });
+        if result.is_err() {
+            self.stats().denied(1);
+        }
+        result
+    }
+
+    /// Executes a batch: each sub-request is dispatched (and audited)
+    /// individually; the first failure aborts the remainder.
+    fn dispatch_batch(&self, ctx: &RequestContext, reqs: &[Request]) -> Result<Response> {
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut last_created: Option<ObjectId> = None;
+        for sub in reqs {
+            if matches!(sub, Request::Batch(_)) {
+                return Err(S4Error::BadRequest("nested batch"));
+            }
+            // Substitute the LAST_CREATED placeholder.
+            let resolved = substitute_oid(sub, last_created)?;
+            let resp = self.dispatch(ctx, &resolved)?;
+            if let Response::Created(oid) = &resp {
+                last_created = Some(*oid);
+            }
+            out.push(resp);
+        }
+        Ok(Response::Batch(out))
+    }
+
+    fn execute(&self, ctx: &RequestContext, req: &Request) -> Result<Response> {
+        match req {
+            Request::Create => self.op_create(ctx, None).map(Response::Created),
+            Request::Delete { oid } => self.op_delete(ctx, *oid).map(|()| Response::Ok),
+            Request::Read {
+                oid,
+                offset,
+                len,
+                time,
+            } => self
+                .op_read(ctx, *oid, *offset, *len, *time)
+                .map(Response::Data),
+            Request::Write { oid, offset, data } => self
+                .op_write(ctx, *oid, *offset, data)
+                .map(|()| Response::Ok),
+            Request::Append { oid, data } => self.op_append(ctx, *oid, data).map(Response::NewSize),
+            Request::Truncate { oid, len } => {
+                self.op_truncate(ctx, *oid, *len).map(|()| Response::Ok)
+            }
+            Request::GetAttr { oid, time } => {
+                self.op_getattr(ctx, *oid, *time).map(Response::Attrs)
+            }
+            Request::SetAttr { oid, attrs } => self
+                .op_setattr(ctx, *oid, attrs.clone())
+                .map(|()| Response::Ok),
+            Request::GetAclByUser { oid, user, time } => self
+                .op_get_acl_by_user(ctx, *oid, *user, *time)
+                .map(Response::Acl),
+            Request::GetAclByIndex { oid, index, time } => self
+                .op_get_acl_by_index(ctx, *oid, *index, *time)
+                .map(Response::Acl),
+            Request::SetAcl { oid, entry } => {
+                self.op_set_acl(ctx, *oid, *entry).map(|()| Response::Ok)
+            }
+            Request::PCreate { name, oid } => {
+                self.op_pcreate(ctx, name, *oid).map(|()| Response::Ok)
+            }
+            Request::PDelete { name } => self.op_pdelete(ctx, name).map(|()| Response::Ok),
+            Request::PList { time } => self.op_plist(ctx, *time).map(Response::Partitions),
+            Request::PMount { name, time } => {
+                self.op_pmount(ctx, name, *time).map(Response::Mounted)
+            }
+            Request::Sync => self.op_sync(ctx).map(|()| Response::Ok),
+            Request::Flush { from, to } => self.op_flush(ctx, *from, *to).map(|()| Response::Ok),
+            Request::FlushO { oid, from, to } => {
+                self.op_flusho(ctx, *oid, *from, *to).map(|()| Response::Ok)
+            }
+            Request::SetWindow { window } => {
+                self.op_set_window(ctx, *window).map(|()| Response::Ok)
+            }
+            Request::Batch(_) => Err(S4Error::BadRequest("batch inside execute")),
+        }
+    }
+}
+
+/// Rewrites [`LAST_CREATED`] object references inside `req` to `last`.
+fn substitute_oid(req: &Request, last: Option<ObjectId>) -> Result<Request> {
+    let mut out = req.clone();
+    let target = match &mut out {
+        Request::Delete { oid }
+        | Request::Read { oid, .. }
+        | Request::Write { oid, .. }
+        | Request::Append { oid, .. }
+        | Request::Truncate { oid, .. }
+        | Request::GetAttr { oid, .. }
+        | Request::SetAttr { oid, .. }
+        | Request::GetAclByUser { oid, .. }
+        | Request::GetAclByIndex { oid, .. }
+        | Request::SetAcl { oid, .. }
+        | Request::PCreate { oid, .. }
+        | Request::FlushO { oid, .. } => Some(oid),
+        _ => None,
+    };
+    if let Some(oid) = target {
+        if *oid == LAST_CREATED {
+            *oid = last.ok_or(S4Error::BadRequest("LAST_CREATED before any Create"))?;
+        }
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Wire codec (hand-rolled: the wire format should be byte-stable).
+// ----------------------------------------------------------------------
+
+mod wire {
+    use super::*;
+
+    pub(super) fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(super) fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(super) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+        put_u32(out, b.len() as u32);
+        out.extend_from_slice(b);
+    }
+    pub(super) fn put_time_opt(out: &mut Vec<u8>, t: Option<SimTime>) {
+        match t {
+            Some(t) => {
+                out.push(1);
+                put_u64(out, t.as_micros());
+            }
+            None => out.push(0),
+        }
+    }
+
+    pub(super) struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub(super) fn new(buf: &'a [u8]) -> Self {
+            Reader { buf, pos: 0 }
+        }
+        pub(super) fn u8(&mut self) -> Result<u8> {
+            if self.pos >= self.buf.len() {
+                return Err(S4Error::BadRequest("wire truncated"));
+            }
+            let v = self.buf[self.pos];
+            self.pos += 1;
+            Ok(v)
+        }
+        pub(super) fn u32(&mut self) -> Result<u32> {
+            if self.pos + 4 > self.buf.len() {
+                return Err(S4Error::BadRequest("wire truncated"));
+            }
+            let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+            self.pos += 4;
+            Ok(v)
+        }
+        pub(super) fn u64(&mut self) -> Result<u64> {
+            if self.pos + 8 > self.buf.len() {
+                return Err(S4Error::BadRequest("wire truncated"));
+            }
+            let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+            self.pos += 8;
+            Ok(v)
+        }
+        pub(super) fn bytes(&mut self) -> Result<Vec<u8>> {
+            let n = self.u32()? as usize;
+            if self.pos + n > self.buf.len() {
+                return Err(S4Error::BadRequest("wire truncated"));
+            }
+            let v = self.buf[self.pos..self.pos + n].to_vec();
+            self.pos += n;
+            Ok(v)
+        }
+        pub(super) fn string(&mut self) -> Result<String> {
+            String::from_utf8(self.bytes()?).map_err(|_| S4Error::BadRequest("wire utf8"))
+        }
+        pub(super) fn time_opt(&mut self) -> Result<Option<SimTime>> {
+            Ok(match self.u8()? {
+                0 => None,
+                _ => Some(SimTime::from_micros(self.u64()?)),
+            })
+        }
+    }
+}
+
+impl Request {
+    /// Serializes the request for a transport.
+    pub fn encode(&self) -> Vec<u8> {
+        use wire::*;
+        let mut out = Vec::new();
+        match self {
+            Request::Create => out.push(1),
+            Request::Delete { oid } => {
+                out.push(2);
+                put_u64(&mut out, oid.0);
+            }
+            Request::Read {
+                oid,
+                offset,
+                len,
+                time,
+            } => {
+                out.push(3);
+                put_u64(&mut out, oid.0);
+                put_u64(&mut out, *offset);
+                put_u64(&mut out, *len);
+                put_time_opt(&mut out, *time);
+            }
+            Request::Write { oid, offset, data } => {
+                out.push(4);
+                put_u64(&mut out, oid.0);
+                put_u64(&mut out, *offset);
+                put_bytes(&mut out, data);
+            }
+            Request::Append { oid, data } => {
+                out.push(5);
+                put_u64(&mut out, oid.0);
+                put_bytes(&mut out, data);
+            }
+            Request::Truncate { oid, len } => {
+                out.push(6);
+                put_u64(&mut out, oid.0);
+                put_u64(&mut out, *len);
+            }
+            Request::GetAttr { oid, time } => {
+                out.push(7);
+                put_u64(&mut out, oid.0);
+                put_time_opt(&mut out, *time);
+            }
+            Request::SetAttr { oid, attrs } => {
+                out.push(8);
+                put_u64(&mut out, oid.0);
+                put_bytes(&mut out, attrs);
+            }
+            Request::GetAclByUser { oid, user, time } => {
+                out.push(9);
+                put_u64(&mut out, oid.0);
+                put_u32(&mut out, user.0);
+                put_time_opt(&mut out, *time);
+            }
+            Request::GetAclByIndex { oid, index, time } => {
+                out.push(10);
+                put_u64(&mut out, oid.0);
+                put_u32(&mut out, *index);
+                put_time_opt(&mut out, *time);
+            }
+            Request::SetAcl { oid, entry } => {
+                out.push(11);
+                put_u64(&mut out, oid.0);
+                put_u32(&mut out, entry.user.0);
+                out.push(entry.perm.0);
+            }
+            Request::PCreate { name, oid } => {
+                out.push(12);
+                put_bytes(&mut out, name.as_bytes());
+                put_u64(&mut out, oid.0);
+            }
+            Request::PDelete { name } => {
+                out.push(13);
+                put_bytes(&mut out, name.as_bytes());
+            }
+            Request::PList { time } => {
+                out.push(14);
+                put_time_opt(&mut out, *time);
+            }
+            Request::PMount { name, time } => {
+                out.push(15);
+                put_bytes(&mut out, name.as_bytes());
+                put_time_opt(&mut out, *time);
+            }
+            Request::Sync => out.push(16),
+            Request::Flush { from, to } => {
+                out.push(17);
+                put_u64(&mut out, from.as_micros());
+                put_u64(&mut out, to.as_micros());
+            }
+            Request::FlushO { oid, from, to } => {
+                out.push(18);
+                put_u64(&mut out, oid.0);
+                put_u64(&mut out, from.as_micros());
+                put_u64(&mut out, to.as_micros());
+            }
+            Request::SetWindow { window } => {
+                out.push(19);
+                put_u64(&mut out, window.as_micros());
+            }
+            Request::Batch(reqs) => {
+                out.push(20);
+                put_u32(&mut out, reqs.len() as u32);
+                for r in reqs {
+                    put_bytes(&mut out, &r.encode());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a request from a transport.
+    pub fn decode(buf: &[u8]) -> Result<Request> {
+        let mut r = wire::Reader::new(buf);
+        Ok(match r.u8()? {
+            1 => Request::Create,
+            2 => Request::Delete {
+                oid: ObjectId(r.u64()?),
+            },
+            3 => Request::Read {
+                oid: ObjectId(r.u64()?),
+                offset: r.u64()?,
+                len: r.u64()?,
+                time: r.time_opt()?,
+            },
+            4 => Request::Write {
+                oid: ObjectId(r.u64()?),
+                offset: r.u64()?,
+                data: r.bytes()?,
+            },
+            5 => Request::Append {
+                oid: ObjectId(r.u64()?),
+                data: r.bytes()?,
+            },
+            6 => Request::Truncate {
+                oid: ObjectId(r.u64()?),
+                len: r.u64()?,
+            },
+            7 => Request::GetAttr {
+                oid: ObjectId(r.u64()?),
+                time: r.time_opt()?,
+            },
+            8 => Request::SetAttr {
+                oid: ObjectId(r.u64()?),
+                attrs: r.bytes()?,
+            },
+            9 => Request::GetAclByUser {
+                oid: ObjectId(r.u64()?),
+                user: UserId(r.u32()?),
+                time: r.time_opt()?,
+            },
+            10 => Request::GetAclByIndex {
+                oid: ObjectId(r.u64()?),
+                index: r.u32()?,
+                time: r.time_opt()?,
+            },
+            11 => Request::SetAcl {
+                oid: ObjectId(r.u64()?),
+                entry: AclEntry {
+                    user: UserId(r.u32()?),
+                    perm: Perm(r.u8()?),
+                },
+            },
+            12 => Request::PCreate {
+                name: r.string()?,
+                oid: ObjectId(r.u64()?),
+            },
+            13 => Request::PDelete { name: r.string()? },
+            14 => Request::PList {
+                time: r.time_opt()?,
+            },
+            15 => Request::PMount {
+                name: r.string()?,
+                time: r.time_opt()?,
+            },
+            16 => Request::Sync,
+            17 => Request::Flush {
+                from: SimTime::from_micros(r.u64()?),
+                to: SimTime::from_micros(r.u64()?),
+            },
+            18 => Request::FlushO {
+                oid: ObjectId(r.u64()?),
+                from: SimTime::from_micros(r.u64()?),
+                to: SimTime::from_micros(r.u64()?),
+            },
+            19 => Request::SetWindow {
+                window: SimDuration::from_micros(r.u64()?),
+            },
+            20 => {
+                let n = r.u32()? as usize;
+                let mut reqs = Vec::with_capacity(n.min(buf.len() / 2 + 1));
+                for _ in 0..n {
+                    let sub = r.bytes()?;
+                    let decoded = Request::decode(&sub)?;
+                    if matches!(decoded, Request::Batch(_)) {
+                        return Err(S4Error::BadRequest("nested batch"));
+                    }
+                    reqs.push(decoded);
+                }
+                Request::Batch(reqs)
+            }
+            _ => return Err(S4Error::BadRequest("unknown request tag")),
+        })
+    }
+}
+
+impl Response {
+    /// Serializes the response for a transport.
+    pub fn encode(&self) -> Vec<u8> {
+        use wire::*;
+        let mut out = Vec::new();
+        match self {
+            Response::Created(oid) => {
+                out.push(1);
+                put_u64(&mut out, oid.0);
+            }
+            Response::Ok => out.push(2),
+            Response::Data(d) => {
+                out.push(3);
+                put_bytes(&mut out, d);
+            }
+            Response::NewSize(s) => {
+                out.push(4);
+                put_u64(&mut out, *s);
+            }
+            Response::Attrs(a) => {
+                out.push(5);
+                put_u64(&mut out, a.size);
+                put_u64(&mut out, a.created.as_micros());
+                put_u64(&mut out, a.modified.as_micros());
+                match a.deleted {
+                    Some(d) => {
+                        out.push(1);
+                        put_u64(&mut out, d.as_micros());
+                    }
+                    None => out.push(0),
+                }
+                put_bytes(&mut out, &a.opaque);
+            }
+            Response::Acl(e) => {
+                out.push(6);
+                match e {
+                    Some(e) => {
+                        out.push(1);
+                        put_u32(&mut out, e.user.0);
+                        out.push(e.perm.0);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Response::Partitions(p) => {
+                out.push(7);
+                put_u32(&mut out, p.len() as u32);
+                for (name, oid) in p {
+                    put_bytes(&mut out, name.as_bytes());
+                    put_u64(&mut out, oid.0);
+                }
+            }
+            Response::Mounted(oid) => {
+                out.push(8);
+                put_u64(&mut out, oid.0);
+            }
+            Response::Batch(rs) => {
+                out.push(9);
+                put_u32(&mut out, rs.len() as u32);
+                for r in rs {
+                    put_bytes(&mut out, &r.encode());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a response from a transport.
+    pub fn decode(buf: &[u8]) -> Result<Response> {
+        let mut r = wire::Reader::new(buf);
+        Ok(match r.u8()? {
+            1 => Response::Created(ObjectId(r.u64()?)),
+            2 => Response::Ok,
+            3 => Response::Data(r.bytes()?),
+            4 => Response::NewSize(r.u64()?),
+            5 => {
+                let size = r.u64()?;
+                let created = SimTime::from_micros(r.u64()?);
+                let modified = SimTime::from_micros(r.u64()?);
+                let deleted = match r.u8()? {
+                    0 => None,
+                    _ => Some(SimTime::from_micros(r.u64()?)),
+                };
+                let opaque = r.bytes()?;
+                Response::Attrs(ObjectAttrs {
+                    size,
+                    created,
+                    modified,
+                    deleted,
+                    opaque,
+                })
+            }
+            6 => Response::Acl(match r.u8()? {
+                0 => None,
+                _ => Some(AclEntry {
+                    user: UserId(r.u32()?),
+                    perm: Perm(r.u8()?),
+                }),
+            }),
+            7 => {
+                // Untrusted wire count: entries are >= 12 bytes each.
+                let n = r.u32()? as usize;
+                let mut p = Vec::with_capacity(n.min(buf.len() / 12 + 1));
+                for _ in 0..n {
+                    let name = r.string()?;
+                    p.push((name, ObjectId(r.u64()?)));
+                }
+                Response::Partitions(p)
+            }
+            8 => Response::Mounted(ObjectId(r.u64()?)),
+            9 => {
+                let n = r.u32()? as usize;
+                let mut rs = Vec::with_capacity(n.min(buf.len() / 2 + 1));
+                for _ in 0..n {
+                    let sub = r.bytes()?;
+                    rs.push(Response::decode(&sub)?);
+                }
+                Response::Batch(rs)
+            }
+            _ => return Err(S4Error::BadRequest("unknown response tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Create,
+            Request::Delete { oid: ObjectId(3) },
+            Request::Read {
+                oid: ObjectId(3),
+                offset: 100,
+                len: 200,
+                time: Some(SimTime::from_secs(9)),
+            },
+            Request::Write {
+                oid: ObjectId(3),
+                offset: 0,
+                data: vec![1, 2, 3],
+            },
+            Request::Append {
+                oid: ObjectId(3),
+                data: vec![4, 5],
+            },
+            Request::Truncate {
+                oid: ObjectId(3),
+                len: 1,
+            },
+            Request::GetAttr {
+                oid: ObjectId(3),
+                time: None,
+            },
+            Request::SetAttr {
+                oid: ObjectId(3),
+                attrs: vec![9],
+            },
+            Request::GetAclByUser {
+                oid: ObjectId(3),
+                user: UserId(5),
+                time: None,
+            },
+            Request::GetAclByIndex {
+                oid: ObjectId(3),
+                index: 1,
+                time: Some(SimTime::from_secs(1)),
+            },
+            Request::SetAcl {
+                oid: ObjectId(3),
+                entry: AclEntry {
+                    user: UserId(5),
+                    perm: Perm::READ,
+                },
+            },
+            Request::PCreate {
+                name: "root".into(),
+                oid: ObjectId(3),
+            },
+            Request::PDelete {
+                name: "root".into(),
+            },
+            Request::PList { time: None },
+            Request::PMount {
+                name: "root".into(),
+                time: Some(SimTime::from_secs(2)),
+            },
+            Request::Sync,
+            Request::Flush {
+                from: SimTime::from_secs(1),
+                to: SimTime::from_secs(2),
+            },
+            Request::FlushO {
+                oid: ObjectId(3),
+                from: SimTime::from_secs(1),
+                to: SimTime::from_secs(2),
+            },
+            Request::SetWindow {
+                window: SimDuration::from_days(7),
+            },
+        ]
+    }
+
+    #[test]
+    fn request_codec_round_trips_every_variant() {
+        for req in all_requests() {
+            let decoded = Request::decode(&req.encode()).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn response_codec_round_trips_every_variant() {
+        let responses = vec![
+            Response::Created(ObjectId(7)),
+            Response::Ok,
+            Response::Data(vec![1, 2, 3]),
+            Response::NewSize(4096),
+            Response::Attrs(ObjectAttrs {
+                size: 10,
+                created: SimTime::from_secs(1),
+                modified: SimTime::from_secs(2),
+                deleted: Some(SimTime::from_secs(3)),
+                opaque: vec![5, 6],
+            }),
+            Response::Acl(Some(AclEntry {
+                user: UserId(9),
+                perm: Perm::ALL,
+            })),
+            Response::Acl(None),
+            Response::Partitions(vec![("root".into(), ObjectId(3))]),
+            Response::Mounted(ObjectId(3)),
+        ];
+        for resp in responses {
+            let decoded = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Response::decode(&[0]).is_err());
+        // Truncated payloads error instead of panicking.
+        for req in all_requests() {
+            let enc = req.encode();
+            for cut in 0..enc.len() {
+                let _ = Request::decode(&enc[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn table1_coverage() {
+        // Exactly the 19 operations of Table 1.
+        assert_eq!(all_requests().len(), 19);
+        let mut kinds: Vec<u8> = all_requests().iter().map(|r| r.op_kind() as u8).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 19);
+    }
+}

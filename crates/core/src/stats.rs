@@ -1,0 +1,130 @@
+//! Operation counters exposed to the benchmarks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Live drive counters; cheap to clone (shared).
+#[derive(Clone, Debug, Default)]
+pub struct DriveStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    denied: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    versions_created: AtomicU64,
+    time_based_reads: AtomicU64,
+    audit_records: AtomicU64,
+    audit_blocks: AtomicU64,
+    journal_sectors: AtomicU64,
+    checkpoints: AtomicU64,
+    expired_blocks: AtomicU64,
+    cleaner_relocations: AtomicU64,
+    cleaner_segments: AtomicU64,
+    throttle_penalty_us: AtomicU64,
+    syncs: AtomicU64,
+    anchors: AtomicU64,
+}
+
+/// Snapshot of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub denied: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub versions_created: u64,
+    pub time_based_reads: u64,
+    pub audit_records: u64,
+    pub audit_blocks: u64,
+    pub journal_sectors: u64,
+    pub checkpoints: u64,
+    pub expired_blocks: u64,
+    pub cleaner_relocations: u64,
+    pub cleaner_segments: u64,
+    pub throttle_penalty_us: u64,
+    pub syncs: u64,
+    pub anchors: u64,
+}
+
+macro_rules! bump {
+    ($($name:ident),*) => {
+        $(
+            #[doc = concat!("Increments `", stringify!($name), "` by `n`.")]
+            pub fn $name(&self, n: u64) {
+                self.inner.$name.fetch_add(n, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl DriveStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    bump!(
+        requests,
+        denied,
+        bytes_written,
+        bytes_read,
+        versions_created,
+        time_based_reads,
+        audit_records,
+        audit_blocks,
+        journal_sectors,
+        checkpoints,
+        expired_blocks,
+        cleaner_relocations,
+        cleaner_segments,
+        throttle_penalty_us,
+        syncs,
+        anchors
+    );
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let c = &self.inner;
+        StatsSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            denied: c.denied.load(Ordering::Relaxed),
+            bytes_written: c.bytes_written.load(Ordering::Relaxed),
+            bytes_read: c.bytes_read.load(Ordering::Relaxed),
+            versions_created: c.versions_created.load(Ordering::Relaxed),
+            time_based_reads: c.time_based_reads.load(Ordering::Relaxed),
+            audit_records: c.audit_records.load(Ordering::Relaxed),
+            audit_blocks: c.audit_blocks.load(Ordering::Relaxed),
+            journal_sectors: c.journal_sectors.load(Ordering::Relaxed),
+            checkpoints: c.checkpoints.load(Ordering::Relaxed),
+            expired_blocks: c.expired_blocks.load(Ordering::Relaxed),
+            cleaner_relocations: c.cleaner_relocations.load(Ordering::Relaxed),
+            cleaner_segments: c.cleaner_segments.load(Ordering::Relaxed),
+            throttle_penalty_us: c.throttle_penalty_us.load(Ordering::Relaxed),
+            syncs: c.syncs.load(Ordering::Relaxed),
+            anchors: c.anchors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let s = DriveStats::new();
+        let s2 = s.clone();
+        s.requests(3);
+        s2.requests(1);
+        s.bytes_written(4096);
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 4);
+        assert_eq!(snap.bytes_written, 4096);
+        assert_eq!(snap.denied, 0);
+    }
+}

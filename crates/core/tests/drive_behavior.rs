@@ -1,0 +1,575 @@
+//! Behavioral tests for the S4 drive: comprehensive versioning,
+//! time-based access, the Recovery flag, auditing, expiry, cleaning,
+//! administrative flushes, and crash recovery.
+
+use s4_clock::{SimClock, SimDuration, SimTime};
+use s4_core::{
+    AclEntry, DriveConfig, Perm, Request, RequestContext, Response, S4Drive, S4Error, UserId,
+};
+use s4_simdisk::MemDisk;
+
+const ADMIN_TOKEN: u64 = 42;
+
+fn drive() -> S4Drive<MemDisk> {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    S4Drive::format(MemDisk::new(400_000), DriveConfig::small_test(), clock).unwrap()
+}
+
+fn alice() -> RequestContext {
+    RequestContext::user(UserId(10), s4_core::ClientId(1))
+}
+
+fn bob() -> RequestContext {
+    RequestContext::user(UserId(20), s4_core::ClientId(2))
+}
+
+fn admin() -> RequestContext {
+    RequestContext::admin(s4_core::ClientId(9), ADMIN_TOKEN)
+}
+
+fn tick(d: &S4Drive<MemDisk>) {
+    d.clock().advance(SimDuration::from_millis(10));
+}
+
+#[test]
+fn create_write_read_roundtrip() {
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    d.op_write(&ctx, oid, 0, b"hello world").unwrap();
+    d.op_sync(&ctx).unwrap();
+    assert_eq!(d.op_read(&ctx, oid, 0, 1024, None).unwrap(), b"hello world");
+    // Partial reads.
+    assert_eq!(d.op_read(&ctx, oid, 6, 5, None).unwrap(), b"world");
+    // Reads past EOF are empty.
+    assert!(d.op_read(&ctx, oid, 100, 10, None).unwrap().is_empty());
+}
+
+#[test]
+fn cross_block_write_and_overwrite() {
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    let big: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+    d.op_write(&ctx, oid, 0, &big).unwrap();
+    assert_eq!(d.op_read(&ctx, oid, 0, 20_000, None).unwrap(), big);
+    // Overwrite a span crossing block boundaries.
+    d.op_write(&ctx, oid, 4000, &[0xEE; 300]).unwrap();
+    let out = d.op_read(&ctx, oid, 0, 20_000, None).unwrap();
+    assert_eq!(&out[..4000], &big[..4000]);
+    assert!(out[4000..4300].iter().all(|&b| b == 0xEE));
+    assert_eq!(&out[4300..], &big[4300..]);
+}
+
+#[test]
+fn append_and_truncate() {
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    assert_eq!(d.op_append(&ctx, oid, b"aaaa").unwrap(), 4);
+    assert_eq!(d.op_append(&ctx, oid, b"bbbb").unwrap(), 8);
+    d.op_truncate(&ctx, oid, 6).unwrap();
+    assert_eq!(d.op_read(&ctx, oid, 0, 100, None).unwrap(), b"aaaabb");
+    let attrs = d.op_getattr(&ctx, oid, None).unwrap();
+    assert_eq!(attrs.size, 6);
+}
+
+#[test]
+fn every_modification_is_a_version() {
+    // The §3.3 requirement: a separate version per modification, not per
+    // close.
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    let mut times = Vec::new();
+    for i in 0..5u8 {
+        tick(&d);
+        d.op_write(&ctx, oid, 0, &[b'0' + i; 4]).unwrap();
+        times.push(d.now());
+    }
+    d.op_sync(&ctx).unwrap();
+    for (i, t) in times.iter().enumerate() {
+        let data = d.op_read(&ctx, oid, 0, 4, Some(*t)).unwrap();
+        assert_eq!(data, vec![b'0' + i as u8; 4], "version {i}");
+    }
+}
+
+#[test]
+fn time_based_reads_see_old_sizes_and_attrs() {
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    d.op_write(&ctx, oid, 0, b"version one is long").unwrap();
+    d.op_setattr(&ctx, oid, vec![1]).unwrap();
+    let t1 = d.now();
+    tick(&d);
+    d.op_truncate(&ctx, oid, 7).unwrap();
+    d.op_setattr(&ctx, oid, vec![2]).unwrap();
+    d.op_sync(&ctx).unwrap();
+
+    let now_attrs = d.op_getattr(&ctx, oid, None).unwrap();
+    assert_eq!(now_attrs.size, 7);
+    assert_eq!(now_attrs.opaque, vec![2]);
+
+    let old_attrs = d.op_getattr(&ctx, oid, Some(t1)).unwrap();
+    assert_eq!(old_attrs.size, 19);
+    assert_eq!(old_attrs.opaque, vec![1]);
+    assert_eq!(
+        d.op_read(&ctx, oid, 0, 100, Some(t1)).unwrap(),
+        b"version one is long"
+    );
+}
+
+#[test]
+fn deleted_files_recoverable_within_window() {
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    d.op_write(&ctx, oid, 0, b"exploit-tool-evidence").unwrap();
+    let before_delete = d.now();
+    tick(&d);
+    d.op_delete(&ctx, oid).unwrap();
+    d.op_sync(&ctx).unwrap();
+
+    // Live read fails.
+    assert_eq!(
+        d.op_read(&ctx, oid, 0, 100, None).unwrap_err(),
+        S4Error::NoSuchObject
+    );
+    // Time-based read recovers the contents.
+    assert_eq!(
+        d.op_read(&ctx, oid, 0, 100, Some(before_delete)).unwrap(),
+        b"exploit-tool-evidence"
+    );
+}
+
+#[test]
+fn acl_enforcement_and_recovery_flag() {
+    let d = drive();
+    let oid = d.op_create(&alice(), None).unwrap();
+    d.op_write(&alice(), oid, 0, b"v1").unwrap();
+    let t1 = d.now();
+    tick(&d);
+    d.op_write(&alice(), oid, 0, b"v2").unwrap();
+    d.op_sync(&alice()).unwrap();
+
+    // Bob has no entry: everything denied.
+    assert_eq!(
+        d.op_read(&bob(), oid, 0, 10, None).unwrap_err(),
+        S4Error::AccessDenied
+    );
+    // Grant Bob read WITHOUT recovery.
+    d.op_set_acl(
+        &alice(),
+        oid,
+        AclEntry {
+            user: UserId(20),
+            perm: Perm::READ,
+        },
+    )
+    .unwrap();
+    assert_eq!(d.op_read(&bob(), oid, 0, 10, None).unwrap(), b"v2");
+    // Current version via time parameter is fine with plain READ...
+    let now = d.now();
+    assert_eq!(d.op_read(&bob(), oid, 0, 10, Some(now)).unwrap(), b"v2");
+    // ...but the history pool needs the Recovery flag (§3.4).
+    assert_eq!(
+        d.op_read(&bob(), oid, 0, 10, Some(t1)).unwrap_err(),
+        S4Error::AccessDenied
+    );
+    // The administrator can always read history.
+    assert_eq!(d.op_read(&admin(), oid, 0, 10, Some(t1)).unwrap(), b"v1");
+    // With the Recovery flag, Bob can too... but the flag must exist in
+    // the ACL *of that version*; granting it now only covers versions
+    // from now on.
+    d.op_set_acl(
+        &alice(),
+        oid,
+        AclEntry {
+            user: UserId(20),
+            perm: Perm::READ.union(Perm::RECOVERY),
+        },
+    )
+    .unwrap();
+    tick(&d);
+    d.op_write(&alice(), oid, 0, b"v3").unwrap();
+    let t3 = d.now();
+    tick(&d);
+    d.op_write(&alice(), oid, 0, b"v4").unwrap();
+    assert_eq!(d.op_read(&bob(), oid, 0, 10, Some(t3)).unwrap(), b"v3");
+    // The v1-era ACL still denies Bob.
+    assert_eq!(
+        d.op_read(&bob(), oid, 0, 10, Some(t1)).unwrap_err(),
+        S4Error::AccessDenied
+    );
+}
+
+#[test]
+fn acl_history_is_versioned() {
+    let d = drive();
+    let oid = d.op_create(&alice(), None).unwrap();
+    let t1 = d.now();
+    tick(&d);
+    d.op_set_acl(
+        &alice(),
+        oid,
+        AclEntry {
+            user: UserId(20),
+            perm: Perm::READ,
+        },
+    )
+    .unwrap();
+    d.op_sync(&alice()).unwrap();
+    // Current table has Bob; the t1 table does not.
+    let now_entry = d
+        .op_get_acl_by_user(&alice(), oid, UserId(20), None)
+        .unwrap();
+    assert!(now_entry.is_some());
+    let old_entry = d
+        .op_get_acl_by_user(&admin(), oid, UserId(20), Some(t1))
+        .unwrap();
+    assert!(old_entry.is_none());
+    // Index-based lookups work too.
+    let e0 = d
+        .op_get_acl_by_index(&alice(), oid, 0, None)
+        .unwrap()
+        .unwrap();
+    assert_eq!(e0.user, UserId(10));
+}
+
+#[test]
+fn audit_log_records_all_requests_including_denied() {
+    let d = drive();
+    let oid = match d.dispatch(&alice(), &Request::Create).unwrap() {
+        Response::Created(oid) => oid,
+        other => panic!("{other:?}"),
+    };
+    d.dispatch(
+        &alice(),
+        &Request::Write {
+            oid,
+            offset: 0,
+            data: b"x".to_vec(),
+        },
+    )
+    .unwrap();
+    // A denied request is still audited.
+    let denied = d.dispatch(
+        &bob(),
+        &Request::Read {
+            oid,
+            offset: 0,
+            len: 10,
+            time: None,
+        },
+    );
+    assert!(denied.is_err());
+    let records = d.read_audit_records(&admin()).unwrap();
+    assert!(records.len() >= 3);
+    let denied_rec = records
+        .iter()
+        .find(|r| r.user == UserId(20))
+        .expect("denied read audited");
+    assert!(!denied_rec.ok);
+    assert_eq!(denied_rec.object, oid);
+    // Ordinary users cannot read the audit log.
+    assert_eq!(
+        d.read_audit_records(&alice()).unwrap_err(),
+        S4Error::AccessDenied
+    );
+}
+
+#[test]
+fn partitions_are_versioned_named_objects() {
+    let d = drive();
+    let ctx = alice();
+    let root1 = d.op_create(&ctx, None).unwrap();
+    let root2 = d.op_create(&ctx, None).unwrap();
+    d.op_pcreate(&ctx, "export", root1).unwrap();
+    let t1 = d.now();
+    tick(&d);
+    d.op_pdelete(&ctx, "export").unwrap();
+    d.op_pcreate(&ctx, "export", root2).unwrap();
+    d.op_sync(&ctx).unwrap();
+
+    assert_eq!(d.op_pmount(&ctx, "export", None).unwrap(), root2);
+    // Time-based PMount sees the old association (Table 1).
+    assert_eq!(d.op_pmount(&ctx, "export", Some(t1)).unwrap(), root1);
+    assert_eq!(d.op_plist(&ctx, None).unwrap().len(), 1);
+    // Duplicate names rejected.
+    assert_eq!(
+        d.op_pcreate(&ctx, "export", root1).unwrap_err(),
+        S4Error::PartitionExists
+    );
+    assert_eq!(
+        d.op_pdelete(&ctx, "nope").unwrap_err(),
+        S4Error::NoSuchPartition
+    );
+}
+
+#[test]
+fn clean_remount_preserves_everything() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(5));
+    let d = S4Drive::format(MemDisk::new(400_000), DriveConfig::small_test(), clock).unwrap();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    d.op_write(&ctx, oid, 0, b"v1").unwrap();
+    let t1 = d.now();
+    d.clock().advance(SimDuration::from_millis(10));
+    d.op_write(&ctx, oid, 0, b"v2").unwrap();
+    d.op_pcreate(&ctx, "root", oid).unwrap();
+    let dev = d.unmount().unwrap();
+
+    let clock2 = SimClock::new();
+    let d2 = S4Drive::mount(dev, DriveConfig::small_test(), clock2).unwrap();
+    assert_eq!(d2.op_read(&ctx, oid, 0, 10, None).unwrap(), b"v2");
+    assert_eq!(d2.op_read(&ctx, oid, 0, 10, Some(t1)).unwrap(), b"v1");
+    assert_eq!(d2.op_pmount(&ctx, "root", None).unwrap(), oid);
+    // The clock resumed past the anchor time.
+    assert!(d2.now() >= t1);
+}
+
+#[test]
+fn crash_recovery_replays_synced_state() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(5));
+    let d = S4Drive::format(MemDisk::new(400_000), DriveConfig::small_test(), clock).unwrap();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    d.op_write(&ctx, oid, 0, b"synced-data").unwrap();
+    let t1 = d.now();
+    d.clock().advance(SimDuration::from_millis(10));
+    d.op_write(&ctx, oid, 0, b"synced-two!").unwrap();
+    d.op_sync(&ctx).unwrap();
+    // NOT synced: lost by the crash.
+    d.op_write(&ctx, oid, 0, b"lost").unwrap();
+
+    // Crash: power loss — all drive memory vanishes.
+    let dev = d.crash();
+
+    let d2 = S4Drive::mount(dev, DriveConfig::small_test(), SimClock::new()).unwrap();
+    assert_eq!(d2.op_read(&ctx, oid, 0, 20, None).unwrap(), b"synced-two!");
+    assert_eq!(
+        d2.op_read(&ctx, oid, 0, 20, Some(t1)).unwrap(),
+        b"synced-data"
+    );
+    // New writes after recovery work and version history continues.
+    d2.clock().advance(SimDuration::from_secs(10));
+    d2.op_write(&ctx, oid, 0, b"post-crash!").unwrap();
+    d2.op_sync(&ctx).unwrap();
+    assert_eq!(d2.op_read(&ctx, oid, 0, 20, None).unwrap(), b"post-crash!");
+}
+
+#[test]
+fn expiry_reclaims_old_versions_but_keeps_current() {
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    d.op_write(&ctx, oid, 0, b"ancient").unwrap();
+    let t_v1 = d.now();
+    tick(&d);
+    // v1 is *deprecated* here; the window counts from deprecation (§3.3:
+    // "a deprecated object remains in the history pool" for the window).
+    d.op_write(&ctx, oid, 0, b"middle!").unwrap();
+    let t_v2 = d.now();
+    d.op_sync(&ctx).unwrap();
+
+    // Move past the detection window (1 hour in the test config).
+    d.clock().advance(SimDuration::from_secs(7200));
+    d.op_write(&ctx, oid, 0, b"current").unwrap();
+    d.op_sync(&ctx).unwrap();
+
+    let released = d.expire_versions().unwrap();
+    assert!(released > 0, "old version blocks should be released");
+
+    // Current data intact.
+    assert_eq!(d.op_read(&ctx, oid, 0, 10, None).unwrap(), b"current");
+    // v1's validity ended at t_v2, over a window ago: reclaimed.
+    assert!(matches!(
+        d.op_read(&ctx, oid, 0, 10, Some(t_v1)),
+        Err(S4Error::VersionUnavailable) | Err(S4Error::NoSuchObject)
+    ));
+    // v2 was deprecated only "now": still guaranteed recoverable.
+    assert_eq!(d.op_read(&ctx, oid, 0, 10, Some(t_v2)).unwrap(), b"middle!");
+}
+
+#[test]
+fn expired_deleted_objects_vanish_entirely() {
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    d.op_write(&ctx, oid, 0, b"temp").unwrap();
+    d.op_delete(&ctx, oid).unwrap();
+    d.op_sync(&ctx).unwrap();
+    d.clock().advance(SimDuration::from_secs(7200));
+    d.expire_versions().unwrap();
+    assert_eq!(
+        d.op_read(&ctx, oid, 0, 10, None).unwrap_err(),
+        S4Error::NoSuchObject
+    );
+    assert_eq!(
+        d.op_getattr(&ctx, oid, Some(SimTime::from_secs(1)))
+            .unwrap_err(),
+        S4Error::NoSuchObject
+    );
+}
+
+#[test]
+fn cleaner_reclaims_space_and_preserves_data() {
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    // Churn: many overwrites fill segments with dead-after-window blocks.
+    for round in 0..30u32 {
+        let payload = vec![round as u8; 8192];
+        d.op_write(&ctx, oid, 0, &payload).unwrap();
+        d.op_sync(&ctx).unwrap();
+    }
+    d.clock().advance(SimDuration::from_secs(7200));
+    // One fresh write so current data is newer than the window.
+    d.op_write(&ctx, oid, 0, &[0xAB; 8192]).unwrap();
+    d.op_sync(&ctx).unwrap();
+
+    let free_before = d.free_segments();
+    d.clean().unwrap();
+    d.force_anchor().unwrap(); // promotes pending-free
+    assert!(
+        d.free_segments() > free_before,
+        "cleaning should free segments ({} -> {})",
+        free_before,
+        d.free_segments()
+    );
+    let data = d.op_read(&ctx, oid, 0, 8192, None).unwrap();
+    assert!(data.iter().all(|&b| b == 0xAB));
+}
+
+#[test]
+fn flusho_removes_middle_versions_only() {
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    d.op_write(&ctx, oid, 0, b"version-1").unwrap();
+    let t1 = d.now();
+    d.clock().advance(SimDuration::from_secs(10));
+    let flush_from = d.now();
+    d.op_write(&ctx, oid, 0, b"v2-secret").unwrap();
+    let t2 = d.now();
+    d.clock().advance(SimDuration::from_secs(10));
+    let flush_to = d.now();
+    d.clock().advance(SimDuration::from_secs(10));
+    d.op_write(&ctx, oid, 0, b"version-3").unwrap();
+    let t3 = d.now();
+    d.op_sync(&ctx).unwrap();
+
+    // Non-admin cannot flush.
+    assert_eq!(
+        d.op_flusho(&ctx, oid, flush_from, flush_to).unwrap_err(),
+        S4Error::AccessDenied
+    );
+    d.op_flusho(&admin(), oid, flush_from, flush_to).unwrap();
+
+    // v2 is gone; reading at t2 now yields v1 (the version that "was
+    // current" once v2 is expunged).
+    assert_eq!(
+        d.op_read(&admin(), oid, 0, 20, Some(t2)).unwrap(),
+        b"version-1"
+    );
+    assert_eq!(
+        d.op_read(&admin(), oid, 0, 20, Some(t1)).unwrap(),
+        b"version-1"
+    );
+    assert_eq!(
+        d.op_read(&admin(), oid, 0, 20, Some(t3)).unwrap(),
+        b"version-3"
+    );
+    assert_eq!(d.op_read(&ctx, oid, 0, 20, None).unwrap(), b"version-3");
+}
+
+#[test]
+fn object_cache_eviction_round_trips_objects() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let mut config = DriveConfig::small_test();
+    config.object_cache_entries = 4;
+    let d = S4Drive::format(MemDisk::new(400_000), config, clock).unwrap();
+    let ctx = alice();
+    let mut oids = Vec::new();
+    for i in 0..20u32 {
+        let oid = d.op_create(&ctx, None).unwrap();
+        d.op_write(&ctx, oid, 0, format!("object-{i}").as_bytes())
+            .unwrap();
+        oids.push(oid);
+        d.op_sync(&ctx).unwrap();
+    }
+    // All objects remain readable after eviction cycles.
+    for (i, oid) in oids.iter().enumerate() {
+        let data = d.op_read(&ctx, *oid, 0, 100, None).unwrap();
+        assert_eq!(data, format!("object-{i}").as_bytes());
+    }
+    assert!(
+        d.stats().snapshot().checkpoints > 0,
+        "evictions checkpointed"
+    );
+}
+
+#[test]
+fn set_window_is_admin_only_and_effective() {
+    let d = drive();
+    assert_eq!(
+        d.op_set_window(&alice(), SimDuration::from_secs(60))
+            .unwrap_err(),
+        S4Error::AccessDenied
+    );
+    d.op_set_window(&admin(), SimDuration::from_secs(60))
+        .unwrap();
+    assert_eq!(d.detection_window(), SimDuration::from_secs(60));
+
+    // With a 60s window, a version deprecated two minutes ago expires.
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    d.op_write(&ctx, oid, 0, b"old").unwrap();
+    let t = d.now();
+    d.op_sync(&ctx).unwrap();
+    d.clock().advance(SimDuration::from_secs(120));
+    d.op_write(&ctx, oid, 0, b"new").unwrap();
+    d.op_sync(&ctx).unwrap();
+    // Deprecation happened just now; wait out the window before expiry.
+    d.clock().advance(SimDuration::from_secs(120));
+    d.expire_versions().unwrap();
+    assert!(d.op_read(&admin(), oid, 0, 10, Some(t)).is_err());
+}
+
+#[test]
+fn reserved_objects_are_protected() {
+    let d = drive();
+    let ctx = alice();
+    for oid in [s4_core::AUDIT_OBJECT, s4_core::PARTITION_OBJECT] {
+        assert_eq!(
+            d.op_write(&ctx, oid, 0, b"tamper").unwrap_err(),
+            S4Error::AccessDenied
+        );
+        assert_eq!(d.op_delete(&ctx, oid).unwrap_err(), S4Error::AccessDenied);
+    }
+    // Even the admin cannot write the audit object through the front
+    // door: "cannot be modified except by the drive itself".
+    assert_eq!(
+        d.op_write(&admin(), s4_core::AUDIT_OBJECT, 0, b"x")
+            .unwrap_err(),
+        S4Error::AccessDenied
+    );
+}
+
+#[test]
+fn version_counter_tracks_mutations() {
+    let d = drive();
+    let ctx = alice();
+    let oid = d.op_create(&ctx, None).unwrap();
+    let before = d.stats().snapshot().versions_created;
+    d.op_write(&ctx, oid, 0, b"a").unwrap();
+    d.op_setattr(&ctx, oid, vec![1]).unwrap();
+    d.op_truncate(&ctx, oid, 0).unwrap();
+    let after = d.stats().snapshot().versions_created;
+    assert_eq!(after - before, 3);
+}

@@ -1,0 +1,149 @@
+//! Cross-feature interaction tests: object-cache eviction, delta
+//! compaction, landmarks, cleaning, and crash recovery composed.
+
+use s4_clock::{SimClock, SimDuration};
+use s4_core::{ClientId, DriveConfig, ObjectId, RequestContext, S4Drive, UserId};
+use s4_simdisk::MemDisk;
+
+fn ctx() -> RequestContext {
+    RequestContext::user(UserId(1), ClientId(1))
+}
+
+fn small_cache_drive(entries: usize) -> S4Drive<MemDisk> {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let config = DriveConfig {
+        object_cache_entries: entries,
+        ..DriveConfig::small_test()
+    };
+    S4Drive::format(MemDisk::with_capacity_bytes(96 << 20), config, clock).unwrap()
+}
+
+#[test]
+fn evicted_objects_round_trip_deltas_and_landmarks() {
+    let d = small_cache_drive(3);
+    let text = "some versioned source file contents\n".repeat(80);
+    // Several objects so eviction cycles them through checkpoints.
+    let mut oids = Vec::new();
+    let mut marks = Vec::new();
+    for i in 0..8 {
+        let oid = d.op_create(&ctx(), None).unwrap();
+        d.op_write(&ctx(), oid, 0, text.as_bytes()).unwrap();
+        let v1 = d.now();
+        d.clock().advance(SimDuration::from_millis(50));
+        let mut v = text.clone().into_bytes();
+        v[0] = b'A' + i as u8;
+        d.op_write(&ctx(), oid, 0, &v).unwrap();
+        d.op_sync(&ctx()).unwrap();
+        d.op_mark_landmark(&ctx(), oid, v1).unwrap();
+        oids.push(oid);
+        marks.push(v1);
+    }
+    d.compact_history().unwrap();
+    // Churn more objects through the 3-entry cache so everything above
+    // gets evicted and reloaded.
+    for _ in 0..10 {
+        let o = d.op_create(&ctx(), None).unwrap();
+        d.op_write(&ctx(), o, 0, b"filler").unwrap();
+        d.op_sync(&ctx()).unwrap();
+    }
+    for (i, oid) in oids.iter().enumerate() {
+        // Landmark version reads byte-exactly after eviction + reload.
+        let got = d.op_read(&ctx(), *oid, 0, 1 << 16, Some(marks[i])).unwrap();
+        assert_eq!(got, text.as_bytes(), "object {i}");
+        assert_eq!(d.landmarks(&ctx(), *oid).unwrap().len(), 1, "object {i}");
+    }
+}
+
+#[test]
+fn crash_after_compaction_without_anchor_recovers_originals() {
+    // Compaction releases original history blocks into pending-free
+    // segments; a crash before the next anchor must still read every
+    // version from the anchored (pre-compaction) state.
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let d = S4Drive::format(
+        MemDisk::with_capacity_bytes(96 << 20),
+        DriveConfig::small_test(),
+        clock.clone(),
+    )
+    .unwrap();
+    let oid = d.op_create(&ctx(), None).unwrap();
+    let text = "crash-safety line\n".repeat(100);
+    let mut times = Vec::new();
+    for r in 0..6 {
+        let mut v = text.clone().into_bytes();
+        v[0] = b'0' + r;
+        d.op_write(&ctx(), oid, 0, &v).unwrap();
+        d.op_sync(&ctx()).unwrap();
+        times.push(d.now());
+        clock.advance(SimDuration::from_millis(20));
+    }
+    // Make the pre-compaction state durable, then compact WITHOUT
+    // anchoring afterward.
+    d.force_anchor().unwrap();
+    let snapshots: Vec<Vec<u8>> = times
+        .iter()
+        .map(|t| d.op_read(&ctx(), oid, 0, 1 << 16, Some(*t)).unwrap())
+        .collect();
+    d.compact_history().unwrap();
+
+    // Crash.
+    let dev = d.crash();
+    let d2 = S4Drive::mount(dev, DriveConfig::small_test(), SimClock::new()).unwrap();
+    for (i, t) in times.iter().enumerate() {
+        let got = d2.op_read(&ctx(), oid, 0, 1 << 16, Some(*t)).unwrap();
+        assert_eq!(got, snapshots[i], "version {i} after crash");
+    }
+}
+
+#[test]
+fn cleaning_relocates_delta_blocks_correctly() {
+    // Force churn + compaction + expiry + copy-cleaning, then verify
+    // every retained version still materializes.
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let d = S4Drive::format(
+        MemDisk::with_capacity_bytes(64 << 20),
+        DriveConfig::small_test(),
+        clock.clone(),
+    )
+    .unwrap();
+    let text = "relocation fodder statement;\n".repeat(70);
+    let mut oids: Vec<ObjectId> = Vec::new();
+    let mut times = Vec::new();
+    for i in 0..12 {
+        let oid = d.op_create(&ctx(), None).unwrap();
+        let mut v = text.clone().into_bytes();
+        v[0] = b'a' + i as u8;
+        d.op_write(&ctx(), oid, 0, &v).unwrap();
+        clock.advance(SimDuration::from_millis(10));
+        v[1] = b'Z';
+        d.op_write(&ctx(), oid, 0, &v).unwrap();
+        d.op_sync(&ctx()).unwrap();
+        oids.push(oid);
+        times.push(d.now());
+        clock.advance(SimDuration::from_millis(10));
+    }
+    d.compact_history().unwrap();
+    // Delete half the objects and age them out to create cleanable
+    // garbage mixed with live delta blocks.
+    for oid in &oids[..6] {
+        d.op_delete(&ctx(), *oid).unwrap();
+    }
+    d.op_sync(&ctx()).unwrap();
+    clock.advance(SimDuration::from_secs(7200));
+    d.expire_versions().unwrap();
+    d.clean().unwrap();
+    d.clean().unwrap();
+    d.force_anchor().unwrap();
+
+    // Survivors' current and latest-version reads are intact.
+    for (i, oid) in oids.iter().enumerate().skip(6) {
+        let cur = d.op_read(&ctx(), *oid, 0, 1 << 16, None).unwrap();
+        assert_eq!(cur[0], b'a' + i as u8);
+        assert_eq!(cur[1], b'Z');
+        let at = d.op_read(&ctx(), *oid, 0, 1 << 16, Some(times[i])).unwrap();
+        assert_eq!(at, cur);
+    }
+}

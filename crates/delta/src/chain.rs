@@ -1,0 +1,161 @@
+//! Reverse delta chains over version histories.
+//!
+//! The S4 cleaner's differencing pass (future work in the paper, built
+//! here) keeps the *newest* retained version whole and re-expresses each
+//! older version as a delta against its immediate successor — reads of
+//! recent versions stay cheap, and the per-version cost drops to the
+//! inter-version edit distance (optionally compressed).
+
+use crate::lzss;
+use crate::xdelta::{self, Delta};
+use crate::Result;
+
+/// Storage mode for the chain's deltas.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChainMode {
+    /// Deltas stored raw.
+    Diff,
+    /// Deltas stored LZSS-compressed (the paper's "differencing +
+    /// compression" configuration).
+    DiffCompress,
+}
+
+/// A version history stored as newest-full plus reverse deltas.
+pub struct DeltaChain {
+    mode: ChainMode,
+    /// Newest version, stored whole (LZSS-compressed in
+    /// [`ChainMode::DiffCompress`], matching the paper's experiment which
+    /// compressed the trees as well as the diffs).
+    newest: Vec<u8>,
+    /// Uncompressed copy of the newest version for delta computation.
+    newest_plain: Vec<u8>,
+    /// `deltas[0]` turns `newest` into the second-newest version;
+    /// `deltas[k]` turns version `k` (from the newest end) into version
+    /// `k+1`.
+    deltas: Vec<Vec<u8>>,
+}
+
+impl DeltaChain {
+    /// Starts a chain from the initial (and currently newest) version.
+    pub fn new(initial: &[u8], mode: ChainMode) -> Self {
+        let newest = match mode {
+            ChainMode::Diff => initial.to_vec(),
+            ChainMode::DiffCompress => lzss::compress(initial),
+        };
+        DeltaChain {
+            mode,
+            newest,
+            newest_plain: initial.to_vec(),
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Appends a new newest version; the previous newest becomes a delta.
+    pub fn push(&mut self, new_version: &[u8]) {
+        let delta = xdelta::diff(new_version, &self.newest_plain).encode();
+        let stored = match self.mode {
+            ChainMode::Diff => delta,
+            ChainMode::DiffCompress => lzss::compress(&delta),
+        };
+        self.deltas.insert(0, stored);
+        self.newest_plain = new_version.to_vec();
+        self.newest = match self.mode {
+            ChainMode::Diff => new_version.to_vec(),
+            ChainMode::DiffCompress => lzss::compress(new_version),
+        };
+    }
+
+    /// Number of versions in the chain.
+    pub fn versions(&self) -> usize {
+        1 + self.deltas.len()
+    }
+
+    /// Materializes version `age` (0 = newest, `versions()-1` = oldest).
+    pub fn materialize(&self, age: usize) -> Result<Vec<u8>> {
+        let mut cur = self.newest_plain.clone();
+        for stored in self.deltas.iter().take(age) {
+            let raw = match self.mode {
+                ChainMode::Diff => stored.clone(),
+                ChainMode::DiffCompress => lzss::decompress(stored)?,
+            };
+            let delta = Delta::decode(&raw)?;
+            cur = xdelta::apply(&cur, &delta)?;
+        }
+        Ok(cur)
+    }
+
+    /// Total bytes the chain occupies.
+    pub fn stored_bytes(&self) -> usize {
+        self.newest.len() + self.deltas.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Bytes the same history would occupy with every version whole.
+    pub fn full_copy_bytes(&self) -> usize {
+        // Upper bound estimate requires the original sizes; callers doing
+        // space studies track this externally. Here: newest counted once
+        // per version as an approximation helper is *not* provided to
+        // avoid misuse.
+        self.newest.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn versions() -> Vec<Vec<u8>> {
+        // A synthetic "source file" evolving: each day a small edit.
+        let base = b"fn main() { println!(\"hello\"); }\n".repeat(300);
+        let mut out = vec![base.clone()];
+        let mut cur = base;
+        for day in 0..7u8 {
+            let at = 100 + day as usize * 900;
+            cur[at..at + 11].copy_from_slice(b"CHANGED-DAY");
+            cur.extend_from_slice(format!("// day {day}\n").as_bytes());
+            out.push(cur.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn every_version_materializes_exactly() {
+        for mode in [ChainMode::Diff, ChainMode::DiffCompress] {
+            let vs = versions();
+            let mut chain = DeltaChain::new(&vs[0], mode);
+            for v in &vs[1..] {
+                chain.push(v);
+            }
+            assert_eq!(chain.versions(), vs.len());
+            for (age, want) in vs.iter().rev().enumerate() {
+                assert_eq!(&chain.materialize(age).unwrap(), want, "age {age} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn differencing_gains_significant_space() {
+        let vs = versions();
+        let full: usize = vs.iter().map(Vec::len).sum();
+
+        let mut diff_chain = DeltaChain::new(&vs[0], ChainMode::Diff);
+        let mut comp_chain = DeltaChain::new(&vs[0], ChainMode::DiffCompress);
+        for v in &vs[1..] {
+            diff_chain.push(v);
+            comp_chain.push(v);
+        }
+        let diff_factor = full as f64 / diff_chain.stored_bytes() as f64;
+        let comp_factor = full as f64 / comp_chain.stored_bytes() as f64;
+        // The paper reports ~3x from differencing and ~5x adding
+        // compression on its CVS history; synthetic daily edits should
+        // land at least in that band.
+        assert!(diff_factor > 3.0, "diff factor {diff_factor}");
+        assert!(comp_factor > diff_factor, "compression must add savings");
+    }
+
+    #[test]
+    fn single_version_chain() {
+        let chain = DeltaChain::new(b"only", ChainMode::Diff);
+        assert_eq!(chain.versions(), 1);
+        assert_eq!(chain.materialize(0).unwrap(), b"only");
+    }
+}

@@ -1,0 +1,225 @@
+//! LZSS compression with a 4 KiB sliding window.
+//!
+//! Token stream: flag bytes group 8 tokens; bit set = `(offset:12,
+//! len:4+3)` back-reference packed in 2 bytes, bit clear = literal byte.
+//! Matches of 3..=18 bytes at distances 1..=4095 — the classic LZSS
+//! parameterization, sufficient for the ~2x gain the paper's compression
+//! estimates assume on text-like data.
+
+use std::collections::HashMap;
+
+use crate::{DeltaError, Result};
+
+const WINDOW: usize = 4095;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+
+/// Compresses `input`. The output begins with the original length
+/// (`u32-le`), so [`decompress`] can pre-allocate and validate.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+
+    // Chains of positions per 3-byte prefix.
+    let mut heads: HashMap<[u8; 3], Vec<usize>> = HashMap::new();
+
+    let mut i = 0usize;
+    let mut flag_pos = out.len();
+    out.push(0);
+    let mut flag_bit = 0u8;
+
+    let push_token = |out: &mut Vec<u8>, flag_pos: &mut usize, flag_bit: &mut u8| {
+        if *flag_bit == 8 {
+            *flag_pos = out.len();
+            out.push(0);
+            *flag_bit = 0;
+        }
+    };
+
+    while i < input.len() {
+        push_token(&mut out, &mut flag_pos, &mut flag_bit);
+        let mut best: Option<(usize, usize)> = None; // (pos, len)
+        if i + MIN_MATCH <= input.len() {
+            let key = [input[i], input[i + 1], input[i + 2]];
+            if let Some(chain) = heads.get(&key) {
+                for &cand in chain.iter().rev().take(16) {
+                    if i - cand > WINDOW {
+                        break;
+                    }
+                    let mut len = 0;
+                    while len < MAX_MATCH
+                        && i + len < input.len()
+                        && input[cand + len] == input[i + len]
+                    {
+                        len += 1;
+                    }
+                    if len >= MIN_MATCH && best.is_none_or(|(_, bl)| len > bl) {
+                        best = Some((cand, len));
+                        if len == MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some((pos, len)) => {
+                let dist = (i - pos) as u16; // 1..=4095
+                let packed = (dist << 4) | ((len - MIN_MATCH) as u16);
+                out[flag_pos] |= 1 << flag_bit;
+                out.extend_from_slice(&packed.to_le_bytes());
+                for k in i..(i + len).min(input.len().saturating_sub(MIN_MATCH - 1)) {
+                    if k + MIN_MATCH <= input.len() {
+                        heads
+                            .entry([input[k], input[k + 1], input[k + 2]])
+                            .or_default()
+                            .push(k);
+                    }
+                }
+                i += len;
+            }
+            None => {
+                out.push(input[i]);
+                if i + MIN_MATCH <= input.len() {
+                    heads
+                        .entry([input[i], input[i + 1], input[i + 2]])
+                        .or_default()
+                        .push(i);
+                }
+                i += 1;
+            }
+        }
+        flag_bit += 1;
+    }
+    out
+}
+
+/// Decompresses a [`compress`] output.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() < 4 {
+        return Err(DeltaError::Corrupt("lzss header"));
+    }
+    let expect = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+    // `expect` is untrusted; each input token yields at most MAX_MATCH
+    // output bytes, so cap the pre-allocation accordingly.
+    let mut out = Vec::with_capacity(expect.min(data.len() * MAX_MATCH));
+    let mut pos = 4usize;
+    let mut flags = 0u8;
+    let mut flag_bit = 8u8;
+    while out.len() < expect {
+        if flag_bit == 8 {
+            if pos >= data.len() {
+                return Err(DeltaError::Corrupt("lzss flags truncated"));
+            }
+            flags = data[pos];
+            pos += 1;
+            flag_bit = 0;
+        }
+        if flags & (1 << flag_bit) != 0 {
+            if pos + 2 > data.len() {
+                return Err(DeltaError::Corrupt("lzss ref truncated"));
+            }
+            let packed = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap());
+            pos += 2;
+            let dist = (packed >> 4) as usize;
+            let len = (packed & 0xF) as usize + MIN_MATCH;
+            if dist == 0 || dist > out.len() {
+                return Err(DeltaError::Corrupt("lzss bad distance"));
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            if pos >= data.len() {
+                return Err(DeltaError::Corrupt("lzss literal truncated"));
+            }
+            out.push(data[pos]);
+            pos += 1;
+        }
+        flag_bit += 1;
+    }
+    if out.len() != expect {
+        return Err(DeltaError::Corrupt("lzss length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(round_trip(b""), 5.min(round_trip(b"")));
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_text_compresses_well() {
+        let text = b"int main(void) { return do_the_thing(argc, argv); }\n".repeat(200);
+        let c = round_trip(&text);
+        assert!(
+            (c as f64) < text.len() as f64 * 0.5,
+            "expected >=2x on repetitive text: {} -> {}",
+            text.len(),
+            c
+        );
+    }
+
+    #[test]
+    fn random_data_does_not_explode() {
+        // Pseudo-random bytes: compression gains nothing, overhead bounded.
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let c = round_trip(&data);
+        assert!(c < data.len() + data.len() / 7 + 16);
+    }
+
+    #[test]
+    fn run_of_zeros() {
+        let c = round_trip(&vec![0u8; 100_000]);
+        assert!(c < 16_000);
+    }
+
+    #[test]
+    fn long_range_matches_beyond_window_are_handled() {
+        // Repeats separated by more than WINDOW bytes can't back-reference
+        // but must still round-trip.
+        let mut data = vec![7u8; 100];
+        data.extend(std::iter::repeat_n(1u8, 5000));
+        data.extend_from_slice(&[7u8; 100]);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(&[1, 2]).is_err());
+        // Claimed length with no body.
+        assert!(decompress(&[100, 0, 0, 0]).is_err());
+        // Bad back-reference distance.
+        let mut c = compress(b"abcabcabcabc");
+        // Corrupt a reference byte if present; must error or round-trip,
+        // never panic.
+        if c.len() > 6 {
+            c[5] ^= 0xFF;
+            let _ = decompress(&c);
+        }
+    }
+}

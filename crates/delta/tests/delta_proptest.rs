@@ -1,0 +1,92 @@
+//! Property-based tests for differencing and compression.
+
+use proptest::prelude::*;
+
+use s4_delta::chain::ChainMode;
+use s4_delta::{apply, compress, decompress, diff, Delta, DeltaChain};
+
+/// Byte sources with enough structure to exercise both copy and insert
+/// paths.
+fn blob() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        (any::<u8>(), 1usize..4096).prop_map(|(b, n)| vec![b; n]),
+        (proptest::collection::vec(any::<u8>(), 1..64), 1usize..64)
+            .prop_map(|(unit, reps)| unit.repeat(reps)),
+    ]
+}
+
+/// `(source, target)` pairs where target is an edited source (the common
+/// case for cross-version differencing).
+fn edited_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (
+        blob(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+        any::<u16>(),
+    )
+        .prop_map(|(src, insert, pos)| {
+            let mut dst = src.clone();
+            let at = if dst.is_empty() {
+                0
+            } else {
+                pos as usize % dst.len()
+            };
+            dst.splice(at..at, insert);
+            (src, dst)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn diff_apply_round_trips((src, dst) in edited_pair()) {
+        let d = diff(&src, &dst);
+        prop_assert_eq!(apply(&src, &d).unwrap(), dst);
+    }
+
+    #[test]
+    fn diff_apply_round_trips_unrelated(src in blob(), dst in blob()) {
+        let d = diff(&src, &dst);
+        prop_assert_eq!(apply(&src, &d).unwrap(), dst);
+    }
+
+    #[test]
+    fn delta_codec_round_trips((src, dst) in edited_pair()) {
+        let d = diff(&src, &dst);
+        let decoded = Delta::decode(&d.encode()).unwrap();
+        prop_assert_eq!(decoded, d);
+    }
+
+    #[test]
+    fn delta_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Delta::decode(&bytes);
+    }
+
+    #[test]
+    fn lzss_round_trips(data in blob()) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_decompress_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&bytes);
+    }
+
+    #[test]
+    fn chains_materialize_every_version(
+        versions in proptest::collection::vec(blob(), 1..8),
+        compress_mode in any::<bool>(),
+    ) {
+        let mode = if compress_mode { ChainMode::DiffCompress } else { ChainMode::Diff };
+        let mut chain = DeltaChain::new(&versions[0], mode);
+        for v in &versions[1..] {
+            chain.push(v);
+        }
+        prop_assert_eq!(chain.versions(), versions.len());
+        for (age, want) in versions.iter().rev().enumerate() {
+            prop_assert_eq!(&chain.materialize(age).unwrap(), want);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! NFS-style file system overlay on the S4 object store (§4.1.2).
+//!
+//! The paper's "S4 client" is a user-level translator that appears to the
+//! workstation as an NFSv2 server and turns file-system requests into
+//! S4-specific RPCs: directories and files are overlaid on objects, NFS
+//! file handles hash directly to ObjectIDs, attribute and directory
+//! caches serve reads, and every mutating operation is followed by a Sync
+//! RPC to honor NFSv2's commit-before-reply semantics.
+//!
+//! This crate provides:
+//!
+//! * [`server`] — the transport-agnostic [`FileServer`] trait all
+//!   benchmarked systems implement (S4 and the baselines), mirroring the
+//!   NFSv2 operation set.
+//! * [`s4fs`] — [`S4FileServer`], the S4 client translator, including
+//!   time-travel variants of the read operations.
+//! * [`transport`] — the [`Transport`] abstraction plus the in-process
+//!   [`LoopbackTransport`] that charges the network cost model.
+//! * [`tcp`] — a real framed-TCP transport and server for the S4 RPC
+//!   protocol.
+//! * [`tools`] — §3.6's "time-enhanced" administrative utilities
+//!   (`ls`/`cat` at a point in time, file restoration from the history
+//!   pool, and audit-log-driven damage reports).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod s4fs;
+pub mod server;
+pub mod tcp;
+pub mod tools;
+pub mod transport;
+
+pub use s4fs::{S4FileServer, S4FsConfig};
+pub use server::{FileAttr, FileKind, FileServer, FsError, FsResult, Handle};
+pub use tcp::{TcpServerHandle, TcpTransport};
+pub use tools::{damage_report, ls_at, read_file_at, restore_file, DamageReport};
+pub use transport::{LoopbackTransport, Transport};

@@ -1,0 +1,62 @@
+//! Journal-based metadata versioning — the paper's key structural novelty
+//! (§4.2.2, Figure 2).
+//!
+//! Because S4 clients are untrusted, *every* modification creates a new
+//! version, so a conventional versioning layout would write a new inode
+//! (and every indirect block on the path) per update — up to 4× space
+//! growth for large files. S4 instead records each metadata change as a
+//! compact **journal entry** carrying both the old and new values
+//! (undo+redo), packs the entries into per-object **journal sectors**
+//! chained backward in time, and checkpoints an object's full metadata
+//! only when it is evicted from the cache or at sync. Any version of the
+//! metadata can then be recreated by replaying entries from the nearest
+//! checkpoint.
+//!
+//! Modules:
+//!
+//! * [`entry`] — the journal entry types and their binary codec.
+//! * [`sector`] — packing entries into chained journal-sector blocks.
+//! * [`meta`] — the object metadata record ([`ObjectMeta`]) and its
+//!   checkpoint codec.
+//! * [`replay`] — undo/redo of entries over a metadata record, and
+//!   point-in-time reconstruction.
+//! * [`conventional`] — the conventional copy-on-write metadata baseline
+//!   (new inode + indirect path per update), used by the Figure 2
+//!   experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conventional;
+pub mod entry;
+pub mod meta;
+pub mod replay;
+pub mod sector;
+
+pub use conventional::{BlockSink, ConventionalMeta, CountingSink, UpdateCost};
+pub use entry::{JournalEntry, PtrChange};
+pub use meta::ObjectMeta;
+pub use replay::{reconstruct_at, redo, undo};
+pub use sector::{decode_sector, encode_sectors, SectorPayload, MAX_SECTOR_BYTES};
+
+use std::fmt;
+
+/// Errors surfaced by the journal layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// A serialized structure failed validation.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Corrupt(what) => write!(f, "corrupt journal structure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Result alias for journal operations.
+pub type Result<T> = std::result::Result<T, JournalError>;

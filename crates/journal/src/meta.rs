@@ -1,0 +1,246 @@
+//! The object metadata record and its checkpoint codec.
+//!
+//! [`ObjectMeta`] is the drive's in-memory "inode" for one object: sizes,
+//! stamps, opaque client attributes, the encoded ACL table, the sparse
+//! logical-block map, and the head of the object's journal-sector chain.
+//! Checkpoints serialize the whole record; unlike conventional journaling,
+//! checkpointing never prunes journal space — only aging may prune
+//! (§4.2.2).
+
+use std::collections::BTreeMap;
+
+use s4_clock::{HybridTimestamp, SimTime};
+use s4_lfs::BlockAddr;
+
+use crate::{JournalError, Result};
+
+const MAGIC: u32 = 0x5334_4D54; // "S4MT"
+
+/// One object's metadata.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ObjectMeta {
+    /// Object identifier (drive-assigned, §4.1).
+    pub id: u64,
+    /// Stamp of the creating mutation.
+    pub created: HybridTimestamp,
+    /// Stamp of the most recent mutation.
+    pub modified: HybridTimestamp,
+    /// Set when the live object was deleted (versions remain in the
+    /// history pool).
+    pub deleted: Option<HybridTimestamp>,
+    /// Current size in bytes.
+    pub size: u64,
+    /// Opaque attribute space for client file systems (§4.1: "objects
+    /// also have ... opaque attribute space").
+    pub attrs: Vec<u8>,
+    /// Encoded ACL table (interpreted by the drive's access-control
+    /// layer).
+    pub acl: Vec<u8>,
+    /// Sparse logical-block map: logical block number → log address.
+    pub blocks: BTreeMap<u64, BlockAddr>,
+    /// Newest journal sector of this object's backward chain
+    /// ([`BlockAddr::NONE`] if nothing has been packed to disk yet).
+    pub journal_head: BlockAddr,
+}
+
+impl ObjectMeta {
+    /// Creates metadata for a newly created object.
+    pub fn new(id: u64, created: HybridTimestamp) -> Self {
+        ObjectMeta {
+            id,
+            created,
+            modified: created,
+            deleted: None,
+            size: 0,
+            attrs: Vec::new(),
+            acl: Vec::new(),
+            blocks: BTreeMap::new(),
+            journal_head: BlockAddr::NONE,
+        }
+    }
+
+    /// True if the live object exists (created and not deleted).
+    pub fn is_live(&self) -> bool {
+        self.deleted.is_none()
+    }
+
+    /// Number of logical blocks currently mapped.
+    pub fn mapped_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Serializes the record (checkpoint / anchor format).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(96 + self.attrs.len() + self.acl.len() + self.blocks.len() * 16);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        push_stamp(&mut out, self.created);
+        push_stamp(&mut out, self.modified);
+        match self.deleted {
+            Some(d) => {
+                out.push(1);
+                push_stamp(&mut out, d);
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.attrs);
+        out.extend_from_slice(&(self.acl.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.acl);
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for (&lbn, &addr) in &self.blocks {
+            out.extend_from_slice(&lbn.to_le_bytes());
+            out.extend_from_slice(&addr.0.to_le_bytes());
+        }
+        out.extend_from_slice(&self.journal_head.0.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a record from `buf[*pos..]`, advancing `pos`.
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<ObjectMeta> {
+        let need = |p: usize, n: usize| {
+            if p + n > buf.len() {
+                Err(JournalError::Corrupt("object meta truncated"))
+            } else {
+                Ok(())
+            }
+        };
+        need(*pos, 12)?;
+        if buf[*pos..*pos + 4] != MAGIC.to_le_bytes() {
+            return Err(JournalError::Corrupt("object meta magic"));
+        }
+        let id = u64::from_le_bytes(buf[*pos + 4..*pos + 12].try_into().unwrap());
+        *pos += 12;
+        let created = read_stamp(buf, pos)?;
+        let modified = read_stamp(buf, pos)?;
+        need(*pos, 1)?;
+        let has_deleted = buf[*pos] == 1;
+        *pos += 1;
+        let deleted = if has_deleted {
+            Some(read_stamp(buf, pos)?)
+        } else {
+            None
+        };
+        need(*pos, 12)?;
+        let size = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+        *pos += 8;
+        let alen = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+        *pos += 4;
+        need(*pos, alen)?;
+        let attrs = buf[*pos..*pos + alen].to_vec();
+        *pos += alen;
+        need(*pos, 4)?;
+        let clen = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+        *pos += 4;
+        need(*pos, clen)?;
+        let acl = buf[*pos..*pos + clen].to_vec();
+        *pos += clen;
+        need(*pos, 4)?;
+        let n = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+        *pos += 4;
+        need(*pos, n * 16 + 8)?;
+        let mut blocks = BTreeMap::new();
+        for _ in 0..n {
+            let lbn = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+            let addr = BlockAddr(u64::from_le_bytes(
+                buf[*pos + 8..*pos + 16].try_into().unwrap(),
+            ));
+            blocks.insert(lbn, addr);
+            *pos += 16;
+        }
+        let journal_head = BlockAddr(u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap()));
+        *pos += 8;
+        Ok(ObjectMeta {
+            id,
+            created,
+            modified,
+            deleted,
+            size,
+            attrs,
+            acl,
+            blocks,
+            journal_head,
+        })
+    }
+}
+
+fn push_stamp(out: &mut Vec<u8>, s: HybridTimestamp) {
+    out.extend_from_slice(&s.time.as_micros().to_le_bytes());
+    out.extend_from_slice(&s.seq.to_le_bytes());
+}
+
+fn read_stamp(buf: &[u8], pos: &mut usize) -> Result<HybridTimestamp> {
+    if *pos + 16 > buf.len() {
+        return Err(JournalError::Corrupt("stamp truncated"));
+    }
+    let time = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+    let seq = u64::from_le_bytes(buf[*pos + 8..*pos + 16].try_into().unwrap());
+    *pos += 16;
+    Ok(HybridTimestamp::new(SimTime::from_micros(time), seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObjectMeta {
+        let mut m = ObjectMeta::new(99, HybridTimestamp::new(SimTime::from_micros(5), 1));
+        m.modified = HybridTimestamp::new(SimTime::from_micros(9), 4);
+        m.size = 12_345;
+        m.attrs = vec![1, 2, 3, 4];
+        m.acl = vec![7; 33];
+        m.blocks.insert(0, BlockAddr(10));
+        m.blocks.insert(2, BlockAddr(12));
+        m.journal_head = BlockAddr(777);
+        m
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        let buf = m.encode();
+        let mut pos = 0;
+        assert_eq!(ObjectMeta::decode_from(&buf, &mut pos).unwrap(), m);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn round_trip_deleted() {
+        let mut m = sample();
+        m.deleted = Some(HybridTimestamp::new(SimTime::from_micros(11), 9));
+        let buf = m.encode();
+        let mut pos = 0;
+        assert_eq!(ObjectMeta::decode_from(&buf, &mut pos).unwrap(), m);
+    }
+
+    #[test]
+    fn multiple_records_stream() {
+        let a = sample();
+        let mut b = sample();
+        b.id = 100;
+        let mut buf = a.encode();
+        buf.extend(b.encode());
+        let mut pos = 0;
+        assert_eq!(ObjectMeta::decode_from(&buf, &mut pos).unwrap().id, 99);
+        assert_eq!(ObjectMeta::decode_from(&buf, &mut pos).unwrap().id, 100);
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let buf = sample().encode();
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(ObjectMeta::decode_from(&buf[..cut], &mut pos).is_err());
+        }
+    }
+
+    #[test]
+    fn fresh_meta_is_live_and_empty() {
+        let m = ObjectMeta::new(1, HybridTimestamp::ZERO);
+        assert!(m.is_live());
+        assert_eq!(m.mapped_blocks(), 0);
+        assert!(m.journal_head.is_none());
+    }
+}

@@ -1,0 +1,289 @@
+//! Undo/redo of journal entries and point-in-time reconstruction.
+//!
+//! Because every entry carries both old and new values, a metadata record
+//! can be rolled in either direction:
+//!
+//! * **redo** (oldest → newest) rebuilds current state from an anchored
+//!   checkpoint during crash recovery;
+//! * **undo** (newest → oldest) walks the backward journal chain to
+//!   materialize "the version that was most current at time T" for
+//!   time-based reads of the history pool.
+
+use s4_clock::HybridTimestamp;
+
+use crate::entry::JournalEntry;
+use crate::meta::ObjectMeta;
+
+/// Applies `e` forward to `meta`.
+pub fn redo(meta: &mut ObjectMeta, e: &JournalEntry) {
+    match e {
+        JournalEntry::Create { stamp } => {
+            meta.created = *stamp;
+            meta.deleted = None;
+        }
+        JournalEntry::Delete { stamp } => {
+            meta.deleted = Some(*stamp);
+        }
+        JournalEntry::Write {
+            new_size, changes, ..
+        } => {
+            for c in changes {
+                if c.new.is_none() {
+                    meta.blocks.remove(&c.lbn);
+                } else {
+                    meta.blocks.insert(c.lbn, c.new);
+                }
+            }
+            meta.size = *new_size;
+        }
+        JournalEntry::Truncate {
+            new_size, freed, ..
+        } => {
+            for c in freed {
+                meta.blocks.remove(&c.lbn);
+            }
+            meta.size = *new_size;
+        }
+        JournalEntry::SetAttr { new, .. } => {
+            meta.attrs = new.clone();
+        }
+        JournalEntry::SetAcl { new, .. } => {
+            meta.acl = new.clone();
+        }
+        JournalEntry::Checkpoint { .. } => {}
+    }
+    if e.is_mutation() && e.stamp() > meta.modified {
+        meta.modified = e.stamp();
+    }
+}
+
+/// Applies `e` backward to `meta`. Returns `false` when a `Create` was
+/// undone — the object did not exist before this entry.
+pub fn undo(meta: &mut ObjectMeta, e: &JournalEntry) -> bool {
+    match e {
+        JournalEntry::Create { .. } => return false,
+        JournalEntry::Delete { .. } => {
+            meta.deleted = None;
+        }
+        JournalEntry::Write {
+            old_size, changes, ..
+        } => {
+            for c in changes {
+                if c.old.is_none() {
+                    meta.blocks.remove(&c.lbn);
+                } else {
+                    meta.blocks.insert(c.lbn, c.old);
+                }
+            }
+            meta.size = *old_size;
+        }
+        JournalEntry::Truncate {
+            old_size, freed, ..
+        } => {
+            for c in freed {
+                if !c.old.is_none() {
+                    meta.blocks.insert(c.lbn, c.old);
+                }
+            }
+            meta.size = *old_size;
+        }
+        JournalEntry::SetAttr { old, .. } => {
+            meta.attrs = old.clone();
+        }
+        JournalEntry::SetAcl { old, .. } => {
+            meta.acl = old.clone();
+        }
+        JournalEntry::Checkpoint { .. } => {}
+    }
+    true
+}
+
+/// Reconstructs the metadata version that was current at `bound` by
+/// walking `entries_newest_first` (the object's full mutation history,
+/// newest first) backward from the current record.
+///
+/// Returns `None` if the object did not yet exist at `bound` — including
+/// the case where the entry stream shows a `Create` after `bound` (objects
+/// can be deleted and their IDs never reused, so one `Create` begins each
+/// object's history).
+pub fn reconstruct_at<I>(
+    current: &ObjectMeta,
+    entries_newest_first: I,
+    bound: HybridTimestamp,
+) -> Option<ObjectMeta>
+where
+    I: IntoIterator<Item = JournalEntry>,
+{
+    let mut meta = current.clone();
+    let mut modified = HybridTimestamp::ZERO;
+    for e in entries_newest_first {
+        if e.stamp() <= bound {
+            // Everything from here back is already reflected; the first
+            // such entry is the version's own modification stamp.
+            if e.is_mutation() {
+                modified = e.stamp();
+            }
+            break;
+        }
+        if !undo(&mut meta, &e) {
+            return None; // Created after `bound`.
+        }
+    }
+    if meta.created > bound {
+        return None;
+    }
+    if modified != HybridTimestamp::ZERO {
+        meta.modified = modified;
+    }
+    Some(meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::PtrChange;
+    use s4_clock::SimTime;
+    use s4_lfs::BlockAddr;
+
+    fn st(t: u64) -> HybridTimestamp {
+        HybridTimestamp::new(SimTime::from_micros(t), t)
+    }
+
+    /// Builds a history: create@1, write b0@2, write b0'+b1@3, setattr@4,
+    /// truncate@5, delete@6. Returns (current meta, entries oldest first).
+    fn history() -> (ObjectMeta, Vec<JournalEntry>) {
+        let entries = vec![
+            JournalEntry::Create { stamp: st(1) },
+            JournalEntry::Write {
+                stamp: st(2),
+                old_size: 0,
+                new_size: 4096,
+                changes: vec![PtrChange {
+                    lbn: 0,
+                    old: BlockAddr::NONE,
+                    new: BlockAddr(10),
+                }],
+            },
+            JournalEntry::Write {
+                stamp: st(3),
+                old_size: 4096,
+                new_size: 8192,
+                changes: vec![
+                    PtrChange {
+                        lbn: 0,
+                        old: BlockAddr(10),
+                        new: BlockAddr(20),
+                    },
+                    PtrChange {
+                        lbn: 1,
+                        old: BlockAddr::NONE,
+                        new: BlockAddr(21),
+                    },
+                ],
+            },
+            JournalEntry::SetAttr {
+                stamp: st(4),
+                old: vec![],
+                new: vec![0xAA],
+            },
+            JournalEntry::Truncate {
+                stamp: st(5),
+                old_size: 8192,
+                new_size: 4096,
+                freed: vec![PtrChange {
+                    lbn: 1,
+                    old: BlockAddr(21),
+                    new: BlockAddr::NONE,
+                }],
+            },
+            JournalEntry::Delete { stamp: st(6) },
+        ];
+        let mut meta = ObjectMeta::new(7, st(1));
+        for e in &entries {
+            redo(&mut meta, e);
+        }
+        (meta, entries)
+    }
+
+    #[test]
+    fn redo_builds_expected_current_state() {
+        let (meta, _) = history();
+        assert_eq!(meta.size, 4096);
+        assert_eq!(meta.blocks.get(&0), Some(&BlockAddr(20)));
+        assert_eq!(meta.blocks.get(&1), None);
+        assert_eq!(meta.attrs, vec![0xAA]);
+        assert!(!meta.is_live());
+        assert_eq!(meta.modified, st(6));
+    }
+
+    #[test]
+    fn reconstruct_every_epoch() {
+        let (meta, entries) = history();
+        let newest_first: Vec<_> = entries.iter().rev().cloned().collect();
+
+        // Before creation: no object.
+        assert!(reconstruct_at(&meta, newest_first.clone(), st(0)).is_none());
+
+        // At t=2: one block, 4 KB.
+        let v2 = reconstruct_at(&meta, newest_first.clone(), st(2)).unwrap();
+        assert_eq!(v2.size, 4096);
+        assert_eq!(v2.blocks.get(&0), Some(&BlockAddr(10)));
+        assert!(v2.attrs.is_empty());
+        assert!(v2.is_live());
+        assert_eq!(v2.modified, st(2));
+
+        // At t=3: two blocks, 8 KB, block 0 overwritten.
+        let v3 = reconstruct_at(&meta, newest_first.clone(), st(3)).unwrap();
+        assert_eq!(v3.size, 8192);
+        assert_eq!(v3.blocks.get(&0), Some(&BlockAddr(20)));
+        assert_eq!(v3.blocks.get(&1), Some(&BlockAddr(21)));
+
+        // At t=5: truncated back to 4 KB but attr set.
+        let v5 = reconstruct_at(&meta, newest_first.clone(), st(5)).unwrap();
+        assert_eq!(v5.size, 4096);
+        assert_eq!(v5.attrs, vec![0xAA]);
+        assert!(v5.is_live());
+
+        // At t=6 (and later): deleted.
+        let v6 = reconstruct_at(&meta, newest_first.clone(), st(100)).unwrap();
+        assert!(!v6.is_live());
+    }
+
+    #[test]
+    fn undo_redo_are_inverses() {
+        let (meta, entries) = history();
+        // Walk all the way back, then forward again.
+        let mut m = meta.clone();
+        for e in entries.iter().rev().take(entries.len() - 1) {
+            assert!(undo(&mut m, e));
+        }
+        // m is now the state just after Create.
+        for e in entries.iter().skip(1) {
+            redo(&mut m, e);
+        }
+        // modified stamps track the max; state must match.
+        assert_eq!(m, meta);
+    }
+
+    #[test]
+    fn reconstruct_with_bound_in_the_future_returns_current() {
+        let (meta, entries) = history();
+        let newest_first: Vec<_> = entries.iter().rev().cloned().collect();
+        let v = reconstruct_at(&meta, newest_first, HybridTimestamp::MAX).unwrap();
+        assert_eq!(v, meta);
+    }
+
+    #[test]
+    fn checkpoint_entries_are_transparent() {
+        let (mut meta, _) = history();
+        let before = meta.clone();
+        let cp = JournalEntry::Checkpoint {
+            stamp: st(10),
+            root: BlockAddr(500),
+        };
+        redo(&mut meta, &cp);
+        assert_eq!(meta, before);
+        assert!(undo(&mut meta, &cp));
+        assert_eq!(meta, before);
+    }
+}

@@ -1,0 +1,222 @@
+//! Disk geometry, block addressing, and block classification.
+
+use s4_simdisk::SECTOR_SIZE;
+
+use crate::{LfsError, Result};
+
+/// Size of one log block in bytes (8 sectors). All log I/O is in whole
+/// blocks; object data is block-granular, matching the paper's 4 KB NFS
+/// transfer size.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Sectors per log block.
+pub const SECTORS_PER_BLOCK: u64 = (BLOCK_SIZE / SECTOR_SIZE) as u64;
+
+/// Index of a segment within the data area.
+pub type SegmentId = u32;
+
+/// Absolute index of a block within the data area of the device.
+///
+/// Blocks are the unit of allocation and caching; the segment a block
+/// belongs to is `addr / blocks_per_segment`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Sentinel for "no block" (used in on-disk pointers).
+    pub const NONE: BlockAddr = BlockAddr(u64::MAX);
+
+    /// True if this address is the [`BlockAddr::NONE`] sentinel.
+    pub fn is_none(self) -> bool {
+        self == BlockAddr::NONE
+    }
+}
+
+/// Classification of a log block, recorded in segment summaries so crash
+/// recovery and the cleaner know how to treat each block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum BlockKind {
+    /// Object data.
+    Data = 1,
+    /// A packed journal sector holding metadata-change entries for one
+    /// object (§4.2.2).
+    JournalSector = 2,
+    /// A checkpoint of one object's complete metadata.
+    ObjectCheckpoint = 3,
+    /// Drive system state written at anchor time (object map, usage table).
+    SystemState = 4,
+    /// Audit-log data (the reserved audit object, §4.2.3).
+    Audit = 5,
+    /// Cross-version delta payloads: history blocks re-encoded as
+    /// differences against newer versions (§4.2.2's differencing).
+    DeltaData = 6,
+}
+
+impl BlockKind {
+    /// Parses the on-disk representation.
+    pub fn from_u8(v: u8) -> Result<BlockKind> {
+        Ok(match v {
+            1 => BlockKind::Data,
+            2 => BlockKind::JournalSector,
+            3 => BlockKind::ObjectCheckpoint,
+            4 => BlockKind::SystemState,
+            5 => BlockKind::Audit,
+            6 => BlockKind::DeltaData,
+            _ => return Err(LfsError::Corrupt("block kind")),
+        })
+    }
+}
+
+/// Per-block description stored in segment summaries: what the block is,
+/// which object it belongs to, and a kind-specific auxiliary value (e.g.
+/// the logical block number for data, or the version sequence for
+/// checkpoints).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockTag {
+    /// Block classification.
+    pub kind: BlockKind,
+    /// Owning object identifier (0 for system blocks).
+    pub object: u64,
+    /// Kind-specific auxiliary value.
+    pub aux: u64,
+}
+
+impl BlockTag {
+    /// Builds a tag.
+    pub fn new(kind: BlockKind, object: u64, aux: u64) -> Self {
+        BlockTag { kind, object, aux }
+    }
+}
+
+/// Computed layout of the device: where superblocks live, how many
+/// segments fit, and translation from block addresses to sectors.
+#[derive(Clone, Copy, Debug)]
+pub struct Geometry {
+    /// Sectors reserved at the front of the device for the two superblock
+    /// copies.
+    pub superblock_sectors: u64,
+    /// Blocks per segment.
+    pub blocks_per_segment: u32,
+    /// Number of segments in the data area.
+    pub num_segments: u32,
+}
+
+impl Geometry {
+    /// Sectors occupied by one superblock copy.
+    pub const SUPERBLOCK_COPY_SECTORS: u64 = 8;
+
+    /// Computes a geometry for a device of `num_sectors` sectors with the
+    /// given segment size in blocks.
+    pub fn compute(num_sectors: u64, blocks_per_segment: u32) -> Result<Geometry> {
+        let superblock_sectors = Self::SUPERBLOCK_COPY_SECTORS * 2;
+        let data_sectors = num_sectors.saturating_sub(superblock_sectors);
+        let total_blocks = data_sectors / SECTORS_PER_BLOCK;
+        let num_segments = (total_blocks / blocks_per_segment as u64) as u32;
+        if num_segments < 4 {
+            return Err(LfsError::TooSmall);
+        }
+        Ok(Geometry {
+            superblock_sectors,
+            blocks_per_segment,
+            num_segments,
+        })
+    }
+
+    /// Total blocks in the data area.
+    pub fn total_blocks(&self) -> u64 {
+        self.num_segments as u64 * self.blocks_per_segment as u64
+    }
+
+    /// Total data-area capacity in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.total_blocks() * BLOCK_SIZE as u64
+    }
+
+    /// First sector of the data area.
+    pub fn data_start_sector(&self) -> u64 {
+        self.superblock_sectors
+    }
+
+    /// Translates a block address to its first sector on the device.
+    pub fn sector_of(&self, addr: BlockAddr) -> u64 {
+        self.data_start_sector() + addr.0 * SECTORS_PER_BLOCK
+    }
+
+    /// The segment containing `addr`.
+    pub fn segment_of(&self, addr: BlockAddr) -> SegmentId {
+        (addr.0 / self.blocks_per_segment as u64) as SegmentId
+    }
+
+    /// Block offset of `addr` within its segment.
+    pub fn offset_in_segment(&self, addr: BlockAddr) -> u32 {
+        (addr.0 % self.blocks_per_segment as u64) as u32
+    }
+
+    /// Address of block `offset` within segment `seg`.
+    pub fn addr_of(&self, seg: SegmentId, offset: u32) -> BlockAddr {
+        BlockAddr(seg as u64 * self.blocks_per_segment as u64 + offset as u64)
+    }
+
+    /// Validates that `addr` falls inside the data area.
+    pub fn check(&self, addr: BlockAddr) -> Result<BlockAddr> {
+        if addr.0 >= self.total_blocks() {
+            return Err(LfsError::BadAddress(addr.0));
+        }
+        Ok(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_round_trips_addresses() {
+        let g = Geometry::compute(1_000_000, 128).unwrap();
+        for addr in [0u64, 1, 127, 128, 12_345] {
+            let a = BlockAddr(addr);
+            let seg = g.segment_of(a);
+            let off = g.offset_in_segment(a);
+            assert_eq!(g.addr_of(seg, off), a);
+        }
+    }
+
+    #[test]
+    fn geometry_rejects_tiny_devices() {
+        assert!(matches!(
+            Geometry::compute(100, 128),
+            Err(LfsError::TooSmall)
+        ));
+    }
+
+    #[test]
+    fn sector_translation_skips_superblocks() {
+        let g = Geometry::compute(1_000_000, 128).unwrap();
+        assert_eq!(g.sector_of(BlockAddr(0)), 16);
+        assert_eq!(g.sector_of(BlockAddr(1)), 16 + SECTORS_PER_BLOCK);
+    }
+
+    #[test]
+    fn block_kind_round_trip() {
+        for k in [
+            BlockKind::Data,
+            BlockKind::JournalSector,
+            BlockKind::ObjectCheckpoint,
+            BlockKind::SystemState,
+            BlockKind::Audit,
+            BlockKind::DeltaData,
+        ] {
+            assert_eq!(BlockKind::from_u8(k as u8).unwrap(), k);
+        }
+        assert!(BlockKind::from_u8(0).is_err());
+        assert!(BlockKind::from_u8(99).is_err());
+    }
+
+    #[test]
+    fn check_rejects_out_of_range() {
+        let g = Geometry::compute(1_000_000, 128).unwrap();
+        assert!(g.check(BlockAddr(g.total_blocks())).is_err());
+        assert!(g.check(BlockAddr(0)).is_ok());
+    }
+}

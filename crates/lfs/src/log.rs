@@ -1,0 +1,914 @@
+//! The log: buffered append, batch flush, anchoring, and crash recovery.
+//!
+//! Writes are buffered into a *batch*; [`Log::flush`] lays the batch out as
+//! one summary block followed by the data blocks, written with (at most)
+//! two sequential device transfers. This is the LFS write path that makes
+//! comprehensive versioning nearly free (§4.2.1): many small object
+//! updates coalesce into large sequential writes, and old versions are
+//! never moved because nothing is ever overwritten.
+//!
+//! Durability protocol: data blocks are written first, the summary last,
+//! so a torn flush leaves an unreadable summary and recovery cleanly stops
+//! at the previous batch. The *anchor* (superblock + system-state batches)
+//! is written periodically, not per-sync; recovery rolls forward from the
+//! anchored cursor, re-discovering every batch flushed after it. Segments
+//! reclaimed since the last anchor are only *pending* free — they become
+//! allocatable once the next anchor makes the reclamation durable, so a
+//! crash can never observe a reused segment whose old contents the anchored
+//! object map still references.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use s4_simdisk::BlockDev;
+
+use crate::cache::BlockCache;
+use crate::layout::{BlockAddr, BlockKind, BlockTag, Geometry, SegmentId, BLOCK_SIZE};
+use crate::summary::{Summary, SummaryEntry, MAX_ENTRIES, NO_NEXT_SEGMENT};
+use crate::superblock::{Superblock, NO_STATE};
+use crate::usage::SegmentUsageTable;
+use crate::{LfsError, Result};
+
+/// Configuration for formatting a log.
+#[derive(Clone, Copy, Debug)]
+pub struct LogConfig {
+    /// Blocks per segment; the paper-style default is 128 (512 KiB
+    /// segments).
+    pub blocks_per_segment: u32,
+    /// Block-cache capacity in blocks; the paper's S4 drive used a 128 MB
+    /// buffer cache.
+    pub cache_blocks: usize,
+    /// On a cache miss, fetch this many aligned blocks in one transfer
+    /// (segment-granular readahead; 0 or 1 disables). Reading
+    /// neighborhoods at once is what makes the density of a segment
+    /// matter — e.g. Figure 6's audit blocks diluting data locality.
+    pub readahead_blocks: u32,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            blocks_per_segment: 128,
+            cache_blocks: 32 * 1024, // 128 MB
+            readahead_blocks: 32,    // 128 KB
+        }
+    }
+}
+
+/// Statistics returned by [`Log::flush`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Blocks written, including the summary block.
+    pub blocks_written: u32,
+    /// True if this flush sealed the segment and moved to a new one.
+    pub sealed: bool,
+}
+
+/// Everything [`Log::mount`] recovers: the log, the anchored upper-layer
+/// payload, the post-anchor batches to re-apply, and the superblock.
+pub type Mounted<D> = (Log<D>, Vec<u8>, Vec<RecoveredBatch>, Superblock);
+
+/// One batch re-discovered by crash-recovery roll-forward, delivered to
+/// the upper layer so it can re-apply journal entries.
+#[derive(Clone, Debug)]
+pub struct RecoveredBatch {
+    /// The batch's summary epoch.
+    pub epoch: u64,
+    /// `(address, tag)` for every data block in the batch, in append
+    /// order.
+    pub blocks: Vec<(BlockAddr, BlockTag)>,
+}
+
+struct PendingBlock {
+    addr: BlockAddr,
+    tag: BlockTag,
+    data: Bytes,
+}
+
+struct WriterState {
+    /// Active segment.
+    seg: SegmentId,
+    /// Next block offset to assign within the active segment.
+    cursor: u32,
+    /// Offset of the open batch's reserved summary slot, if a batch is
+    /// open.
+    batch_start: Option<u32>,
+    /// Epoch the next flush will stamp into its summary.
+    next_epoch: u64,
+    pending: Vec<PendingBlock>,
+    pending_map: HashMap<u64, usize>,
+    /// Superblock epoch last written.
+    sb_epoch: u64,
+    /// Addresses of the current anchor's system-state blocks (protected
+    /// from cleaning; released when the next anchor supersedes them).
+    state_addrs: Vec<BlockAddr>,
+}
+
+/// The log-structured store.
+pub struct Log<D: BlockDev> {
+    dev: D,
+    geo: Geometry,
+    cache: BlockCache,
+    readahead: u32,
+    state: Mutex<WriterState>,
+    usage: Mutex<SegmentUsageTable>,
+}
+
+impl<D: BlockDev> Log<D> {
+    /// Formats `dev` with a fresh, empty log and writes the initial
+    /// superblock.
+    pub fn format(dev: D, config: LogConfig) -> Result<Log<D>> {
+        let geo = Geometry::compute(dev.num_sectors(), config.blocks_per_segment)?;
+        let mut usage = SegmentUsageTable::new(&geo);
+        let seg = usage.allocate()?;
+        let sb = Superblock {
+            epoch: 0,
+            blocks_per_segment: geo.blocks_per_segment,
+            num_segments: geo.num_segments,
+            cursor_segment: seg,
+            cursor_block: 0,
+            next_summary_epoch: 1,
+            state_epoch_first: NO_STATE,
+            state_epoch_last: NO_STATE,
+            next_stamp_seq: 1,
+            anchor_time_us: 0,
+        };
+        sb.write_to(&dev)?;
+        Ok(Log {
+            dev,
+            geo,
+            cache: BlockCache::new(config.cache_blocks),
+            readahead: config.readahead_blocks,
+            state: Mutex::new(WriterState {
+                seg,
+                cursor: 0,
+                batch_start: None,
+                next_epoch: 1,
+                pending: Vec::new(),
+                pending_map: HashMap::new(),
+                sb_epoch: 0,
+                state_addrs: Vec::new(),
+            }),
+            usage: Mutex::new(usage),
+        })
+    }
+
+    /// Mounts an existing log: reads the latest superblock, rolls the log
+    /// forward to the last complete batch, and loads the anchored system
+    /// state.
+    ///
+    /// Returns the log, the upper layer's opaque anchor payload (empty if
+    /// the log was never anchored), the batches flushed *after* the anchor
+    /// state (for the upper layer to re-apply), and the recovered
+    /// superblock.
+    pub fn mount(dev: D, cache_blocks: usize) -> Result<Mounted<D>> {
+        let sb = Superblock::read_latest(&dev)?;
+        let geo = sb.geometry();
+
+        // Phase 1: scan forward from the anchored cursor, collecting every
+        // complete batch in epoch order.
+        let mut seg = sb.cursor_segment;
+        let mut cursor = sb.cursor_block;
+        let mut epoch = sb.next_summary_epoch;
+        let mut scanned: Vec<(RecoveredBatch, SegmentId, Option<SegmentId>)> = Vec::new();
+        loop {
+            if cursor >= geo.blocks_per_segment {
+                break;
+            }
+            let addr = geo.addr_of(seg, cursor);
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            if dev.read(geo.sector_of(addr), &mut buf).is_err() {
+                break;
+            }
+            let summary = match Summary::decode(&buf) {
+                Ok(s) => s,
+                Err(_) => break,
+            };
+            if summary.epoch != epoch || summary.segment != seg || summary.offset != cursor {
+                break;
+            }
+            let n = summary.entries.len() as u32;
+            let blocks: Vec<(BlockAddr, BlockTag)> = summary
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (geo.addr_of(seg, cursor + 1 + i as u32), e.tag))
+                .collect();
+            let seal = summary.seals_segment().then_some(summary.next_segment);
+            scanned.push((RecoveredBatch { epoch, blocks }, seg, seal));
+            epoch += 1;
+            match seal {
+                Some(next) => {
+                    seg = next;
+                    cursor = 0;
+                }
+                None => cursor += 1 + n,
+            }
+        }
+
+        // Phase 2: reassemble the anchored system state from the batches in
+        // the recorded epoch range.
+        let mut state_addrs = Vec::new();
+        let mut blob = Vec::new();
+        if !sb.has_no_state() {
+            for (batch, _, _) in &scanned {
+                if batch.epoch < sb.state_epoch_first || batch.epoch > sb.state_epoch_last {
+                    continue;
+                }
+                for &(addr, tag) in &batch.blocks {
+                    if tag.kind != BlockKind::SystemState {
+                        return Err(LfsError::Corrupt("non-state block in state batch"));
+                    }
+                    let mut b = vec![0u8; BLOCK_SIZE];
+                    dev.read(geo.sector_of(addr), &mut b)?;
+                    blob.extend_from_slice(&b);
+                    state_addrs.push(addr);
+                }
+            }
+            if state_addrs.is_empty() {
+                return Err(LfsError::Corrupt("anchor state batches missing"));
+            }
+        }
+        let (payload, mut usage) = if blob.is_empty() {
+            (Vec::new(), SegmentUsageTable::new(&geo))
+        } else {
+            if blob.len() < 4 {
+                return Err(LfsError::Corrupt("anchor state"));
+            }
+            let plen = u32::from_le_bytes(blob[0..4].try_into().unwrap()) as usize;
+            if blob.len() < 4 + plen {
+                return Err(LfsError::Corrupt("anchor payload length"));
+            }
+            let payload = blob[4..4 + plen].to_vec();
+            let usage = SegmentUsageTable::decode(&blob[4 + plen..])?;
+            (payload, usage)
+        };
+
+        // Phase 3: replay usage accounting for every scanned batch on top
+        // of the anchored table. The anchor is durable, so segments the
+        // previous incarnation had reclaimed become allocatable.
+        usage.promote_pending_free();
+        if sb.has_no_state() {
+            usage.force_allocate(sb.cursor_segment);
+        }
+        for (batch, bseg, seal) in &scanned {
+            usage.note_append(
+                *bseg,
+                batch.blocks.len() as u32 + 1,
+                batch.blocks.len() as u32,
+            );
+            if let Some(next) = seal {
+                usage.force_allocate(*next);
+            }
+        }
+
+        // Phase 4: hand post-state batches to the upper layer.
+        let upper_batches: Vec<RecoveredBatch> = scanned
+            .into_iter()
+            .map(|(b, _, _)| b)
+            .filter(|b| sb.has_no_state() || b.epoch > sb.state_epoch_last)
+            .collect();
+
+        let log = Log {
+            dev,
+            geo,
+            cache: BlockCache::new(cache_blocks),
+            readahead: 32,
+            state: Mutex::new(WriterState {
+                seg,
+                cursor,
+                batch_start: None,
+                next_epoch: epoch,
+                pending: Vec::new(),
+                pending_map: HashMap::new(),
+                sb_epoch: sb.epoch,
+                state_addrs,
+            }),
+            usage: Mutex::new(usage),
+        };
+        Ok((log, payload, upper_batches, sb))
+    }
+
+    /// Device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// The block cache (exposed for cold-cache experiments).
+    pub fn cache(&self) -> &BlockCache {
+        &self.cache
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// Consumes the log, returning the underlying device (used by crash
+    /// tests to remount).
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    /// Appends one block (at most [`BLOCK_SIZE`] bytes; shorter payloads
+    /// are zero-padded) and returns its assigned address. The block is
+    /// buffered until the next [`Log::flush`] but is immediately readable
+    /// through [`Log::read_block`].
+    pub fn append(&self, tag: BlockTag, data: &[u8]) -> Result<BlockAddr> {
+        let mut st = self.state.lock();
+        self.append_locked(&mut st, tag, data)
+    }
+
+    fn append_locked(&self, st: &mut WriterState, tag: BlockTag, data: &[u8]) -> Result<BlockAddr> {
+        if data.len() > BLOCK_SIZE {
+            return Err(LfsError::Oversize(data.len()));
+        }
+        // Flush implicitly if the open batch hit the summary-entry limit or
+        // the end of the segment.
+        if st.batch_start.is_some()
+            && (st.pending.len() >= MAX_ENTRIES || st.cursor >= self.geo.blocks_per_segment)
+        {
+            self.flush_locked(st)?;
+        }
+        if st.batch_start.is_none() {
+            // The post-flush invariant guarantees room for summary + one
+            // block in the active segment.
+            debug_assert!(st.cursor + 2 <= self.geo.blocks_per_segment);
+            st.batch_start = Some(st.cursor);
+            st.cursor += 1;
+        }
+        let mut padded = vec![0u8; BLOCK_SIZE];
+        padded[..data.len()].copy_from_slice(data);
+        let addr = self.geo.addr_of(st.seg, st.cursor);
+        st.cursor += 1;
+        let idx = st.pending.len();
+        st.pending.push(PendingBlock {
+            addr,
+            tag,
+            data: Bytes::from(padded),
+        });
+        st.pending_map.insert(addr.0, idx);
+        Ok(addr)
+    }
+
+    /// Flushes the open batch: one sequential write for the data blocks,
+    /// then the summary block. Seals the segment (allocating the next one)
+    /// if fewer than two blocks would remain.
+    pub fn flush(&self) -> Result<FlushStats> {
+        let mut st = self.state.lock();
+        self.flush_locked(&mut st)
+    }
+
+    fn flush_locked(&self, st: &mut WriterState) -> Result<FlushStats> {
+        let Some(batch_start) = st.batch_start else {
+            return Ok(FlushStats::default());
+        };
+        let n = st.pending.len() as u32;
+        debug_assert!(n > 0, "batch_start implies pending blocks");
+        let seg = st.seg;
+
+        // Seal if the remainder cannot host summary + one block.
+        let after = batch_start + 1 + n;
+        let remaining = self.geo.blocks_per_segment - after;
+        let (next_segment, sealed) = if remaining < 2 {
+            let next = self.usage.lock().allocate()?;
+            (next, true)
+        } else {
+            (NO_NEXT_SEGMENT, false)
+        };
+
+        // Write data blocks as one contiguous transfer.
+        let mut data_buf = Vec::with_capacity(st.pending.len() * BLOCK_SIZE);
+        for p in &st.pending {
+            data_buf.extend_from_slice(&p.data);
+        }
+        let first_data = self.geo.addr_of(seg, batch_start + 1);
+        self.dev.write(self.geo.sector_of(first_data), &data_buf)?;
+
+        // Then the summary, making the batch durable.
+        let summary = Summary {
+            epoch: st.next_epoch,
+            segment: seg,
+            offset: batch_start,
+            next_segment,
+            entries: st
+                .pending
+                .iter()
+                .map(|p| SummaryEntry { tag: p.tag })
+                .collect(),
+        };
+        let sum_addr = self.geo.addr_of(seg, batch_start);
+        self.dev
+            .write(self.geo.sector_of(sum_addr), &summary.encode())?;
+
+        // Account and cache.
+        self.usage.lock().note_append(seg, n + 1, n);
+        for p in st.pending.drain(..) {
+            self.cache.insert(p.addr, p.data);
+        }
+        st.pending_map.clear();
+        st.batch_start = None;
+        st.next_epoch += 1;
+        if sealed {
+            st.seg = next_segment;
+            st.cursor = 0;
+        } else {
+            st.cursor = after;
+        }
+        Ok(FlushStats {
+            blocks_written: n + 1,
+            sealed,
+        })
+    }
+
+    /// Reads one block, consulting the open batch, then the cache, then
+    /// the device.
+    pub fn read_block(&self, addr: BlockAddr) -> Result<Bytes> {
+        self.geo.check(addr)?;
+        {
+            let st = self.state.lock();
+            if let Some(&idx) = st.pending_map.get(&addr.0) {
+                return Ok(st.pending[idx].data.clone());
+            }
+        }
+        if let Some(hit) = self.cache.get(addr) {
+            return Ok(hit);
+        }
+        // Readahead: fetch an aligned run (clamped to the segment) in one
+        // transfer and cache every block of it.
+        let ra = self.readahead.max(1) as u64;
+        if ra > 1 {
+            let seg_start =
+                (addr.0 / self.geo.blocks_per_segment as u64) * self.geo.blocks_per_segment as u64;
+            let seg_end = seg_start + self.geo.blocks_per_segment as u64;
+            let run_start = (addr.0 - addr.0 % ra).max(seg_start);
+            let run_end = (run_start + ra).min(seg_end);
+            let n = (run_end - run_start) as usize;
+            let mut buf = vec![0u8; n * BLOCK_SIZE];
+            self.dev
+                .read(self.geo.sector_of(BlockAddr(run_start)), &mut buf)?;
+            let mut wanted = None;
+            for (i, chunk) in buf.chunks_exact(BLOCK_SIZE).enumerate() {
+                let a = BlockAddr(run_start + i as u64);
+                let data = Bytes::copy_from_slice(chunk);
+                if a == addr {
+                    wanted = Some(data.clone());
+                }
+                self.cache.insert(a, data);
+            }
+            return Ok(wanted.expect("requested block inside readahead run"));
+        }
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        self.dev.read(self.geo.sector_of(addr), &mut buf)?;
+        let data = Bytes::from(buf);
+        self.cache.insert(addr, data.clone());
+        Ok(data)
+    }
+
+    /// Reads `n` contiguous blocks starting at `head` in one device
+    /// transfer, bypassing the cache (used by the cleaner, whose large
+    /// sequential reads the paper's Figure 5 cost model depends on).
+    pub fn read_blocks_raw(&self, head: BlockAddr, n: u32) -> Result<Vec<u8>> {
+        self.flush()?;
+        self.geo.check(head)?;
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        self.geo.check(BlockAddr(head.0 + n as u64 - 1))?;
+        let mut buf = vec![0u8; n as usize * BLOCK_SIZE];
+        self.dev.read(self.geo.sector_of(head), &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes a new anchor: flushes, appends `payload` plus the usage
+    /// table as system-state blocks, and commits a new superblock whose
+    /// roll-forward cursor covers the state batches themselves. Once the
+    /// superblock is durable, segments reclaimed since the previous anchor
+    /// become allocatable.
+    pub fn write_anchor(
+        &self,
+        payload: &[u8],
+        next_stamp_seq: u64,
+        anchor_time_us: u64,
+    ) -> Result<()> {
+        let mut st = self.state.lock();
+        self.flush_locked(&mut st)?;
+
+        // Capture the pre-state cursor: recovery replays the state batches.
+        let cursor_segment = st.seg;
+        let cursor_block = st.cursor;
+        let next_summary_epoch = st.next_epoch;
+        let state_epoch_first = st.next_epoch;
+
+        // Serialize payload + usage table (as of this instant; the state
+        // batches themselves are replayed into the table at mount).
+        let mut blob = Vec::with_capacity(4 + payload.len());
+        blob.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        blob.extend_from_slice(payload);
+        blob.extend_from_slice(&self.usage.lock().encode());
+
+        let n_blocks = blob.len().div_ceil(BLOCK_SIZE).max(1) as u32;
+        let mut new_state_addrs = Vec::with_capacity(n_blocks as usize);
+        for i in 0..n_blocks {
+            let lo = i as usize * BLOCK_SIZE;
+            let hi = (lo + BLOCK_SIZE).min(blob.len());
+            let addr = self.append_locked(
+                &mut st,
+                BlockTag::new(BlockKind::SystemState, 0, i as u64),
+                &blob[lo..hi],
+            )?;
+            new_state_addrs.push(addr);
+        }
+        self.flush_locked(&mut st)?;
+        let state_epoch_last = st.next_epoch - 1;
+
+        // Release the previous anchor's state blocks and install the new.
+        let old_state = std::mem::replace(&mut st.state_addrs, new_state_addrs);
+        {
+            let mut usage = self.usage.lock();
+            for a in old_state {
+                usage.release_blocks(self.geo.segment_of(a), 1);
+            }
+        }
+
+        st.sb_epoch += 1;
+        let sb = Superblock {
+            epoch: st.sb_epoch,
+            blocks_per_segment: self.geo.blocks_per_segment,
+            num_segments: self.geo.num_segments,
+            cursor_segment,
+            cursor_block,
+            next_summary_epoch,
+            state_epoch_first,
+            state_epoch_last,
+            next_stamp_seq,
+            anchor_time_us,
+        };
+        sb.write_to(&self.dev)?;
+
+        // Anchor durable: reclaimed segments may now be reused.
+        self.usage.lock().promote_pending_free();
+        Ok(())
+    }
+
+    /// Decrements the live count of the segment holding each address
+    /// (called when versions age out of the detection window or are
+    /// administratively flushed).
+    pub fn release_blocks<I: IntoIterator<Item = BlockAddr>>(&self, addrs: I) {
+        let mut usage = self.usage.lock();
+        for a in addrs {
+            usage.release_blocks(self.geo.segment_of(a), 1);
+        }
+    }
+
+    /// Moves every fully-dead segment (zero live blocks) to pending-free
+    /// without copying; returns how many were reclaimed.
+    pub fn free_dead_segments(&self) -> u32 {
+        let exclude = self.protected_segments();
+        let mut usage = self.usage.lock();
+        let dead = usage.dead_segments(&exclude);
+        for &seg in &dead {
+            usage.free_segment(seg);
+            self.cache.invalidate_segment(&self.geo, seg);
+        }
+        dead.len() as u32
+    }
+
+    /// Segments that must never be reclaimed: the active segment and the
+    /// segments holding the current anchor state.
+    pub fn protected_segments(&self) -> Vec<SegmentId> {
+        let st = self.state.lock();
+        let mut out = vec![st.seg];
+        for a in &st.state_addrs {
+            let seg = self.geo.segment_of(*a);
+            if !out.contains(&seg) {
+                out.push(seg);
+            }
+        }
+        out
+    }
+
+    /// Snapshot of the usage table (for the cleaner and for utilization
+    /// reporting).
+    pub fn usage_snapshot(&self) -> SegmentUsageTable {
+        self.usage.lock().clone()
+    }
+
+    /// Marks `seg` pending-free after the cleaner has relocated its live
+    /// blocks.
+    pub fn reclaim_segment(&self, seg: SegmentId) {
+        let mut usage = self.usage.lock();
+        // The cleaner has relocated everything; zero any residual count.
+        let residual = usage.get(seg).live_blocks;
+        if residual > 0 {
+            usage.release_blocks(seg, residual);
+        }
+        usage.free_segment(seg);
+        self.cache.invalidate_segment(&self.geo, seg);
+    }
+
+    /// Replaces every segment's live count with counts recomputed from an
+    /// authoritative set of reachable block addresses (used after crash
+    /// recovery, when batches replayed from the log may include blocks —
+    /// e.g. cleaner relocations or orphaned checkpoints — that the
+    /// recovered object state no longer references).
+    pub fn rebuild_live_counts<I: IntoIterator<Item = BlockAddr>>(&self, live: I) {
+        let mut usage = self.usage.lock();
+        usage.zero_live();
+        for a in live {
+            usage.add_live(self.geo.segment_of(a), 1);
+        }
+    }
+
+    /// Free segments remaining (excludes pending-free).
+    pub fn free_segments(&self) -> u32 {
+        self.usage.lock().free_segments()
+    }
+
+    /// Fraction of data-area blocks currently referenced.
+    pub fn utilization(&self) -> f64 {
+        self.usage.lock().utilization()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4_simdisk::MemDisk;
+
+    fn small_log() -> Log<MemDisk> {
+        Log::format(
+            MemDisk::new(200_000),
+            LogConfig {
+                blocks_per_segment: 16,
+                cache_blocks: 64,
+                readahead_blocks: 1,
+            },
+        )
+        .unwrap()
+    }
+
+    fn tag(obj: u64, aux: u64) -> BlockTag {
+        BlockTag::new(BlockKind::Data, obj, aux)
+    }
+
+    #[test]
+    fn append_read_before_and_after_flush() {
+        let log = small_log();
+        let a = log.append(tag(1, 0), b"hello").unwrap();
+        // Readable from the open batch.
+        assert_eq!(&log.read_block(a).unwrap()[..5], b"hello");
+        log.flush().unwrap();
+        assert_eq!(&log.read_block(a).unwrap()[..5], b"hello");
+        // And from a cold cache.
+        log.cache().clear();
+        assert_eq!(&log.read_block(a).unwrap()[..5], b"hello");
+    }
+
+    #[test]
+    fn addresses_are_contiguous_within_a_batch() {
+        let log = small_log();
+        let a = log.append(tag(1, 0), b"a").unwrap();
+        let b = log.append(tag(1, 1), b"b").unwrap();
+        assert_eq!(b.0, a.0 + 1);
+        // Address 0 of the first segment is the reserved summary slot.
+        assert_eq!(a.0, 1);
+    }
+
+    #[test]
+    fn segment_seals_and_log_continues() {
+        let log = small_log();
+        let mut last = BlockAddr(0);
+        for i in 0..100u64 {
+            last = log.append(tag(1, i), &i.to_le_bytes()).unwrap();
+            if i % 3 == 0 {
+                log.flush().unwrap();
+            }
+        }
+        log.flush().unwrap();
+        assert!(log.geometry().segment_of(last) >= 2);
+        log.cache().clear();
+        assert_eq!(&log.read_block(last).unwrap()[..8], &99u64.to_le_bytes());
+    }
+
+    #[test]
+    fn flush_empty_is_noop() {
+        let log = small_log();
+        assert_eq!(log.flush().unwrap(), FlushStats::default());
+    }
+
+    #[test]
+    fn mount_recovers_unanchored_batches() {
+        let cfg = LogConfig {
+            blocks_per_segment: 16,
+            cache_blocks: 64,
+            readahead_blocks: 1,
+        };
+        let log = Log::format(MemDisk::new(200_000), cfg).unwrap();
+        let mut addrs = Vec::new();
+        for i in 0..20u64 {
+            addrs.push(log.append(tag(7, i), &i.to_le_bytes()).unwrap());
+        }
+        log.flush().unwrap();
+        // No anchor written: recovery must roll forward from format.
+        let dev = log.into_device();
+        let (log2, payload, batches, _sb) = Log::mount(dev, 64).unwrap();
+        assert!(payload.is_empty());
+        let recovered: Vec<(BlockAddr, BlockTag)> =
+            batches.iter().flat_map(|b| b.blocks.clone()).collect();
+        assert_eq!(recovered.len(), 20);
+        assert_eq!(recovered[7].0, addrs[7]);
+        assert_eq!(recovered[7].1, tag(7, 7));
+        for (i, a) in addrs.iter().enumerate() {
+            assert_eq!(
+                &log2.read_block(*a).unwrap()[..8],
+                &(i as u64).to_le_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn anchor_then_mount_restores_payload_and_skips_prior_batches() {
+        let cfg = LogConfig {
+            blocks_per_segment: 16,
+            cache_blocks: 64,
+            readahead_blocks: 1,
+        };
+        let log = Log::format(MemDisk::new(200_000), cfg).unwrap();
+        for i in 0..10u64 {
+            log.append(tag(1, i), &i.to_le_bytes()).unwrap();
+        }
+        log.flush().unwrap();
+        log.write_anchor(b"OBJECT-MAP-STATE", 555, 42).unwrap();
+        // Post-anchor writes.
+        let post = log.append(tag(2, 99), b"post").unwrap();
+        log.flush().unwrap();
+
+        let dev = log.into_device();
+        let (log2, payload, batches, sb) = Log::mount(dev, 64).unwrap();
+        assert_eq!(payload, b"OBJECT-MAP-STATE");
+        assert_eq!(sb.next_stamp_seq, 555);
+        assert_eq!(sb.anchor_time_us, 42);
+        // Only the post-anchor data batch is delivered to the upper layer.
+        let objs: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.blocks.iter().map(|(_, t)| t.object))
+            .collect();
+        assert_eq!(objs, vec![2]);
+        assert_eq!(&log2.read_block(post).unwrap()[..4], b"post");
+    }
+
+    #[test]
+    fn large_anchor_payload_spans_batches() {
+        let cfg = LogConfig {
+            blocks_per_segment: 8, // tiny segments force multi-batch state
+            cache_blocks: 64,
+            readahead_blocks: 1,
+        };
+        let log = Log::format(MemDisk::new(400_000), cfg).unwrap();
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        log.write_anchor(&payload, 9, 9).unwrap();
+        let dev = log.into_device();
+        let (_log2, restored, batches, _) = Log::mount(dev, 64).unwrap();
+        assert_eq!(restored, payload);
+        assert!(batches.is_empty());
+    }
+
+    #[test]
+    fn torn_flush_recovers_to_previous_batch() {
+        use s4_simdisk::{FaultPlan, FaultyDisk};
+        let cfg = LogConfig {
+            blocks_per_segment: 16,
+            cache_blocks: 64,
+            readahead_blocks: 1,
+        };
+        let log = Log::format(MemDisk::new(200_000), cfg).unwrap();
+        let a = log.append(tag(1, 0), b"durable").unwrap();
+        log.flush().unwrap();
+        let dev = FaultyDisk::new(log.into_device(), FaultPlan::power_loss_after_writes(0, 0));
+        let (log, _, _, _) = Log::mount(dev, 64).unwrap();
+        // This flush tears: its data write is dropped and the device dies.
+        log.append(tag(1, 1), b"lost").unwrap();
+        assert!(log.flush().is_err());
+        let dev = log.into_device();
+        dev.revive();
+        let (log2, _, batches, _) = Log::mount(dev, 64).unwrap();
+        let recovered: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.blocks.iter().map(|(_, t)| t.aux))
+            .collect();
+        assert_eq!(recovered, vec![0], "only the durable batch survives");
+        assert_eq!(&log2.read_block(a).unwrap()[..7], b"durable");
+    }
+
+    #[test]
+    fn usage_tracks_appends_and_releases() {
+        let log = small_log();
+        let a = log.append(tag(1, 0), b"x").unwrap();
+        let _b = log.append(tag(1, 1), b"y").unwrap();
+        log.flush().unwrap();
+        let seg = log.geometry().segment_of(a);
+        let u = log.usage_snapshot();
+        assert_eq!(u.get(seg).live_blocks, 2);
+        assert_eq!(u.get(seg).written_blocks, 3); // + summary
+        log.release_blocks([a]);
+        assert_eq!(log.usage_snapshot().get(seg).live_blocks, 1);
+    }
+
+    #[test]
+    fn dead_segments_become_reusable_after_anchor() {
+        let cfg = LogConfig {
+            blocks_per_segment: 8,
+            cache_blocks: 64,
+            readahead_blocks: 1,
+        };
+        let log = Log::format(MemDisk::new(200_000), cfg).unwrap();
+        let mut addrs = Vec::new();
+        for i in 0..30u64 {
+            addrs.push(log.append(tag(1, i), &i.to_le_bytes()).unwrap());
+            log.flush().unwrap();
+        }
+        let before = log.free_segments();
+        log.release_blocks(addrs.iter().copied());
+        let freed = log.free_dead_segments();
+        assert!(freed > 0);
+        // Not yet allocatable: pending until the next anchor.
+        assert_eq!(log.free_segments(), before);
+        log.write_anchor(b"", 1, 1).unwrap();
+        assert!(log.free_segments() > before);
+    }
+
+    #[test]
+    fn oversize_append_rejected() {
+        let log = small_log();
+        assert!(matches!(
+            log.append(tag(1, 0), &vec![0u8; BLOCK_SIZE + 1]),
+            Err(LfsError::Oversize(_))
+        ));
+    }
+
+    #[test]
+    fn large_batch_autoflushes_and_survives() {
+        let log = Log::format(
+            MemDisk::new(2_000_000),
+            LogConfig {
+                blocks_per_segment: 128,
+                cache_blocks: 16,
+                readahead_blocks: 1,
+            },
+        )
+        .unwrap();
+        let addrs: Vec<BlockAddr> = (0..500u64)
+            .map(|i| log.append(tag(3, i), &i.to_le_bytes()).unwrap())
+            .collect();
+        log.flush().unwrap();
+        log.cache().clear();
+        for (i, a) in addrs.iter().enumerate() {
+            assert_eq!(&log.read_block(*a).unwrap()[..8], &(i as u64).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn second_anchor_releases_first_anchor_state() {
+        let log = small_log();
+        log.append(tag(1, 0), b"x").unwrap();
+        log.write_anchor(b"A1", 1, 1).unwrap();
+        log.write_anchor(b"A2-bigger-payload", 2, 2).unwrap();
+        let dev = log.into_device();
+        let (_log2, payload, _, _) = Log::mount(dev, 16).unwrap();
+        assert_eq!(payload, b"A2-bigger-payload");
+    }
+
+    #[test]
+    fn repeated_crashless_remounts_are_stable() {
+        let cfg = LogConfig {
+            blocks_per_segment: 16,
+            cache_blocks: 64,
+            readahead_blocks: 1,
+        };
+        let mut dev = MemDisk::new(200_000);
+        {
+            let log = Log::format(dev, cfg).unwrap();
+            log.append(tag(1, 1), b"v1").unwrap();
+            log.write_anchor(b"S", 10, 10).unwrap();
+            dev = log.into_device();
+        }
+        for round in 0..3u64 {
+            let (log, payload, _batches, _) = Log::mount(dev, 64).unwrap();
+            assert_eq!(payload, b"S");
+            log.append(tag(2, round), b"more").unwrap();
+            log.flush().unwrap();
+            dev = log.into_device();
+        }
+        let (_, _, batches, _) = Log::mount(dev, 64).unwrap();
+        // Three post-anchor data batches survive.
+        let n: usize = batches
+            .iter()
+            .flat_map(|b| b.blocks.iter())
+            .filter(|(_, t)| t.object == 2)
+            .count();
+        assert_eq!(n, 3);
+    }
+}

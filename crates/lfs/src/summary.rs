@@ -1,0 +1,184 @@
+//! Partial-segment summary blocks.
+//!
+//! Every flush of the log writes one summary block at the head of the
+//! batch, describing each block that follows (its [`BlockTag`]). Summaries
+//! carry a strictly increasing epoch; crash recovery rolls forward from
+//! the anchored cursor, accepting summaries only in exact epoch order, so
+//! a torn flush cleanly terminates recovery at the last complete batch
+//! (§4.2.2: "journal sectors are identified by segment summary
+//! information").
+
+use crate::crc::crc32;
+use crate::layout::{BlockKind, BlockTag, SegmentId, BLOCK_SIZE};
+use crate::{LfsError, Result};
+
+const MAGIC: u32 = 0x5334_534D; // "S4SM"
+const HEADER_BYTES: usize = 44;
+const ENTRY_BYTES: usize = 17;
+
+/// Sentinel for "this summary does not seal the segment".
+pub const NO_NEXT_SEGMENT: u32 = u32::MAX;
+
+/// One block description inside a summary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SummaryEntry {
+    /// Tag of the described block.
+    pub tag: BlockTag,
+}
+
+/// A decoded partial-segment summary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Summary {
+    /// Flush sequence number; recovery accepts epochs in exact order.
+    pub epoch: u64,
+    /// Segment this summary lives in (sanity check for recovery).
+    pub segment: SegmentId,
+    /// Block offset within the segment of the summary block itself.
+    pub offset: u32,
+    /// If this flush sealed the segment, the segment where the log
+    /// continues; otherwise [`NO_NEXT_SEGMENT`].
+    pub next_segment: SegmentId,
+    /// Descriptions of the `entries.len()` blocks that follow the summary.
+    pub entries: Vec<SummaryEntry>,
+}
+
+/// Maximum number of block entries one summary block can describe.
+pub const MAX_ENTRIES: usize = (BLOCK_SIZE - HEADER_BYTES) / ENTRY_BYTES;
+
+impl Summary {
+    /// Serializes into exactly one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries.len() > MAX_ENTRIES`; the log writer limits batch
+    /// size so this cannot happen in normal operation.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.entries.len() <= MAX_ENTRIES, "summary overflow");
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        // CRC at 4..8 filled last.
+        buf[8..16].copy_from_slice(&self.epoch.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.segment.to_le_bytes());
+        buf[20..24].copy_from_slice(&self.offset.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.next_segment.to_le_bytes());
+        buf[28..32].copy_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        let mut o = HEADER_BYTES;
+        for e in &self.entries {
+            buf[o] = e.tag.kind as u8;
+            buf[o + 1..o + 9].copy_from_slice(&e.tag.object.to_le_bytes());
+            buf[o + 9..o + 17].copy_from_slice(&e.tag.aux.to_le_bytes());
+            o += ENTRY_BYTES;
+        }
+        let crc = crc32(&buf[8..]);
+        buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Parses and validates a block.
+    pub fn decode(buf: &[u8]) -> Result<Summary> {
+        if buf.len() != BLOCK_SIZE {
+            return Err(LfsError::Corrupt("summary length"));
+        }
+        if buf[0..4] != MAGIC.to_le_bytes() {
+            return Err(LfsError::Corrupt("summary magic"));
+        }
+        let stored = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if crc32(&buf[8..]) != stored {
+            return Err(LfsError::Corrupt("summary crc"));
+        }
+        let epoch = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let segment = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+        let offset = u32::from_le_bytes(buf[20..24].try_into().unwrap());
+        let next_segment = u32::from_le_bytes(buf[24..28].try_into().unwrap());
+        let n = u32::from_le_bytes(buf[28..32].try_into().unwrap()) as usize;
+        if n > MAX_ENTRIES {
+            return Err(LfsError::Corrupt("summary entry count"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut o = HEADER_BYTES;
+        for _ in 0..n {
+            let kind = BlockKind::from_u8(buf[o])?;
+            let object = u64::from_le_bytes(buf[o + 1..o + 9].try_into().unwrap());
+            let aux = u64::from_le_bytes(buf[o + 9..o + 17].try_into().unwrap());
+            entries.push(SummaryEntry {
+                tag: BlockTag { kind, object, aux },
+            });
+            o += ENTRY_BYTES;
+        }
+        Ok(Summary {
+            epoch,
+            segment,
+            offset,
+            next_segment,
+            entries,
+        })
+    }
+
+    /// True if this flush sealed its segment.
+    pub fn seals_segment(&self) -> bool {
+        self.next_segment != NO_NEXT_SEGMENT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Summary {
+        Summary {
+            epoch: 77,
+            segment: 3,
+            offset: 40,
+            next_segment: NO_NEXT_SEGMENT,
+            entries: (0..10)
+                .map(|i| SummaryEntry {
+                    tag: BlockTag::new(BlockKind::Data, 100 + i, i * 7),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        assert_eq!(Summary::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn round_trip_max_entries() {
+        let mut s = sample();
+        s.entries = (0..MAX_ENTRIES as u64)
+            .map(|i| SummaryEntry {
+                tag: BlockTag::new(BlockKind::JournalSector, i, u64::MAX - i),
+            })
+            .collect();
+        assert_eq!(Summary::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = sample().encode();
+        buf[100] ^= 1;
+        assert!(Summary::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn zero_block_is_not_a_summary() {
+        assert!(Summary::decode(&vec![0u8; BLOCK_SIZE]).is_err());
+    }
+
+    #[test]
+    fn seals_segment_flag() {
+        let mut s = sample();
+        assert!(!s.seals_segment());
+        s.next_segment = 9;
+        assert!(s.seals_segment());
+    }
+
+    #[test]
+    fn max_entries_is_plausible() {
+        // A 512 KiB segment has 128 blocks; one summary must be able to
+        // describe a full segment's worth of blocks.
+        const { assert!(MAX_ENTRIES >= 127) };
+    }
+}

@@ -1,0 +1,214 @@
+//! Dual-copy checksummed superblock.
+//!
+//! The superblock records the geometry and the *log anchor*: the position
+//! from which crash recovery rolls forward, plus the summary-epoch range
+//! of the batches holding the most recent system-state checkpoint. Two
+//! copies live at the front of the device and are written alternately
+//! (selected by epoch parity), so a torn superblock write always leaves
+//! the previous copy intact.
+
+use s4_simdisk::{BlockDev, SECTOR_SIZE};
+
+use crate::crc::crc32;
+use crate::layout::{Geometry, SegmentId};
+use crate::{LfsError, Result};
+
+const MAGIC: u32 = 0x5334_4C46; // "S4LF"
+const SB_BYTES: usize = 96;
+
+/// Sentinel for "the log has never been anchored".
+pub const NO_STATE: u64 = u64::MAX;
+
+/// On-disk superblock contents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Superblock {
+    /// Monotonically increasing write epoch; the copy with the larger
+    /// valid epoch wins at mount.
+    pub epoch: u64,
+    /// Blocks per segment (fixed at format time).
+    pub blocks_per_segment: u32,
+    /// Number of segments (fixed at format time).
+    pub num_segments: u32,
+    /// Segment the log cursor was in at anchor time.
+    pub cursor_segment: SegmentId,
+    /// Block offset of the cursor within that segment.
+    pub cursor_block: u32,
+    /// Epoch the first summary after the anchor carries; roll-forward
+    /// accepts only exact epoch sequence from here.
+    pub next_summary_epoch: u64,
+    /// First summary epoch of the system-state batches ([`NO_STATE`] if
+    /// never anchored).
+    pub state_epoch_first: u64,
+    /// Last summary epoch of the system-state batches.
+    pub state_epoch_last: u64,
+    /// Next hybrid-timestamp sequence number (so version stamps keep
+    /// increasing across remounts).
+    pub next_stamp_seq: u64,
+    /// Simulated time at anchor (restored into the clock on mount of a
+    /// long-lived history).
+    pub anchor_time_us: u64,
+}
+
+impl Superblock {
+    /// Serializes to exactly [`SECTOR_SIZE`] bytes with magic and CRC.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        // CRC at 4..8 filled last.
+        buf[8..16].copy_from_slice(&self.epoch.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.blocks_per_segment.to_le_bytes());
+        buf[20..24].copy_from_slice(&self.num_segments.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.cursor_segment.to_le_bytes());
+        buf[28..32].copy_from_slice(&self.cursor_block.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.next_summary_epoch.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.state_epoch_first.to_le_bytes());
+        buf[48..56].copy_from_slice(&self.state_epoch_last.to_le_bytes());
+        buf[56..64].copy_from_slice(&self.next_stamp_seq.to_le_bytes());
+        buf[64..72].copy_from_slice(&self.anchor_time_us.to_le_bytes());
+        let crc = crc32(&buf[8..SB_BYTES]);
+        buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Parses and validates a sector.
+    pub fn decode(buf: &[u8]) -> Result<Superblock> {
+        if buf.len() < SECTOR_SIZE {
+            return Err(LfsError::Corrupt("superblock length"));
+        }
+        if buf[0..4] != MAGIC.to_le_bytes() {
+            return Err(LfsError::Corrupt("superblock magic"));
+        }
+        let stored = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if crc32(&buf[8..SB_BYTES]) != stored {
+            return Err(LfsError::Corrupt("superblock crc"));
+        }
+        let u64at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        let u32at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        Ok(Superblock {
+            epoch: u64at(8),
+            blocks_per_segment: u32at(16),
+            num_segments: u32at(20),
+            cursor_segment: u32at(24),
+            cursor_block: u32at(28),
+            next_summary_epoch: u64at(32),
+            state_epoch_first: u64at(40),
+            state_epoch_last: u64at(48),
+            next_stamp_seq: u64at(56),
+            anchor_time_us: u64at(64),
+        })
+    }
+
+    /// True if the log has never been anchored.
+    pub fn has_no_state(&self) -> bool {
+        self.state_epoch_first == NO_STATE
+    }
+
+    /// Writes this superblock to the copy slot selected by epoch parity.
+    pub fn write_to<D: BlockDev>(&self, dev: &D) -> Result<()> {
+        let slot = (self.epoch % 2) * Geometry::SUPERBLOCK_COPY_SECTORS;
+        dev.write(slot, &self.encode())?;
+        dev.sync()?;
+        Ok(())
+    }
+
+    /// Reads both copies and returns the valid one with the larger epoch.
+    pub fn read_latest<D: BlockDev>(dev: &D) -> Result<Superblock> {
+        let mut best: Option<Superblock> = None;
+        for copy in 0..2u64 {
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            if dev
+                .read(copy * Geometry::SUPERBLOCK_COPY_SECTORS, &mut buf)
+                .is_err()
+            {
+                continue;
+            }
+            if let Ok(sb) = Superblock::decode(&buf) {
+                if best.as_ref().is_none_or(|b| sb.epoch > b.epoch) {
+                    best = Some(sb);
+                }
+            }
+        }
+        best.ok_or(LfsError::Corrupt("no valid superblock"))
+    }
+
+    /// Geometry implied by this superblock.
+    pub fn geometry(&self) -> Geometry {
+        Geometry {
+            superblock_sectors: Geometry::SUPERBLOCK_COPY_SECTORS * 2,
+            blocks_per_segment: self.blocks_per_segment,
+            num_segments: self.num_segments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4_simdisk::MemDisk;
+
+    fn sample(epoch: u64) -> Superblock {
+        Superblock {
+            epoch,
+            blocks_per_segment: 128,
+            num_segments: 1000,
+            cursor_segment: 5,
+            cursor_block: 17,
+            next_summary_epoch: 42,
+            state_epoch_first: 40,
+            state_epoch_last: 41,
+            next_stamp_seq: 7_000,
+            anchor_time_us: 123_456,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let sb = sample(9);
+        assert_eq!(Superblock::decode(&sb.encode()).unwrap(), sb);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut buf = sample(1).encode();
+        buf[30] ^= 0xFF;
+        assert!(Superblock::decode(&buf).is_err());
+        let mut buf2 = sample(1).encode();
+        buf2[0] = 0;
+        assert!(Superblock::decode(&buf2).is_err());
+    }
+
+    #[test]
+    fn read_latest_prefers_higher_epoch() {
+        let dev = MemDisk::new(1024);
+        sample(4).write_to(&dev).unwrap();
+        sample(7).write_to(&dev).unwrap();
+        assert_eq!(Superblock::read_latest(&dev).unwrap().epoch, 7);
+    }
+
+    #[test]
+    fn torn_superblock_write_falls_back_to_previous_copy() {
+        let dev = MemDisk::new(1024);
+        sample(4).write_to(&dev).unwrap();
+        sample(5).write_to(&dev).unwrap();
+        // Corrupt the epoch-5 copy in place (slot 1).
+        let mut garbage = vec![0u8; SECTOR_SIZE];
+        garbage[0] = 0xBB;
+        dev.write(Geometry::SUPERBLOCK_COPY_SECTORS, &garbage)
+            .unwrap();
+        assert_eq!(Superblock::read_latest(&dev).unwrap().epoch, 4);
+    }
+
+    #[test]
+    fn empty_disk_has_no_superblock() {
+        let dev = MemDisk::new(1024);
+        assert!(Superblock::read_latest(&dev).is_err());
+    }
+
+    #[test]
+    fn no_state_sentinel() {
+        let mut sb = sample(1);
+        sb.state_epoch_first = NO_STATE;
+        assert!(sb.has_no_state());
+        assert!(!sample(1).has_no_state());
+    }
+}

@@ -1,0 +1,184 @@
+//! Fault injection for crash-recovery and failure testing.
+//!
+//! [`FaultyDisk`] wraps any [`BlockDev`] and applies a [`FaultPlan`]:
+//! after a configured number of writes the device can tear the in-flight
+//! write (persist only a prefix of its sectors) and/or fail permanently.
+//! Integration tests use this to emulate power loss mid-segment and verify
+//! that remount recovers a consistent state from the log.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::dev::{BlockDev, DiskError};
+use crate::SECTOR_SIZE;
+
+/// What should go wrong, and when.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Number of write requests to let through untouched before the fault
+    /// fires. `u64::MAX` means never.
+    pub writes_until_fault: u64,
+    /// When the fault fires, persist only this many sectors of the
+    /// offending write (0 = drop it entirely).
+    pub torn_write_sectors: u64,
+    /// If true, every request after the fault fails with
+    /// [`DiskError::DeviceFailed`] until [`FaultyDisk::revive`] is called —
+    /// emulating power loss.
+    pub die_after_fault: bool,
+}
+
+impl FaultPlan {
+    /// A plan that never faults.
+    pub fn none() -> Self {
+        FaultPlan {
+            writes_until_fault: u64::MAX,
+            torn_write_sectors: 0,
+            die_after_fault: false,
+        }
+    }
+
+    /// Power loss after `n` successful writes, tearing the (n+1)-th write
+    /// to `torn_sectors` sectors.
+    pub fn power_loss_after_writes(n: u64, torn_sectors: u64) -> Self {
+        FaultPlan {
+            writes_until_fault: n,
+            torn_write_sectors: torn_sectors,
+            die_after_fault: true,
+        }
+    }
+}
+
+/// A [`BlockDev`] wrapper that injects faults per a [`FaultPlan`].
+pub struct FaultyDisk<D: BlockDev> {
+    inner: D,
+    plan: FaultPlan,
+    /// Live copy of `plan.writes_until_fault`; set to `u64::MAX` on revive
+    /// so the fault does not re-fire.
+    armed_at: AtomicU64,
+    writes_seen: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl<D: BlockDev> FaultyDisk<D> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: D, plan: FaultPlan) -> Self {
+        FaultyDisk {
+            inner,
+            plan,
+            armed_at: AtomicU64::new(plan.writes_until_fault),
+            writes_seen: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// True once the fault has fired and the device is refusing requests.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Brings a dead device back to life ("reboot"): subsequent requests
+    /// succeed and observe whatever was actually persisted.
+    pub fn revive(&self) {
+        self.dead.store(false, Ordering::SeqCst);
+        // Disarm the plan so the fault does not re-fire.
+        self.armed_at.store(u64::MAX, Ordering::SeqCst);
+    }
+
+    /// Consumes the wrapper, returning the inner device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Returns a reference to the inner device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDev> BlockDev for FaultyDisk<D> {
+    fn num_sectors(&self) -> u64 {
+        self.inner.num_sectors()
+    }
+
+    fn read(&self, sector: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        if self.is_dead() {
+            return Err(DiskError::DeviceFailed);
+        }
+        self.inner.read(sector, buf)
+    }
+
+    fn write(&self, sector: u64, buf: &[u8]) -> Result<(), DiskError> {
+        if self.is_dead() {
+            return Err(DiskError::DeviceFailed);
+        }
+        let armed_at = self.armed_at.load(Ordering::SeqCst);
+        let n = self.writes_seen.fetch_add(1, Ordering::SeqCst);
+        if n == armed_at {
+            // Tear the write: persist only a prefix.
+            let keep = (self.plan.torn_write_sectors as usize * SECTOR_SIZE).min(buf.len());
+            if keep > 0 {
+                self.inner.write(sector, &buf[..keep])?;
+            }
+            if self.plan.die_after_fault {
+                self.dead.store(true, Ordering::SeqCst);
+            }
+            return Err(DiskError::Io("injected torn write".into()));
+        }
+        if n > armed_at && self.plan.die_after_fault {
+            return Err(DiskError::DeviceFailed);
+        }
+        self.inner.write(sector, buf)
+    }
+
+    fn sync(&self) -> Result<(), DiskError> {
+        if self.is_dead() {
+            return Err(DiskError::DeviceFailed);
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dev::MemDisk;
+
+    #[test]
+    fn no_fault_plan_is_transparent() {
+        let d = FaultyDisk::new(MemDisk::new(64), FaultPlan::none());
+        d.write(0, &[1u8; SECTOR_SIZE]).unwrap();
+        let mut out = [0u8; SECTOR_SIZE];
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_only() {
+        let d = FaultyDisk::new(MemDisk::new(64), FaultPlan::power_loss_after_writes(1, 1));
+        d.write(0, &[1u8; SECTOR_SIZE]).unwrap();
+        // This 4-sector write tears after 1 sector.
+        let err = d.write(8, &[2u8; SECTOR_SIZE * 4]).unwrap_err();
+        assert!(matches!(err, DiskError::Io(_)));
+        assert!(d.is_dead());
+        assert!(matches!(
+            d.read(0, &mut [0u8; SECTOR_SIZE]),
+            Err(DiskError::DeviceFailed)
+        ));
+
+        d.revive();
+        let mut out = [0u8; SECTOR_SIZE];
+        d.read(8, &mut out).unwrap();
+        assert_eq!(out[0], 2, "first torn sector persisted");
+        d.read(9, &mut out).unwrap();
+        assert_eq!(out[0], 0, "later sectors of torn write lost");
+    }
+
+    #[test]
+    fn revive_disarms_plan() {
+        let d = FaultyDisk::new(MemDisk::new(64), FaultPlan::power_loss_after_writes(0, 0));
+        assert!(d.write(0, &[1u8; SECTOR_SIZE]).is_err());
+        d.revive();
+        for i in 0..10 {
+            d.write(i, &[3u8; SECTOR_SIZE]).unwrap();
+        }
+    }
+}

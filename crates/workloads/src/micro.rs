@@ -1,0 +1,125 @@
+//! The Figure 6 micro-benchmark.
+//!
+//! "The micro-benchmarks proceed in three phases: creation of 10,000 1KB
+//! files (split across 10 directories), reads of the newly created files
+//! in creation order, and deletion of the files in creation order."
+//! (§5.1.4)
+
+use crate::ops::FsOp;
+use crate::rng::Rng;
+
+/// Micro-benchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroConfig {
+    /// Number of files.
+    pub files: usize,
+    /// Directories the files are split across.
+    pub dirs: usize,
+    /// Size of each file.
+    pub file_size: usize,
+    /// RNG seed for file contents.
+    pub seed: u64,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        MicroConfig {
+            files: 10_000,
+            dirs: 10,
+            file_size: 1024,
+            seed: 0x4D49_4352,
+        }
+    }
+}
+
+impl MicroConfig {
+    /// A scaled-down configuration for unit tests.
+    pub fn tiny() -> Self {
+        MicroConfig {
+            files: 50,
+            dirs: 5,
+            file_size: 1024,
+            seed: 5,
+        }
+    }
+}
+
+/// The three generated phases.
+pub struct MicroPhases {
+    /// Create all files.
+    pub create: Vec<FsOp>,
+    /// Read them in creation order.
+    pub read: Vec<FsOp>,
+    /// Delete them in creation order.
+    pub delete: Vec<FsOp>,
+}
+
+/// Generates the micro-benchmark.
+pub fn micro_benchmark(config: &MicroConfig) -> MicroPhases {
+    let mut rng = Rng::new(config.seed);
+    let path_of = |i: usize| format!("mb{}/f{}", i % config.dirs, i);
+
+    let mut create = Vec::with_capacity(config.files * 2 + config.dirs);
+    for d in 0..config.dirs {
+        create.push(FsOp::Mkdir(format!("mb{d}")));
+    }
+    for i in 0..config.files {
+        let path = path_of(i);
+        create.push(FsOp::Create(path.clone()));
+        create.push(FsOp::Write {
+            path,
+            offset: 0,
+            data: rng.bytes(config.file_size),
+        });
+    }
+
+    let read = (0..config.files)
+        .map(|i| FsOp::ReadAll(path_of(i)))
+        .collect();
+    let delete = (0..config.files)
+        .map(|i| FsOp::Remove(path_of(i)))
+        .collect();
+
+    MicroPhases {
+        create,
+        read,
+        delete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::trace_write_bytes;
+
+    #[test]
+    fn paper_shape() {
+        let m = micro_benchmark(&MicroConfig::default());
+        assert_eq!(m.create.len(), 10 + 2 * 10_000);
+        assert_eq!(m.read.len(), 10_000);
+        assert_eq!(m.delete.len(), 10_000);
+        assert_eq!(trace_write_bytes(&m.create), 10_000 * 1024);
+    }
+
+    #[test]
+    fn read_order_equals_create_order() {
+        let m = micro_benchmark(&MicroConfig::tiny());
+        let created: Vec<&String> = m
+            .create
+            .iter()
+            .filter_map(|o| match o {
+                FsOp::Create(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        let read: Vec<&String> = m
+            .read
+            .iter()
+            .filter_map(|o| match o {
+                FsOp::ReadAll(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(created, read);
+    }
+}

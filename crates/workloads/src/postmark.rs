@@ -1,0 +1,199 @@
+//! PostMark (Katcher, NetApp TR3022): the paper's Internet-server
+//! workload.
+//!
+//! "It creates a large number of small randomly-sized files (between
+//! 512B and 9KB) and performs a specified number of transactions on
+//! them. Each transaction consists of two sub-transactions, with one
+//! being a create or delete and the other being a read or append. The
+//! default configuration used for the experiments consists of 20,000
+//! transactions on 5,000 files, and the biases for transaction type are
+//! equal." (§5.1.1)
+
+use crate::ops::FsOp;
+use crate::rng::Rng;
+
+/// PostMark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PostmarkConfig {
+    /// Initial (and target) file-pool size.
+    pub nfiles: usize,
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Minimum file size in bytes.
+    pub min_size: u64,
+    /// Maximum file size in bytes.
+    pub max_size: u64,
+    /// Directories the pool is spread over.
+    pub subdirs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PostmarkConfig {
+    fn default() -> Self {
+        PostmarkConfig {
+            nfiles: 5_000,
+            transactions: 20_000,
+            min_size: 512,
+            max_size: 9 * 1024,
+            subdirs: 10,
+            seed: 0x504F_5354,
+        }
+    }
+}
+
+impl PostmarkConfig {
+    /// A scaled-down configuration for unit tests.
+    pub fn tiny() -> Self {
+        PostmarkConfig {
+            nfiles: 40,
+            transactions: 120,
+            subdirs: 4,
+            seed: 7,
+            ..PostmarkConfig::default()
+        }
+    }
+}
+
+/// The generated phases of one PostMark run.
+pub struct PostmarkPhases {
+    /// Phase 1: create the initial pool (the paper's "creation" bar).
+    pub create: Vec<FsOp>,
+    /// Phase 2: the transactions (the paper's "transactions" bar).
+    pub transactions: Vec<FsOp>,
+    /// Phase 3: delete every remaining file (PostMark's cleanup).
+    pub cleanup: Vec<FsOp>,
+}
+
+struct Pool {
+    /// Live file paths; index addressing for O(1) random pick + remove.
+    files: Vec<String>,
+    next_id: usize,
+    subdirs: usize,
+}
+
+impl Pool {
+    fn new_path(&mut self) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        format!("pm{}/f{}", id % self.subdirs, id)
+    }
+}
+
+/// Generates a PostMark run.
+pub fn generate(config: &PostmarkConfig) -> PostmarkPhases {
+    let mut rng = Rng::new(config.seed);
+    let mut pool = Pool {
+        files: Vec::with_capacity(config.nfiles * 2),
+        next_id: 0,
+        subdirs: config.subdirs.max(1),
+    };
+
+    // Phase 1: directories + initial pool.
+    let mut create = Vec::with_capacity(config.nfiles * 2 + pool.subdirs);
+    for d in 0..pool.subdirs {
+        create.push(FsOp::Mkdir(format!("pm{d}")));
+    }
+    for _ in 0..config.nfiles {
+        let path = pool.new_path();
+        let size = rng.range(config.min_size, config.max_size);
+        create.push(FsOp::Create(path.clone()));
+        create.push(FsOp::Write {
+            path: path.clone(),
+            offset: 0,
+            data: rng.bytes(size as usize),
+        });
+        pool.files.push(path);
+    }
+
+    // Phase 2: transactions. Each = (create|delete) + (read|append).
+    let mut transactions = Vec::with_capacity(config.transactions * 3);
+    for _ in 0..config.transactions {
+        // Sub-transaction A: create or delete (equal bias).
+        if rng.chance(1, 2) || pool.files.len() <= 1 {
+            let path = pool.new_path();
+            let size = rng.range(config.min_size, config.max_size);
+            transactions.push(FsOp::Create(path.clone()));
+            transactions.push(FsOp::Write {
+                path: path.clone(),
+                offset: 0,
+                data: rng.bytes(size as usize),
+            });
+            pool.files.push(path);
+        } else {
+            let idx = rng.index(pool.files.len());
+            let path = pool.files.swap_remove(idx);
+            transactions.push(FsOp::Remove(path));
+        }
+        // Sub-transaction B: read or append (equal bias).
+        let idx = rng.index(pool.files.len());
+        let path = pool.files[idx].clone();
+        if rng.chance(1, 2) {
+            transactions.push(FsOp::ReadAll(path));
+        } else {
+            let len = rng.range(config.min_size, config.max_size);
+            transactions.push(FsOp::Append {
+                path,
+                data: rng.bytes(len as usize),
+            });
+        }
+    }
+
+    // Phase 3: cleanup.
+    let mut cleanup: Vec<FsOp> = pool.files.drain(..).map(FsOp::Remove).collect();
+    for d in 0..pool.subdirs {
+        cleanup.push(FsOp::Rmdir(format!("pm{d}")));
+    }
+
+    PostmarkPhases {
+        create,
+        transactions,
+        cleanup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::trace_write_bytes;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&PostmarkConfig::tiny());
+        let b = generate(&PostmarkConfig::tiny());
+        assert_eq!(a.transactions, b.transactions);
+        assert_eq!(a.create, b.create);
+    }
+
+    #[test]
+    fn default_shape_matches_paper() {
+        let p = generate(&PostmarkConfig::default());
+        // 5000 creates + 5000 writes + 10 mkdirs.
+        assert_eq!(p.create.len(), 10_010);
+        // Each transaction contributes 2-3 ops.
+        assert!(p.transactions.len() >= 40_000 && p.transactions.len() <= 60_000);
+        // Sizes in [512, 9216]: initial pool averages ~4.8 KB/file.
+        let bytes = trace_write_bytes(&p.create);
+        let avg = bytes / 5_000;
+        assert!((4_000..6_000).contains(&avg), "avg initial size {avg}");
+    }
+
+    #[test]
+    fn trace_is_internally_consistent() {
+        // Every Remove targets a path created earlier and not yet
+        // removed; I/O only touches live paths; cleanup empties the pool.
+        let p = generate(&PostmarkConfig::tiny());
+        let mut live = std::collections::HashSet::new();
+        for op in p.create.iter().chain(&p.transactions).chain(&p.cleanup) {
+            match op {
+                FsOp::Create(path) => assert!(live.insert(path.clone())),
+                FsOp::Remove(path) => assert!(live.remove(path), "remove of dead {path}"),
+                FsOp::Write { path, .. } | FsOp::Append { path, .. } | FsOp::ReadAll(path) => {
+                    assert!(live.contains(path), "I/O on dead {path}")
+                }
+                _ => {}
+            }
+        }
+        assert!(live.is_empty(), "cleanup must empty the pool");
+    }
+}

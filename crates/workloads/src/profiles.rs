@@ -1,0 +1,55 @@
+//! Write-rate profiles from the three workload studies behind Figure 7.
+//!
+//! "Spasojevic and Satyanarayanan's AFS trace study reports approximately
+//! 143MB per day of write traffic per file server. ... Even if the
+//! writes consume 1GB per day per server, as was seen by Vogels' Windows
+//! NT file usage study ... Santry, et al. report a write data rate of
+//! 110MB per day." (§5.2)
+
+/// One published workload study's write rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// Study name (used as the Figure 7 x-axis label).
+    pub name: &'static str,
+    /// Average write traffic in MB/day.
+    pub write_mb_per_day: f64,
+    /// Source description.
+    pub source: &'static str,
+}
+
+/// AFS wide-area file servers (Spasojevic & Satyanarayanan 1996).
+pub const AFS_SERVER: WorkloadProfile = WorkloadProfile {
+    name: "AFS",
+    write_mb_per_day: 143.0,
+    source: "70-server wide-area AFS study, ~200GB total data",
+};
+
+/// Windows NT personal/shared/administrative machines (Vogels 1999).
+pub const NT_PERSONAL: WorkloadProfile = WorkloadProfile {
+    name: "NT",
+    write_mb_per_day: 1000.0,
+    source: "45-machine NT 4.0 usage study (worst case 1GB/day)",
+};
+
+/// The Elephant file system's development server (Santry et al. 1999).
+pub const ELEPHANT_FS: WorkloadProfile = WorkloadProfile {
+    name: "Elephant",
+    write_mb_per_day: 110.0,
+    source: "single 15GB file system, a dozen researchers",
+};
+
+/// All three Figure 7 profiles.
+pub const ALL: [WorkloadProfile; 3] = [AFS_SERVER, NT_PERSONAL, ELEPHANT_FS];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_the_paper() {
+        assert_eq!(AFS_SERVER.write_mb_per_day, 143.0);
+        assert_eq!(NT_PERSONAL.write_mb_per_day, 1000.0);
+        assert_eq!(ELEPHANT_FS.write_mb_per_day, 110.0);
+        assert_eq!(ALL.len(), 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Seedable xoshiro256\*\* PRNG (Blackman & Vigna), vendored for
+//! byte-stable workload traces.
+
+/// A xoshiro256\*\* generator seeded via SplitMix64.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded sampling (Lemire); bias negligible for
+        // workload purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Fills `buf` with pseudo-random bytes.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Generates `len` pseudo-random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.fill(&mut out);
+        out
+    }
+
+    /// Picks a uniformly random index into a slice of length `len`.
+    pub fn index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0);
+        self.below(len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(10) < 10);
+        }
+        // All values eventually hit.
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            seen[r.below(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = Rng::new(1);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let v = r.range(512, 9216);
+            assert!((512..=9216).contains(&v));
+            lo_seen |= v < 1000;
+            hi_seen |= v > 8700;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn fill_produces_varied_bytes() {
+        let mut r = Rng::new(9);
+        let b = r.bytes(4096);
+        let distinct: std::collections::HashSet<u8> = b.iter().copied().collect();
+        assert!(distinct.len() > 200);
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = Rng::new(11);
+        let hits = (0..100_000).filter(|_| r.chance(1, 4)).count();
+        assert!((23_000..27_000).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,295 @@
+//! SSH-build: the paper's software-development workload (§5.1.1).
+//!
+//! "It consists of 3 phases: the unpack phase, which unpacks the
+//! compressed tar archive of SSH v1.2.27 (approximately 1MB in size
+//! before decompression), stresses metadata operations on files of
+//! varying sizes. The configure phase consists of the automatic
+//! generation of header files and Makefiles, which involves building
+//! various small programs that check the existing system configuration.
+//! The build phase compiles, links, and removes temporary files. This
+//! last phase is the most CPU intensive, but it also generates a large
+//! number of object files and a few executables."
+//!
+//! We regenerate the benchmark as a deterministic trace shaped like the
+//! real archive: ~35 directories, ~430 files (sources, headers, docs)
+//! totaling ≈3.6 MB unpacked; ~80 configure probes, each compiling and
+//! deleting a tiny test program; and a build that reads each source plus
+//! headers, burns compile CPU, writes a `.o`, then links two executables
+//! and removes the temporaries.
+
+use s4_clock::SimDuration;
+
+use crate::ops::FsOp;
+use crate::rng::Rng;
+
+/// SSH-build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SshBuildConfig {
+    /// Number of C source files in the tree.
+    pub sources: usize,
+    /// Number of header files.
+    pub headers: usize,
+    /// Number of configure probes.
+    pub probes: usize,
+    /// CPU time to compile one source file.
+    pub compile_cpu: SimDuration,
+    /// CPU time per configure probe.
+    pub probe_cpu: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SshBuildConfig {
+    fn default() -> Self {
+        SshBuildConfig {
+            sources: 180,
+            headers: 90,
+            probes: 80,
+            // FreeBSD/Linux PIII-600-era gcc: ~0.9 s per file; the paper's
+            // build phase runs ~100-200 s wall on all systems.
+            compile_cpu: SimDuration::from_millis(900),
+            probe_cpu: SimDuration::from_millis(350),
+            seed: 0x5353_4842,
+        }
+    }
+}
+
+impl SshBuildConfig {
+    /// A scaled-down configuration for unit tests.
+    pub fn tiny() -> Self {
+        SshBuildConfig {
+            sources: 8,
+            headers: 4,
+            probes: 5,
+            compile_cpu: SimDuration::from_millis(10),
+            probe_cpu: SimDuration::from_millis(5),
+            seed: 3,
+        }
+    }
+}
+
+/// The three generated phases.
+pub struct SshBuildPhases {
+    /// Unpack the source archive.
+    pub unpack: Vec<FsOp>,
+    /// Configure probes + generated headers/Makefiles.
+    pub configure: Vec<FsOp>,
+    /// Compile, link, remove temporaries.
+    pub build: Vec<FsOp>,
+}
+
+const DIRS: &[&str] = &[
+    "ssh",
+    "ssh/lib",
+    "ssh/zlib",
+    "ssh/gmp",
+    "ssh/rsaref",
+    "ssh/doc",
+    "ssh/contrib",
+];
+
+/// Generates the SSH-build trace.
+pub fn sshbuild_phases(config: &SshBuildConfig) -> SshBuildPhases {
+    let mut rng = Rng::new(config.seed);
+
+    // -------------------------------------------------- unpack
+    let mut unpack = Vec::new();
+    for d in DIRS {
+        unpack.push(FsOp::Mkdir(d.to_string()));
+    }
+    let mut sources = Vec::new();
+    let mut headers = Vec::new();
+    // Sources: 2-30 KB of text-like bytes, written in 4 KB tar-extract
+    // chunks.
+    for i in 0..config.sources {
+        let dir = DIRS[rng.index(DIRS.len() - 2)]; // not doc/contrib
+        let path = format!("{dir}/src{i}.c");
+        let size = rng.range(2_000, 30_000);
+        unpack.push(FsOp::Create(path.clone()));
+        push_chunked_write(&mut unpack, &mut rng, &path, size);
+        sources.push((path, size));
+    }
+    for i in 0..config.headers {
+        let dir = DIRS[rng.index(DIRS.len())];
+        let path = format!("{dir}/hdr{i}.h");
+        let size = rng.range(300, 6_000);
+        unpack.push(FsOp::Create(path.clone()));
+        push_chunked_write(&mut unpack, &mut rng, &path, size);
+        headers.push((path, size));
+    }
+    // Docs, README, configure script.
+    for (name, size) in [
+        ("ssh/README", 12_000u64),
+        ("ssh/configure", 120_000),
+        ("ssh/Makefile.in", 22_000),
+        ("ssh/doc/ssh.1", 18_000),
+        ("ssh/doc/sshd.8", 16_000),
+        ("ssh/COPYING", 14_000),
+    ] {
+        unpack.push(FsOp::Create(name.to_string()));
+        push_chunked_write(&mut unpack, &mut rng, name, size);
+    }
+
+    // -------------------------------------------------- configure
+    let mut configure = Vec::new();
+    configure.push(FsOp::ReadAll("ssh/configure".into()));
+    for p in 0..config.probes {
+        // Write a tiny conftest.c, "compile" it, run it, delete both.
+        let src = "ssh/conftest.c".to_string();
+        let bin = "ssh/conftest".to_string();
+        configure.push(FsOp::Create(src.clone()));
+        let probe_len = rng.range(80, 600) as usize;
+        configure.push(FsOp::Write {
+            path: src.clone(),
+            offset: 0,
+            data: rng.bytes(probe_len),
+        });
+        // Probe compilation reads a couple of headers.
+        for _ in 0..2 {
+            if !headers.is_empty() {
+                let (h, _) = &headers[rng.index(headers.len())];
+                configure.push(FsOp::Read {
+                    path: h.clone(),
+                    offset: 0,
+                    len: 4096,
+                });
+            }
+        }
+        configure.push(FsOp::CpuThink(config.probe_cpu));
+        configure.push(FsOp::Create(bin.clone()));
+        let bin_len = rng.range(4_000, 16_000) as usize;
+        configure.push(FsOp::Write {
+            path: bin.clone(),
+            offset: 0,
+            data: rng.bytes(bin_len),
+        });
+        configure.push(FsOp::Remove(bin));
+        configure.push(FsOp::Remove(src));
+        let _ = p;
+    }
+    // Generated outputs.
+    for (name, size) in [
+        ("ssh/config.h", 9_000u64),
+        ("ssh/Makefile", 24_000),
+        ("ssh/config.status", 15_000),
+        ("ssh/config.cache", 7_000),
+        ("ssh/config.log", 20_000),
+    ] {
+        configure.push(FsOp::Create(name.to_string()));
+        push_chunked_write(&mut configure, &mut rng, name, size);
+    }
+
+    // -------------------------------------------------- build
+    let mut build = Vec::new();
+    let mut objects = Vec::new();
+    build.push(FsOp::ReadAll("ssh/Makefile".into()));
+    for (src, _size) in &sources {
+        build.push(FsOp::ReadAll(src.clone()));
+        // Each compile pulls in a handful of headers.
+        for _ in 0..4 {
+            if !headers.is_empty() {
+                let (h, hsize) = &headers[rng.index(headers.len())];
+                build.push(FsOp::Read {
+                    path: h.clone(),
+                    offset: 0,
+                    len: *hsize,
+                });
+            }
+        }
+        build.push(FsOp::CpuThink(config.compile_cpu));
+        let obj = format!("{}.o", src.trim_end_matches(".c"));
+        let osize = rng.range(8_000, 60_000);
+        build.push(FsOp::Create(obj.clone()));
+        push_chunked_write(&mut build, &mut rng, &obj, osize);
+        objects.push((obj, osize));
+    }
+    // Link ssh and sshd: read every object, burn CPU, write executables.
+    for exe in ["ssh/ssh", "ssh/sshd"] {
+        for (obj, osize) in &objects {
+            build.push(FsOp::Read {
+                path: obj.clone(),
+                offset: 0,
+                len: *osize,
+            });
+        }
+        build.push(FsOp::CpuThink(SimDuration::from_secs(3)));
+        build.push(FsOp::Create(exe.to_string()));
+        push_chunked_write(&mut build, &mut rng, exe, 1_900_000);
+    }
+    // Remove temporaries (the paper: the build phase "removes temporary
+    // files").
+    for (obj, _) in &objects {
+        build.push(FsOp::Remove(obj.clone()));
+    }
+
+    SshBuildPhases {
+        unpack,
+        configure,
+        build,
+    }
+}
+
+/// Writes `size` bytes to `path` in 4 KiB chunks (NFSv2 transfer size).
+fn push_chunked_write(out: &mut Vec<FsOp>, rng: &mut Rng, path: &str, size: u64) {
+    let mut off = 0;
+    while off < size {
+        let n = 4096.min(size - off);
+        out.push(FsOp::Write {
+            path: path.to_string(),
+            offset: off,
+            data: rng.bytes(n as usize),
+        });
+        off += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::trace_write_bytes;
+
+    #[test]
+    fn deterministic() {
+        let a = sshbuild_phases(&SshBuildConfig::tiny());
+        let b = sshbuild_phases(&SshBuildConfig::tiny());
+        assert_eq!(a.unpack, b.unpack);
+        assert_eq!(a.configure, b.configure);
+        assert_eq!(a.build, b.build);
+    }
+
+    #[test]
+    fn default_tree_is_archive_sized() {
+        let p = sshbuild_phases(&SshBuildConfig::default());
+        let unpacked = trace_write_bytes(&p.unpack);
+        // SSH 1.2.27 unpacks to roughly 3-4 MB.
+        assert!(
+            (2_500_000..6_000_000).contains(&unpacked),
+            "unpacked bytes {unpacked}"
+        );
+        // The build phase has compile think time and object writes.
+        let thinks = p
+            .build
+            .iter()
+            .filter(|o| matches!(o, FsOp::CpuThink(_)))
+            .count();
+        assert_eq!(thinks, 180 + 2);
+    }
+
+    #[test]
+    fn configure_probes_create_and_delete() {
+        let p = sshbuild_phases(&SshBuildConfig::tiny());
+        let creates = p
+            .configure
+            .iter()
+            .filter(|o| matches!(o, FsOp::Create(_)))
+            .count();
+        let removes = p
+            .configure
+            .iter()
+            .filter(|o| matches!(o, FsOp::Remove(_)))
+            .count();
+        // Two creates and two removes per probe, plus generated outputs.
+        assert_eq!(removes, 2 * 5);
+        assert_eq!(creates, 2 * 5 + 5);
+    }
+}

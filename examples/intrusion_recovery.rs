@@ -1,0 +1,155 @@
+//! The paper's motivating scenario, end to end (§2, §3.1):
+//!
+//! An intruder compromises a client, scrubs the system log, plants a
+//! backdoor, briefly stores an exploit tool, and deletes it. The
+//! administrator then uses the history pool and the audit log to detect
+//! the intrusion, diagnose what happened, recover the deleted exploit
+//! tool as evidence, and restore the tampered files — all without a
+//! backup and without trusting the compromised host.
+//!
+//! Run with: `cargo run --release --example intrusion_recovery`
+
+use std::sync::Arc;
+
+use s4_clock::{NetworkModel, SimClock, SimDuration};
+use s4_core::{ClientId, DriveConfig, RequestContext, S4Drive, UserId};
+use s4_fs::tools::{damage_report, ls_at, read_file_at, restore_file};
+use s4_fs::{FileServer, LoopbackTransport, S4FileServer, S4FsConfig};
+use s4_simdisk::{DiskModelParams, MemDisk, TimedDisk};
+
+fn main() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let disk = TimedDisk::new(
+        MemDisk::with_capacity_bytes(256 << 20),
+        DiskModelParams::cheetah_9gb_10k(),
+        clock.clone(),
+    );
+    let drive = Arc::new(S4Drive::format(disk, DriveConfig::default(), clock.clone()).unwrap());
+    let admin = RequestContext::admin(ClientId(0), drive.config().admin_token);
+
+    // The legitimate system: a root user on client 1 sets up /etc and
+    // /var/log.
+    let system = RequestContext::user(UserId(1), ClientId(1));
+    let fs = S4FileServer::mount(
+        LoopbackTransport::new(drive.clone(), NetworkModel::lan_100mbit()),
+        system,
+        "rootfs",
+        S4FsConfig::default(),
+    )
+    .unwrap();
+    let root = fs.root();
+    fs.mkdir(root, "etc").unwrap();
+    fs.mkdir(root, "var").unwrap();
+    let var = fs.lookup(root, "var").unwrap();
+    fs.mkdir(var, "log").unwrap();
+    let passwd = fs
+        .create(fs.lookup(root, "etc").unwrap(), "passwd")
+        .unwrap();
+    fs.write(passwd, 0, b"root:x:0:0\nalice:x:1000:1000\n")
+        .unwrap();
+    let log = fs
+        .create(fs.resolve_path("var/log").unwrap(), "auth.log")
+        .unwrap();
+    fs.write(log, 0, b"09:01 sshd accepted key for alice\n")
+        .unwrap();
+
+    clock.advance(SimDuration::from_secs(3600));
+    let pre_intrusion = fs.now();
+    println!("T0  clean system at {pre_intrusion}");
+
+    // ---- The intrusion: client 66 has stolen root's credentials. The
+    // drive cannot stop these writes (they carry valid credentials), but
+    // it versions and audits every one of them.
+    clock.advance(SimDuration::from_secs(600));
+    let intruder_fs = S4FileServer::mount(
+        LoopbackTransport::new(drive.clone(), NetworkModel::lan_100mbit()),
+        RequestContext::user(UserId(1), ClientId(66)), // stolen identity!
+        "rootfs",
+        S4FsConfig::default(),
+    )
+    .unwrap();
+    let iroot = intruder_fs.root();
+    // The intruder's login was logged automatically...
+    let ilog = intruder_fs.resolve_path("var/log/auth.log").unwrap();
+    intruder_fs
+        .write(ilog, 34, b"10:13 sshd accepted key for root from 6.6.6.6\n")
+        .unwrap();
+    let login_logged = fs.now();
+    clock.advance(SimDuration::from_secs(5));
+    // 1. ...so scrubbing the log is the classic first move (§2.1).
+    intruder_fs.truncate(ilog, 0).unwrap();
+    intruder_fs
+        .write(ilog, 0, b"09:01 sshd accepted key for alice\n")
+        .unwrap(); // re-written without the intruder's own entries
+                   // 2. Plant a backdoor account.
+    let ipasswd = intruder_fs.resolve_path("etc/passwd").unwrap();
+    intruder_fs.write(ipasswd, 29, b"evil:x:0:0\n").unwrap();
+    // 3. Stage an exploit tool and delete it after use.
+    let tmp = intruder_fs.mkdir(iroot, "tmp").unwrap();
+    let tool = intruder_fs.create(tmp, ".scan").unwrap();
+    intruder_fs
+        .write(tool, 0, b"#!/bin/sh\n# rootkit dropper v3\nnc -l 31337 &\n")
+        .unwrap();
+    clock.advance(SimDuration::from_secs(30));
+    intruder_fs.remove(tmp, ".scan").unwrap();
+    let post_intrusion = fs.now();
+    println!(
+        "T1  intrusion complete at {post_intrusion} (log scrubbed, backdoor planted, tool wiped)"
+    );
+
+    // ---- Detection & diagnosis (hours later).
+    clock.advance(SimDuration::from_secs(7200));
+
+    // The audit log pins down exactly what client 66 touched.
+    let report = damage_report(
+        &drive,
+        &admin,
+        ClientId(66),
+        pre_intrusion,
+        post_intrusion,
+        SimDuration::from_secs(300),
+    )
+    .unwrap();
+    println!(
+        "T2  audit analysis: client 66 issued {} requests, modified {} objects",
+        report.request_count,
+        report.modified.len()
+    );
+
+    // Versioned logs cannot be imperceptibly altered: compare.
+    // The scrubbed entry is still in the history pool: read the log as it
+    // was the instant the intruder logged in.
+    let log_mid = read_file_at(&fs, "var/log/auth.log", login_logged).unwrap();
+    let log_now = read_file_at(&fs, "var/log/auth.log", fs.now()).unwrap();
+    assert!(String::from_utf8_lossy(&log_mid).contains("6.6.6.6"));
+    assert!(!String::from_utf8_lossy(&log_now).contains("6.6.6.6"));
+    println!(
+        "    scrubbed log line recovered from history: {:?}",
+        String::from_utf8_lossy(&log_mid[34..]).trim_end()
+    );
+
+    // The deleted exploit tool is still in the history pool: list /tmp as
+    // it was mid-intrusion and recover the evidence.
+    let during = post_intrusion.saturating_sub(SimDuration::from_secs(10));
+    let tmp_listing = ls_at(&fs, "tmp", during).unwrap();
+    println!("    /tmp during the intrusion: {tmp_listing:?}");
+    let evidence = {
+        let h = fs.resolve_path_at("tmp/.scan", during).unwrap();
+        fs.read_at(h, 0, 4096, during).unwrap()
+    };
+    println!(
+        "    recovered exploit tool ({} bytes): {:?}...",
+        evidence.len(),
+        String::from_utf8_lossy(&evidence[..28])
+    );
+
+    // ---- Recovery: copy the pre-intrusion versions forward (§3.3 —
+    // restoration creates new versions; history is never rewritten).
+    restore_file(&fs, "etc/passwd", pre_intrusion).unwrap();
+    restore_file(&fs, "var/log/auth.log", pre_intrusion).unwrap();
+    let restored = read_file_at(&fs, "etc/passwd", fs.now()).unwrap();
+    assert!(!String::from_utf8_lossy(&restored).contains("evil"));
+    println!("T3  etc/passwd and var/log/auth.log restored from the history pool");
+    println!("    (the intruder's versions remain in the pool for forensics)");
+}

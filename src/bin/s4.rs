@@ -1,0 +1,295 @@
+//! `s4` — a command-line front end for S4 disk images.
+//!
+//! The §3.6 "version and administration tools" as a CLI: time-enhanced
+//! `ls` and `cat`, restoration from the history pool, and audit-log
+//! inspection, all against a persistent disk-image file.
+//!
+//! ```console
+//! $ s4 format image.s4 256          # 256 MB self-securing image
+//! $ s4 put image.s4 docs/plan.txt < plan.txt
+//! $ s4 ls image.s4 docs
+//! $ s4 cat image.s4 docs/plan.txt
+//! $ s4 rm image.s4 docs/plan.txt
+//! $ s4 ls image.s4 docs --at 12.5  # the directory 12.5 sim-seconds in
+//! $ s4 cat image.s4 docs/plan.txt --at 12.5
+//! $ s4 restore image.s4 docs/plan.txt 12.5
+//! $ s4 audit image.s4
+//! ```
+//!
+//! Simulated time inside the image advances with activity and persists
+//! across invocations; `--at <secs>` addresses that timeline.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use s4_clock::{NetworkModel, SimClock, SimDuration, SimTime};
+use s4_core::{ClientId, DriveConfig, RequestContext, S4Drive, UserId};
+use s4_fs::tools;
+use s4_fs::{FileKind, FileServer, LoopbackTransport, S4FileServer, S4FsConfig};
+use s4_simdisk::FileDisk;
+
+const PARTITION: &str = "root";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: s4 <command> <image> [args]\n\
+         commands:\n\
+           format <image> <megabytes>\n\
+           put <image> <path>            (content from stdin)\n\
+           cat <image> <path> [--at <secs>]\n\
+           ls <image> [path] [--at <secs>]\n\
+           rm <image> <path>\n\
+           mkdir <image> <path>\n\
+           restore <image> <path> <secs>\n\
+           pin <image> <path> <secs>     (landmark: survives the window)\n\
+           pins <image> <path>\n\
+           audit <image>\n\
+           now <image>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_at(args: &[String]) -> Option<SimTime> {
+    let idx = args.iter().position(|a| a == "--at")?;
+    let secs: f64 = args.get(idx + 1)?.parse().ok()?;
+    Some(SimTime::from_micros((secs * 1e6) as u64))
+}
+
+fn open_fs(image: &str) -> Result<S4FileServer<LoopbackTransport<FileDisk>>, String> {
+    let dev = FileDisk::open(image).map_err(|e| format!("open {image}: {e}"))?;
+    let clock = SimClock::new();
+    let drive = S4Drive::mount(dev, DriveConfig::default(), clock)
+        .map_err(|e| format!("mount {image}: {e}"))?;
+    // Each CLI invocation is a little session; advance time so versions
+    // created by successive invocations are distinguishable.
+    drive.clock().advance(SimDuration::from_millis(250));
+    let drive = Arc::new(drive);
+    S4FileServer::mount(
+        LoopbackTransport::new(drive, NetworkModel::free()),
+        RequestContext::user(UserId(1), ClientId(1)),
+        PARTITION,
+        S4FsConfig::default(),
+    )
+    .map_err(|e| format!("mount fs: {e}"))
+}
+
+fn close(fs: S4FileServer<LoopbackTransport<FileDisk>>) -> Result<(), String> {
+    let drive = Arc::into_inner(fs.into_transport().into_drive()).expect("sole drive handle");
+    drive.unmount().map_err(|e| format!("unmount: {e}"))?;
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, image) = match (args.first(), args.get(1)) {
+        (Some(c), Some(i)) => (c.as_str(), i.as_str()),
+        _ => return Err("missing arguments".into()),
+    };
+    match cmd {
+        "format" => {
+            let mb: u64 = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or("format: need size in MB")?;
+            let dev = FileDisk::create(image, mb * 2048).map_err(|e| e.to_string())?;
+            let clock = SimClock::new();
+            clock.advance(SimDuration::from_secs(1));
+            let drive = Arc::new(
+                S4Drive::format(dev, DriveConfig::default(), clock).map_err(|e| e.to_string())?,
+            );
+            // Create the exported root directory.
+            let fs = S4FileServer::mount(
+                LoopbackTransport::new(drive, NetworkModel::free()),
+                RequestContext::user(UserId(1), ClientId(1)),
+                PARTITION,
+                S4FsConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            close(fs)?;
+            println!("formatted {image}: {mb} MB self-securing image");
+        }
+        "put" => {
+            let path = args.get(2).ok_or("put: need a path")?;
+            let mut data = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut data)
+                .map_err(|e| e.to_string())?;
+            let fs = open_fs(image)?;
+            let (dir_path, name) = match path.rfind('/') {
+                Some(i) => (&path[..i], &path[i + 1..]),
+                None => ("", path.as_str()),
+            };
+            let dir = fs.resolve_path(dir_path).map_err(|e| e.to_string())?;
+            let h = match fs.lookup(dir, name) {
+                Ok(h) => h,
+                Err(_) => fs.create(dir, name).map_err(|e| e.to_string())?,
+            };
+            fs.truncate(h, 0).map_err(|e| e.to_string())?;
+            if !data.is_empty() {
+                fs.write(h, 0, &data).map_err(|e| e.to_string())?;
+            }
+            println!("wrote {} bytes to {path} at {}", data.len(), fs.now());
+            close(fs)?;
+        }
+        "cat" => {
+            let path = args.get(2).ok_or("cat: need a path")?;
+            let fs = open_fs(image)?;
+            let data = match parse_at(&args) {
+                Some(t) => tools::read_file_at(&fs, path, t).map_err(|e| e.to_string())?,
+                None => {
+                    let h = fs.resolve_path(path).map_err(|e| e.to_string())?;
+                    let size = fs.getattr(h).map_err(|e| e.to_string())?.size;
+                    fs.read(h, 0, size).map_err(|e| e.to_string())?
+                }
+            };
+            use std::io::Write as _;
+            std::io::stdout()
+                .write_all(&data)
+                .map_err(|e| e.to_string())?;
+            close(fs)?;
+        }
+        "ls" => {
+            let default = String::new();
+            let path = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .unwrap_or(&default);
+            let fs = open_fs(image)?;
+            let rows = match parse_at(&args) {
+                Some(t) => tools::ls_at(&fs, path, t).map_err(|e| e.to_string())?,
+                None => {
+                    let dir = fs.resolve_path(path).map_err(|e| e.to_string())?;
+                    fs.readdir(dir)
+                        .map_err(|e| e.to_string())?
+                        .into_iter()
+                        .map(|(n, h, k)| {
+                            let size = fs.getattr(h).map(|a| a.size).unwrap_or(0);
+                            (n, k, size)
+                        })
+                        .collect()
+                }
+            };
+            for (name, kind, size) in rows {
+                let k = match kind {
+                    FileKind::Dir => "d",
+                    FileKind::Symlink => "l",
+                    FileKind::File => "-",
+                };
+                println!("{k} {size:>10} {name}");
+            }
+            close(fs)?;
+        }
+        "rm" => {
+            let path = args.get(2).ok_or("rm: need a path")?;
+            let fs = open_fs(image)?;
+            let (dir_path, name) = match path.rfind('/') {
+                Some(i) => (&path[..i], &path[i + 1..]),
+                None => ("", path.as_str()),
+            };
+            let dir = fs.resolve_path(dir_path).map_err(|e| e.to_string())?;
+            fs.remove(dir, name).map_err(|e| e.to_string())?;
+            println!("removed {path} (recoverable until the window expires)");
+            close(fs)?;
+        }
+        "mkdir" => {
+            let path = args.get(2).ok_or("mkdir: need a path")?;
+            let fs = open_fs(image)?;
+            let (dir_path, name) = match path.rfind('/') {
+                Some(i) => (&path[..i], &path[i + 1..]),
+                None => ("", path.as_str()),
+            };
+            let dir = fs.resolve_path(dir_path).map_err(|e| e.to_string())?;
+            fs.mkdir(dir, name).map_err(|e| e.to_string())?;
+            close(fs)?;
+        }
+        "restore" => {
+            let path = args.get(2).ok_or("restore: need a path")?;
+            let secs: f64 = args
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .ok_or("restore: need a time in seconds")?;
+            let t = SimTime::from_micros((secs * 1e6) as u64);
+            let fs = open_fs(image)?;
+            tools::restore_file(&fs, path, t).map_err(|e| e.to_string())?;
+            println!("restored {path} to its contents at {t}");
+            close(fs)?;
+        }
+        "pin" => {
+            let path = args.get(2).ok_or("pin: need a path")?;
+            let secs: f64 = args
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .ok_or("pin: need a time in seconds")?;
+            let t = SimTime::from_micros((secs * 1e6) as u64);
+            let fs = open_fs(image)?;
+            let h = fs.resolve_path_at(path, t).map_err(|e| e.to_string())?;
+            {
+                let drive = fs.transport().drive();
+                drive
+                    .op_mark_landmark(fs.context(), s4_core::ObjectId(h), t)
+                    .map_err(|e| e.to_string())?;
+            }
+            println!("pinned {path} @ {t} as a landmark (survives the detection window)");
+            close(fs)?;
+        }
+        "pins" => {
+            let path = args.get(2).ok_or("pins: need a path")?;
+            let fs = open_fs(image)?;
+            let h = fs.resolve_path(path).map_err(|e| e.to_string())?;
+            let rows = {
+                let drive = fs.transport().drive();
+                drive
+                    .landmarks(fs.context(), s4_core::ObjectId(h))
+                    .map_err(|e| e.to_string())?
+            };
+            for (t, size) in rows {
+                println!("{t}  {size} bytes");
+            }
+            close(fs)?;
+        }
+        "audit" => {
+            let fs = open_fs(image)?;
+            let records = {
+                let drive = fs.transport().drive();
+                let admin = RequestContext::admin(ClientId(0), drive.config().admin_token);
+                drive
+                    .read_audit_records(&admin)
+                    .map_err(|e| e.to_string())?
+            };
+            for r in &records {
+                println!(
+                    "{:>14} user={:<4} client={:<4} {:<14} {} ok={}",
+                    r.time.to_string(),
+                    r.user.0,
+                    r.client.0,
+                    format!("{:?}", r.op),
+                    r.object,
+                    r.ok
+                );
+            }
+            eprintln!("{} records", records.len());
+            close(fs)?;
+        }
+        "now" => {
+            let fs = open_fs(image)?;
+            println!("{}", fs.now());
+            close(fs)?;
+        }
+        _ => return Err(format!("unknown command {cmd}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if e == "missing arguments" {
+                return usage();
+            }
+            eprintln!("s4: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

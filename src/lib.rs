@@ -1,0 +1,16 @@
+//! Workspace umbrella crate: re-exports the S4 reproduction's crates for
+//! the workspace-level integration tests and examples.
+//!
+//! The system itself lives in the `crates/` members; see the README for
+//! the architecture overview and DESIGN.md for the paper-to-module map.
+
+pub use s4_baseline as baseline;
+pub use s4_capacity as capacity;
+pub use s4_clock as clock;
+pub use s4_core as core;
+pub use s4_delta as delta;
+pub use s4_fs as fs;
+pub use s4_journal as journal;
+pub use s4_lfs as lfs;
+pub use s4_simdisk as simdisk;
+pub use s4_workloads as workloads;

@@ -1,0 +1,106 @@
+//! End-to-end test of the `s4` CLI against a persistent disk image:
+//! format, put, time travel, restore, audit — across separate process
+//! invocations (each one mounts, operates, and cleanly unmounts).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn s4(args: &[&str], image: &std::path::Path) -> (String, String, bool) {
+    let mut full = vec![args[0], image.to_str().unwrap()];
+    full.extend(&args[1..]);
+    let out = Command::new(env!("CARGO_BIN_EXE_s4"))
+        .args(&full)
+        .output()
+        .expect("spawn s4");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+fn s4_stdin(args: &[&str], image: &std::path::Path, input: &[u8]) -> (String, bool) {
+    let mut full = vec![args[0], image.to_str().unwrap()];
+    full.extend(&args[1..]);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_s4"))
+        .args(&full)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn s4");
+    child.stdin.as_mut().unwrap().write_all(input).unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn cli_versioning_workflow_across_invocations() {
+    let dir = std::env::temp_dir().join(format!("s4-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let image = dir.join("disk.s4");
+
+    // format
+    let (_out, err, ok) = s4(&["format", "64"], &image);
+    assert!(ok, "format failed: {err}");
+
+    // put v1
+    let (_out, ok) = s4_stdin(&["put", "notes.txt"], &image, b"original contents");
+    assert!(ok);
+
+    // capture the image's simulated time
+    let (now_out, _, ok) = s4(&["now"], &image);
+    assert!(ok);
+    let t1 = now_out.trim().trim_end_matches('s').to_string();
+
+    // overwrite with v2
+    let (_out, ok) = s4_stdin(&["put", "notes.txt"], &image, b"tampered!");
+    assert!(ok);
+
+    // current cat shows v2
+    let (cat_now, _, ok) = s4(&["cat", "notes.txt"], &image);
+    assert!(ok);
+    assert_eq!(cat_now, "tampered!");
+
+    // time-travel cat shows v1
+    let (cat_old, err, ok) = s4(&["cat", "notes.txt", "--at", &t1], &image);
+    assert!(ok, "cat --at failed: {err}");
+    assert_eq!(cat_old, "original contents");
+
+    // ls shows the file with v2's size
+    let (ls_out, _, ok) = s4(&["ls"], &image);
+    assert!(ok);
+    assert!(ls_out.contains("notes.txt"));
+    assert!(ls_out.contains("9"), "size of v2: {ls_out}");
+
+    // restore to v1; current cat now shows v1
+    let (_out, err, ok) = s4(&["restore", "notes.txt", &t1], &image);
+    assert!(ok, "restore failed: {err}");
+    let (cat_restored, _, ok) = s4(&["cat", "notes.txt"], &image);
+    assert!(ok);
+    assert_eq!(cat_restored, "original contents");
+
+    // rm works, and the file is gone from ls
+    let (_out, _, ok) = s4(&["rm", "notes.txt"], &image);
+    assert!(ok);
+    let (ls_after, _, ok) = s4(&["ls"], &image);
+    assert!(ok);
+    assert!(!ls_after.contains("notes.txt"));
+
+    // audit names the operations across all sessions
+    let (audit_out, audit_err, ok) = s4(&["audit"], &image);
+    assert!(ok);
+    assert!(audit_out.contains("Write"), "audit: {audit_out}");
+    assert!(audit_out.contains("Delete"));
+    assert!(audit_err.contains("records"));
+
+    // unknown command fails politely
+    let (_, err, ok) = s4(&["frobnicate"], &image);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,112 @@
+//! §3.3 end to end: history-pool space-exhaustion attacks and the
+//! drive's hybrid answer — throttle the abuser, keep serving everyone
+//! else, never evict history.
+
+use s4_clock::{SimClock, SimDuration};
+use s4_core::{ClientId, DriveConfig, RequestContext, S4Drive, S4Error, ThrottleConfig, UserId};
+use s4_simdisk::MemDisk;
+
+fn drive_with_throttle() -> S4Drive<MemDisk> {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let config = DriveConfig {
+        throttle: ThrottleConfig {
+            enabled: true,
+            pressure_threshold: 0.05, // engage almost immediately
+            budget_bytes_per_sec: 64 * 1024,
+            penalty_ns_per_excess_byte: 2_000,
+            max_penalty: SimDuration::from_millis(200),
+        },
+        ..DriveConfig::small_test()
+    };
+    S4Drive::format(MemDisk::with_capacity_bytes(16 << 20), config, clock).unwrap()
+}
+
+#[test]
+fn abuser_is_slowed_but_victims_are_not() {
+    let d = drive_with_throttle();
+    let abuser = RequestContext::user(UserId(6), ClientId(66));
+    let victim = RequestContext::user(UserId(1), ClientId(1));
+
+    let a_obj = d.op_create(&abuser, None).unwrap();
+    let v_obj = d.op_create(&victim, None).unwrap();
+
+    // Build some pool pressure.
+    for _ in 0..40 {
+        d.op_write(&abuser, a_obj, 0, &[0xEE; 32 * 1024]).unwrap();
+    }
+    d.op_sync(&abuser).unwrap();
+    assert!(d.utilization() > 0.05, "pressure established");
+
+    // Flood from the abuser; measure the penalty it accrues.
+    let before = d.stats().snapshot().throttle_penalty_us;
+    let t0 = d.now();
+    for _ in 0..20 {
+        d.op_write(&abuser, a_obj, 0, &[0xEE; 64 * 1024]).unwrap();
+    }
+    let abuser_elapsed = d.now() - t0;
+    let after = d.stats().snapshot().throttle_penalty_us;
+    assert!(
+        after > before,
+        "flooding under pressure must accrue penalties"
+    );
+
+    // A well-behaved client's small writes stay fast.
+    let t1 = d.now();
+    for _ in 0..20 {
+        d.op_write(&victim, v_obj, 0, b"small legitimate write")
+            .unwrap();
+    }
+    let victim_elapsed = d.now() - t1;
+    assert!(
+        abuser_elapsed.as_micros() > victim_elapsed.as_micros() * 5,
+        "abuser {abuser_elapsed:?} vs victim {victim_elapsed:?}"
+    );
+}
+
+#[test]
+fn pool_exhaustion_is_an_error_not_history_eviction() {
+    // Fill a tiny drive to exhaustion: S4 must refuse further writes
+    // (the third "flawed approach" the paper rejects is denial of
+    // service, but it explicitly prefers it over silently reclaiming
+    // history) and every previously written version must remain
+    // readable.
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let d = S4Drive::format(
+        MemDisk::with_capacity_bytes(8 << 20),
+        DriveConfig::small_test(),
+        clock.clone(),
+    )
+    .unwrap();
+    let ctx = RequestContext::user(UserId(1), ClientId(1));
+    let oid = d.op_create(&ctx, None).unwrap();
+
+    let mut versions = Vec::new();
+    let payload = vec![0xABu8; 64 * 1024];
+    let err = loop {
+        match d.op_write(&ctx, oid, 0, &payload) {
+            Ok(()) => {
+                versions.push(d.now());
+                clock.advance(SimDuration::from_millis(10));
+                if d.op_sync(&ctx).is_err() {
+                    break S4Error::PoolFull;
+                }
+            }
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, S4Error::PoolFull);
+    assert!(
+        versions.len() > 10,
+        "wrote {} versions first",
+        versions.len()
+    );
+
+    // All successfully synced versions remain readable — nothing was
+    // evicted to make room.
+    for (i, t) in versions.iter().enumerate().take(versions.len() - 1) {
+        let data = d.op_read(&ctx, oid, 0, 16, Some(*t));
+        assert!(data.is_ok(), "version {i} lost after pool exhaustion");
+    }
+}

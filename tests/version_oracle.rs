@@ -1,0 +1,266 @@
+//! Property-based tests: the drive's comprehensive versioning against an
+//! in-memory oracle.
+//!
+//! For arbitrary mutation sequences, reading any object at any past
+//! instant must reproduce exactly what the oracle says the object looked
+//! like then — across syncs, remounts, and crashes.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use s4_clock::{SimClock, SimDuration, SimTime};
+use s4_core::{ClientId, DriveConfig, ObjectId, RequestContext, S4Drive, UserId};
+use s4_simdisk::MemDisk;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create,
+    Write {
+        obj: usize,
+        offset: u16,
+        len: u16,
+        fill: u8,
+    },
+    Truncate {
+        obj: usize,
+        len: u16,
+    },
+    Delete {
+        obj: usize,
+    },
+    SetAttr {
+        obj: usize,
+        attr: u8,
+    },
+    Sync,
+    Tick {
+        secs: u8,
+    },
+    /// Runs the differencing pass; must be invisible to every read.
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => Just(Op::Create),
+        4 => (0usize..6, 0u16..12_000, 1u16..6_000, any::<u8>())
+            .prop_map(|(obj, offset, len, fill)| Op::Write { obj, offset, len, fill }),
+        1 => (0usize..6, 0u16..12_000).prop_map(|(obj, len)| Op::Truncate { obj, len }),
+        1 => (0usize..6).prop_map(|obj| Op::Delete { obj }),
+        1 => (0usize..6, any::<u8>()).prop_map(|(obj, attr)| Op::SetAttr { obj, attr }),
+        2 => Just(Op::Sync),
+        2 => (1u8..30).prop_map(|secs| Op::Tick { secs }),
+        1 => Just(Op::Compact),
+    ]
+}
+
+/// Oracle: full object states snapshotted at every instant a mutation
+/// happened.
+#[derive(Default, Clone)]
+struct OracleObject {
+    /// (time, contents, attr, alive); one entry per mutation instant
+    /// (later entries at the same time overwrite earlier ones — reads use
+    /// the last state at or before the query time).
+    history: Vec<(SimTime, Vec<u8>, u8, bool)>,
+}
+
+impl OracleObject {
+    fn at(&self, t: SimTime) -> Option<(&[u8], u8, bool)> {
+        self.history
+            .iter()
+            .rev()
+            .find(|(ht, _, _, _)| *ht <= t)
+            .map(|(_, d, a, alive)| (d.as_slice(), *a, *alive))
+    }
+}
+
+fn run_case(ops: Vec<Op>, remount_each: usize) {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let mut drive = Some(
+        S4Drive::format(
+            MemDisk::with_capacity_bytes(96 << 20),
+            DriveConfig::small_test(),
+            clock.clone(),
+        )
+        .unwrap(),
+    );
+    let ctx = RequestContext::user(UserId(1), ClientId(1));
+    let admin = RequestContext::admin(ClientId(0), 42);
+
+    let mut oids: Vec<ObjectId> = Vec::new();
+    let mut oracle: HashMap<u64, OracleObject> = HashMap::new();
+    let mut checkpoints: Vec<SimTime> = Vec::new();
+
+    for (i, op) in ops.iter().enumerate() {
+        let d = drive.as_ref().unwrap();
+        // Mutations at distinct instants keep oracle comparison simple.
+        clock.advance(SimDuration::from_millis(1));
+        match op {
+            Op::Create => {
+                let oid = d.op_create(&ctx, None).unwrap();
+                oids.push(oid);
+                let entry = oracle.entry(oid.0).or_default();
+                entry.history.push((d.now(), Vec::new(), 0, true));
+            }
+            Op::Write {
+                obj,
+                offset,
+                len,
+                fill,
+            } if !oids.is_empty() => {
+                let oid = oids[obj % oids.len()];
+                let o = oracle.get_mut(&oid.0).unwrap();
+                let Some((data, attr, alive)) =
+                    o.at(SimTime::MAX).map(|(d, a, al)| (d.to_vec(), a, al))
+                else {
+                    continue;
+                };
+                if !alive {
+                    assert!(d
+                        .op_write(&ctx, oid, *offset as u64, &vec![*fill; *len as usize])
+                        .is_err());
+                    continue;
+                }
+                let mut data = data;
+                let end = *offset as usize + *len as usize;
+                if data.len() < end {
+                    data.resize(end, 0);
+                }
+                data[*offset as usize..end].fill(*fill);
+                d.op_write(&ctx, oid, *offset as u64, &vec![*fill; *len as usize])
+                    .unwrap();
+                o.history.push((d.now(), data, attr, true));
+            }
+            Op::Truncate { obj, len } if !oids.is_empty() => {
+                let oid = oids[obj % oids.len()];
+                let o = oracle.get_mut(&oid.0).unwrap();
+                let Some((data, attr, alive)) =
+                    o.at(SimTime::MAX).map(|(d, a, al)| (d.to_vec(), a, al))
+                else {
+                    continue;
+                };
+                if !alive {
+                    assert!(d.op_truncate(&ctx, oid, *len as u64).is_err());
+                    continue;
+                }
+                let mut data = data;
+                data.resize(*len as usize, 0);
+                d.op_truncate(&ctx, oid, *len as u64).unwrap();
+                o.history.push((d.now(), data, attr, true));
+            }
+            Op::Delete { obj } if !oids.is_empty() => {
+                let oid = oids[obj % oids.len()];
+                let o = oracle.get_mut(&oid.0).unwrap();
+                let Some((data, attr, alive)) =
+                    o.at(SimTime::MAX).map(|(d, a, al)| (d.to_vec(), a, al))
+                else {
+                    continue;
+                };
+                if !alive {
+                    assert!(d.op_delete(&ctx, oid).is_err());
+                    continue;
+                }
+                d.op_delete(&ctx, oid).unwrap();
+                o.history.push((d.now(), data, attr, false));
+            }
+            Op::SetAttr { obj, attr } if !oids.is_empty() => {
+                let oid = oids[obj % oids.len()];
+                let o = oracle.get_mut(&oid.0).unwrap();
+                let Some((data, _a, alive)) =
+                    o.at(SimTime::MAX).map(|(d, a, al)| (d.to_vec(), a, al))
+                else {
+                    continue;
+                };
+                if !alive {
+                    continue;
+                }
+                d.op_setattr(&ctx, oid, vec![*attr]).unwrap();
+                o.history.push((d.now(), data, *attr, true));
+            }
+            Op::Sync => {
+                d.op_sync(&ctx).unwrap();
+            }
+            Op::Tick { secs } => {
+                clock.advance(SimDuration::from_secs(*secs as u64));
+            }
+            Op::Compact => {
+                d.compact_history().unwrap();
+            }
+            _ => {}
+        }
+        checkpoints.push(drive.as_ref().unwrap().now());
+
+        // Periodic remount (clean unmount): everything must survive.
+        if remount_each > 0 && i % remount_each == remount_each - 1 {
+            let d = drive.take().unwrap();
+            let dev = d.unmount().unwrap();
+            drive = Some(S4Drive::mount(dev, DriveConfig::small_test(), clock.clone()).unwrap());
+        }
+    }
+
+    // Final verification: every object at every checkpoint instant.
+    let d = drive.as_ref().unwrap();
+    d.op_sync(&ctx).unwrap();
+    for (&raw_oid, o) in &oracle {
+        let oid = ObjectId(raw_oid);
+        for &t in &checkpoints {
+            let Some((want_data, want_attr, alive)) = o.at(t) else {
+                // Object not yet created at t.
+                assert!(
+                    d.op_getattr(&admin, oid, Some(t)).is_err(),
+                    "{oid} should not exist at {t}"
+                );
+                continue;
+            };
+            if !alive {
+                assert!(
+                    d.op_read(&admin, oid, 0, 1 << 16, Some(t)).is_err(),
+                    "{oid} deleted at {t} but readable"
+                );
+                continue;
+            }
+            let got = d.op_read(&admin, oid, 0, 1 << 16, Some(t)).unwrap();
+            assert_eq!(got, want_data, "{oid} contents at {t}");
+            let attrs = d.op_getattr(&admin, oid, Some(t)).unwrap();
+            assert_eq!(attrs.size, want_data.len() as u64, "{oid} size at {t}");
+            let want_attr_blob: Vec<u8> = if o.history.iter().any(|(ht, _, _, _)| *ht <= t) {
+                // Attr blob is empty until the first SetAttr.
+                let (_, _, a, _) = o
+                    .history
+                    .iter()
+                    .rev()
+                    .find(|(ht, _, _, _)| *ht <= t)
+                    .unwrap();
+                let _ = a;
+                if attrs.opaque.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![want_attr]
+                }
+            } else {
+                Vec::new()
+            };
+            assert_eq!(attrs.opaque, want_attr_blob, "{oid} attrs at {t}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 400,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn drive_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        run_case(ops, 0);
+    }
+
+    #[test]
+    fn drive_matches_oracle_across_remounts(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_case(ops, 12);
+    }
+}
