@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use s4_clock::sync::Mutex;
 
 use s4_clock::{CpuModel, SimClock, SimTime};
 use s4_fs::{FileAttr, FileKind, FileServer, FsError, FsResult, Handle};

@@ -1,15 +1,42 @@
-//! Criterion micro-benchmarks for the hot primitives underneath the
-//! figure harnesses: journal entry codec, journal-sector packing, CRC,
-//! LZSS, xdelta, block-cache operations, and the drive's write/read path.
+//! Micro-benchmarks for the hot primitives underneath the figure
+//! harnesses: journal entry codec, CRC, LZSS, xdelta, block-cache
+//! operations, and the drive's write/read path.
+//!
+//! Self-contained timing harness (no external bench framework so the
+//! tier-1 build stays hermetic): each case is warmed up, then run for a
+//! fixed wall-clock budget and reported as ns/op.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
+use s4_bench::banner;
 use s4_clock::{HybridTimestamp, SimClock, SimTime};
 use s4_core::{ClientId, DriveConfig, RequestContext, S4Drive, UserId};
 use s4_journal::{encode_sectors, JournalEntry, PtrChange};
-use s4_lfs::{BlockAddr, BlockCache};
+use s4_lfs::{BlockAddr, BlockCache, Bytes};
 use s4_simdisk::MemDisk;
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_millis(800);
+
+/// Runs `op` repeatedly for the measurement budget and prints ns/op.
+fn bench<R>(name: &str, mut op: impl FnMut() -> R) {
+    let spin = |budget: Duration| -> (u64, Duration) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            for _ in 0..16 {
+                black_box(op());
+            }
+            iters += 16;
+        }
+        (iters, start.elapsed())
+    };
+    spin(WARMUP);
+    let (iters, elapsed) = spin(MEASURE);
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<34} {ns:>12.1} ns/op   ({iters} iters)");
+}
 
 fn sample_entries(n: u64) -> Vec<JournalEntry> {
     (0..n)
@@ -26,58 +53,52 @@ fn sample_entries(n: u64) -> Vec<JournalEntry> {
         .collect()
 }
 
-fn bench_journal(c: &mut Criterion) {
+fn bench_journal() {
     let entries = sample_entries(64);
-    c.bench_function("journal/encode_sectors_64_entries", |b| {
-        b.iter(|| encode_sectors(black_box(&entries)))
+    bench("journal/encode_sectors_64_entries", || {
+        encode_sectors(black_box(&entries))
     });
     let mut buf = Vec::new();
     entries[0].encode_into(&mut buf);
-    c.bench_function("journal/decode_entry", |b| {
-        b.iter(|| {
-            let mut pos = 0;
-            JournalEntry::decode_from(black_box(&buf), &mut pos).unwrap()
-        })
+    bench("journal/decode_entry", || {
+        let mut pos = 0;
+        JournalEntry::decode_from(black_box(&buf), &mut pos).unwrap()
     });
 }
 
-fn bench_crc(c: &mut Criterion) {
+fn bench_crc() {
     let block = vec![0xA5u8; 4096];
-    c.bench_function("lfs/crc32_4k", |b| {
-        b.iter(|| s4_lfs::crc::crc32(black_box(&block)))
-    });
+    bench("lfs/crc32_4k", || s4_lfs::crc::crc32(black_box(&block)));
 }
 
-fn bench_delta(c: &mut Criterion) {
+fn bench_delta() {
     let old = b"static int handle_packet(struct conn *c) { return enqueue(c); }\n".repeat(200);
     let mut new = old.clone();
     new[4000..4010].copy_from_slice(b"EDITEDLINE");
-    c.bench_function("delta/xdelta_diff_13k", |b| {
-        b.iter(|| s4_delta::diff(black_box(&old), black_box(&new)))
+    bench("delta/xdelta_diff_13k", || {
+        s4_delta::diff(black_box(&old), black_box(&new))
     });
-    c.bench_function("delta/lzss_compress_13k", |b| {
-        b.iter(|| s4_delta::compress(black_box(&old)))
+    bench("delta/lzss_compress_13k", || {
+        s4_delta::compress(black_box(&old))
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let cache = BlockCache::new(1024);
     for i in 0..1024u64 {
-        cache.insert(BlockAddr(i), bytes::Bytes::from(vec![0u8; 64]));
+        cache.insert(BlockAddr(i), Bytes::from(vec![0u8; 64]));
     }
-    c.bench_function("lfs/block_cache_hit", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 1024;
-            cache.get(black_box(BlockAddr(i)))
-        })
+    let mut i = 0u64;
+    bench("lfs/block_cache_hit", || {
+        i = (i + 1) % 1024;
+        cache.get(black_box(BlockAddr(i)))
     });
 }
 
-fn bench_drive(c: &mut Criterion) {
+fn bench_drive() {
     let clock = SimClock::new();
     // Zero window + periodic reclamation keep the pool from filling while
-    // criterion drives tens of thousands of version-creating writes.
+    // the harness drives tens of thousands of version-creating writes.
     let config = DriveConfig {
         detection_window: s4_clock::SimDuration::ZERO,
         ..DriveConfig::default()
@@ -92,36 +113,37 @@ fn bench_drive(c: &mut Criterion) {
     let oid = drive.op_create(&ctx, None).unwrap();
     let payload = vec![7u8; 4096];
     let mut n = 0u32;
-    c.bench_function("drive/write_4k_version", |b| {
-        b.iter(|| {
-            n += 1;
-            if n.is_multiple_of(4096) {
-                clock.advance(s4_clock::SimDuration::from_secs(1));
-                drive.op_sync(&ctx).unwrap();
-                drive.expire_versions().unwrap();
-                drive.log().free_dead_segments();
-                drive.force_anchor().unwrap();
-            }
-            drive.op_write(&ctx, oid, 0, black_box(&payload)).unwrap()
-        })
+    bench("drive/write_4k_version", || {
+        n += 1;
+        if n.is_multiple_of(4096) {
+            clock.advance(s4_clock::SimDuration::from_secs(1));
+            drive.op_sync(&ctx).unwrap();
+            drive.expire_versions().unwrap();
+            drive.log().free_dead_segments();
+            drive.force_anchor().unwrap();
+        }
+        drive.op_write(&ctx, oid, 0, black_box(&payload)).unwrap()
     });
     drive.op_sync(&ctx).unwrap();
-    c.bench_function("drive/read_4k", |b| {
-        b.iter(|| drive.op_read(&ctx, oid, 0, 4096, None).unwrap())
+    bench("drive/read_4k", || {
+        drive.op_read(&ctx, oid, 0, 4096, None).unwrap()
     });
     let t = drive.now();
-    c.bench_function("drive/time_based_read_4k", |b| {
-        b.iter(|| {
-            drive
-                .op_read(&ctx, oid, 0, 4096, Some(black_box(t)))
-                .unwrap()
-        })
+    bench("drive/time_based_read_4k", || {
+        drive
+            .op_read(&ctx, oid, 0, 4096, Some(black_box(t)))
+            .unwrap()
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_journal, bench_crc, bench_delta, bench_cache, bench_drive
-);
-criterion_main!(benches);
+fn main() {
+    banner(
+        "micro_ops: hot-path primitives",
+        "journal codec, crc32, delta, block cache, drive write/read",
+    );
+    bench_journal();
+    bench_crc();
+    bench_delta();
+    bench_cache();
+    bench_drive();
+}

@@ -37,6 +37,7 @@
 
 pub mod hybrid;
 pub mod models;
+pub mod sync;
 pub mod time;
 
 pub use hybrid::{HybridClock, HybridTimestamp};

@@ -1,0 +1,177 @@
+//! The drive-written alert object.
+//!
+//! Alerts raised by detectors running inside the drive's security
+//! perimeter (see the `s4-detect` crate) are persisted to a second
+//! reserved, drive-writable-only object, exactly like the audit log
+//! (§4.2.3): an intruder with full client privileges can neither
+//! suppress nor rewrite them. Unlike audit records, alert payloads are
+//! variable-length opaque blobs (the drive does not interpret them), so
+//! blocks hold a sequence of `u16`-length-prefixed entries; a zero
+//! length terminates the block (zero padding).
+
+use s4_lfs::{BlockAddr, BLOCK_SIZE};
+
+use crate::{Result, S4Error};
+
+/// Largest alert blob that fits in one block after the length prefix.
+pub const MAX_ALERT_BYTES: usize = BLOCK_SIZE - 2;
+
+/// Drive-internal state of the alert object: addresses of its full
+/// blocks plus the in-memory tail buffer (mirrors `AuditState`).
+#[derive(Clone, Debug, Default)]
+pub struct AlertState {
+    /// Addresses of the flushed alert blocks, in append order.
+    pub blocks: Vec<BlockAddr>,
+    /// Length-prefixed blobs buffered toward the next block.
+    pub pending: Vec<u8>,
+    /// Total alerts ever appended.
+    pub total_alerts: u64,
+}
+
+impl AlertState {
+    /// Appends one alert blob; returns a full block payload when the
+    /// buffer spills. Blobs above [`MAX_ALERT_BYTES`] are rejected.
+    pub fn push(&mut self, blob: &[u8]) -> Result<Option<Vec<u8>>> {
+        if blob.is_empty() || blob.len() > MAX_ALERT_BYTES {
+            return Err(S4Error::BadRequest("alert blob size"));
+        }
+        let mut spilled = None;
+        if self.pending.len() + 2 + blob.len() > BLOCK_SIZE {
+            spilled = Some(std::mem::take(&mut self.pending));
+        }
+        self.pending
+            .extend_from_slice(&(blob.len() as u16).to_le_bytes());
+        self.pending.extend_from_slice(blob);
+        self.total_alerts += 1;
+        Ok(spilled)
+    }
+
+    /// Serializes the durable part (block list + totals) for the anchor
+    /// payload. Like the audit tail, the pending buffer is persisted
+    /// separately at anchor time.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.blocks.len() * 8);
+        out.extend_from_slice(&self.total_alerts.to_le_bytes());
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for b in &self.blocks {
+            out.extend_from_slice(&b.0.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from the anchor payload, advancing `pos`.
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<AlertState> {
+        if *pos + 12 > buf.len() {
+            return Err(S4Error::BadRequest("alert state truncated"));
+        }
+        let total_alerts = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+        let n = u32::from_le_bytes(buf[*pos + 8..*pos + 12].try_into().unwrap()) as usize;
+        *pos += 12;
+        if *pos + n * 8 > buf.len() {
+            return Err(S4Error::BadRequest("alert block list truncated"));
+        }
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            blocks.push(BlockAddr(u64::from_le_bytes(
+                buf[*pos..*pos + 8].try_into().unwrap(),
+            )));
+            *pos += 8;
+        }
+        Ok(AlertState {
+            blocks,
+            pending: Vec::new(),
+            total_alerts,
+        })
+    }
+
+    /// Decodes every blob in an alert block payload.
+    pub fn decode_block(payload: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        let mut off = 0;
+        while off + 2 <= payload.len() {
+            let len = u16::from_le_bytes(payload[off..off + 2].try_into().unwrap()) as usize;
+            if len == 0 {
+                break; // zero padding
+            }
+            off += 2;
+            if off + len > payload.len() {
+                return Err(S4Error::BadRequest("alert blob truncated"));
+            }
+            out.push(payload[off..off + len].to_vec());
+            off += len;
+        }
+        Ok(out)
+    }
+
+    /// Takes the buffered (partial) tail as a block payload, if any —
+    /// called at anchor time so alerts survive restarts.
+    pub fn take_pending_block(&mut self) -> Option<Vec<u8>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        Some(std::mem::take(&mut self.pending))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_decode_round_trip() {
+        let mut st = AlertState::default();
+        assert!(st.push(b"first alert").unwrap().is_none());
+        assert!(st.push(b"second").unwrap().is_none());
+        assert_eq!(st.total_alerts, 2);
+        let block = st.take_pending_block().unwrap();
+        let blobs = AlertState::decode_block(&block).unwrap();
+        assert_eq!(blobs, vec![b"first alert".to_vec(), b"second".to_vec()]);
+    }
+
+    #[test]
+    fn spills_full_blocks() {
+        let mut st = AlertState::default();
+        let blob = vec![7u8; 1000];
+        let mut spilled = Vec::new();
+        for _ in 0..9 {
+            if let Some(b) = st.push(&blob).unwrap() {
+                spilled.push(b);
+            }
+        }
+        assert_eq!(spilled.len(), 2, "4 blobs of 1002 bytes per block");
+        for b in &spilled {
+            assert_eq!(AlertState::decode_block(b).unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_and_empty_blobs() {
+        let mut st = AlertState::default();
+        assert!(st.push(&[]).is_err());
+        assert!(st.push(&vec![0u8; MAX_ALERT_BYTES + 1]).is_err());
+        assert!(st.push(&vec![1u8; MAX_ALERT_BYTES]).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_blob() {
+        let mut payload = vec![0u8; 16];
+        payload[0..2].copy_from_slice(&100u16.to_le_bytes());
+        assert!(AlertState::decode_block(&payload).is_err());
+    }
+
+    #[test]
+    fn state_encode_decode() {
+        let st = AlertState {
+            blocks: vec![BlockAddr(11), BlockAddr(42)],
+            pending: vec![1, 2],
+            total_alerts: 7,
+        };
+        let enc = st.encode();
+        let mut pos = 0;
+        let d = AlertState::decode_from(&enc, &mut pos).unwrap();
+        assert_eq!(d.blocks, st.blocks);
+        assert_eq!(d.total_alerts, 7);
+        assert!(d.pending.is_empty());
+        assert_eq!(pos, enc.len());
+    }
+}

@@ -290,6 +290,66 @@ mod tests {
     }
 
     #[test]
+    fn record_stream_round_trips_across_block_boundaries() {
+        // Push 2½ blocks of records, then reassemble the whole stream
+        // from the emitted full blocks plus the anchored pending tail:
+        // nothing lost, nothing reordered, nothing altered at the seams.
+        let mut st = AuditState::default();
+        let per_block = usable_block_bytes() / RECORD_BYTES;
+        let total = per_block as u64 * 2 + per_block as u64 / 2;
+        let mut blocks = Vec::new();
+        for i in 0..total {
+            blocks.extend(st.push(&rec(i)));
+        }
+        blocks.extend(st.take_pending_block());
+        assert!(st.take_pending_block().is_none());
+        let decoded: Vec<AuditRecord> = blocks
+            .iter()
+            .map(|b| AuditState::decode_block(b).unwrap())
+            .collect::<Vec<_>>()
+            .concat();
+        assert_eq!(decoded.len() as u64, total);
+        for (i, d) in decoded.iter().enumerate() {
+            assert_eq!(*d, rec(i as u64), "record {i} damaged crossing blocks");
+        }
+    }
+
+    #[test]
+    fn decode_block_rejects_corruption_without_panicking() {
+        let mut st = AuditState::default();
+        let mut payload = Vec::new();
+        for i in 0..3 {
+            st.push(&rec(i));
+        }
+        payload.extend(st.take_pending_block().unwrap());
+
+        // Corrupt the op byte of the middle record: clean error, no panic.
+        let mut bad = payload.clone();
+        bad[RECORD_BYTES + 16] = 250;
+        assert_eq!(
+            AuditState::decode_block(&bad),
+            Err(S4Error::BadRequest("audit op kind"))
+        );
+
+        // An op byte of zero is padding: the scan stops, keeping only the
+        // records before it.
+        let mut padded = payload.clone();
+        padded[2 * RECORD_BYTES + 16] = 0;
+        assert_eq!(AuditState::decode_block(&padded).unwrap().len(), 2);
+
+        // Truncated payloads (a torn write) and arbitrary garbage decode
+        // to whatever whole valid records they contain, never panicking.
+        for cut in 0..payload.len() {
+            let _ = AuditState::decode_block(&payload[..cut]);
+        }
+        let garbage: Vec<u8> = (0..BLOCK_SIZE).map(|i| (i * 37 + 11) as u8).collect();
+        let _ = AuditState::decode_block(&garbage);
+        // Oversized payloads are clamped to the usable region.
+        let big = vec![0u8; BLOCK_SIZE * 3];
+        assert_eq!(AuditState::decode_block(&big).unwrap().len(), 0);
+    }
+
+    #[test]
     fn op_kind_round_trip() {
         for v in 1..=19u8 {
             assert_eq!(OpKind::from_u8(v).unwrap() as u8, v);

@@ -19,7 +19,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use parking_lot::Mutex;
+use s4_clock::sync::Mutex;
 
 use s4_clock::{CpuModel, HybridClock, HybridTimestamp, SimClock, SimDuration, SimTime};
 use s4_journal::{decode_sector, encode_sectors, redo, undo, JournalEntry, ObjectMeta, PtrChange};
@@ -30,7 +30,8 @@ use s4_lfs::{
 use s4_simdisk::BlockDev;
 
 use crate::acl::{AclEntry, AclTable, Perm};
-use crate::audit::AuditState;
+use crate::alert::AlertState;
+use crate::audit::{AuditRecord, AuditState};
 use crate::ids::{ObjectId, RequestContext};
 use crate::object::{DeltaRef, EvictInfo, ObjectEntry, SectorInfo, Slot};
 use crate::stats::DriveStats;
@@ -46,7 +47,13 @@ pub const AUDIT_OBJECT: ObjectId = ObjectId(1);
 /// RPC calls ... versioned in the same manner as other objects".
 pub const PARTITION_OBJECT: ObjectId = ObjectId(2);
 
-const FIRST_DYNAMIC_OID: u64 = 3;
+/// The reserved alert object: detectors running inside the security
+/// perimeter persist their findings here. Like the audit log it is
+/// writable only by the drive itself, so an intruder with full client
+/// privileges can neither suppress nor rewrite raised alerts.
+pub const ALERT_OBJECT: ObjectId = ObjectId(3);
+
+const FIRST_DYNAMIC_OID: u64 = 4;
 const ANCHOR_MAGIC: u32 = 0x5334_414E; // "S4AN"
 const JBLOCK_MAGIC: u32 = 0x5334_4A42; // "S4JB"
 const CPBLOCK_MAGIC: u32 = 0x5334_4342; // "S4CB"
@@ -132,11 +139,59 @@ pub struct ObjectAttrs {
     pub opaque: Vec<u8>,
 }
 
+/// The kind of mutation behind one retained version (see
+/// [`S4Drive::version_history`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum VersionKind {
+    Create,
+    Write,
+    Truncate,
+    SetAttr,
+    SetAcl,
+    Delete,
+    /// Internal checkpoint marker (not a client mutation).
+    Checkpoint,
+}
+
+/// One entry of an object's tamper/version timeline, derived from the
+/// journal history the drive itself retains — ground truth a client-side
+/// intruder cannot rewrite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VersionRecord {
+    /// Version stamp of the mutation.
+    pub stamp: HybridTimestamp,
+    /// What kind of mutation produced this version.
+    pub kind: VersionKind,
+    /// Object size after the mutation, where the journal records it.
+    pub size_after: Option<u64>,
+}
+
+impl VersionRecord {
+    fn from_entry(e: &JournalEntry) -> VersionRecord {
+        let (kind, size_after) = match e {
+            JournalEntry::Create { .. } => (VersionKind::Create, Some(0)),
+            JournalEntry::Delete { .. } => (VersionKind::Delete, None),
+            JournalEntry::Write { new_size, .. } => (VersionKind::Write, Some(*new_size)),
+            JournalEntry::Truncate { new_size, .. } => (VersionKind::Truncate, Some(*new_size)),
+            JournalEntry::SetAttr { .. } => (VersionKind::SetAttr, None),
+            JournalEntry::SetAcl { .. } => (VersionKind::SetAcl, None),
+            JournalEntry::Checkpoint { .. } => (VersionKind::Checkpoint, None),
+        };
+        VersionRecord {
+            stamp: e.stamp(),
+            kind,
+            size_after,
+        }
+    }
+}
+
 struct Inner {
     table: HashMap<u64, Slot>,
     next_oid: u64,
     window: SimDuration,
     audit: AuditState,
+    alerts: AlertState,
     /// Every reachable block (current data, in-window history, journal
     /// blocks, checkpoints, audit blocks). Rebuilt from first principles
     /// at mount.
@@ -155,6 +210,16 @@ struct Inner {
     lru: u64,
 }
 
+/// An online detector fed every freshly appended audit record (the
+/// `s4-detect` crate provides implementations). Runs inside the drive's
+/// security perimeter: any blobs it returns are persisted to the
+/// reserved alert object, which clients cannot write.
+pub trait AuditObserver: Send {
+    /// Called after each audited request; returns encoded alert blobs
+    /// to persist (empty when the record is unremarkable).
+    fn on_record(&mut self, rec: &AuditRecord) -> Vec<Vec<u8>>;
+}
+
 /// The S4 drive.
 pub struct S4Drive<D: BlockDev> {
     log: Log<D>,
@@ -164,6 +229,7 @@ pub struct S4Drive<D: BlockDev> {
     inner: Mutex<Inner>,
     stats: DriveStats,
     cleaner: Cleaner,
+    observers: Mutex<Vec<Box<dyn AuditObserver>>>,
 }
 
 impl<D: BlockDev> S4Drive<D> {
@@ -182,6 +248,7 @@ impl<D: BlockDev> S4Drive<D> {
                 next_oid: FIRST_DYNAMIC_OID,
                 window: config.detection_window,
                 audit: AuditState::default(),
+                alerts: AlertState::default(),
                 live: HashSet::new(),
                 jblock_refs: HashMap::new(),
                 cpblock_refs: HashMap::new(),
@@ -191,6 +258,7 @@ impl<D: BlockDev> S4Drive<D> {
                 lru: 0,
             }),
             stats: DriveStats::new(),
+            observers: Mutex::new(Vec::new()),
         };
         // Create the partition-table object (versioned like any other).
         {
@@ -278,6 +346,9 @@ impl<D: BlockDev> S4Drive<D> {
                             }
                         }
                     }
+                    BlockKind::Audit if tag.object == ALERT_OBJECT.0 => {
+                        inner.alerts.blocks.push(addr);
+                    }
                     BlockKind::Audit => {
                         inner.audit.blocks.push(addr);
                     }
@@ -303,6 +374,7 @@ impl<D: BlockDev> S4Drive<D> {
             config,
             inner: Mutex::new(inner),
             stats: DriveStats::new(),
+            observers: Mutex::new(Vec::new()),
         })
     }
 
@@ -775,25 +847,126 @@ impl<D: BlockDev> S4Drive<D> {
         Ok(out)
     }
 
-    /// Appends one audit record (called by the RPC dispatcher).
+    /// Appends one audit record (called by the RPC dispatcher), then
+    /// feeds it to any registered online detectors and persists the
+    /// alerts they raise.
     pub(crate) fn audit_append(&self, rec: &crate::audit::AuditRecord) {
         if !self.config.audit_enabled {
             return;
         }
-        let mut inner = self.inner.lock();
-        self.stats.audit_records(1);
-        let full_blocks = inner.audit.push(rec);
-        for payload in full_blocks {
-            let idx = inner.audit.blocks.len() as u64;
-            if let Ok(addr) = self.log.append(
-                BlockTag::new(BlockKind::Audit, AUDIT_OBJECT.0, idx),
-                &payload,
-            ) {
-                inner.audit.blocks.push(addr);
-                inner.live.insert(addr.0);
-                self.stats.audit_blocks(1);
+        {
+            let mut inner = self.inner.lock();
+            self.stats.audit_records(1);
+            let full_blocks = inner.audit.push(rec);
+            for payload in full_blocks {
+                let idx = inner.audit.blocks.len() as u64;
+                if let Ok(addr) = self.log.append(
+                    BlockTag::new(BlockKind::Audit, AUDIT_OBJECT.0, idx),
+                    &payload,
+                ) {
+                    inner.audit.blocks.push(addr);
+                    inner.live.insert(addr.0);
+                    self.stats.audit_blocks(1);
+                }
             }
         }
+        // Online detection: run outside the inner lock so persisting
+        // alerts can re-enter the drive.
+        let mut raised: Vec<Vec<u8>> = Vec::new();
+        {
+            let mut observers = self.observers.lock();
+            for obs in observers.iter_mut() {
+                raised.extend(obs.on_record(rec));
+            }
+        }
+        for blob in raised {
+            self.alert_append(&blob);
+        }
+    }
+
+    /// Registers an online detector. Every subsequently audited request
+    /// is passed to it; returned blobs land in the alert object.
+    pub fn register_audit_observer(&self, obs: Box<dyn AuditObserver>) {
+        self.observers.lock().push(obs);
+    }
+
+    /// Appends one alert blob to the reserved alert object (drive
+    /// front-end only — there is no client RPC that reaches this).
+    pub(crate) fn alert_append(&self, blob: &[u8]) {
+        let mut inner = self.inner.lock();
+        let spilled = match inner.alerts.push(blob) {
+            Ok(s) => s,
+            Err(_) => return, // oversized blob: drop rather than poison the log
+        };
+        if let Some(payload) = spilled {
+            let idx = inner.alerts.blocks.len() as u64;
+            if let Ok(addr) = self.log.append(
+                BlockTag::new(BlockKind::Audit, ALERT_OBJECT.0, idx),
+                &payload,
+            ) {
+                inner.alerts.blocks.push(addr);
+                inner.live.insert(addr.0);
+            }
+        }
+    }
+
+    /// Reads every persisted alert blob (admin only), oldest first.
+    pub fn read_alerts(&self, ctx: &RequestContext) -> Result<Vec<Vec<u8>>> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        for &addr in &inner.alerts.blocks {
+            let block = self.log.read_block(addr)?;
+            out.extend(AlertState::decode_block(&block)?);
+        }
+        out.extend(AlertState::decode_block(&inner.alerts.pending)?);
+        Ok(out)
+    }
+
+    /// Total records ever appended to the audit log (admin only). A
+    /// mismatch against the decodable record count exposes an audit
+    /// coverage gap (records lost with the volatile tail in a crash).
+    pub fn audit_total_records(&self, ctx: &RequestContext) -> Result<u64> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        Ok(self.inner.lock().audit.total_records)
+    }
+
+    /// Walks an object's retained journal history, oldest first: one
+    /// [`VersionRecord`] per in-window mutation. Requires admin (the
+    /// forensic path) or `RECOVERY` permission on the current ACL.
+    pub fn version_history(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+    ) -> Result<Vec<VersionRecord>> {
+        self.check_not_reserved(oid)?;
+        let mut inner = self.inner.lock();
+        let entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            if !self.is_admin(ctx) {
+                let table = AclTable::decode(&entry.meta.acl)?;
+                if !table.perms_of(ctx.user).includes(Perm::RECOVERY) {
+                    return Err(S4Error::AccessDenied);
+                }
+            }
+            let mut out = Vec::new();
+            for s in &entry.sectors {
+                let (_oid, entries) = read_subsector(&self.log, s.addr, s.slot)?;
+                for e in &entries {
+                    out.push(VersionRecord::from_entry(e));
+                }
+            }
+            for e in &entry.pending {
+                out.push(VersionRecord::from_entry(e));
+            }
+            Ok(out)
+        })();
+        self.put_back(&mut inner, entry);
+        r
     }
 
     // ------------------------------------------------------------------
@@ -1108,7 +1281,7 @@ impl<D: BlockDev> S4Drive<D> {
     // ------------------------------------------------------------------
 
     fn check_not_reserved(&self, oid: ObjectId) -> Result<()> {
-        if oid == AUDIT_OBJECT || oid == PARTITION_OBJECT {
+        if oid == AUDIT_OBJECT || oid == PARTITION_OBJECT || oid == ALERT_OBJECT {
             return Err(S4Error::AccessDenied);
         }
         Ok(())
@@ -1821,6 +1994,16 @@ impl<D: BlockDev> S4Drive<D> {
             self.stats.audit_blocks(1);
         }
 
+        // Likewise the buffered alert tail.
+        if let Some(tail) = inner.alerts.take_pending_block() {
+            let idx = inner.alerts.blocks.len() as u64;
+            let addr = self
+                .log
+                .append(BlockTag::new(BlockKind::Audit, ALERT_OBJECT.0, idx), &tail)?;
+            inner.alerts.blocks.push(addr);
+            inner.live.insert(addr.0);
+        }
+
         let payload = encode_anchor_payload(inner);
         self.log.write_anchor(
             &payload,
@@ -2220,7 +2403,12 @@ impl<D: BlockDev> RelocationCallbacks for DriveCallbacks<'_, D> {
                 let new = drive.log.append(*tag, data)?;
                 inner.live.remove(&addr.0);
                 inner.live.insert(new.0);
-                if let Some(slot) = inner.audit.blocks.iter_mut().find(|a| **a == addr) {
+                let list = if tag.object == ALERT_OBJECT.0 {
+                    &mut inner.alerts.blocks
+                } else {
+                    &mut inner.audit.blocks
+                };
+                if let Some(slot) = list.iter_mut().find(|a| **a == addr) {
                     *slot = new;
                 }
                 Ok(())
@@ -2413,6 +2601,9 @@ fn encode_anchor_payload(inner: &Inner) -> Vec<u8> {
             }
         }
     }
+    // Alert-object state trails the table so anchors written before the
+    // alert object existed still decode.
+    out.extend_from_slice(&inner.alerts.encode());
     out
 }
 
@@ -2425,6 +2616,7 @@ fn decode_anchor_payload(
         next_oid: FIRST_DYNAMIC_OID,
         window: config.detection_window,
         audit: AuditState::default(),
+        alerts: AlertState::default(),
         live: HashSet::new(),
         jblock_refs: HashMap::new(),
         cpblock_refs: HashMap::new(),
@@ -2501,6 +2693,9 @@ fn decode_anchor_payload(
             sectors,
         });
     }
+    if pos < payload.len() {
+        inner.alerts = AlertState::decode_from(payload, &mut pos)?;
+    }
     Ok((inner, records))
 }
 
@@ -2553,7 +2748,13 @@ fn rebuild_liveness<D: BlockDev>(log: &Log<D>, inner: &mut Inner) -> Result<()> 
     inner.jblock_refs.clear();
     inner.cpblock_refs.clear();
     inner.dblock_refs.clear();
-    let audit_blocks: Vec<u64> = inner.audit.blocks.iter().map(|a| a.0).collect();
+    let audit_blocks: Vec<u64> = inner
+        .audit
+        .blocks
+        .iter()
+        .chain(&inner.alerts.blocks)
+        .map(|a| a.0)
+        .collect();
     for a in audit_blocks {
         inner.live.insert(a);
     }

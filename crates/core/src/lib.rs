@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod acl;
+pub mod alert;
 pub mod audit;
 pub mod drive;
 pub mod ids;
@@ -70,8 +71,12 @@ pub mod stats;
 pub mod throttle;
 
 pub use acl::{AclEntry, AclTable, Perm};
-pub use audit::{AuditRecord, OpKind};
-pub use drive::{DriveConfig, S4Drive, AUDIT_OBJECT, PARTITION_OBJECT};
+pub use alert::{AlertState, MAX_ALERT_BYTES};
+pub use audit::{AuditRecord, AuditState, OpKind};
+pub use drive::{
+    AuditObserver, DriveConfig, S4Drive, VersionKind, VersionRecord, ALERT_OBJECT, AUDIT_OBJECT,
+    PARTITION_OBJECT,
+};
 pub use ids::{ClientId, ObjectId, RequestContext, UserId, ADMIN_USER};
 pub use rpc::{Request, Response};
 pub use stats::DriveStats;

@@ -235,13 +235,19 @@ impl<D: BlockDev> S4Drive<D> {
         let result = self.execute(ctx, req);
 
         let (arg1, arg2) = req.audit_args();
+        // A Create names its object only in the response; audit the
+        // drive-assigned id so analysis can follow the object from birth.
+        let object = match &result {
+            Ok(Response::Created(oid)) => *oid,
+            _ => req.target(),
+        };
         self.audit_append(&AuditRecord {
             time: self.now(),
             user: ctx.user,
             client: ctx.client,
             op: req.op_kind(),
             ok: result.is_ok(),
-            object: req.target(),
+            object,
             arg1,
             arg2,
         });

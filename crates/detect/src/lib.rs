@@ -1,0 +1,64 @@
+//! Intrusion detection, forensics, and recovery for self-securing
+//! storage.
+//!
+//! The paper's security model (§3) makes the drive a vantage point the
+//! intruder cannot reach: every request is versioned and audited behind
+//! the physical interface boundary, so the drive sees a complete,
+//! tamper-proof record of what happened even when every client OS is
+//! compromised. This crate is the machinery that *exploits* that vantage
+//! point, in three layers:
+//!
+//! * **Detection** ([`detector`], [`rules`]) — streaming analytics over
+//!   the drive-written audit log (§4.2.3). A pluggable [`Detector`]
+//!   trait consumes [`AuditRecord`](s4_core::AuditRecord)s one at a
+//!   time; the built-in rules flag the §2 intrusion shapes: scrubbing an
+//!   append-only log, bursts of ACL/attribute tampering, mass overwrite
+//!   storms (the ransomware shape), write-rate spikes, a known user
+//!   suddenly operating from a foreign client, and gaps in audit
+//!   coverage. Detectors run *offline* over the decoded log
+//!   ([`scan_audit`]) or *online* inside the drive via
+//!   [`OnlineMonitor`], with alerts persisted to a second reserved,
+//!   drive-writable-only object that the intruder can neither suppress
+//!   nor rewrite.
+//! * **Forensics** ([`forensics`], [`timeline`]) — given an intrusion
+//!   time `T`, reconstruct what happened: per-principal activity
+//!   summaries, per-object tamper timelines merging the journal's
+//!   version history with the audit stream, namespace tree diffs
+//!   between `T` and now, and the §3.6 damage report (reads, writes,
+//!   and crude taint propagation for a suspect principal).
+//! * **Recovery** ([`recovery`]) — turn the forensic picture into a
+//!   reviewable [`RecoveryPlan`]: restore tampered objects to their
+//!   pre-intrusion versions, undelete destroyed ones, remove planted
+//!   ones (landmark-pinned first, as evidence), and quarantine
+//!   already-deleted exploit tools. [`execute_plan`] applies it with
+//!   time-based reads and copy-forward writes — history is never
+//!   rewritten, so recovery itself is auditable and undoable.
+//!
+//! The crate deliberately depends only on `s4-core` (drive interface):
+//! it lives with the administrator inside the security perimeter, not
+//! with any file-system client. The file-server layer (`s4-fs`)
+//! re-exports the damage report from here for compatibility.
+
+#![warn(missing_docs)]
+
+pub mod alert;
+pub mod detector;
+pub mod dirblob;
+pub mod forensics;
+pub mod recovery;
+pub mod rules;
+pub mod timeline;
+
+pub use alert::{Alert, Severity};
+pub use detector::{
+    install_standard_monitor, read_alerts, scan_audit, Detector, DetectorSet, OnlineMonitor,
+};
+pub use forensics::{
+    audit_coverage, damage_report, object_timeline, tree_at, tree_diff, CoverageReport,
+    DamageReport, TimelineEvent, TimelineSource, TreeDiff, TreeNode,
+};
+pub use recovery::{
+    execute_plan, plan_recovery, PlannedAction, RecoveryAction, RecoveryPlan, RecoveryReport,
+    Suspects,
+};
+pub use timeline::{ActivityTimeline, ObjectProfile, PrincipalActivity};

@@ -1,0 +1,635 @@
+//! Recovery planning and execution.
+//!
+//! The §2 end-game: once forensics has placed the intrusion at time `T`
+//! and named the suspect principals, build a *reviewable* plan of
+//! restorative actions and execute it through the same versioned
+//! interface everything else uses. Recovery never rewrites history —
+//! restores are copy-forward writes (§3.3), planted objects are
+//! landmark-pinned before removal so the evidence outlives the
+//! detection window, and the whole procedure is itself versioned and
+//! auditable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use s4_clock::SimTime;
+use s4_core::{
+    AclTable, AuditRecord, ClientId, ObjectId, RequestContext, S4Drive, S4Error, UserId,
+};
+use s4_simdisk::BlockDev;
+
+use crate::dirblob::{self, EntryKind};
+use crate::forensics::tree_at;
+use crate::timeline::is_mutation;
+
+/// Which principals are considered compromised.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Suspects {
+    /// Compromised client machines.
+    pub clients: BTreeSet<u32>,
+    /// Compromised (stolen) user identities.
+    pub users: BTreeSet<u32>,
+}
+
+impl Suspects {
+    /// Suspect a single client machine (the common §2 case: damage is
+    /// bounded to requests from the compromised host).
+    pub fn client(c: ClientId) -> Self {
+        Suspects {
+            clients: BTreeSet::from([c.0]),
+            users: BTreeSet::new(),
+        }
+    }
+
+    /// Suspect a user identity regardless of client.
+    pub fn user(u: UserId) -> Self {
+        Suspects {
+            clients: BTreeSet::new(),
+            users: BTreeSet::from([u.0]),
+        }
+    }
+
+    /// Whether a record was issued by a suspect principal.
+    pub fn matches(&self, rec: &AuditRecord) -> bool {
+        self.clients.contains(&rec.client.0) || self.users.contains(&rec.user.0)
+    }
+}
+
+/// One restorative step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Copy the object's pre-intrusion version forward (contents,
+    /// length, and attributes as of `to`).
+    RestoreContent {
+        /// Object to restore.
+        object: ObjectId,
+        /// Version instant to restore to.
+        to: SimTime,
+    },
+    /// Recreate a deleted object from its version at `to` as a fresh
+    /// object, relinking it under `parent` when the old path is known.
+    Undelete {
+        /// The deleted object.
+        object: ObjectId,
+        /// Version instant to resurrect.
+        to: SimTime,
+        /// `(directory object, entry name)` to relink under, if known.
+        parent: Option<(ObjectId, String)>,
+        /// Directory-entry kind for the relinked entry.
+        kind: EntryKind,
+    },
+    /// Remove an object the intruder planted: landmark-pin the current
+    /// version as evidence, unlink it from `parent`, then delete it.
+    RemovePlanted {
+        /// The planted object.
+        object: ObjectId,
+        /// `(directory object, entry name)` to unlink from, if known.
+        parent: Option<(ObjectId, String)>,
+    },
+    /// Landmark-pin the version at `at` so already-deleted evidence
+    /// (e.g. an exploit tool the intruder removed) survives the
+    /// detection window.
+    Quarantine {
+        /// The deleted object holding the evidence.
+        object: ObjectId,
+        /// Instant of the version to pin.
+        at: SimTime,
+    },
+}
+
+impl core::fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecoveryAction::RestoreContent { object, to } => {
+                write!(f, "restore {object} to its version at {to}")
+            }
+            RecoveryAction::Undelete {
+                object,
+                to,
+                parent,
+                ..
+            } => match parent {
+                Some((dir, name)) => write!(
+                    f,
+                    "undelete {object} from its version at {to}, relinked as '{name}' in {dir}"
+                ),
+                None => write!(f, "undelete {object} from its version at {to} (path unknown)"),
+            },
+            RecoveryAction::RemovePlanted { object, .. } => {
+                write!(f, "remove planted {object} (landmark-pinned as evidence first)")
+            }
+            RecoveryAction::Quarantine { object, at } => {
+                write!(f, "quarantine {object}: pin its version at {at} as evidence")
+            }
+        }
+    }
+}
+
+/// An action plus the forensic justification for it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedAction {
+    /// What to do.
+    pub action: RecoveryAction,
+    /// Why (paths and op counts from the audit log).
+    pub reason: String,
+}
+
+/// A reviewable recovery plan. Nothing here has touched the drive yet;
+/// an administrator inspects it (e.g. via the CLI) and then runs
+/// [`execute_plan`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryPlan {
+    /// The intrusion time `T` the plan restores to.
+    pub intrusion_time: SimTime,
+    /// When the plan was computed.
+    pub planned_at: SimTime,
+    /// Restorative steps, in execution order (directories first, so
+    /// undeletes and unlinks operate on already-restored namespaces).
+    pub actions: Vec<PlannedAction>,
+}
+
+/// What [`execute_plan`] did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Actions applied successfully.
+    pub applied: usize,
+    /// `(action index, error)` for actions that failed; execution
+    /// continues past failures.
+    pub failed: Vec<(usize, String)>,
+    /// `(old, new)` object ids for undeleted objects.
+    pub undeleted: Vec<(ObjectId, ObjectId)>,
+}
+
+fn is_reserved(oid: u64) -> bool {
+    oid <= s4_core::ALERT_OBJECT.0
+}
+
+/// Builds a recovery plan: every object mutated after `t` by a suspect
+/// principal is classified against its state at `t` (admin only).
+///
+/// * existed at `t`, still live — [`RecoveryAction::RestoreContent`]
+/// * existed at `t`, now deleted — [`RecoveryAction::Undelete`]
+/// * created after `t`, still live — [`RecoveryAction::RemovePlanted`]
+/// * created after `t`, already deleted — [`RecoveryAction::Quarantine`]
+pub fn plan_recovery<D: BlockDev>(
+    drive: &S4Drive<D>,
+    admin: &RequestContext,
+    suspects: &Suspects,
+    t: SimTime,
+) -> Result<RecoveryPlan, S4Error> {
+    let records = drive.read_audit_records(admin)?;
+
+    // Objects a suspect mutated after T, with op counts for the reason
+    // string and the time of the last content-bearing mutation (the
+    // quarantine instant for already-deleted evidence).
+    let mut touched: BTreeMap<u64, BTreeMap<&'static str, u32>> = BTreeMap::new();
+    let mut last_content_at: BTreeMap<u64, SimTime> = BTreeMap::new();
+    for r in &records {
+        if r.time <= t || !r.ok || !suspects.matches(r) {
+            continue;
+        }
+        if !is_mutation(r.op) || is_reserved(r.object.0) {
+            continue;
+        }
+        *touched
+            .entry(r.object.0)
+            .or_default()
+            .entry(op_name(r.op))
+            .or_insert(0) += 1;
+        if !matches!(r.op, s4_core::OpKind::Delete) {
+            last_content_at.insert(r.object.0, r.time);
+        }
+    }
+
+    // Namespace context: oid -> (path, parent dir, name, kind) at T and
+    // now, across every partition.
+    let names_then = namespace_index(drive, admin, Some(t))?;
+    let names_now = namespace_index(drive, admin, None)?;
+
+    let mut restores_dirs = Vec::new();
+    let mut restores_files = Vec::new();
+    // (is_dir, path depth, action): undeletes run directories first,
+    // shallowest first, so children relink into already-resurrected
+    // parents; removals run files first and directories deepest-first,
+    // so nothing is unlinked from an already-deleted parent.
+    let mut undeletes: Vec<(bool, usize, PlannedAction)> = Vec::new();
+    let mut removals: Vec<(bool, usize, PlannedAction)> = Vec::new();
+    let mut quarantines = Vec::new();
+
+    for (&oid_raw, ops) in &touched {
+        let oid = ObjectId(oid_raw);
+        let existed_then = matches!(
+            drive.op_getattr(admin, oid, Some(t)),
+            Ok(a) if a.deleted.is_none()
+        );
+        let live_now = drive.op_getattr(admin, oid, None).is_ok();
+        let ops_desc = ops
+            .iter()
+            .map(|(k, n)| format!("{k}x{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let path_of = |idx: &BTreeMap<u64, NameInfo>| {
+            idx.get(&oid_raw)
+                .map(|i| i.path.clone())
+                .unwrap_or_else(|| format!("{oid}"))
+        };
+        match (existed_then, live_now) {
+            (true, true) => {
+                let info = names_then.get(&oid_raw);
+                let is_dir = info.map(|i| i.kind == EntryKind::Dir).unwrap_or(false);
+                let planned = PlannedAction {
+                    action: RecoveryAction::RestoreContent { object: oid, to: t },
+                    reason: format!(
+                        "{} tampered after T by suspect ({ops_desc}); restore to pre-intrusion \
+                         version",
+                        path_of(&names_then)
+                    ),
+                };
+                if is_dir {
+                    restores_dirs.push(planned);
+                } else {
+                    restores_files.push(planned);
+                }
+            }
+            (true, false) => {
+                let info = names_then.get(&oid_raw);
+                let is_dir = info.map(|i| i.kind == EntryKind::Dir).unwrap_or(false);
+                let depth = info.map(|i| i.path.matches('/').count()).unwrap_or(0);
+                undeletes.push((
+                    is_dir,
+                    depth,
+                    PlannedAction {
+                        action: RecoveryAction::Undelete {
+                            object: oid,
+                            to: t,
+                            parent: info.map(|i| (i.parent, i.name.clone())),
+                            kind: info.map(|i| i.kind).unwrap_or(EntryKind::File),
+                        },
+                        reason: format!(
+                            "{} destroyed after T by suspect ({ops_desc}); recreate from the \
+                             history pool",
+                            path_of(&names_then)
+                        ),
+                    },
+                ));
+            }
+            (false, true) => {
+                let info = names_now.get(&oid_raw);
+                let is_dir = info.map(|i| i.kind == EntryKind::Dir).unwrap_or(false);
+                let depth = info.map(|i| i.path.matches('/').count()).unwrap_or(0);
+                removals.push((
+                    is_dir,
+                    depth,
+                    PlannedAction {
+                        action: RecoveryAction::RemovePlanted {
+                            object: oid,
+                            parent: info.map(|i| (i.parent, i.name.clone())),
+                        },
+                        reason: format!(
+                            "{} planted after T by suspect ({ops_desc}); pin as evidence and \
+                             remove",
+                            path_of(&names_now)
+                        ),
+                    },
+                ));
+            }
+            (false, false) => {
+                if let Some(&at) = last_content_at.get(&oid_raw) {
+                    quarantines.push(PlannedAction {
+                        action: RecoveryAction::Quarantine { object: oid, at },
+                        reason: format!(
+                            "{oid} planted and already deleted by suspect ({ops_desc}); pin the \
+                             last version as evidence"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Dirs first (shallowest first), then files: children relink into
+    // directories that are back already.
+    undeletes.sort_by_key(|(is_dir, depth, _)| (!*is_dir, *depth));
+    // Files first, then dirs deepest-first: nothing unlinks from a
+    // parent that was already removed.
+    removals.sort_by_key(|(is_dir, depth, _)| (*is_dir, usize::MAX - *depth));
+
+    let mut actions = restores_dirs;
+    actions.extend(restores_files);
+    actions.extend(undeletes.into_iter().map(|(_, _, a)| a));
+    actions.extend(removals.into_iter().map(|(_, _, a)| a));
+    actions.extend(quarantines);
+    Ok(RecoveryPlan {
+        intrusion_time: t,
+        planned_at: drive.now(),
+        actions,
+    })
+}
+
+/// Executes a plan with the admin context, continuing past individual
+/// failures (each is reported).
+pub fn execute_plan<D: BlockDev>(
+    drive: &S4Drive<D>,
+    admin: &RequestContext,
+    plan: &RecoveryPlan,
+) -> Result<RecoveryReport, S4Error> {
+    let mut report = RecoveryReport::default();
+    // Undeleting gives an object a fresh id; later undeletes whose
+    // parent directory was itself resurrected must relink into the new
+    // directory object, not the dead one.
+    let mut remap: BTreeMap<u64, ObjectId> = BTreeMap::new();
+    for (idx, pa) in plan.actions.iter().enumerate() {
+        let r = match &pa.action {
+            RecoveryAction::RestoreContent { object, to } => {
+                restore_content(drive, admin, *object, *to)
+            }
+            RecoveryAction::Undelete {
+                object,
+                to,
+                parent,
+                kind,
+            } => {
+                let parent = parent
+                    .as_ref()
+                    .map(|(dir, name)| (remap.get(&dir.0).copied().unwrap_or(*dir), name.clone()));
+                undelete(drive, admin, *object, *to, parent.as_ref(), *kind).map(|new_oid| {
+                    remap.insert(object.0, new_oid);
+                    report.undeleted.push((*object, new_oid));
+                })
+            }
+            RecoveryAction::RemovePlanted { object, parent } => {
+                remove_planted(drive, admin, *object, parent.as_ref())
+            }
+            RecoveryAction::Quarantine { object, at } => {
+                drive.op_mark_landmark(admin, *object, *at)
+            }
+        };
+        match r {
+            Ok(()) => report.applied += 1,
+            Err(e) => report.failed.push((idx, e.to_string())),
+        }
+    }
+    Ok(report)
+}
+
+fn op_name(op: s4_core::OpKind) -> &'static str {
+    use s4_core::OpKind::*;
+    match op {
+        Create => "Create",
+        Delete => "Delete",
+        Write => "Write",
+        Append => "Append",
+        Truncate => "Truncate",
+        SetAttr => "SetAttr",
+        SetAcl => "SetAcl",
+        _ => "Other",
+    }
+}
+
+struct NameInfo {
+    path: String,
+    parent: ObjectId,
+    name: String,
+    kind: EntryKind,
+}
+
+/// Walks every partition's tree, mapping oid -> location. The first
+/// path wins if an object is linked more than once.
+fn namespace_index<D: BlockDev>(
+    drive: &S4Drive<D>,
+    admin: &RequestContext,
+    time: Option<SimTime>,
+) -> Result<BTreeMap<u64, NameInfo>, S4Error> {
+    let mut idx = BTreeMap::new();
+    for (pname, root) in drive.op_plist(admin, time)? {
+        let tree = tree_at(drive, admin, root, time)?;
+        for (path, node) in &tree {
+            let (dir_part, name) = match path.rfind('/') {
+                Some(i) => (&path[..i], &path[i + 1..]),
+                None => ("", path.as_str()),
+            };
+            let parent = if dir_part.is_empty() {
+                root
+            } else {
+                tree.get(dir_part).map(|n| n.oid).unwrap_or(root)
+            };
+            idx.entry(node.oid.0).or_insert(NameInfo {
+                path: format!("{pname}:/{path}"),
+                parent,
+                name: name.to_string(),
+                kind: node.kind,
+            });
+        }
+    }
+    Ok(idx)
+}
+
+fn restore_content<D: BlockDev>(
+    drive: &S4Drive<D>,
+    admin: &RequestContext,
+    oid: ObjectId,
+    to: SimTime,
+) -> Result<(), S4Error> {
+    let attrs = drive.op_getattr(admin, oid, Some(to))?;
+    let data = if attrs.size > 0 {
+        drive.op_read(admin, oid, 0, attrs.size, Some(to))?
+    } else {
+        Vec::new()
+    };
+    if !data.is_empty() {
+        drive.op_write(admin, oid, 0, &data)?;
+    }
+    drive.op_truncate(admin, oid, attrs.size)?;
+    drive.op_setattr(admin, oid, attrs.opaque)?;
+    Ok(())
+}
+
+/// Reconstructs the ACL table of `oid`'s version at `to` through the
+/// indexed lookup interface.
+fn acl_at<D: BlockDev>(
+    drive: &S4Drive<D>,
+    admin: &RequestContext,
+    oid: ObjectId,
+    to: SimTime,
+) -> Result<AclTable, S4Error> {
+    let mut table = AclTable::empty();
+    for idx in 0.. {
+        match drive.op_get_acl_by_index(admin, oid, idx, Some(to))? {
+            Some(entry) => table.set(entry),
+            None => break,
+        }
+    }
+    Ok(table)
+}
+
+fn undelete<D: BlockDev>(
+    drive: &S4Drive<D>,
+    admin: &RequestContext,
+    oid: ObjectId,
+    to: SimTime,
+    parent: Option<&(ObjectId, String)>,
+    kind: EntryKind,
+) -> Result<ObjectId, S4Error> {
+    let attrs = drive.op_getattr(admin, oid, Some(to))?;
+    let data = if attrs.size > 0 {
+        drive.op_read(admin, oid, 0, attrs.size, Some(to))?
+    } else {
+        Vec::new()
+    };
+    let acl = acl_at(drive, admin, oid, to)?;
+    let new_oid = drive.op_create(admin, Some(acl))?;
+    if !data.is_empty() {
+        drive.op_write(admin, new_oid, 0, &data)?;
+    }
+    drive.op_setattr(admin, new_oid, attrs.opaque)?;
+    if let Some((dir, name)) = parent {
+        relink(drive, admin, *dir, name, Some((new_oid, kind)))?;
+    }
+    Ok(new_oid)
+}
+
+fn remove_planted<D: BlockDev>(
+    drive: &S4Drive<D>,
+    admin: &RequestContext,
+    oid: ObjectId,
+    parent: Option<&(ObjectId, String)>,
+) -> Result<(), S4Error> {
+    // Evidence first: pin the version being removed past the window.
+    drive.op_mark_landmark(admin, oid, drive.now())?;
+    if let Some((dir, name)) = parent {
+        match relink(drive, admin, *dir, name, None) {
+            // The parent directory may itself be a removed plant.
+            Ok(()) | Err(S4Error::NoSuchObject) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    drive.op_delete(admin, oid)
+}
+
+/// Rewrites one entry of a directory object: `target = Some` upserts
+/// the entry, `None` removes it.
+fn relink<D: BlockDev>(
+    drive: &S4Drive<D>,
+    admin: &RequestContext,
+    dir: ObjectId,
+    name: &str,
+    target: Option<(ObjectId, EntryKind)>,
+) -> Result<(), S4Error> {
+    let attrs = drive.op_getattr(admin, dir, None)?;
+    let data = if attrs.size > 0 {
+        drive.op_read(admin, dir, 0, attrs.size, None)?
+    } else {
+        Vec::new()
+    };
+    let mut entries = dirblob::decode(&data)?;
+    entries.retain(|(n, _, _)| n != name);
+    if let Some((oid, kind)) = target {
+        entries.push((name.to_string(), oid.0, kind));
+    }
+    let blob = dirblob::encode(&entries);
+    if !blob.is_empty() {
+        drive.op_write(admin, dir, 0, &blob)?;
+    }
+    drive.op_truncate(admin, dir, blob.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4_clock::{SimClock, SimDuration};
+    use s4_core::{DriveConfig, Request, Response};
+    use s4_simdisk::MemDisk;
+
+    fn setup() -> (S4Drive<MemDisk>, RequestContext, RequestContext, RequestContext) {
+        let clock = SimClock::new();
+        clock.advance(SimDuration::from_secs(1));
+        let d = S4Drive::format(MemDisk::new(400_000), DriveConfig::small_test(), clock).unwrap();
+        let admin = RequestContext::admin(ClientId(9), d.config().admin_token);
+        let user = RequestContext::user(UserId(1), ClientId(1));
+        let intruder = RequestContext::user(UserId(1), ClientId(66));
+        (d, admin, user, intruder)
+    }
+
+    fn create(d: &S4Drive<MemDisk>, ctx: &RequestContext) -> ObjectId {
+        match d.dispatch(ctx, &Request::Create).unwrap() {
+            Response::Created(oid) => oid,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn tick(d: &S4Drive<MemDisk>) {
+        d.clock().advance(SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn plan_classifies_all_four_shapes() {
+        let (d, admin, user, intruder) = setup();
+        // Pre-intrusion state, created through the audited path.
+        let tampered = create(&d, &user);
+        d.dispatch(&user, &Request::Write { oid: tampered, offset: 0, data: b"good".to_vec() })
+            .unwrap();
+        let destroyed = create(&d, &user);
+        d.dispatch(&user, &Request::Write { oid: destroyed, offset: 0, data: b"keep me".to_vec() })
+            .unwrap();
+        tick(&d);
+        let t = d.now();
+        tick(&d);
+
+        // The intrusion: tamper, destroy, plant, plant-and-delete.
+        d.dispatch(&intruder, &Request::Write { oid: tampered, offset: 0, data: b"EVIL".to_vec() })
+            .unwrap();
+        d.dispatch(&intruder, &Request::Delete { oid: destroyed }).unwrap();
+        let planted = create(&d, &intruder);
+        d.dispatch(&intruder, &Request::Write { oid: planted, offset: 0, data: b"backdoor".to_vec() })
+            .unwrap();
+        let tool = create(&d, &intruder);
+        d.dispatch(&intruder, &Request::Write { oid: tool, offset: 0, data: b"exploit".to_vec() })
+            .unwrap();
+        tick(&d);
+        d.dispatch(&intruder, &Request::Delete { oid: tool }).unwrap();
+
+        let plan = plan_recovery(&d, &admin, &Suspects::client(ClientId(66)), t).unwrap();
+        let find = |o: ObjectId| {
+            plan.actions
+                .iter()
+                .find(|pa| match &pa.action {
+                    RecoveryAction::RestoreContent { object, .. }
+                    | RecoveryAction::Undelete { object, .. }
+                    | RecoveryAction::RemovePlanted { object, .. }
+                    | RecoveryAction::Quarantine { object, .. } => *object == o,
+                })
+                .unwrap_or_else(|| panic!("no action for {o}"))
+        };
+        assert!(matches!(find(tampered).action, RecoveryAction::RestoreContent { .. }));
+        assert!(matches!(find(destroyed).action, RecoveryAction::Undelete { .. }));
+        assert!(matches!(find(planted).action, RecoveryAction::RemovePlanted { .. }));
+        assert!(matches!(find(tool).action, RecoveryAction::Quarantine { .. }));
+
+        // Execute and verify the drive state.
+        let report = execute_plan(&d, &admin, &plan).unwrap();
+        assert!(report.failed.is_empty(), "failures: {:?}", report.failed);
+        assert_eq!(report.applied, plan.actions.len());
+        assert_eq!(d.op_read(&user, tampered, 0, 4, None).unwrap(), b"good");
+        assert!(d.op_getattr(&user, planted, None).is_err(), "planted object removed");
+        let (_, new_oid) = report.undeleted[0];
+        assert_eq!(d.op_read(&user, new_oid, 0, 7, None).unwrap(), b"keep me");
+        // The quarantined tool's last version is pinned as a landmark.
+        let pins = d.landmarks(&admin, tool).unwrap();
+        assert_eq!(pins.len(), 1);
+        // And the removed planted object is pinned too (evidence).
+        assert_eq!(d.landmarks(&admin, planted).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn innocent_activity_is_not_planned_against() {
+        let (d, admin, user, _) = setup();
+        let mine = create(&d, &user);
+        tick(&d);
+        let t = d.now();
+        tick(&d);
+        // Post-T activity by the honest client only.
+        d.dispatch(&user, &Request::Write { oid: mine, offset: 0, data: b"work".to_vec() })
+            .unwrap();
+        let plan = plan_recovery(&d, &admin, &Suspects::client(ClientId(66)), t).unwrap();
+        assert!(plan.actions.is_empty());
+    }
+}

@@ -1,0 +1,662 @@
+//! Built-in detection rules.
+//!
+//! Each rule is a streaming [`Detector`](crate::Detector) over the
+//! audit stream, tuned so a heavy-but-honest workload (the PostMark
+//! harness: thousands of create/append/delete transactions from one
+//! client) raises **zero** alerts, while the §2 intrusion shapes fire
+//! reliably:
+//!
+//! | rule | intrusion shape |
+//! |------|-----------------|
+//! | [`AppendOnlyViolation`] | scrubbing a log file (truncate/overwrite below the high-water mark) |
+//! | [`ForeignClient`] | stolen credentials used from a different client machine |
+//! | [`RansomStorm`] | mass overwrite/shrink across many objects in a short window |
+//! | [`WriteRateSpike`] | write throughput far above the principal's learned baseline |
+//! | [`AclTamperBurst`] | bursts of ACL changes, denials, and attr tampering |
+//! | [`AuditGapCheck`] | non-monotonic audit stream (records missing or reordered) |
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use s4_clock::{SimDuration, SimTime};
+use s4_core::{AuditRecord, OpKind};
+
+use crate::alert::{Alert, Severity};
+use crate::detector::Detector;
+use crate::timeline::{is_mutation, write_bytes, ObjectProfile, ProfileEvent};
+
+fn alert(rec: &AuditRecord, severity: Severity, rule: &str, message: String) -> Alert {
+    Alert {
+        time: rec.time,
+        severity,
+        rule: rule.to_string(),
+        user: rec.user,
+        client: rec.client,
+        object: rec.object,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Append-only violation (log scrubbing).
+// ---------------------------------------------------------------------
+
+/// Flags destruction of data in objects that have behaved append-only —
+/// the classic "intruders scrub the system log" move of §2.1. An object
+/// qualifies after [`min_appends`](Self::min_appends) strictly-appending
+/// mutations with no prior overwrite; directory blobs disqualify
+/// themselves immediately (their entry count at offset 0 is rewritten
+/// on every update), and deletes are deliberately *not* violations —
+/// a deleted log is trivially recovered from the history pool, while a
+/// scrubbed-in-place one is what the audit log exists to catch.
+pub struct AppendOnlyViolation {
+    /// Appending mutations required before an object qualifies.
+    pub min_appends: u32,
+    profiles: HashMap<u64, ObjectProfile>,
+}
+
+impl AppendOnlyViolation {
+    /// Default thresholds.
+    pub fn new() -> Self {
+        AppendOnlyViolation {
+            min_appends: 2,
+            profiles: HashMap::new(),
+        }
+    }
+}
+
+impl Default for AppendOnlyViolation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for AppendOnlyViolation {
+    fn name(&self) -> &'static str {
+        "append-only-violation"
+    }
+
+    fn observe(&mut self, rec: &AuditRecord, sink: &mut Vec<Alert>) {
+        if !rec.ok || rec.object.0 == 0 {
+            return;
+        }
+        match rec.op {
+            OpKind::Create => {
+                self.profiles.insert(rec.object.0, ObjectProfile::default());
+            }
+            OpKind::Delete => {
+                self.profiles.remove(&rec.object.0);
+            }
+            OpKind::Write | OpKind::Append | OpKind::Truncate => {
+                let p = self.profiles.entry(rec.object.0).or_default();
+                if let ProfileEvent::Destructive { first: true } = p.observe(rec, self.min_appends)
+                {
+                    sink.push(alert(
+                        rec,
+                        Severity::Critical,
+                        "append-only-violation",
+                        format!(
+                            "{:?} destroyed data in an object with {} strictly-appending \
+                             mutations (log-scrub shape)",
+                            rec.op, p.appends
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Foreign client (stolen credentials).
+// ---------------------------------------------------------------------
+
+/// Flags a user mutating objects from a client machine other than the
+/// one their history established — §3.2's point that audit records name
+/// the *client machine*, bounding damage from a single compromised
+/// host. The home client is learned from the user's first
+/// [`min_home_ops`](Self::min_home_ops) requests; mutations from
+/// anywhere else then raise one warning per `(client, object)` pair.
+pub struct ForeignClient {
+    /// Requests from the home client required before alerting.
+    pub min_home_ops: u64,
+    homes: HashMap<u32, (u32, u64)>,
+    reported: HashSet<(u32, u32, u64)>,
+}
+
+impl ForeignClient {
+    /// Default thresholds.
+    pub fn new() -> Self {
+        ForeignClient {
+            min_home_ops: 8,
+            homes: HashMap::new(),
+            reported: HashSet::new(),
+        }
+    }
+}
+
+impl Default for ForeignClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for ForeignClient {
+    fn name(&self) -> &'static str {
+        "foreign-client"
+    }
+
+    fn observe(&mut self, rec: &AuditRecord, sink: &mut Vec<Alert>) {
+        let (home, ops) = self
+            .homes
+            .entry(rec.user.0)
+            .or_insert((rec.client.0, 0));
+        if *home == rec.client.0 {
+            *ops += 1;
+            return;
+        }
+        if *ops < self.min_home_ops || !rec.ok || !is_mutation(rec.op) {
+            return;
+        }
+        let home = *home;
+        if self
+            .reported
+            .insert((rec.user.0, rec.client.0, rec.object.0))
+        {
+            sink.push(alert(
+                rec,
+                Severity::Warning,
+                "foreign-client",
+                format!(
+                    "user {} (home client {}) issued {:?} from client {} — stolen credentials?",
+                    rec.user.0, home, rec.op, rec.client.0
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ransomware-shaped overwrite storm.
+// ---------------------------------------------------------------------
+
+/// Flags many *distinct* objects being overwritten or shrunk inside a
+/// short window — the encrypt-in-place ransomware shape. Pure mass
+/// deletion deliberately does not alarm: deleted objects remain fully
+/// recoverable inside the detection window (§3.1), whereas overwrites
+/// consume history-pool space and signal data replacement.
+pub struct RansomStorm {
+    /// Sliding window length.
+    pub window: SimDuration,
+    /// Distinct destructively-modified objects that trip the alarm.
+    pub threshold: usize,
+    profiles: HashMap<u64, ObjectProfile>,
+    events: VecDeque<(SimTime, u64)>,
+    // Multiplicity of each object in `events`, kept incrementally so
+    // the distinct count is O(1) per record (the window can span the
+    // whole run when simulated time moves slowly).
+    in_window: HashMap<u64, u32>,
+}
+
+impl RansomStorm {
+    /// Default thresholds.
+    pub fn new() -> Self {
+        RansomStorm {
+            window: SimDuration::from_secs(60),
+            threshold: 24,
+            profiles: HashMap::new(),
+            events: VecDeque::new(),
+            in_window: HashMap::new(),
+        }
+    }
+}
+
+impl Default for RansomStorm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for RansomStorm {
+    fn name(&self) -> &'static str {
+        "ransom-storm"
+    }
+
+    fn observe(&mut self, rec: &AuditRecord, sink: &mut Vec<Alert>) {
+        if !rec.ok || rec.object.0 == 0 {
+            return;
+        }
+        match rec.op {
+            OpKind::Create => {
+                self.profiles.insert(rec.object.0, ObjectProfile::default());
+                return;
+            }
+            OpKind::Delete => {
+                self.profiles.remove(&rec.object.0);
+                return;
+            }
+            OpKind::Write | OpKind::Append | OpKind::Truncate => {}
+            _ => return,
+        }
+        let p = self.profiles.entry(rec.object.0).or_default();
+        if !matches!(p.observe(rec, u32::MAX), ProfileEvent::Destructive { .. }) {
+            return;
+        }
+        self.events.push_back((rec.time, rec.object.0));
+        *self.in_window.entry(rec.object.0).or_insert(0) += 1;
+        while let Some(&(t, o)) = self.events.front() {
+            if rec.time.saturating_since(t) > self.window {
+                self.events.pop_front();
+                if let Some(n) = self.in_window.get_mut(&o) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.in_window.remove(&o);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if self.in_window.len() >= self.threshold {
+            sink.push(alert(
+                rec,
+                Severity::Critical,
+                "ransom-storm",
+                format!(
+                    "{} distinct objects overwritten or shrunk within {:.0}s",
+                    self.in_window.len(),
+                    self.window.as_secs_f64()
+                ),
+            ));
+            // Rearm rather than alert per record.
+            self.events.clear();
+            self.in_window.clear();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Write-rate spike.
+// ---------------------------------------------------------------------
+
+struct RateState {
+    window_start: SimTime,
+    bytes: u64,
+    baseline: Option<f64>,
+    alerted: bool,
+}
+
+/// Flags a principal writing far above their own learned baseline —
+/// the same per-principal byte accounting the §3.3 throttle uses, but
+/// as a detector instead of a brake. The first active window only
+/// trains the baseline; subsequent windows alarm when they exceed
+/// `factor ×` the exponential moving average (with an absolute floor so
+/// modest workloads never alarm).
+pub struct WriteRateSpike {
+    /// Accounting window length.
+    pub window: SimDuration,
+    /// Multiple of the baseline that trips the alarm.
+    pub factor: u64,
+    /// Bytes below which a window never alarms, whatever the baseline.
+    pub min_bytes: u64,
+    state: HashMap<(u32, u32), RateState>,
+}
+
+impl WriteRateSpike {
+    /// Default thresholds.
+    pub fn new() -> Self {
+        WriteRateSpike {
+            window: SimDuration::from_secs(10),
+            factor: 8,
+            min_bytes: 8 << 20,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Default for WriteRateSpike {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for WriteRateSpike {
+    fn name(&self) -> &'static str {
+        "write-rate-spike"
+    }
+
+    fn observe(&mut self, rec: &AuditRecord, sink: &mut Vec<Alert>) {
+        if !rec.ok {
+            return;
+        }
+        let b = write_bytes(rec);
+        if b == 0 {
+            return;
+        }
+        let st = self
+            .state
+            .entry((rec.user.0, rec.client.0))
+            .or_insert(RateState {
+                window_start: rec.time,
+                bytes: 0,
+                baseline: None,
+                alerted: false,
+            });
+        if rec.time.saturating_since(st.window_start) >= self.window {
+            // Fold the completed window into the baseline. Idle windows
+            // are skipped so a quiet hour does not erode it.
+            let done = st.bytes as f64;
+            st.baseline = Some(match st.baseline {
+                None => done,
+                Some(ema) => 0.75 * ema + 0.25 * done,
+            });
+            st.window_start = rec.time;
+            st.bytes = 0;
+            st.alerted = false;
+        }
+        st.bytes += b;
+        if st.alerted {
+            return;
+        }
+        if let Some(ema) = st.baseline {
+            let threshold = (self.factor as f64 * ema).max(self.min_bytes as f64);
+            if st.bytes as f64 > threshold {
+                st.alerted = true;
+                sink.push(alert(
+                    rec,
+                    Severity::Warning,
+                    "write-rate-spike",
+                    format!(
+                        "{} bytes written in the current {:.0}s window vs baseline {:.0}",
+                        st.bytes,
+                        self.window.as_secs_f64(),
+                        ema
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ACL / attribute tampering burst.
+// ---------------------------------------------------------------------
+
+/// Flags bursts of permission fiddling: successful ACL changes, denied
+/// requests of any kind, and attribute rewrites on long-established
+/// objects. Attribute writes right after creation are the file server
+/// initializing metadata and are ignored.
+pub struct AclTamperBurst {
+    /// Sliding window length.
+    pub window: SimDuration,
+    /// Tamper-shaped events in the window that trip the alarm.
+    pub threshold: usize,
+    /// Object age below which `SetAttr` is considered initialization.
+    pub grace: SimDuration,
+    created_at: HashMap<u64, SimTime>,
+    events: HashMap<(u32, u32), VecDeque<SimTime>>,
+}
+
+impl AclTamperBurst {
+    /// Default thresholds.
+    pub fn new() -> Self {
+        AclTamperBurst {
+            window: SimDuration::from_secs(60),
+            threshold: 6,
+            grace: SimDuration::from_secs(60),
+            created_at: HashMap::new(),
+            events: HashMap::new(),
+        }
+    }
+
+    fn is_tamper(&self, rec: &AuditRecord) -> bool {
+        if !rec.ok {
+            return true; // any denial counts
+        }
+        match rec.op {
+            OpKind::SetAcl => true,
+            OpKind::SetAttr => match self.created_at.get(&rec.object.0) {
+                // Unknown creation time = predates monitoring = established.
+                None => true,
+                Some(&t) => rec.time.saturating_since(t) > self.grace,
+            },
+            _ => false,
+        }
+    }
+}
+
+impl Default for AclTamperBurst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for AclTamperBurst {
+    fn name(&self) -> &'static str {
+        "acl-tamper-burst"
+    }
+
+    fn observe(&mut self, rec: &AuditRecord, sink: &mut Vec<Alert>) {
+        if rec.ok && rec.op == OpKind::Create {
+            self.created_at.insert(rec.object.0, rec.time);
+            return;
+        }
+        if !self.is_tamper(rec) {
+            return;
+        }
+        let q = self.events.entry((rec.user.0, rec.client.0)).or_default();
+        q.push_back(rec.time);
+        while let Some(&t) = q.front() {
+            if rec.time.saturating_since(t) > self.window {
+                q.pop_front();
+            } else {
+                break;
+            }
+        }
+        if q.len() >= self.threshold {
+            q.clear(); // rearm
+            sink.push(alert(
+                rec,
+                Severity::Warning,
+                "acl-tamper-burst",
+                format!(
+                    "{} ACL changes / denials / attr rewrites within {:.0}s",
+                    self.threshold,
+                    self.window.as_secs_f64()
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Audit coverage gap.
+// ---------------------------------------------------------------------
+
+/// Flags a non-monotonic audit stream. The drive appends records in
+/// dispatch order under a single clock, so time ever moving backwards
+/// means records were lost, reordered, or spliced — a coverage gap.
+/// (Whole-tail loss across a crash is caught offline by
+/// [`audit_coverage`](crate::forensics::audit_coverage), which compares
+/// the decodable record count against the drive's append counter.)
+#[derive(Default)]
+pub struct AuditGapCheck {
+    last: Option<SimTime>,
+}
+
+impl AuditGapCheck {
+    /// New streaming check.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Detector for AuditGapCheck {
+    fn name(&self) -> &'static str {
+        "audit-gap"
+    }
+
+    fn observe(&mut self, rec: &AuditRecord, sink: &mut Vec<Alert>) {
+        if let Some(last) = self.last {
+            if rec.time < last {
+                sink.push(alert(
+                    rec,
+                    Severity::Critical,
+                    "audit-gap",
+                    format!("audit time went backwards ({last} then {})", rec.time),
+                ));
+            }
+        }
+        self.last = Some(self.last.unwrap_or(rec.time).max(rec.time));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4_core::{ClientId, ObjectId, UserId};
+
+    fn rec_at(
+        secs: u64,
+        user: u32,
+        client: u32,
+        op: OpKind,
+        ok: bool,
+        object: u64,
+        arg1: u64,
+        arg2: u64,
+    ) -> AuditRecord {
+        AuditRecord {
+            time: SimTime::from_secs(secs),
+            user: UserId(user),
+            client: ClientId(client),
+            op,
+            ok,
+            object: ObjectId(object),
+            arg1,
+            arg2,
+        }
+    }
+
+    #[test]
+    fn append_only_rule_fires_on_log_scrub() {
+        let mut d = AppendOnlyViolation::new();
+        let mut sink = Vec::new();
+        d.observe(&rec_at(1, 1, 1, OpKind::Create, true, 9, 0, 0), &mut sink);
+        d.observe(&rec_at(2, 1, 1, OpKind::Write, true, 9, 0, 40), &mut sink);
+        d.observe(&rec_at(3, 1, 1, OpKind::Append, true, 9, 30, 0), &mut sink);
+        assert!(sink.is_empty());
+        d.observe(&rec_at(4, 1, 66, OpKind::Truncate, true, 9, 0, 0), &mut sink);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].rule, "append-only-violation");
+        assert_eq!(sink[0].object, ObjectId(9));
+        assert_eq!(sink[0].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn append_only_rule_ignores_scratch_files() {
+        let mut d = AppendOnlyViolation::new();
+        let mut sink = Vec::new();
+        // Overwritten from the start: never qualifies.
+        d.observe(&rec_at(1, 1, 1, OpKind::Create, true, 3, 0, 0), &mut sink);
+        d.observe(&rec_at(2, 1, 1, OpKind::Write, true, 3, 0, 40), &mut sink);
+        d.observe(&rec_at(3, 1, 1, OpKind::Write, true, 3, 0, 40), &mut sink);
+        d.observe(&rec_at(4, 1, 1, OpKind::Truncate, true, 3, 0, 0), &mut sink);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn foreign_client_needs_a_learned_home() {
+        let mut d = ForeignClient::new();
+        let mut sink = Vec::new();
+        // Only 3 home ops: a foreign mutation stays silent.
+        for s in 0..3 {
+            d.observe(&rec_at(s, 7, 1, OpKind::Read, true, 2, 0, 0), &mut sink);
+        }
+        d.observe(&rec_at(5, 7, 9, OpKind::Write, true, 2, 0, 10), &mut sink);
+        assert!(sink.is_empty());
+        // Establish the home properly, then mutate from elsewhere.
+        for s in 0..8 {
+            d.observe(&rec_at(10 + s, 7, 1, OpKind::Read, true, 2, 0, 0), &mut sink);
+        }
+        d.observe(&rec_at(30, 7, 9, OpKind::Write, true, 2, 0, 10), &mut sink);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].rule, "foreign-client");
+        // Same (client, object) pair does not repeat-alert.
+        d.observe(&rec_at(31, 7, 9, OpKind::Write, true, 2, 0, 10), &mut sink);
+        assert_eq!(sink.len(), 1);
+        // A different object does.
+        d.observe(&rec_at(32, 7, 9, OpKind::Delete, true, 4, 0, 0), &mut sink);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn ransom_storm_fires_on_mass_overwrite_not_mass_delete() {
+        let mut d = RansomStorm::new();
+        let mut sink = Vec::new();
+        // Mass delete: silent (recoverable in the window).
+        for o in 100..200 {
+            d.observe(&rec_at(1, 1, 1, OpKind::Delete, true, o, 0, 0), &mut sink);
+        }
+        assert!(sink.is_empty());
+        // Mass in-place overwrite: encrypt-in-place shape.
+        for o in 200..240 {
+            d.observe(&rec_at(2, 1, 1, OpKind::Write, true, o, 0, 100), &mut sink);
+            d.observe(&rec_at(2, 1, 1, OpKind::Write, true, o, 0, 100), &mut sink);
+        }
+        assert!(!sink.is_empty());
+        assert_eq!(sink[0].rule, "ransom-storm");
+    }
+
+    #[test]
+    fn write_rate_spike_learns_then_alerts() {
+        let mut d = WriteRateSpike::new();
+        d.min_bytes = 1000; // small floor for the test
+        let mut sink = Vec::new();
+        // Window 1 (learning): 400 bytes.
+        for s in 0..4 {
+            d.observe(&rec_at(s, 1, 1, OpKind::Write, true, 5, 0, 100), &mut sink);
+        }
+        // Window 2: similar volume — quiet.
+        for s in 10..14 {
+            d.observe(&rec_at(s, 1, 1, OpKind::Write, true, 5, 0, 100), &mut sink);
+        }
+        assert!(sink.is_empty());
+        // Window 3: 100x the baseline.
+        for s in 20..24 {
+            d.observe(&rec_at(s, 1, 1, OpKind::Write, true, 5, 0, 10_000), &mut sink);
+        }
+        assert_eq!(sink.len(), 1, "alerts once, not per record");
+        assert_eq!(sink[0].rule, "write-rate-spike");
+    }
+
+    #[test]
+    fn acl_burst_ignores_initialization_setattr() {
+        let mut d = AclTamperBurst::new();
+        let mut sink = Vec::new();
+        // create+setattr pairs, the file-server shape: quiet.
+        for o in 0..20 {
+            d.observe(&rec_at(o, 1, 1, OpKind::Create, true, 50 + o, 0, 0), &mut sink);
+            d.observe(&rec_at(o, 1, 1, OpKind::SetAttr, true, 50 + o, 3, 0), &mut sink);
+        }
+        assert!(sink.is_empty());
+        // A burst of denials trips it.
+        for s in 100..106 {
+            d.observe(&rec_at(s, 6, 6, OpKind::Read, false, 50, 0, 0), &mut sink);
+        }
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].rule, "acl-tamper-burst");
+    }
+
+    #[test]
+    fn audit_gap_flags_time_reversal() {
+        let mut d = AuditGapCheck::new();
+        let mut sink = Vec::new();
+        d.observe(&rec_at(10, 1, 1, OpKind::Sync, true, 0, 0, 0), &mut sink);
+        d.observe(&rec_at(11, 1, 1, OpKind::Sync, true, 0, 0, 0), &mut sink);
+        assert!(sink.is_empty());
+        d.observe(&rec_at(5, 1, 1, OpKind::Sync, true, 0, 0, 0), &mut sink);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].rule, "audit-gap");
+    }
+}

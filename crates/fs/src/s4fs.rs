@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use s4_clock::sync::Mutex;
 
 use s4_clock::SimTime;
 use s4_core::{ObjectId, Request, RequestContext, Response};

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
+use s4_clock::sync::Mutex;
 
 use s4_clock::SimClock;
 use s4_core::{Request, RequestContext, Response, S4Drive};

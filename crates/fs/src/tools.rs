@@ -16,10 +16,8 @@
 //!   into reads and modifications, with crude taint propagation (objects
 //!   written shortly after a tainted read).
 
-use std::collections::BTreeSet;
-
 use s4_clock::{SimDuration, SimTime};
-use s4_core::{ClientId, ObjectId, OpKind, RequestContext, S4Drive};
+use s4_core::{ClientId, RequestContext, S4Drive};
 use s4_simdisk::BlockDev;
 
 use crate::s4fs::S4FileServer;
@@ -27,6 +25,12 @@ use crate::server::{FileKind, FsResult, Handle};
 use crate::transport::Transport;
 
 /// Time-enhanced `ls`: lists `path` as it was at `time`.
+///
+/// Note: this is the *file-server-side* view (it resolves `path`
+/// through a mounted [`S4FileServer`]). For drive-side forensics
+/// without a file-server mount — historical namespace walks and tree
+/// diffs by object id — use [`s4_detect::forensics::tree_at`] and
+/// [`s4_detect::forensics::tree_diff`] instead.
 pub fn ls_at<T: Transport>(
     fs: &S4FileServer<T>,
     path: &str,
@@ -82,24 +86,17 @@ pub fn restore_file<T: Transport>(
 }
 
 /// The outcome of an audit-log damage analysis.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct DamageReport {
-    /// Objects the suspect modified (write/append/truncate/setattr/
-    /// setacl/delete) in the interval.
-    pub modified: BTreeSet<u64>,
-    /// Objects the suspect read in the interval.
-    pub read: BTreeSet<u64>,
-    /// Objects written by *anyone* shortly after the suspect read another
-    /// object — possible propagation of tainted data ("diagnosis tools
-    /// may be able to establish a link between objects based on the fact
-    /// that one was read just before another was written", §3.6).
-    pub possibly_tainted: BTreeSet<u64>,
-    /// Total suspect requests in the interval.
-    pub request_count: u64,
-}
+///
+/// Re-exported from [`s4_detect`], where the analysis now lives.
+pub use s4_detect::DamageReport;
 
 /// Builds a [`DamageReport`] for `suspect` over `[from, to]` from the
 /// drive's audit log (requires the admin context).
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to `s4_detect::forensics::damage_report` (diagnosis is drive-level work and \
+            does not need a file-server mount); this wrapper delegates"
+)]
 pub fn damage_report<D: BlockDev>(
     drive: &S4Drive<D>,
     admin: &RequestContext,
@@ -108,47 +105,7 @@ pub fn damage_report<D: BlockDev>(
     to: SimTime,
     taint_window: SimDuration,
 ) -> Result<DamageReport, s4_core::S4Error> {
-    let records = drive.read_audit_records(admin)?;
-    let mut report = DamageReport::default();
-    let mut last_suspect_read: Option<SimTime> = None;
-    for r in &records {
-        if r.time < from || r.time > to {
-            continue;
-        }
-        let is_suspect = r.client == suspect;
-        if is_suspect {
-            report.request_count += 1;
-        }
-        let modifies = matches!(
-            r.op,
-            OpKind::Write
-                | OpKind::Append
-                | OpKind::Truncate
-                | OpKind::SetAttr
-                | OpKind::SetAcl
-                | OpKind::Delete
-                | OpKind::Create
-        );
-        if is_suspect && r.ok {
-            if modifies && r.object != ObjectId(0) {
-                report.modified.insert(r.object.0);
-            }
-            if matches!(r.op, OpKind::Read | OpKind::GetAttr) && r.object != ObjectId(0) {
-                report.read.insert(r.object.0);
-                last_suspect_read = Some(r.time);
-            }
-        }
-        // Crude propagation: any write soon after a suspect read may
-        // carry tainted bytes.
-        if modifies && r.ok && r.object != ObjectId(0) {
-            if let Some(t) = last_suspect_read {
-                if r.time.saturating_since(t) <= taint_window {
-                    report.possibly_tainted.insert(r.object.0);
-                }
-            }
-        }
-    }
-    Ok(report)
+    s4_detect::damage_report(drive, admin, suspect, from, to, taint_window)
 }
 
 #[cfg(test)]
@@ -219,6 +176,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the compatibility wrapper on purpose
     fn damage_report_finds_intruder_activity() {
         let (fs, drive, admin) = setup();
         let root = fs.root();

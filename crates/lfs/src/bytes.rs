@@ -1,0 +1,32 @@
+//! Cheaply cloneable immutable byte buffers.
+//!
+//! The log hands out whole 4 KiB blocks that are never mutated in place,
+//! so readers and the cache can share one allocation. `Arc<[u8]>` gives
+//! exactly that (clone = refcount bump, `Deref` to `&[u8]`, content
+//! equality) without an external crate, keeping the tier-1 build
+//! hermetic.
+
+/// An immutable, reference-counted byte buffer.
+///
+/// Construct with `Bytes::from(vec)` or `Bytes::from(&slice[..])`.
+pub type Bytes = std::sync::Arc<[u8]>;
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Bytes::from(vec![7u8; 4096]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()));
+        assert_eq!(&a[..], &b[..]);
+    }
+
+    #[test]
+    fn from_slice_copies() {
+        let src = [1u8, 2, 3];
+        let b = Bytes::from(&src[..]);
+        assert_eq!(&b[..], &src);
+    }
+}

@@ -3,14 +3,14 @@
 //! The S4 drive in the paper ran with a 128 MB buffer cache; the baselines
 //! used the host page cache. [`BlockCache`] is a strict-LRU cache over log
 //! blocks keyed by [`BlockAddr`], sized in blocks. Entries are immutable
-//! [`bytes::Bytes`] — the log never overwrites a block in place, so cached
+//! [`crate::bytes::Bytes`] — the log never overwrites a block in place, so cached
 //! contents can only become irrelevant (when a segment is reclaimed and
 //! reused), handled by [`BlockCache::invalidate_segment`].
 
 use std::collections::{BTreeMap, HashMap};
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use crate::bytes::Bytes;
+use s4_clock::sync::Mutex;
 
 use crate::layout::{BlockAddr, Geometry, SegmentId};
 

@@ -163,7 +163,7 @@ mod tests {
     use super::*;
     use crate::layout::BlockKind;
     use crate::log::LogConfig;
-    use parking_lot::Mutex;
+    use s4_clock::sync::Mutex;
     use s4_simdisk::MemDisk;
     use std::collections::HashMap;
 

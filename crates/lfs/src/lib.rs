@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod cache;
 pub mod cleaner;
 pub mod crc;
@@ -33,6 +34,7 @@ pub mod summary;
 pub mod superblock;
 pub mod usage;
 
+pub use bytes::Bytes;
 pub use cache::BlockCache;
 pub use cleaner::{CleanOutcome, Cleaner, CleanerConfig, RelocationCallbacks};
 pub use layout::{BlockAddr, BlockKind, BlockTag, Geometry, SegmentId, BLOCK_SIZE};

@@ -19,8 +19,8 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use crate::bytes::Bytes;
+use s4_clock::sync::Mutex;
 
 use s4_simdisk::BlockDev;
 
@@ -452,7 +452,7 @@ impl<D: BlockDev> Log<D> {
             let mut wanted = None;
             for (i, chunk) in buf.chunks_exact(BLOCK_SIZE).enumerate() {
                 let a = BlockAddr(run_start + i as u64);
-                let data = Bytes::copy_from_slice(chunk);
+                let data = Bytes::from(chunk);
                 if a == addr {
                     wanted = Some(data.clone());
                 }

@@ -7,7 +7,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use parking_lot::Mutex;
+use s4_clock::sync::Mutex;
 
 /// Size of one sector in bytes. Every transfer is a whole number of sectors.
 pub const SECTOR_SIZE: usize = 512;

@@ -1,7 +1,7 @@
 //! [`TimedDisk`]: glue between a raw sector store, the mechanical model,
 //! and the simulated clock.
 
-use parking_lot::Mutex;
+use s4_clock::sync::Mutex;
 
 use s4_clock::SimClock;
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a reviewer needs to trust a change.
+#
+# 1. hermetic release build (no registry access required)
+# 2. the full test suite (dev profile is optimized; see Cargo.toml)
+# 3. the §2 intrusion scenario end-to-end: the online detectors must
+#    flag the staged intrusion and the recovery plan must restore the
+#    pre-intrusion state (the example asserts both)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "== intrusion_recovery example (detectors + recovery planner)"
+cargo run --release --example intrusion_recovery
+
+echo "verify: OK"

@@ -45,9 +45,34 @@ fn usage() -> ExitCode {
            pin <image> <path> <secs>     (landmark: survives the window)\n\
            pins <image> <path>\n\
            audit <image>\n\
+           detect <image>                (run the intrusion detectors over the audit log)\n\
+           plan <image> <secs> --client <id> [--user <id>]   (recovery plan for intrusion at <secs>)\n\
+           revert <image> <secs> --client <id> [--user <id>] (plan and execute the recovery)\n\
            now <image>"
     );
     ExitCode::from(2)
+}
+
+/// Collects `--client <id>` / `--user <id>` flags into a suspect set.
+fn parse_suspects(args: &[String]) -> Result<s4_detect::Suspects, String> {
+    let mut suspects = s4_detect::Suspects::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let (set, what) = match a.as_str() {
+            "--client" => (&mut suspects.clients, "client"),
+            "--user" => (&mut suspects.users, "user"),
+            _ => continue,
+        };
+        let id: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("--{what} needs a numeric id"))?;
+        set.insert(id);
+    }
+    if suspects.clients.is_empty() && suspects.users.is_empty() {
+        return Err("name at least one suspect with --client <id> or --user <id>".into());
+    }
+    Ok(suspects)
 }
 
 fn parse_at(args: &[String]) -> Option<SimTime> {
@@ -269,6 +294,62 @@ fn run() -> Result<(), String> {
                 );
             }
             eprintln!("{} records", records.len());
+            close(fs)?;
+        }
+        "detect" => {
+            let fs = open_fs(image)?;
+            {
+                let drive = fs.transport().drive();
+                let admin = RequestContext::admin(ClientId(0), drive.config().admin_token);
+                let cov = s4_detect::audit_coverage(drive, &admin).map_err(|e| e.to_string())?;
+                let stored = s4_detect::read_alerts(drive, &admin).map_err(|e| e.to_string())?;
+                let alerts = s4_detect::scan_audit(drive, &admin).map_err(|e| e.to_string())?;
+                for a in &alerts {
+                    println!("{a}");
+                }
+                eprintln!(
+                    "{} alerts from {} audit records ({} persisted by the online monitor, \
+                     {} records lost with the volatile tail)",
+                    alerts.len(),
+                    cov.decodable,
+                    stored.len(),
+                    cov.missing()
+                );
+            }
+            close(fs)?;
+        }
+        "plan" | "revert" => {
+            let secs: f64 = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or("plan/revert: need the intrusion time in seconds")?;
+            let t = SimTime::from_micros((secs * 1e6) as u64);
+            let suspects = parse_suspects(&args)?;
+            let fs = open_fs(image)?;
+            {
+                let drive = fs.transport().drive();
+                let admin = RequestContext::admin(ClientId(0), drive.config().admin_token);
+                let plan = s4_detect::plan_recovery(drive, &admin, &suspects, t)
+                    .map_err(|e| e.to_string())?;
+                if plan.actions.is_empty() {
+                    println!("nothing to recover: no suspect mutations after {t}");
+                }
+                for (i, pa) in plan.actions.iter().enumerate() {
+                    println!("{i:>3}: {}", pa.action);
+                    println!("     {}", pa.reason);
+                }
+                if cmd == "revert" {
+                    let report = s4_detect::execute_plan(drive, &admin, &plan)
+                        .map_err(|e| e.to_string())?;
+                    for (old, new) in &report.undeleted {
+                        println!("undeleted {old} as {new}");
+                    }
+                    for (i, e) in &report.failed {
+                        eprintln!("action {i} failed: {e}");
+                    }
+                    println!("applied {} / {} actions", report.applied, plan.actions.len());
+                }
+            }
             close(fs)?;
         }
         "now" => {

@@ -1,3 +1,8 @@
+// Hermetic-build gate: needs the external `proptest` crate. Re-add
+// `proptest = "1"` to [dev-dependencies] and run
+// `cargo test --features proptest-tests` to enable.
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests: the drive's comprehensive versioning against an
 //! in-memory oracle.
 //!
