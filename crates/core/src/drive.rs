@@ -186,6 +186,48 @@ impl VersionRecord {
     }
 }
 
+/// What crash recovery found and rebuilt, returned by
+/// [`S4Drive::mount_with_report`]. The torture harness uses it to bound
+/// the recovery point: everything stamped at or before
+/// [`RecoveryReport::max_recovered_stamp`] survived the crash.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Simulated time recorded in the anchor's superblock.
+    pub anchor_time: SimTime,
+    /// Objects present in the anchored object map.
+    pub anchored_objects: usize,
+    /// Log batches flushed after the anchor that roll-forward replayed.
+    pub replayed_batches: usize,
+    /// Journal sub-sectors re-applied from those batches.
+    pub replayed_sectors: usize,
+    /// Journal entries re-applied from those sectors.
+    pub replayed_entries: usize,
+    /// Audit-log blocks reachable after recovery (anchored + replayed).
+    pub audit_blocks: usize,
+    /// Alert-object blocks reachable after recovery (anchored + replayed).
+    pub alert_blocks: usize,
+    /// Objects in the recovered table (anchored plus any created in
+    /// replayed batches).
+    pub recovered_objects: usize,
+    /// Next object id the drive will assign.
+    pub next_oid: u64,
+    /// Newest mutation stamp visible anywhere in the recovered state —
+    /// the recovery point. [`HybridTimestamp::ZERO`] on an empty drive.
+    pub max_recovered_stamp: HybridTimestamp,
+}
+
+/// Resume point for incremental alert reads (see
+/// [`S4Drive::read_alerts_from`]). Start from `AlertCursor::default()`;
+/// the drive advances it on every poll.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlertCursor {
+    /// Flushed alert blocks fully consumed.
+    pub blocks: usize,
+    /// Blobs of the in-memory pending tail already consumed (they become
+    /// the prefix of the next flushed block when the tail spills).
+    pub tail_blobs: usize,
+}
+
 struct Inner {
     table: HashMap<u64, Slot>,
     next_oid: u64,
@@ -278,10 +320,27 @@ impl<D: BlockDev> S4Drive<D> {
 
     /// Mounts an existing S4 drive, recovering to the last completed sync.
     pub fn mount(dev: D, config: DriveConfig, clock: SimClock) -> Result<S4Drive<D>> {
+        Self::mount_with_report(dev, config, clock).map(|(drive, _)| drive)
+    }
+
+    /// Like [`S4Drive::mount`], but also returns a [`RecoveryReport`]
+    /// describing what roll-forward found — the crash-consistency
+    /// harness asserts its invariants against this.
+    pub fn mount_with_report(
+        dev: D,
+        config: DriveConfig,
+        clock: SimClock,
+    ) -> Result<(S4Drive<D>, RecoveryReport)> {
         let (log, payload, batches, sb) = Log::mount(dev, config.log.cache_blocks)?;
         clock.advance_to(SimTime::from_micros(sb.anchor_time_us));
 
         let (mut inner, records) = decode_anchor_payload(&payload, &config)?;
+        let mut report = RecoveryReport {
+            anchor_time: SimTime::from_micros(sb.anchor_time_us),
+            anchored_objects: records.len(),
+            replayed_batches: batches.len(),
+            ..RecoveryReport::default()
+        };
 
         // Phase 1: rebuild each anchored object from its checkpoint plus
         // the journal sectors newer than the checkpointed metadata.
@@ -324,6 +383,11 @@ impl<D: BlockDev> S4Drive<D> {
             }
             if let Some(last) = entry.sectors.last() {
                 entry.meta.journal_head = last.addr;
+                report.max_recovered_stamp = report.max_recovered_stamp.max(last.newest);
+            }
+            report.max_recovered_stamp = report.max_recovered_stamp.max(entry.meta.modified);
+            if let Some(d) = entry.meta.deleted {
+                report.max_recovered_stamp = report.max_recovered_stamp.max(d);
             }
             entry.dirty = false;
             inner.table.insert(rec.oid, Slot::Cached(Box::new(entry)));
@@ -341,8 +405,12 @@ impl<D: BlockDev> S4Drive<D> {
                         for (slot, sub) in subs.iter().enumerate() {
                             let (oid, _prev, entries) = decode_sector(sub)?;
                             apply_recovered_sector(&mut inner, oid, addr, slot as u32, &entries)?;
+                            report.replayed_sectors += 1;
+                            report.replayed_entries += entries.len();
                             for e in &entries {
                                 max_seq = max_seq.max(e.stamp().seq + 1);
+                                report.max_recovered_stamp =
+                                    report.max_recovered_stamp.max(e.stamp());
                             }
                         }
                     }
@@ -365,17 +433,25 @@ impl<D: BlockDev> S4Drive<D> {
         rebuild_liveness(&log, &mut inner)?;
         log.rebuild_live_counts(inner.live.iter().map(|&a| BlockAddr(a)));
 
+        report.audit_blocks = inner.audit.blocks.len();
+        report.alert_blocks = inner.alerts.blocks.len();
+        report.recovered_objects = inner.table.len();
+        report.next_oid = inner.next_oid;
+
         let stamps = HybridClock::resuming_from(clock.clone(), max_seq.max(sb.next_stamp_seq));
-        Ok(S4Drive {
-            log,
-            clock,
-            stamps,
-            cleaner: Cleaner::new(config.cleaner),
-            config,
-            inner: Mutex::new(inner),
-            stats: DriveStats::new(),
-            observers: Mutex::new(Vec::new()),
-        })
+        Ok((
+            S4Drive {
+                log,
+                clock,
+                stamps,
+                cleaner: Cleaner::new(config.cleaner),
+                config,
+                inner: Mutex::new(inner),
+                stats: DriveStats::new(),
+                observers: Mutex::new(Vec::new()),
+            },
+            report,
+        ))
     }
 
     /// Drops the drive *without* syncing or anchoring and returns the
@@ -923,6 +999,121 @@ impl<D: BlockDev> S4Drive<D> {
         }
         out.extend(AlertState::decode_block(&inner.alerts.pending)?);
         Ok(out)
+    }
+
+    /// Reads only the alert blobs appended since `cursor` (admin only),
+    /// oldest first, and advances the cursor — repeated polls are
+    /// incremental instead of rescanning every alert block.
+    ///
+    /// The cursor exploits the spill discipline of the alert object:
+    /// when the pending tail spills (or is persisted at anchor), the
+    /// previously buffered blobs form the *prefix* of the newly flushed
+    /// block, so `tail_blobs` carries over as a skip count into the
+    /// first unread block. A cursor that is ahead of the drive (e.g.
+    /// reused across a crash that lost un-anchored alert blocks) resets
+    /// and rereads from the start.
+    pub fn read_alerts_from(
+        &self,
+        ctx: &RequestContext,
+        cursor: &mut AlertCursor,
+    ) -> Result<Vec<Vec<u8>>> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let inner = self.inner.lock();
+        if cursor.blocks > inner.alerts.blocks.len() {
+            *cursor = AlertCursor::default();
+        }
+        let mut out = Vec::new();
+        let mut skip = cursor.tail_blobs;
+        for (i, &addr) in inner.alerts.blocks.iter().enumerate().skip(cursor.blocks) {
+            let blobs = AlertState::decode_block(&self.log.read_block(addr)?)?;
+            let s = if i == cursor.blocks {
+                skip.min(blobs.len())
+            } else {
+                0
+            };
+            out.extend(blobs.into_iter().skip(s));
+        }
+        if inner.alerts.blocks.len() > cursor.blocks {
+            // The old tail spilled into the first unread block above.
+            skip = 0;
+        }
+        let tail = AlertState::decode_block(&inner.alerts.pending)?;
+        cursor.tail_blobs = tail.len();
+        cursor.blocks = inner.alerts.blocks.len();
+        out.extend(tail.into_iter().skip(skip.min(cursor.tail_blobs)));
+        Ok(out)
+    }
+
+    /// Deterministic digest of the drive's logical state: the object
+    /// table (metadata, sector lists, forwarding/delta maps, landmarks,
+    /// history floors, pending journal entries), the audit and alert
+    /// logs, and the id allocator. Two mounts of the same device image
+    /// must produce equal digests — the torture harness's journal-replay
+    /// idempotence invariant. FNV-1a over a canonical (oid-sorted)
+    /// serialization; caches, statistics, and LRU state are excluded.
+    pub fn state_digest(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, b: &[u8]) {
+                for &x in b {
+                    self.0 = (self.0 ^ x as u64).wrapping_mul(FNV_PRIME);
+                }
+            }
+            fn u64(&mut self, v: u64) {
+                self.bytes(&v.to_le_bytes());
+            }
+            fn stamp(&mut self, s: HybridTimestamp) {
+                self.u64(s.time.as_micros());
+                self.u64(s.seq);
+            }
+        }
+        let inner = self.inner.lock();
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.u64(inner.next_oid);
+        h.u64(inner.window.as_micros());
+        let mut oids: Vec<u64> = inner.table.keys().copied().collect();
+        oids.sort_unstable();
+        for oid in oids {
+            h.u64(oid);
+            match &inner.table[&oid] {
+                Slot::Cached(entry) => {
+                    h.u64(1);
+                    h.bytes(&entry.encode());
+                    h.u64(entry.pending.len() as u64);
+                    let mut buf = Vec::new();
+                    for e in &entry.pending {
+                        e.encode_into(&mut buf);
+                    }
+                    h.bytes(&buf);
+                }
+                Slot::Evicted(info) => {
+                    h.u64(2);
+                    h.u64(info.checkpoint_root.0);
+                    h.u64(info.checkpoint_slot as u64);
+                    h.stamp(info.expiry_hint);
+                    h.u64(info.deleted.is_some() as u64);
+                    if let Some(d) = info.deleted {
+                        h.stamp(d);
+                    }
+                }
+            }
+        }
+        h.u64(inner.audit.blocks.len() as u64);
+        for a in &inner.audit.blocks {
+            h.u64(a.0);
+        }
+        h.bytes(&inner.audit.pending);
+        h.u64(inner.audit.total_records);
+        h.u64(inner.alerts.blocks.len() as u64);
+        for a in &inner.alerts.blocks {
+            h.u64(a.0);
+        }
+        h.bytes(&inner.alerts.pending);
+        h.u64(inner.alerts.total_alerts);
+        h.0
     }
 
     /// Total records ever appended to the audit log (admin only). A

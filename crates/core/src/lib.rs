@@ -74,8 +74,8 @@ pub use acl::{AclEntry, AclTable, Perm};
 pub use alert::{AlertState, MAX_ALERT_BYTES};
 pub use audit::{AuditRecord, AuditState, OpKind};
 pub use drive::{
-    AuditObserver, DriveConfig, S4Drive, VersionKind, VersionRecord, ALERT_OBJECT, AUDIT_OBJECT,
-    PARTITION_OBJECT,
+    AlertCursor, AuditObserver, DriveConfig, RecoveryReport, S4Drive, VersionKind, VersionRecord,
+    ALERT_OBJECT, AUDIT_OBJECT, PARTITION_OBJECT,
 };
 pub use ids::{ClientId, ObjectId, RequestContext, UserId, ADMIN_USER};
 pub use rpc::{Request, Response};

@@ -51,7 +51,8 @@ pub mod timeline;
 
 pub use alert::{Alert, Severity};
 pub use detector::{
-    install_standard_monitor, read_alerts, scan_audit, Detector, DetectorSet, OnlineMonitor,
+    install_standard_monitor, read_alerts, scan_audit, AlertPoller, Detector, DetectorSet,
+    OnlineMonitor,
 };
 pub use forensics::{
     audit_coverage, damage_report, object_timeline, tree_at, tree_diff, CoverageReport,

@@ -1,29 +1,83 @@
 //! Fault injection for crash-recovery and failure testing.
 //!
 //! [`FaultyDisk`] wraps any [`BlockDev`] and applies a [`FaultPlan`]:
-//! after a configured number of writes the device can tear the in-flight
-//! write (persist only a prefix of its sectors) and/or fail permanently.
-//! Integration tests use this to emulate power loss mid-segment and verify
-//! that remount recovers a consistent state from the log.
+//! after a configured number of counted requests the device can tear the
+//! in-flight write (persist only a prefix of its sectors) and/or fail
+//! permanently. Integration tests use this to emulate power loss
+//! mid-segment and verify that remount recovers a consistent state from
+//! the log.
+//!
+//! Which request classes count toward the fault trigger is controlled by
+//! [`RequestClassMask`]. Historically only `write()` requests counted,
+//! which made crash points *between* a data write and its `sync()`
+//! unreachable; plans can now count sync and read requests too. A fault
+//! that fires on a write tears it per [`FaultPlan::torn_write_sectors`];
+//! a fault that fires on a sync or read simply fails the request (there
+//! is nothing to tear).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::dev::{BlockDev, DiskError};
 use crate::SECTOR_SIZE;
 
+/// Bitmask of request classes that count toward (and may trigger) a
+/// [`FaultPlan`].
+///
+/// Plain `u8`-backed newtype — no external bitflags dependency. Combine
+/// with [`RequestClassMask::union`] or the `|` operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestClassMask(u8);
+
+impl RequestClassMask {
+    /// Write requests.
+    pub const WRITES: RequestClassMask = RequestClassMask(0b001);
+    /// Sync (flush/barrier) requests.
+    pub const SYNCS: RequestClassMask = RequestClassMask(0b010);
+    /// Read requests.
+    pub const READS: RequestClassMask = RequestClassMask(0b100);
+    /// Every request class.
+    pub const ALL: RequestClassMask = RequestClassMask(0b111);
+    /// No request class (the plan can never fire).
+    pub const NONE: RequestClassMask = RequestClassMask(0);
+
+    /// Union of two masks.
+    pub const fn union(self, other: RequestClassMask) -> RequestClassMask {
+        RequestClassMask(self.0 | other.0)
+    }
+
+    /// True if every class in `other` is present in `self`.
+    pub const fn contains(self, other: RequestClassMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl std::ops::BitOr for RequestClassMask {
+    type Output = RequestClassMask;
+    fn bitor(self, rhs: RequestClassMask) -> RequestClassMask {
+        self.union(rhs)
+    }
+}
+
 /// What should go wrong, and when.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultPlan {
-    /// Number of write requests to let through untouched before the fault
-    /// fires. `u64::MAX` means never.
+    /// Number of counted requests to let through untouched before the
+    /// fault fires. `u64::MAX` means never. (The name predates
+    /// [`FaultPlan::counted`]; with a wider mask it counts every request
+    /// class in the mask, not just writes.)
     pub writes_until_fault: u64,
-    /// When the fault fires, persist only this many sectors of the
-    /// offending write (0 = drop it entirely).
+    /// When the fault fires on a write, persist only this many sectors of
+    /// the offending write (0 = drop it entirely). Ignored when the fault
+    /// fires on a sync or read.
     pub torn_write_sectors: u64,
     /// If true, every request after the fault fails with
     /// [`DiskError::DeviceFailed`] until [`FaultyDisk::revive`] is called —
     /// emulating power loss.
     pub die_after_fault: bool,
+    /// Which request classes count toward `writes_until_fault`. Defaults
+    /// to [`RequestClassMask::WRITES`] in the stock constructors, matching
+    /// the historical behaviour.
+    pub counted: RequestClassMask,
 }
 
 impl FaultPlan {
@@ -33,16 +87,33 @@ impl FaultPlan {
             writes_until_fault: u64::MAX,
             torn_write_sectors: 0,
             die_after_fault: false,
+            counted: RequestClassMask::WRITES,
         }
     }
 
     /// Power loss after `n` successful writes, tearing the (n+1)-th write
-    /// to `torn_sectors` sectors.
+    /// to `torn_sectors` sectors. Only writes count.
     pub fn power_loss_after_writes(n: u64, torn_sectors: u64) -> Self {
         FaultPlan {
             writes_until_fault: n,
             torn_write_sectors: torn_sectors,
             die_after_fault: true,
+            counted: RequestClassMask::WRITES,
+        }
+    }
+
+    /// Power loss after `n` counted requests of the given classes, tearing
+    /// the offending request to `torn_sectors` sectors if it is a write.
+    pub fn power_loss_after_requests(
+        n: u64,
+        torn_sectors: u64,
+        counted: RequestClassMask,
+    ) -> Self {
+        FaultPlan {
+            writes_until_fault: n,
+            torn_write_sectors: torn_sectors,
+            die_after_fault: true,
+            counted,
         }
     }
 }
@@ -54,7 +125,7 @@ pub struct FaultyDisk<D: BlockDev> {
     /// Live copy of `plan.writes_until_fault`; set to `u64::MAX` on revive
     /// so the fault does not re-fire.
     armed_at: AtomicU64,
-    writes_seen: AtomicU64,
+    requests_seen: AtomicU64,
     dead: AtomicBool,
 }
 
@@ -65,7 +136,7 @@ impl<D: BlockDev> FaultyDisk<D> {
             inner,
             plan,
             armed_at: AtomicU64::new(plan.writes_until_fault),
-            writes_seen: AtomicU64::new(0),
+            requests_seen: AtomicU64::new(0),
             dead: AtomicBool::new(false),
         }
     }
@@ -92,6 +163,32 @@ impl<D: BlockDev> FaultyDisk<D> {
     pub fn inner(&self) -> &D {
         &self.inner
     }
+
+    /// Counts one request of class `class` against the plan.
+    fn count(&self, class: RequestClassMask) -> Counted {
+        if !self.plan.counted.contains(class) {
+            return Counted::Pass;
+        }
+        let armed_at = self.armed_at.load(Ordering::SeqCst);
+        let n = self.requests_seen.fetch_add(1, Ordering::SeqCst);
+        if n == armed_at {
+            Counted::Fire
+        } else if n > armed_at && self.plan.die_after_fault {
+            Counted::Dead
+        } else {
+            Counted::Pass
+        }
+    }
+}
+
+/// Outcome of counting one request against the plan.
+enum Counted {
+    /// Request proceeds normally.
+    Pass,
+    /// The fault fires on this request.
+    Fire,
+    /// The fault already fired and the plan kills later requests.
+    Dead,
 }
 
 impl<D: BlockDev> BlockDev for FaultyDisk<D> {
@@ -103,37 +200,53 @@ impl<D: BlockDev> BlockDev for FaultyDisk<D> {
         if self.is_dead() {
             return Err(DiskError::DeviceFailed);
         }
-        self.inner.read(sector, buf)
+        match self.count(RequestClassMask::READS) {
+            Counted::Fire => {
+                if self.plan.die_after_fault {
+                    self.dead.store(true, Ordering::SeqCst);
+                }
+                Err(DiskError::Io("injected read fault".into()))
+            }
+            Counted::Dead => Err(DiskError::DeviceFailed),
+            Counted::Pass => self.inner.read(sector, buf),
+        }
     }
 
     fn write(&self, sector: u64, buf: &[u8]) -> Result<(), DiskError> {
         if self.is_dead() {
             return Err(DiskError::DeviceFailed);
         }
-        let armed_at = self.armed_at.load(Ordering::SeqCst);
-        let n = self.writes_seen.fetch_add(1, Ordering::SeqCst);
-        if n == armed_at {
-            // Tear the write: persist only a prefix.
-            let keep = (self.plan.torn_write_sectors as usize * SECTOR_SIZE).min(buf.len());
-            if keep > 0 {
-                self.inner.write(sector, &buf[..keep])?;
+        match self.count(RequestClassMask::WRITES) {
+            Counted::Fire => {
+                // Tear the write: persist only a prefix.
+                let keep = (self.plan.torn_write_sectors as usize * SECTOR_SIZE).min(buf.len());
+                if keep > 0 {
+                    self.inner.write(sector, &buf[..keep])?;
+                }
+                if self.plan.die_after_fault {
+                    self.dead.store(true, Ordering::SeqCst);
+                }
+                Err(DiskError::Io("injected torn write".into()))
             }
-            if self.plan.die_after_fault {
-                self.dead.store(true, Ordering::SeqCst);
-            }
-            return Err(DiskError::Io("injected torn write".into()));
+            Counted::Dead => Err(DiskError::DeviceFailed),
+            Counted::Pass => self.inner.write(sector, buf),
         }
-        if n > armed_at && self.plan.die_after_fault {
-            return Err(DiskError::DeviceFailed);
-        }
-        self.inner.write(sector, buf)
     }
 
     fn sync(&self) -> Result<(), DiskError> {
         if self.is_dead() {
             return Err(DiskError::DeviceFailed);
         }
-        self.inner.sync()
+        match self.count(RequestClassMask::SYNCS) {
+            Counted::Fire => {
+                if self.plan.die_after_fault {
+                    self.dead.store(true, Ordering::SeqCst);
+                }
+                Err(DiskError::Io("injected sync fault".into()))
+            }
+            Counted::Dead => Err(DiskError::DeviceFailed),
+            Counted::Pass => self.inner.sync(),
+        }
     }
 }
 
@@ -180,5 +293,80 @@ mod tests {
         for i in 0..10 {
             d.write(i, &[3u8; SECTOR_SIZE]).unwrap();
         }
+    }
+
+    #[test]
+    fn writes_only_mask_ignores_sync_and_reads() {
+        // Fault after 1 counted request, writes-only: sync and read must
+        // neither count nor fire.
+        let d = FaultyDisk::new(MemDisk::new(64), FaultPlan::power_loss_after_writes(1, 0));
+        d.sync().unwrap();
+        d.read(0, &mut [0u8; SECTOR_SIZE]).unwrap();
+        d.write(0, &[1u8; SECTOR_SIZE]).unwrap();
+        d.sync().unwrap();
+        assert!(d.write(1, &[2u8; SECTOR_SIZE]).is_err());
+        assert!(d.is_dead());
+    }
+
+    #[test]
+    fn sync_counts_and_fires_with_syncs_mask() {
+        let mask = RequestClassMask::WRITES | RequestClassMask::SYNCS;
+        let d = FaultyDisk::new(
+            MemDisk::new(64),
+            FaultPlan::power_loss_after_requests(2, 0, mask),
+        );
+        d.write(0, &[1u8; SECTOR_SIZE]).unwrap(); // request 0
+        d.sync().unwrap(); // request 1
+        let err = d.sync().unwrap_err(); // request 2: fires
+        assert!(matches!(err, DiskError::Io(_)));
+        assert!(d.is_dead());
+        d.revive();
+        // The write before the fault persisted.
+        let mut out = [0u8; SECTOR_SIZE];
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn read_counts_and_fires_with_reads_mask() {
+        let d = FaultyDisk::new(
+            MemDisk::new(64),
+            FaultPlan::power_loss_after_requests(1, 0, RequestClassMask::ALL),
+        );
+        d.write(0, &[7u8; SECTOR_SIZE]).unwrap(); // request 0
+        let err = d.read(0, &mut [0u8; SECTOR_SIZE]).unwrap_err(); // request 1: fires
+        assert!(matches!(err, DiskError::Io(_)));
+        assert!(d.is_dead());
+    }
+
+    #[test]
+    fn fault_on_sync_loses_nothing_already_written() {
+        // A fault firing on sync must not tear or drop prior writes: the
+        // crash point sits between a data write and its barrier.
+        let mask = RequestClassMask::WRITES | RequestClassMask::SYNCS;
+        let d = FaultyDisk::new(
+            MemDisk::new(64),
+            FaultPlan::power_loss_after_requests(3, 0, mask),
+        );
+        d.write(0, &[1u8; SECTOR_SIZE]).unwrap(); // 0
+        d.write(1, &[2u8; SECTOR_SIZE]).unwrap(); // 1
+        d.write(2, &[3u8; SECTOR_SIZE]).unwrap(); // 2
+        assert!(d.sync().is_err()); // 3: fires
+        d.revive();
+        for (i, v) in [1u8, 2, 3].iter().enumerate() {
+            let mut out = [0u8; SECTOR_SIZE];
+            d.read(i as u64, &mut out).unwrap();
+            assert_eq!(out[0], *v);
+        }
+    }
+
+    #[test]
+    fn mask_ops() {
+        let m = RequestClassMask::WRITES | RequestClassMask::READS;
+        assert!(m.contains(RequestClassMask::WRITES));
+        assert!(m.contains(RequestClassMask::READS));
+        assert!(!m.contains(RequestClassMask::SYNCS));
+        assert!(RequestClassMask::ALL.contains(m));
+        assert!(!RequestClassMask::NONE.contains(RequestClassMask::WRITES));
     }
 }

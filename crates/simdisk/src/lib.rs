@@ -19,9 +19,11 @@ pub mod fault;
 pub mod model;
 pub mod stats;
 pub mod timed;
+pub mod trace;
 
 pub use dev::{BlockDev, DiskError, FileDisk, MemDisk, SECTOR_SIZE};
-pub use fault::{FaultPlan, FaultyDisk};
+pub use fault::{FaultPlan, FaultyDisk, RequestClassMask};
+pub use trace::{TraceClass, TraceDisk, TraceHandle, TraceRecord};
 pub use model::{DiskModel, DiskModelParams};
 pub use stats::{DiskStats, StatsHandle};
 pub use timed::TimedDisk;

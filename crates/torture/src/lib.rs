@@ -1,0 +1,749 @@
+//! Crash-consistency torture harness for the S4 drive.
+//!
+//! The paper's core guarantee is that every version inside the detection
+//! window survives anything a client — or a power cut — does. This crate
+//! proves the crash half of that claim mechanically, in the CrashMonkey
+//! style: enumerate every point at which power can be lost along the
+//! write path, crash there, remount, and check the recovered drive
+//! against an in-memory oracle.
+//!
+//! **Phase 1 (golden run).** A deterministic workload (driven by the
+//! xoshiro256** PRNG from `s4-workloads`) runs against a
+//! [`TraceDisk`]-wrapped device. The trace yields the *crash-point
+//! domain*: the index range of countable device requests (writes and
+//! syncs — the classes a [`FaultPlan`] can fire on) the workload issues
+//! after format. The golden run also validates the oracle and the audit
+//! predictor against a fault-free drive, so replay failures can only
+//! come from recovery, not from harness bugs.
+//!
+//! **Phase 2 (replays).** For each crash point `k` and torn-sector
+//! prefix `p`, the same workload replays against
+//! `FaultyDisk::power_loss_after_requests(k, p, WRITES|SYNCS)`. The
+//! drive dies mid-flight; the harness revives the device, remounts, and
+//! asserts four invariants:
+//!
+//! - **(a) durability**: every version the oracle saw durable at the
+//!   last *completed* sync is readable at its historical time, with the
+//!   exact content, size, and attributes the oracle recorded;
+//! - **(b) audit prefix**: the recovered audit log is an exact prefix of
+//!   the predicted record stream — no holes, no reordering — and at
+//!   least every full block flushed by the last completed sync survived;
+//! - **(c) idempotence**: remounting twice yields identical logical
+//!   state ([`S4Drive::state_digest`]) and identical
+//!   [`RecoveryReport`]s (mount performs no writes);
+//! - **(d) post-recovery retention**: a full cleaner pass after recovery
+//!   reclaims nothing inside the detection window — invariant (a) still
+//!   holds afterwards.
+//!
+//! Each replay is *self-contained*: it rebuilds its own oracle and
+//! predicted audit stream while driving the faulty drive, and records
+//! the last sync that returned `Ok` as the durability boundary. The
+//! golden run only supplies the crash-point domain. This keeps replays
+//! immune to request-count drift between runs (block packing iterates a
+//! hash map, so two runs may batch blocks slightly differently): if a
+//! replay's request sequence ends before its crash point fires, the
+//! harness simply verifies the completed workload like a golden run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use s4_clock::{SimClock, SimDuration, SimTime};
+use s4_core::{
+    AuditRecord, ClientId, DriveConfig, ObjectId, RecoveryReport, Request, RequestContext,
+    Response, S4Drive, UserId,
+};
+use s4_lfs::BLOCK_SIZE;
+use s4_simdisk::{BlockDev, FaultPlan, FaultyDisk, MemDisk, RequestClassMask, TraceDisk};
+use s4_workloads::Rng;
+
+/// Request classes that count as crash points: the write path plus the
+/// superblock barrier (`BlockDev::sync`, issued when an anchor commits).
+/// Reads are excluded — they cannot affect durability, and counting them
+/// would make the domain depend on cache behaviour.
+pub const CRASH_MASK: RequestClassMask = RequestClassMask::WRITES.union(RequestClassMask::SYNCS);
+
+/// Whole audit records per 4 KiB audit block.
+const RECORDS_PER_BLOCK: usize = BLOCK_SIZE / s4_core::audit::RECORD_BYTES;
+
+/// Device size for every torture drive (sparse in memory).
+const DISK_BYTES: u64 = 96 << 20;
+
+/// Parameters of one torture campaign.
+#[derive(Clone, Debug)]
+pub struct TortureConfig {
+    /// PRNG seed; the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Workload length in operations.
+    pub ops: usize,
+    /// Torn-sector prefixes to replay per crash point (0 = the faulting
+    /// write is dropped whole; `n` = its first `n` sectors persist).
+    pub torn_prefixes: Vec<u64>,
+    /// Cap on crash points (sampled evenly across the domain);
+    /// `None` enumerates every countable request.
+    pub max_crash_points: Option<usize>,
+}
+
+impl TortureConfig {
+    /// The bounded CI campaign: small workload, ≤ 64 crash points,
+    /// 2 torn prefixes.
+    pub fn bounded(seed: u64) -> Self {
+        TortureConfig {
+            seed,
+            ops: 120,
+            torn_prefixes: vec![0, 4],
+            max_crash_points: Some(64),
+        }
+    }
+
+    /// The exhaustive campaign: 500-op workload, every crash point.
+    pub fn exhaustive(seed: u64) -> Self {
+        TortureConfig {
+            seed,
+            ops: 500,
+            torn_prefixes: vec![0, 4],
+            max_crash_points: None,
+        }
+    }
+}
+
+/// What the golden (fault-free) run established.
+#[derive(Clone, Copy, Debug)]
+pub struct GoldenSummary {
+    /// Crash-point domain `[start, end)`: countable request indices
+    /// issued by the workload (format's requests are excluded — crashing
+    /// inside format leaves no anchor to recover from).
+    pub domain: (u64, u64),
+    /// Audit records the workload produces.
+    pub audit_records: usize,
+    /// Syncs the workload issued.
+    pub syncs: usize,
+    /// Device-level sync requests inside the domain (anchor barriers;
+    /// the only `BlockDev::sync` call sites are superblock writes, so a
+    /// workload shorter than the anchor interval has none).
+    pub sync_points: u64,
+    /// Objects the workload created.
+    pub objects: usize,
+    /// Oracle version entries validated.
+    pub versions: usize,
+}
+
+/// Outcome of one crash-point replay (panics on invariant violation).
+#[derive(Clone, Copy, Debug)]
+pub struct CrashOutcome {
+    /// The countable-request index the fault was armed at.
+    pub crash_point: u64,
+    /// Torn-sector prefix of the faulting write.
+    pub torn_sectors: u64,
+    /// Whether the fault actually fired (false = the replay's request
+    /// sequence ended before `crash_point`; the workload completed).
+    pub died: bool,
+    /// Versions verified readable post-recovery (invariant a, run twice:
+    /// after mount and after the cleaner pass).
+    pub versions_checked: usize,
+    /// Length of the recovered audit prefix (invariant b).
+    pub audit_prefix: usize,
+    /// The recovery report of the first remount.
+    pub report: RecoveryReport,
+}
+
+/// Outcome of a whole campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct TortureSummary {
+    /// Crash-point domain the golden run established.
+    pub domain: (u64, u64),
+    /// Device-level sync (anchor barrier) requests inside the domain.
+    pub sync_points: u64,
+    /// Distinct crash points replayed.
+    pub crash_points: usize,
+    /// Total replays (crash points × torn prefixes).
+    pub replays: usize,
+    /// Replays in which the fault fired.
+    pub died: usize,
+    /// Versions verified readable across all replays.
+    pub versions_checked: usize,
+}
+
+// ---------------------------------------------------------------------
+// Oracle.
+// ---------------------------------------------------------------------
+
+struct OracleEntry {
+    t: SimTime,
+    data: Vec<u8>,
+    attrs: Vec<u8>,
+    alive: bool,
+}
+
+#[derive(Default)]
+struct OracleObject {
+    history: Vec<OracleEntry>,
+}
+
+impl OracleObject {
+    fn at(&self, t: SimTime) -> Option<&OracleEntry> {
+        self.history.iter().rev().find(|e| e.t <= t)
+    }
+}
+
+/// Everything one workload run produced: the oracle, the predicted audit
+/// stream, and the durability boundary.
+struct RunState {
+    oracle: HashMap<u64, OracleObject>,
+    /// Creation order of oracle object ids (deterministic iteration).
+    order: Vec<u64>,
+    predicted: Vec<AuditRecord>,
+    checkpoints: Vec<SimTime>,
+    /// Drive time of the last sync that returned `Ok`.
+    last_ok_sync: Option<SimTime>,
+    /// Predicted records audited *before* that sync executed (its own
+    /// record is appended after the flush and is volatile).
+    records_at_sync: usize,
+    syncs_ok: usize,
+    /// True if a dispatch failed (the injected fault fired).
+    stopped_early: bool,
+}
+
+fn user_ctx() -> RequestContext {
+    RequestContext::user(UserId(1), ClientId(1))
+}
+
+fn admin_ctx() -> RequestContext {
+    // small_test()'s admin token.
+    RequestContext::admin(ClientId(0), 42)
+}
+
+// ---------------------------------------------------------------------
+// Workload.
+// ---------------------------------------------------------------------
+
+/// Drives the deterministic workload against `drive`, maintaining the
+/// oracle and the predicted audit stream. Stops at the first failed
+/// dispatch (the injected fault; the fault-free golden run never fails).
+fn run_workload<D: BlockDev>(
+    drive: &S4Drive<D>,
+    clock: &SimClock,
+    seed: u64,
+    ops: usize,
+) -> RunState {
+    let mut rng = Rng::new(seed);
+    let ctx = user_ctx();
+    let mut st = RunState {
+        oracle: HashMap::new(),
+        order: Vec::new(),
+        predicted: Vec::new(),
+        checkpoints: Vec::new(),
+        last_ok_sync: None,
+        records_at_sync: 0,
+        syncs_ok: 0,
+        stopped_early: false,
+    };
+    // Alive objects (targets for mutations), plus their oracle state.
+    let mut live: Vec<ObjectId> = Vec::new();
+
+    for _ in 0..ops {
+        // Distinct mutation instants keep oracle lookups unambiguous.
+        clock.advance(SimDuration::from_millis(1));
+        let roll = rng.below(100);
+
+        // Build the request; `Tick` advances time without a request.
+        enum Planned {
+            Req(Request),
+            Tick(u64),
+        }
+        let planned = if roll < 90 && live.is_empty() {
+            // Nothing to mutate yet.
+            Planned::Req(Request::Create)
+        } else if roll < 8 {
+            Planned::Req(Request::Create)
+        } else if roll < 48 {
+            let oid = live[rng.index(live.len())];
+            let offset = rng.below(12_000);
+            let len = rng.range(1, 6_000) as usize;
+            let fill = rng.below(256) as u8;
+            Planned::Req(Request::Write {
+                oid,
+                offset,
+                data: vec![fill; len],
+            })
+        } else if roll < 58 {
+            let oid = live[rng.index(live.len())];
+            let len = rng.below(12_000);
+            Planned::Req(Request::Truncate { oid, len })
+        } else if roll < 64 {
+            if live.len() > 1 {
+                let oid = live[rng.index(live.len())];
+                Planned::Req(Request::Delete { oid })
+            } else {
+                Planned::Req(Request::Sync)
+            }
+        } else if roll < 72 {
+            let oid = live[rng.index(live.len())];
+            let attr = rng.below(256) as u8;
+            Planned::Req(Request::SetAttr {
+                oid,
+                attrs: vec![attr],
+            })
+        } else if roll < 87 {
+            Planned::Req(Request::Sync)
+        } else {
+            Planned::Tick(rng.range(1, 400))
+        };
+
+        let req = match planned {
+            Planned::Tick(ms) => {
+                clock.advance(SimDuration::from_millis(ms));
+                st.checkpoints.push(drive.now());
+                continue;
+            }
+            Planned::Req(req) => req,
+        };
+
+        let result = drive.dispatch(&ctx, &req);
+
+        // Predict the audit record dispatch just appended (same
+        // construction as `S4Drive::dispatch`; CPU is free in
+        // `small_test`, so `now()` is unchanged by the op itself).
+        let object = match &result {
+            Ok(Response::Created(oid)) => *oid,
+            _ => req.target(),
+        };
+        let (arg1, arg2) = req.audit_args();
+        st.predicted.push(AuditRecord {
+            time: drive.now(),
+            user: ctx.user,
+            client: ctx.client,
+            op: req.op_kind(),
+            ok: result.is_ok(),
+            object,
+            arg1,
+            arg2,
+        });
+
+        let resp = match result {
+            Ok(resp) => resp,
+            Err(_) => {
+                // The injected fault surfaced; the drive is dying.
+                st.stopped_early = true;
+                break;
+            }
+        };
+
+        // Mirror the mutation into the oracle.
+        let now = drive.now();
+        match (&req, &resp) {
+            (Request::Create, Response::Created(oid)) => {
+                live.push(*oid);
+                st.order.push(oid.0);
+                st.oracle.entry(oid.0).or_default().history.push(OracleEntry {
+                    t: now,
+                    data: Vec::new(),
+                    attrs: Vec::new(),
+                    alive: true,
+                });
+            }
+            (Request::Write { oid, offset, data }, _) => {
+                let o = st.oracle.get_mut(&oid.0).unwrap();
+                let cur = o.at(SimTime::MAX).unwrap();
+                let mut next = cur.data.clone();
+                let attrs = cur.attrs.clone();
+                let end = *offset as usize + data.len();
+                if next.len() < end {
+                    next.resize(end, 0);
+                }
+                next[*offset as usize..end].copy_from_slice(data);
+                o.history.push(OracleEntry {
+                    t: now,
+                    data: next,
+                    attrs,
+                    alive: true,
+                });
+            }
+            (Request::Truncate { oid, len }, _) => {
+                let o = st.oracle.get_mut(&oid.0).unwrap();
+                let cur = o.at(SimTime::MAX).unwrap();
+                let mut next = cur.data.clone();
+                let attrs = cur.attrs.clone();
+                next.resize(*len as usize, 0);
+                o.history.push(OracleEntry {
+                    t: now,
+                    data: next,
+                    attrs,
+                    alive: true,
+                });
+            }
+            (Request::Delete { oid }, _) => {
+                let o = st.oracle.get_mut(&oid.0).unwrap();
+                let cur = o.at(SimTime::MAX).unwrap();
+                let (data, attrs) = (cur.data.clone(), cur.attrs.clone());
+                o.history.push(OracleEntry {
+                    t: now,
+                    data,
+                    attrs,
+                    alive: false,
+                });
+                live.retain(|l| l != oid);
+            }
+            (Request::SetAttr { oid, attrs }, _) => {
+                let o = st.oracle.get_mut(&oid.0).unwrap();
+                let cur = o.at(SimTime::MAX).unwrap();
+                let data = cur.data.clone();
+                o.history.push(OracleEntry {
+                    t: now,
+                    data,
+                    attrs: attrs.clone(),
+                    alive: true,
+                });
+            }
+            (Request::Sync, _) => {
+                st.last_ok_sync = Some(now);
+                // The sync's own record (just pushed) is post-flush.
+                st.records_at_sync = st.predicted.len() - 1;
+                st.syncs_ok += 1;
+            }
+            _ => unreachable!("workload issues no other requests"),
+        }
+        st.checkpoints.push(now);
+    }
+    st
+}
+
+// ---------------------------------------------------------------------
+// Verification.
+// ---------------------------------------------------------------------
+
+/// Invariant (a): every oracle entry stamped at or before `boundary`
+/// must read back exactly at its historical time. Returns the number of
+/// version checks performed. `what` labels failures.
+fn verify_durable<D: BlockDev>(
+    drive: &S4Drive<D>,
+    st: &RunState,
+    boundary: SimTime,
+    what: &str,
+) -> usize {
+    let admin = admin_ctx();
+    let mut checked = 0;
+    for &raw in &st.order {
+        let oid = ObjectId(raw);
+        for e in &st.oracle[&raw].history {
+            if e.t > boundary {
+                continue;
+            }
+            checked += 1;
+            if !e.alive {
+                assert!(
+                    drive.op_read(&admin, oid, 0, 1 << 16, Some(e.t)).is_err(),
+                    "{what}: {oid} deleted at {} but readable",
+                    e.t
+                );
+                continue;
+            }
+            let got = drive
+                .op_read(&admin, oid, 0, 1 << 16, Some(e.t))
+                .unwrap_or_else(|err| {
+                    panic!(
+                        "{what}: durable version lost — {oid} at {} unreadable: {err:?}",
+                        e.t
+                    )
+                });
+            assert_eq!(
+                got, e.data,
+                "{what}: {oid} content diverged at {} ({} vs {} bytes)",
+                e.t,
+                got.len(),
+                e.data.len()
+            );
+            let attrs = drive
+                .op_getattr(&admin, oid, Some(e.t))
+                .unwrap_or_else(|err| panic!("{what}: {oid} attrs at {} lost: {err:?}", e.t));
+            assert_eq!(attrs.size, e.data.len() as u64, "{what}: {oid} size at {}", e.t);
+            assert_eq!(attrs.opaque, e.attrs, "{what}: {oid} attrs at {}", e.t);
+        }
+    }
+    checked
+}
+
+/// Golden-run cross-product verification: every object at every
+/// checkpoint instant (the strongest oracle validation; replays use the
+/// cheaper per-entry [`verify_durable`]).
+fn verify_full<D: BlockDev>(drive: &S4Drive<D>, st: &RunState) -> usize {
+    let admin = admin_ctx();
+    let mut checked = 0;
+    for &raw in &st.order {
+        let oid = ObjectId(raw);
+        let o = &st.oracle[&raw];
+        for &t in &st.checkpoints {
+            checked += 1;
+            let Some(e) = o.at(t) else {
+                assert!(
+                    drive.op_getattr(&admin, oid, Some(t)).is_err(),
+                    "golden: {oid} should not exist at {t}"
+                );
+                continue;
+            };
+            if !e.alive {
+                assert!(
+                    drive.op_read(&admin, oid, 0, 1 << 16, Some(t)).is_err(),
+                    "golden: {oid} deleted at {t} but readable"
+                );
+                continue;
+            }
+            let got = drive.op_read(&admin, oid, 0, 1 << 16, Some(t)).unwrap();
+            assert_eq!(got, e.data, "golden: {oid} contents at {t}");
+            let attrs = drive.op_getattr(&admin, oid, Some(t)).unwrap();
+            assert_eq!(attrs.size, e.data.len() as u64, "golden: {oid} size at {t}");
+            assert_eq!(attrs.opaque, e.attrs, "golden: {oid} attrs at {t}");
+        }
+    }
+    checked
+}
+
+/// Invariant (b): the recovered audit log must be an exact prefix of the
+/// predicted stream, and at least every record in a full block flushed
+/// by the last completed sync must have survived.
+fn verify_audit_prefix(recovered: &[AuditRecord], st: &RunState, what: &str) {
+    assert!(
+        recovered.len() <= st.predicted.len(),
+        "{what}: recovered {} audit records, predicted only {}",
+        recovered.len(),
+        st.predicted.len()
+    );
+    for (i, (got, want)) in recovered.iter().zip(&st.predicted).enumerate() {
+        assert_eq!(
+            got, want,
+            "{what}: audit record {i} diverged (hole or reordering)"
+        );
+    }
+    let min_durable = if st.last_ok_sync.is_some() {
+        (st.records_at_sync / RECORDS_PER_BLOCK) * RECORDS_PER_BLOCK
+    } else {
+        0
+    };
+    assert!(
+        recovered.len() >= min_durable,
+        "{what}: only {} audit records recovered; {} were in full blocks \
+         flushed by the last completed sync",
+        recovered.len(),
+        min_durable
+    );
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: golden run.
+// ---------------------------------------------------------------------
+
+/// Runs the workload fault-free on a traced device: validates the oracle
+/// and the audit predictor, and measures the crash-point domain.
+pub fn golden_run(cfg: &TortureConfig) -> GoldenSummary {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let dev = TraceDisk::new(MemDisk::with_capacity_bytes(DISK_BYTES));
+    let trace = dev.handle();
+    let drive = S4Drive::format(dev, DriveConfig::small_test(), clock.clone())
+        .expect("golden: format failed");
+    let format_points = trace.countable(CRASH_MASK);
+    let format_syncs = trace.syncs();
+    let st = run_workload(&drive, &clock, cfg.seed, cfg.ops);
+    assert!(!st.stopped_early, "golden: fault-free run failed a dispatch");
+    let end_points = trace.countable(CRASH_MASK);
+    let sync_points = trace.syncs() - format_syncs;
+
+    // Validate the oracle and predictor against the live drive.
+    drive.op_sync(&user_ctx()).expect("golden: final sync");
+    let versions = verify_full(&drive, &st);
+    let recovered = drive
+        .read_audit_records(&admin_ctx())
+        .expect("golden: audit read");
+    assert_eq!(
+        recovered, st.predicted,
+        "golden: predictor diverged from the drive's audit log"
+    );
+
+    GoldenSummary {
+        domain: (format_points, end_points),
+        audit_records: st.predicted.len(),
+        syncs: st.syncs_ok,
+        sync_points,
+        objects: st.order.len(),
+        versions,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: one crash-point replay.
+// ---------------------------------------------------------------------
+
+/// Replays the workload with power loss armed at countable request `k`
+/// (tearing the faulting write to `torn` sectors), then remounts and
+/// asserts the four recovery invariants. Panics with a descriptive
+/// message on any violation.
+pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: u64) -> CrashOutcome {
+    let what = format!("crash@{k}/torn{torn}");
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let plan = FaultPlan::power_loss_after_requests(k, torn, CRASH_MASK);
+    let dev = FaultyDisk::new(MemDisk::with_capacity_bytes(DISK_BYTES), plan);
+    // k is at or past format's request count, so format always succeeds.
+    let drive = S4Drive::format(dev, DriveConfig::small_test(), clock.clone())
+        .unwrap_or_else(|e| panic!("{what}: format failed (crash point inside format?): {e:?}"));
+    let st = run_workload(&drive, &clock, cfg.seed, cfg.ops);
+
+    // Power loss: drop all volatile state, revive the device.
+    let faulty = drive.crash();
+    let died = faulty.is_dead() || st.stopped_early;
+    faulty.revive();
+    let mem = faulty.into_inner();
+
+    // Remount; recovery must always succeed — there is always at least
+    // the format-time anchor to fall back to.
+    let (d1, report) =
+        S4Drive::mount_with_report(mem, DriveConfig::small_test(), SimClock::new())
+            .unwrap_or_else(|e| panic!("{what}: recovery failed: {e:?}"));
+
+    // Invariant (c): journal replay is idempotent. Mount writes nothing,
+    // so remounting the same image must reproduce identical state.
+    let digest1 = d1.state_digest();
+    let mem = d1.crash();
+    let (d2, report2) =
+        S4Drive::mount_with_report(mem, DriveConfig::small_test(), SimClock::new())
+            .unwrap_or_else(|e| panic!("{what}: second recovery failed: {e:?}"));
+    assert_eq!(
+        digest1,
+        d2.state_digest(),
+        "{what}: remount not idempotent — state digests differ"
+    );
+    assert_eq!(
+        report, report2,
+        "{what}: remount not idempotent — recovery reports differ"
+    );
+
+    // Sanity: recovery must not invent mutations from the future.
+    if let Some(&last_t) = st.checkpoints.last() {
+        assert!(
+            report.max_recovered_stamp.time <= last_t,
+            "{what}: recovered stamp {} past the last issued op at {last_t}",
+            report.max_recovered_stamp.time
+        );
+    }
+
+    // Invariants (a) and (b) against the durability boundary: the last
+    // sync that completed before the crash. If the fault never fired,
+    // the workload completed — hold the replay to the golden bar
+    // instead (everything readable, full audit stream present).
+    let mut versions_checked = 0;
+    let audit_prefix;
+    if died {
+        if let Some(boundary) = st.last_ok_sync {
+            versions_checked += verify_durable(&d2, &st, boundary, &what);
+        }
+        let recovered = d2
+            .read_audit_records(&admin_ctx())
+            .unwrap_or_else(|e| panic!("{what}: audit read failed: {e:?}"));
+        verify_audit_prefix(&recovered, &st, &what);
+        audit_prefix = recovered.len();
+    } else {
+        // Flush so every version is on disk, then verify everything.
+        d2.op_sync(&user_ctx())
+            .unwrap_or_else(|e| panic!("{what}: post-replay sync failed: {e:?}"));
+        versions_checked += verify_full(&d2, &st);
+        let recovered = d2
+            .read_audit_records(&admin_ctx())
+            .unwrap_or_else(|e| panic!("{what}: audit read failed: {e:?}"));
+        verify_audit_prefix(&recovered, &st, &what);
+        audit_prefix = recovered.len();
+    }
+
+    // Invariant (d): a cleaner pass must reclaim nothing inside the
+    // detection window (the workload spans seconds; the window is an
+    // hour) — every durable version must still read back.
+    d2.clean()
+        .unwrap_or_else(|e| panic!("{what}: post-recovery clean failed: {e:?}"));
+    if died {
+        if let Some(boundary) = st.last_ok_sync {
+            versions_checked += verify_durable(&d2, &st, boundary, &what);
+        }
+    } else {
+        versions_checked += verify_full(&d2, &st);
+    }
+
+    CrashOutcome {
+        crash_point: k,
+        torn_sectors: torn,
+        died,
+        versions_checked,
+        audit_prefix,
+        report,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign driver.
+// ---------------------------------------------------------------------
+
+/// Runs the golden run, then replays every (sampled) crash point with
+/// every torn prefix. Panics on the first invariant violation.
+pub fn enumerate(cfg: &TortureConfig) -> TortureSummary {
+    let golden = golden_run(cfg);
+    let (start, end) = golden.domain;
+    assert!(end > start, "workload issued no countable requests");
+    let domain = end - start;
+    let step = match cfg.max_crash_points {
+        Some(cap) if domain > cap as u64 => domain.div_ceil(cap as u64),
+        _ => 1,
+    };
+    let mut summary = TortureSummary {
+        domain: golden.domain,
+        sync_points: golden.sync_points,
+        crash_points: 0,
+        replays: 0,
+        died: 0,
+        versions_checked: 0,
+    };
+    let mut k = start;
+    while k < end {
+        summary.crash_points += 1;
+        for &torn in &cfg.torn_prefixes {
+            let outcome = torture_crash_point(cfg, k, torn);
+            summary.replays += 1;
+            summary.died += outcome.died as usize;
+            summary.versions_checked += outcome.versions_checked;
+        }
+        k += step;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_run_is_self_consistent() {
+        let g = golden_run(&TortureConfig::bounded(0xB0A710AD));
+        assert!(g.domain.1 > g.domain.0, "workload must hit the disk");
+        assert!(g.objects >= 1);
+        assert!(g.audit_records >= 100, "every op but ticks is audited");
+        assert!(g.syncs >= 1, "workload must sync at least once");
+    }
+
+    #[test]
+    fn single_crash_point_holds_invariants() {
+        let cfg = TortureConfig::bounded(0xB0A710AD);
+        let g = golden_run(&cfg);
+        // Crash mid-domain: the drive dies with real state at risk.
+        let mid = g.domain.0 + (g.domain.1 - g.domain.0) / 2;
+        let outcome = torture_crash_point(&cfg, mid, 0);
+        assert!(outcome.died, "mid-domain crash point must fire");
+        assert!(outcome.report.recovered_objects >= 1, "partition object");
+    }
+
+    #[test]
+    fn torn_write_crash_point_holds_invariants() {
+        let cfg = TortureConfig::bounded(0x5EED);
+        let g = golden_run(&cfg);
+        let late = g.domain.0 + (g.domain.1 - g.domain.0) * 3 / 4;
+        let outcome = torture_crash_point(&cfg, late, 4);
+        assert!(outcome.died);
+    }
+}

@@ -3,9 +3,16 @@
 #
 # 1. hermetic release build (no registry access required)
 # 2. the full test suite (dev profile is optimized; see Cargo.toml)
-# 3. the §2 intrusion scenario end-to-end: the online detectors must
+# 3. the bounded crash-torture campaign: fixed seed, ≤64 crash points ×
+#    2 torn prefixes over the S4 write path, all four recovery
+#    invariants asserted per replay (crates/torture)
+# 4. the §2 intrusion scenario end-to-end: the online detectors must
 #    flag the staged intrusion and the recovery plan must restore the
 #    pre-intrusion state (the example asserts both)
+#
+# The exhaustive campaign (every crash point of a 500-op workload) is
+# not part of tier-1; run it with:
+#   cargo test --test crash_torture -- --ignored
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +21,9 @@ cargo build --release
 
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "== crash-torture bounded campaign (fixed seed)"
+cargo test -q --test crash_torture
 
 echo "== intrusion_recovery example (detectors + recovery planner)"
 cargo run --release --example intrusion_recovery

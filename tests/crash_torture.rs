@@ -1,0 +1,76 @@
+//! Crash-consistency torture campaigns (see `crates/torture`).
+//!
+//! The bounded campaign is the CI gate: a fixed seed, crash points
+//! sampled down to ≤ 64, two torn-sector prefixes per point. The
+//! exhaustive campaign (`--ignored`) replays *every* countable device
+//! request of a 500-op workload.
+//!
+//! Every replay asserts the four recovery invariants — durability of
+//! everything the last completed sync covered, audit-log prefix
+//! integrity, remount idempotence, and post-recovery retention — so
+//! these tests pass only if recovery is correct at every crash point
+//! visited.
+
+use s4_torture::{enumerate, golden_run, torture_crash_point, TortureConfig};
+
+/// Fixed CI seed; campaigns are pure functions of it.
+const SEED: u64 = 0xB0A710AD;
+
+#[test]
+fn bounded_crash_enumeration_holds_invariants() {
+    let cfg = TortureConfig::bounded(SEED);
+    let summary = enumerate(&cfg);
+    assert!(
+        summary.crash_points >= 16,
+        "workload too small to be interesting: {summary:?}"
+    );
+    assert!(summary.crash_points <= 64, "bounded cap violated: {summary:?}");
+    assert_eq!(summary.replays, summary.crash_points * cfg.torn_prefixes.len());
+    // Every sampled crash point is inside the workload, so every replay
+    // must actually lose power.
+    assert_eq!(summary.died, summary.replays, "some faults never fired: {summary:?}");
+}
+
+#[test]
+fn bounded_campaign_second_seed() {
+    // A second seed guards against the first being accidentally benign.
+    let summary = enumerate(&TortureConfig::bounded(0x5EED_0002));
+    assert_eq!(summary.died, summary.replays, "{summary:?}");
+}
+
+#[test]
+fn golden_run_validates_oracle_and_audit_predictor() {
+    let g = golden_run(&TortureConfig::bounded(SEED));
+    assert!(g.domain.1 > g.domain.0);
+    assert!(g.versions > 0);
+    assert!(g.audit_records > 0);
+}
+
+#[test]
+fn crash_on_first_workload_request() {
+    // The earliest possible workload crash: nothing synced yet, so
+    // recovery must fall back to the format-time anchor.
+    let cfg = TortureConfig::bounded(SEED);
+    let g = golden_run(&cfg);
+    let outcome = torture_crash_point(&cfg, g.domain.0, 0);
+    assert!(outcome.died);
+}
+
+#[test]
+#[ignore = "exhaustive: replays every crash point of a 500-op workload; run with --ignored"]
+fn exhaustive_crash_enumeration_holds_invariants() {
+    let cfg = TortureConfig::exhaustive(SEED);
+    let summary = enumerate(&cfg);
+    let domain = (summary.domain.1 - summary.domain.0) as usize;
+    assert_eq!(
+        summary.crash_points, domain,
+        "exhaustive mode must visit every countable request: {summary:?}"
+    );
+    assert_eq!(summary.died, summary.replays, "{summary:?}");
+    // A 500-op workload crosses the anchor interval, so the domain must
+    // include sync-class (anchor barrier) crash points.
+    assert!(
+        summary.sync_points > 0,
+        "exhaustive workload never hit the anchor barrier: {summary:?}"
+    );
+}
