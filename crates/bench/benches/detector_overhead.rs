@@ -31,6 +31,35 @@ struct Run {
     sim: SimDuration,
     wall: f64,
     records: Vec<AuditRecord>,
+    lat: LatencySummary,
+}
+
+/// Per-layer latency percentiles (simulated µs) pulled from the drive's
+/// observability registry at the end of a run.
+struct LatencySummary {
+    rpc_p50: u64,
+    rpc_p90: u64,
+    rpc_p99: u64,
+    rpc_max: u64,
+    journal_p99: u64,
+    lfs_p99: u64,
+    disk_p99: u64,
+}
+
+impl LatencySummary {
+    fn capture<D: s4_simdisk::BlockDev>(drive: &S4Drive<D>) -> Self {
+        let reg = drive.registry();
+        let rpc = reg.histogram("s4_rpc_latency_us", "");
+        LatencySummary {
+            rpc_p50: rpc.percentile(0.5),
+            rpc_p90: rpc.percentile(0.9),
+            rpc_p99: rpc.percentile(0.99),
+            rpc_max: rpc.max(),
+            journal_p99: reg.histogram("s4_journal_latency_us", "").percentile(0.99),
+            lfs_p99: reg.histogram("s4_lfs_latency_us", "").percentile(0.99),
+            disk_p99: reg.histogram("s4_disk_latency_us", "").percentile(0.99),
+        }
+    }
 }
 
 fn run(pm: &postmark::PostmarkPhases, monitor: bool) -> Run {
@@ -65,6 +94,7 @@ fn run(pm: &postmark::PostmarkPhases, monitor: bool) -> Run {
         sim: create.elapsed + txn.elapsed,
         wall,
         records,
+        lat: LatencySummary::capture(&drive),
     }
 }
 
@@ -128,15 +158,36 @@ fn main() {
          (tracked; was ~15 us/record ad hoc)"
     );
     println!(
+        "rpc latency (monitored, sim us): p50 {} p90 {} p99 {} max {}   \
+         p99 by layer: journal {} lfs {} disk {}",
+        mon.lat.rpc_p50,
+        mon.lat.rpc_p90,
+        mon.lat.rpc_p99,
+        mon.lat.rpc_max,
+        mon.lat.journal_p99,
+        mon.lat.lfs_p99,
+        mon.lat.disk_p99,
+    );
+    println!(
         "BENCH_JSON {{\"bench\":\"detector_overhead\",\"nfiles\":{nfiles},\
 \"transactions\":{transactions},\"records\":{records},\
 \"sim_base_s\":{sim_base:.6},\"sim_monitored_s\":{sim_mon:.6},\
 \"sim_overhead_pct\":{sim_pct:.3},\"wall_base_s\":{wall_base:.3},\
-\"wall_monitored_s\":{wall_mon:.3},\"detector_us_per_record\":{us_per_record:.3}}}",
+\"wall_monitored_s\":{wall_mon:.3},\"detector_us_per_record\":{us_per_record:.3},\
+\"rpc_p50_us\":{rpc_p50},\"rpc_p90_us\":{rpc_p90},\"rpc_p99_us\":{rpc_p99},\
+\"rpc_max_us\":{rpc_max},\"journal_p99_us\":{journal_p99},\
+\"lfs_p99_us\":{lfs_p99},\"disk_p99_us\":{disk_p99}}}",
         records = records,
         sim_base = base.sim.as_secs_f64(),
         sim_mon = mon.sim.as_secs_f64(),
         wall_base = base.wall,
         wall_mon = mon.wall,
+        rpc_p50 = mon.lat.rpc_p50,
+        rpc_p90 = mon.lat.rpc_p90,
+        rpc_p99 = mon.lat.rpc_p99,
+        rpc_max = mon.lat.rpc_max,
+        journal_p99 = mon.lat.journal_p99,
+        lfs_p99 = mon.lat.lfs_p99,
+        disk_p99 = mon.lat.disk_p99,
     );
 }

@@ -27,6 +27,7 @@ use s4_lfs::{
     BlockAddr, BlockKind, BlockTag, CleanOutcome, Cleaner, CleanerConfig, Log, LogConfig,
     RelocationCallbacks, BLOCK_SIZE,
 };
+use s4_obs::{FlightRecorder, Histogram, Registry, TraceRecord};
 use s4_simdisk::BlockDev;
 
 use crate::acl::{AclEntry, AclTable, Perm};
@@ -52,6 +53,14 @@ pub const PARTITION_OBJECT: ObjectId = ObjectId(2);
 /// writable only by the drive itself, so an intruder with full client
 /// privileges can neither suppress nor rewrite raised alerts.
 pub const ALERT_OBJECT: ObjectId = ObjectId(3);
+
+/// The reserved flight-recorder (trace) object: the drive appends one
+/// fixed-size [`TraceRecord`] per dispatched request, so the tail of
+/// the request stream survives crashes and is readable by forensics
+/// after remount. Drive-written-only, like the audit log. A high
+/// sentinel id rather than the next small integer so the dynamic oid
+/// space (which grows without bound) can never collide with it.
+pub const TRACE_OBJECT: ObjectId = ObjectId(u64::MAX - 3);
 
 const FIRST_DYNAMIC_OID: u64 = 4;
 const ANCHOR_MAGIC: u32 = 0x5334_414E; // "S4AN"
@@ -83,6 +92,14 @@ pub struct DriveConfig {
     pub admin_token: u64,
     /// Cleaner tuning.
     pub cleaner: CleanerConfig,
+    /// Whether to persist per-request trace records to the reserved
+    /// flight-recorder object (the in-memory ring always runs).
+    pub flight_recorder: bool,
+    /// Requests retained by the in-memory flight-recorder ring.
+    pub flight_recorder_ring: usize,
+    /// Fire a self-alert when the append-only alert object reaches this
+    /// many flushed blocks (0 disables the warning).
+    pub alert_warn_blocks: u64,
 }
 
 impl Default for DriveConfig {
@@ -97,6 +114,9 @@ impl Default for DriveConfig {
             throttle: ThrottleConfig::default(),
             admin_token: 0x5345_4355_5245_5334, // "SECURES4"
             cleaner: CleanerConfig::default(),
+            flight_recorder: true,
+            flight_recorder_ring: 256,
+            alert_warn_blocks: 1024, // ~4 MiB of alerts
         }
     }
 }
@@ -119,6 +139,11 @@ impl DriveConfig {
             throttle: ThrottleConfig::disabled(),
             admin_token: 42,
             cleaner: CleanerConfig::default(),
+            flight_recorder: true,
+            flight_recorder_ring: 64,
+            // Disabled so tests that count exact alert streams are not
+            // perturbed; the warn path has its own dedicated test.
+            alert_warn_blocks: 0,
         }
     }
 }
@@ -206,6 +231,8 @@ pub struct RecoveryReport {
     pub audit_blocks: usize,
     /// Alert-object blocks reachable after recovery (anchored + replayed).
     pub alert_blocks: usize,
+    /// Flight-recorder (trace) blocks reachable after recovery.
+    pub trace_blocks: usize,
     /// Objects in the recovered table (anchored plus any created in
     /// replayed batches).
     pub recovered_objects: usize,
@@ -234,6 +261,11 @@ struct Inner {
     window: SimDuration,
     audit: AuditState,
     alerts: AlertState,
+    /// Flight-recorder stream: same spill discipline as alerts (the
+    /// blobs are fixed-size encoded [`TraceRecord`]s).
+    traces: AlertState,
+    /// One-shot latch for the alert-object growth self-alert.
+    alert_growth_warned: bool,
     /// Every reachable block (current data, in-window history, journal
     /// blocks, checkpoints, audit blocks). Rebuilt from first principles
     /// at mount.
@@ -262,6 +294,49 @@ pub trait AuditObserver: Send {
     fn on_record(&mut self, rec: &AuditRecord) -> Vec<Vec<u8>>;
 }
 
+/// Per-drive observability state: the metrics registry every layer
+/// reports into, the hot-path latency histograms, and the in-memory
+/// flight-recorder ring (the persisted trace stream lives in
+/// [`Inner::traces`]).
+struct DriveObs {
+    registry: Registry,
+    rpc_hist: Histogram,
+    journal_hist: Histogram,
+    lfs_hist: Histogram,
+    disk_hist: Histogram,
+    recorder: FlightRecorder,
+}
+
+impl DriveObs {
+    fn new(config: &DriveConfig) -> DriveObs {
+        let registry = Registry::new();
+        let rpc_hist = registry.histogram(
+            "s4_rpc_latency_us",
+            "whole-dispatch latency per request, simulated microseconds",
+        );
+        let journal_hist = registry.histogram(
+            "s4_journal_latency_us",
+            "journal packing time per request that packed entries, simulated microseconds",
+        );
+        let lfs_hist = registry.histogram(
+            "s4_lfs_latency_us",
+            "device time inside LFS segment flushes per flushing request, simulated microseconds",
+        );
+        let disk_hist = registry.histogram(
+            "s4_disk_latency_us",
+            "simulated disk service time per request that touched the device, microseconds",
+        );
+        DriveObs {
+            registry,
+            rpc_hist,
+            journal_hist,
+            lfs_hist,
+            disk_hist,
+            recorder: FlightRecorder::new(config.flight_recorder_ring),
+        }
+    }
+}
+
 /// The S4 drive.
 pub struct S4Drive<D: BlockDev> {
     log: Log<D>,
@@ -272,6 +347,7 @@ pub struct S4Drive<D: BlockDev> {
     stats: DriveStats,
     cleaner: Cleaner,
     observers: Mutex<Vec<Box<dyn AuditObserver>>>,
+    obs: DriveObs,
 }
 
 impl<D: BlockDev> S4Drive<D> {
@@ -279,11 +355,13 @@ impl<D: BlockDev> S4Drive<D> {
     pub fn format(dev: D, config: DriveConfig, clock: SimClock) -> Result<S4Drive<D>> {
         let log = Log::format(dev, config.log)?;
         let stamps = HybridClock::new(clock.clone());
+        let obs = DriveObs::new(&config);
         let drive = S4Drive {
             log,
             clock,
             stamps,
             cleaner: Cleaner::new(config.cleaner),
+            stats: DriveStats::registered(&obs.registry),
             config,
             inner: Mutex::new(Inner {
                 table: HashMap::new(),
@@ -291,6 +369,8 @@ impl<D: BlockDev> S4Drive<D> {
                 window: config.detection_window,
                 audit: AuditState::default(),
                 alerts: AlertState::default(),
+                traces: AlertState::default(),
+                alert_growth_warned: false,
                 live: HashSet::new(),
                 jblock_refs: HashMap::new(),
                 cpblock_refs: HashMap::new(),
@@ -299,8 +379,8 @@ impl<D: BlockDev> S4Drive<D> {
                 syncs_since_anchor: 0,
                 lru: 0,
             }),
-            stats: DriveStats::new(),
             observers: Mutex::new(Vec::new()),
+            obs,
         };
         // Create the partition-table object (versioned like any other).
         {
@@ -417,6 +497,18 @@ impl<D: BlockDev> S4Drive<D> {
                     BlockKind::Audit if tag.object == ALERT_OBJECT.0 => {
                         inner.alerts.blocks.push(addr);
                     }
+                    BlockKind::Audit if tag.object == TRACE_OBJECT.0 => {
+                        // Post-anchor flight-recorder blocks: re-derive
+                        // the record total from the block contents so
+                        // the persisted seq counter stays contiguous
+                        // (the anchored total only covers anchored
+                        // blocks; the volatile tail died with the
+                        // crash).
+                        inner.traces.blocks.push(addr);
+                        let block = log.read_block(addr)?;
+                        inner.traces.total_alerts +=
+                            AlertState::decode_block(&block)?.len() as u64;
+                    }
                     BlockKind::Audit => {
                         inner.audit.blocks.push(addr);
                     }
@@ -435,20 +527,23 @@ impl<D: BlockDev> S4Drive<D> {
 
         report.audit_blocks = inner.audit.blocks.len();
         report.alert_blocks = inner.alerts.blocks.len();
+        report.trace_blocks = inner.traces.blocks.len();
         report.recovered_objects = inner.table.len();
         report.next_oid = inner.next_oid;
 
         let stamps = HybridClock::resuming_from(clock.clone(), max_seq.max(sb.next_stamp_seq));
+        let obs = DriveObs::new(&config);
         Ok((
             S4Drive {
                 log,
                 clock,
                 stamps,
                 cleaner: Cleaner::new(config.cleaner),
+                stats: DriveStats::registered(&obs.registry),
                 config,
                 inner: Mutex::new(inner),
-                stats: DriveStats::new(),
                 observers: Mutex::new(Vec::new()),
+                obs,
             },
             report,
         ))
@@ -970,6 +1065,28 @@ impl<D: BlockDev> S4Drive<D> {
     /// front-end only — there is no client RPC that reaches this).
     pub(crate) fn alert_append(&self, blob: &[u8]) {
         let mut inner = self.inner.lock();
+        self.alert_append_locked(&mut inner, blob);
+        // Alert-object growth warning (ROADMAP retention item): the
+        // object is append-only, so a chatty detector can grow it
+        // without bound. When it reaches the configured block
+        // threshold, persist one self-alert — through the same
+        // tamper-evident channel the operator already polls — so the
+        // pressure is visible before the pool fills. Fires once per
+        // mount.
+        let warn = self.config.alert_warn_blocks;
+        if warn > 0 && !inner.alert_growth_warned && inner.alerts.blocks.len() as u64 >= warn {
+            inner.alert_growth_warned = true;
+            let msg = format!(
+                "alert object reached {} flushed blocks (warn threshold {})",
+                inner.alerts.blocks.len(),
+                warn
+            );
+            let self_alert = encode_growth_alert(self.clock.now().as_micros(), msg.as_bytes());
+            self.alert_append_locked(&mut inner, &self_alert);
+        }
+    }
+
+    fn alert_append_locked(&self, inner: &mut Inner, blob: &[u8]) {
         let spilled = match inner.alerts.push(blob) {
             Ok(s) => s,
             Err(_) => return, // oversized blob: drop rather than poison the log
@@ -984,6 +1101,179 @@ impl<D: BlockDev> S4Drive<D> {
                 inner.live.insert(addr.0);
             }
         }
+    }
+
+    /// Records one per-request trace: always into the in-memory ring,
+    /// and (when [`DriveConfig::flight_recorder`] is set) appended to
+    /// the reserved trace object so the stream's prefix survives power
+    /// loss. The persisted stream assigns `seq` — record `i` of the
+    /// stream always carries seq `i`, which recovery re-derives from
+    /// block contents, so forensics can detect gaps.
+    pub(crate) fn record_dispatch(&self, mut rec: TraceRecord) {
+        self.obs.rpc_hist.record(rec.rpc_us);
+        if rec.journal_us > 0 {
+            self.obs.journal_hist.record(rec.journal_us);
+        }
+        if rec.lfs_us > 0 {
+            self.obs.lfs_hist.record(rec.lfs_us);
+        }
+        if rec.disk_us > 0 {
+            self.obs.disk_hist.record(rec.disk_us);
+        }
+        if self.config.flight_recorder {
+            let mut inner = self.inner.lock();
+            rec.seq = inner.traces.total_alerts;
+            let blob = rec.encode();
+            if let Ok(Some(payload)) = inner.traces.push(&blob) {
+                let idx = inner.traces.blocks.len() as u64;
+                if let Ok(addr) = self.log.append(
+                    BlockTag::new(BlockKind::Audit, TRACE_OBJECT.0, idx),
+                    &payload,
+                ) {
+                    inner.traces.blocks.push(addr);
+                    inner.live.insert(addr.0);
+                }
+            }
+        } else {
+            rec.seq = self.obs.recorder.total();
+        }
+        self.obs.recorder.push(rec);
+    }
+
+    /// Reads the persisted flight-recorder stream (admin only), oldest
+    /// first: flushed trace blocks, then the in-memory pending tail.
+    pub fn read_traces(&self, ctx: &RequestContext) -> Result<Vec<TraceRecord>> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        let mut decode_blobs = |blobs: Vec<Vec<u8>>| -> Result<()> {
+            for b in blobs {
+                out.push(
+                    TraceRecord::decode(&b).ok_or(S4Error::BadRequest("malformed trace record"))?,
+                );
+            }
+            Ok(())
+        };
+        for &addr in &inner.traces.blocks {
+            let block = self.log.read_block(addr)?;
+            decode_blobs(AlertState::decode_block(&block)?)?;
+        }
+        decode_blobs(AlertState::decode_block(&inner.traces.pending)?)?;
+        Ok(out)
+    }
+
+    /// The in-memory flight-recorder ring: the last N dispatched
+    /// requests with per-layer timings (unauthenticated — it exposes
+    /// aggregate operational data, not object contents).
+    pub fn flight_recent(&self) -> Vec<TraceRecord> {
+        self.obs.recorder.recent()
+    }
+
+    /// The drive's metrics registry; every layer's counters, gauges,
+    /// and latency histograms report here.
+    pub fn registry(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    /// Prometheus-style text exposition of every drive metric, with
+    /// operational gauges refreshed first.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        self.obs.registry.render_prometheus()
+    }
+
+    /// JSON exposition of every drive metric, with operational gauges
+    /// refreshed first.
+    pub fn metrics_json(&self) -> String {
+        self.refresh_gauges();
+        self.obs.registry.render_json()
+    }
+
+    /// Recomputes the operational gauges the paper's admin story cares
+    /// about (§3.6, §5): history-pool occupancy, detection-window
+    /// headroom, journal depth, and the reserved-object sizes.
+    fn refresh_gauges(&self) {
+        let reg = &self.obs.registry;
+        reg.gauge(
+            "s4_history_pool_occupancy",
+            "fraction of data-area blocks referenced (current + history)",
+        )
+        .set(self.log.utilization());
+        reg.gauge("s4_free_segments", "free log segments remaining")
+            .set(self.log.free_segments() as f64);
+
+        let (journal_depth, audit_blocks, alert_blocks, trace_blocks, objects, window_us) = {
+            let inner = self.inner.lock();
+            let depth: usize = inner
+                .table
+                .values()
+                .map(|s| match s {
+                    Slot::Cached(e) => e.pending.len(),
+                    _ => 0,
+                })
+                .sum();
+            (
+                depth,
+                inner.audit.blocks.len(),
+                inner.alerts.blocks.len(),
+                inner.traces.blocks.len(),
+                inner.table.len(),
+                inner.window.as_micros(),
+            )
+        };
+        reg.gauge(
+            "s4_journal_depth",
+            "journal entries pending (not yet packed) across cached objects",
+        )
+        .set(journal_depth as f64);
+        reg.gauge("s4_audit_object_blocks", "flushed audit-log blocks")
+            .set(audit_blocks as f64);
+        reg.gauge("s4_alert_object_blocks", "flushed alert-object blocks")
+            .set(alert_blocks as f64);
+        reg.gauge("s4_trace_object_blocks", "flushed flight-recorder blocks")
+            .set(trace_blocks as f64);
+        reg.gauge("s4_objects", "objects in the drive's object table")
+            .set(objects as f64);
+        reg.gauge(
+            "s4_detection_window_days",
+            "configured guaranteed detection window, days",
+        )
+        .set(window_us as f64 / 86_400e6);
+
+        // Detection-window headroom: how long the *free* pool lasts at
+        // the observed write rate — the same projection as
+        // `s4_capacity::detection_window_days(pool_gb, write_mb_per_day,
+        // space_factor)` with space_factor 1.0 (raw versions; the
+        // conservative bound). Clamped to 100 years when no write rate
+        // is observable yet.
+        const MAX_HEADROOM_DAYS: f64 = 36_500.0;
+        let elapsed_days = self.clock.now().as_micros() as f64 / 86_400e6;
+        let written_mb = self.stats.snapshot().bytes_written as f64 / (1u64 << 20) as f64;
+        let rate_mb_per_day = if elapsed_days > 0.0 {
+            written_mb / elapsed_days
+        } else {
+            0.0
+        };
+        reg.gauge(
+            "s4_write_mb_per_day",
+            "observed object write rate, MB per simulated day",
+        )
+        .set(rate_mb_per_day);
+        let free_bytes = self.log.free_segments() as f64
+            * self.config.log.blocks_per_segment as f64
+            * BLOCK_SIZE as f64;
+        let headroom = if rate_mb_per_day > 1e-9 {
+            (free_bytes / (1u64 << 30) as f64 * 1024.0 / rate_mb_per_day).min(MAX_HEADROOM_DAYS)
+        } else {
+            MAX_HEADROOM_DAYS
+        };
+        reg.gauge(
+            "s4_detection_window_headroom_days",
+            "days the free history pool lasts at the observed write rate (space_factor 1.0)",
+        )
+        .set(headroom);
     }
 
     /// Reads every persisted alert blob (admin only), oldest first.
@@ -1113,6 +1403,12 @@ impl<D: BlockDev> S4Drive<D> {
         }
         h.bytes(&inner.alerts.pending);
         h.u64(inner.alerts.total_alerts);
+        h.u64(inner.traces.blocks.len() as u64);
+        for a in &inner.traces.blocks {
+            h.u64(a.0);
+        }
+        h.bytes(&inner.traces.pending);
+        h.u64(inner.traces.total_alerts);
         h.0
     }
 
@@ -1472,7 +1768,9 @@ impl<D: BlockDev> S4Drive<D> {
     // ------------------------------------------------------------------
 
     fn check_not_reserved(&self, oid: ObjectId) -> Result<()> {
-        if oid == AUDIT_OBJECT || oid == PARTITION_OBJECT || oid == ALERT_OBJECT {
+        if oid == AUDIT_OBJECT || oid == PARTITION_OBJECT || oid == ALERT_OBJECT
+            || oid == TRACE_OBJECT
+        {
             return Err(S4Error::AccessDenied);
         }
         Ok(())
@@ -1992,6 +2290,9 @@ impl<D: BlockDev> S4Drive<D> {
     /// Packs the pending journal entries of `oids` into shared journal
     /// blocks (several objects' sectors per 4 KiB block, §4.2.2).
     fn pack_objects(&self, inner: &mut Inner, oids: &[u64]) -> Result<()> {
+        // Journal span: simulated time across packing, including any
+        // log auto-flush the appends trigger.
+        let journal_t0 = self.clock.now().as_micros();
         struct Item {
             oid: u64,
             payload: Vec<u8>,
@@ -2061,6 +2362,10 @@ impl<D: BlockDev> S4Drive<D> {
             block.push(item);
         }
         flush(inner, &mut block)?;
+        s4_obs::span::charge(
+            s4_obs::Layer::Journal,
+            self.clock.now().as_micros() - journal_t0,
+        );
         Ok(())
     }
 
@@ -2192,6 +2497,18 @@ impl<D: BlockDev> S4Drive<D> {
                 .log
                 .append(BlockTag::new(BlockKind::Audit, ALERT_OBJECT.0, idx), &tail)?;
             inner.alerts.blocks.push(addr);
+            inner.live.insert(addr.0);
+        }
+
+        // And the buffered flight-recorder tail, so the persisted trace
+        // stream stays an exact prefix of the request stream across an
+        // orderly shutdown.
+        if let Some(tail) = inner.traces.take_pending_block() {
+            let idx = inner.traces.blocks.len() as u64;
+            let addr = self
+                .log
+                .append(BlockTag::new(BlockKind::Audit, TRACE_OBJECT.0, idx), &tail)?;
+            inner.traces.blocks.push(addr);
             inner.live.insert(addr.0);
         }
 
@@ -2596,6 +2913,8 @@ impl<D: BlockDev> RelocationCallbacks for DriveCallbacks<'_, D> {
                 inner.live.insert(new.0);
                 let list = if tag.object == ALERT_OBJECT.0 {
                     &mut inner.alerts.blocks
+                } else if tag.object == TRACE_OBJECT.0 {
+                    &mut inner.traces.blocks
                 } else {
                     &mut inner.audit.blocks
                 };
@@ -2754,6 +3073,29 @@ fn read_stamp(buf: &[u8], pos: &mut usize) -> Result<HybridTimestamp> {
     Ok(HybridTimestamp::new(SimTime::from_micros(t), q))
 }
 
+/// Encodes the alert-object growth self-alert in the `s4-detect`
+/// `Alert` wire format (severity, time, user, client, object, then
+/// length-prefixed rule and message strings), so the standard alert
+/// pollers decode it like any detector-raised alert. The drive cannot
+/// depend on `s4-detect` (the dependency points the other way), so the
+/// format is reproduced here; `s4-detect` has a test pinning the two
+/// together.
+fn encode_growth_alert(time_us: u64, message: &[u8]) -> Vec<u8> {
+    const RULE: &[u8] = b"alert-object-growth";
+    const SEVERITY_WARNING: u8 = 2;
+    let mut out = Vec::with_capacity(29 + RULE.len() + message.len());
+    out.push(SEVERITY_WARNING);
+    out.extend_from_slice(&time_us.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // user: the drive itself
+    out.extend_from_slice(&0u32.to_le_bytes()); // client: the drive itself
+    out.extend_from_slice(&ALERT_OBJECT.0.to_le_bytes());
+    out.extend_from_slice(&(RULE.len() as u16).to_le_bytes());
+    out.extend_from_slice(RULE);
+    out.extend_from_slice(&(message.len() as u16).to_le_bytes());
+    out.extend_from_slice(message);
+    out
+}
+
 fn encode_anchor_payload(inner: &Inner) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&ANCHOR_MAGIC.to_le_bytes());
@@ -2793,8 +3135,10 @@ fn encode_anchor_payload(inner: &Inner) -> Vec<u8> {
         }
     }
     // Alert-object state trails the table so anchors written before the
-    // alert object existed still decode.
+    // alert object existed still decode; the flight-recorder state
+    // trails the alerts for the same reason.
     out.extend_from_slice(&inner.alerts.encode());
+    out.extend_from_slice(&inner.traces.encode());
     out
 }
 
@@ -2808,6 +3152,8 @@ fn decode_anchor_payload(
         window: config.detection_window,
         audit: AuditState::default(),
         alerts: AlertState::default(),
+        traces: AlertState::default(),
+        alert_growth_warned: false,
         live: HashSet::new(),
         jblock_refs: HashMap::new(),
         cpblock_refs: HashMap::new(),
@@ -2887,6 +3233,9 @@ fn decode_anchor_payload(
     if pos < payload.len() {
         inner.alerts = AlertState::decode_from(payload, &mut pos)?;
     }
+    if pos < payload.len() {
+        inner.traces = AlertState::decode_from(payload, &mut pos)?;
+    }
     Ok((inner, records))
 }
 
@@ -2944,6 +3293,7 @@ fn rebuild_liveness<D: BlockDev>(log: &Log<D>, inner: &mut Inner) -> Result<()> 
         .blocks
         .iter()
         .chain(&inner.alerts.blocks)
+        .chain(&inner.traces.blocks)
         .map(|a| a.0)
         .collect();
     for a in audit_blocks {

@@ -75,11 +75,12 @@ pub use alert::{AlertState, MAX_ALERT_BYTES};
 pub use audit::{AuditRecord, AuditState, OpKind};
 pub use drive::{
     AlertCursor, AuditObserver, DriveConfig, RecoveryReport, S4Drive, VersionKind, VersionRecord,
-    ALERT_OBJECT, AUDIT_OBJECT, PARTITION_OBJECT,
+    ALERT_OBJECT, AUDIT_OBJECT, PARTITION_OBJECT, TRACE_OBJECT,
 };
 pub use ids::{ClientId, ObjectId, RequestContext, UserId, ADMIN_USER};
 pub use rpc::{Request, Response};
-pub use stats::DriveStats;
+pub use s4_obs::TraceRecord;
+pub use stats::{DriveStats, StatsSnapshot};
 pub use throttle::ThrottleConfig;
 
 use std::fmt;

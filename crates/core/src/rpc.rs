@@ -222,9 +222,13 @@ impl<D: BlockDev> S4Drive<D> {
     /// in the audit log before the response leaves the drive.
     pub fn dispatch(&self, ctx: &RequestContext, req: &Request) -> Result<Response> {
         if let Request::Batch(reqs) = req {
+            // Batches are not instrumented as a unit: each sub-request
+            // re-enters dispatch and gets its own span + trace record.
             return self.dispatch_batch(ctx, reqs);
         }
         self.stats().requests(1);
+        s4_obs::span::begin();
+        let t_start = self.now().as_micros();
         let touched = match req {
             Request::Write { data, .. } | Request::Append { data, .. } => data.len(),
             Request::Read { len, .. } => *len as usize,
@@ -254,6 +258,23 @@ impl<D: BlockDev> S4Drive<D> {
         if result.is_err() {
             self.stats().denied(1);
         }
+        // Close the span: record per-layer latency histograms and the
+        // flight-recorder trace (all simulated time, so the persisted
+        // stream is deterministic and replayable).
+        let span = s4_obs::span::take();
+        self.record_dispatch(s4_obs::TraceRecord {
+            seq: 0, // assigned by the persisted stream
+            time_us: self.now().as_micros(),
+            user: ctx.user.0,
+            client: ctx.client.0,
+            op: req.op_kind() as u8,
+            ok: result.is_ok(),
+            object: object.0,
+            rpc_us: self.now().as_micros() - t_start,
+            journal_us: span[s4_obs::Layer::Journal as usize],
+            lfs_us: span[s4_obs::Layer::Lfs as usize],
+            disk_us: span[s4_obs::Layer::Disk as usize],
+        });
         result
     }
 

@@ -1,113 +1,96 @@
 //! Operation counters exposed to the benchmarks.
+//!
+//! Since the observability PR these are backed by [`s4_obs`] registry
+//! counters: a drive's `DriveStats` registers each counter as
+//! `s4_<name>_total` in its metrics [`Registry`], so the same cells
+//! feed both the long-standing `snapshot()` API and the Prometheus/JSON
+//! exposition (`S4Drive::metrics_text`). The public API is unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use s4_obs::{Counter, Registry};
 
-/// Live drive counters; cheap to clone (shared).
-#[derive(Clone, Debug, Default)]
-pub struct DriveStats {
-    inner: Arc<Counters>,
-}
+macro_rules! drive_counters {
+    ($(($name:ident, $help:expr)),* $(,)?) => {
+        /// Live drive counters; cheap to clone (shared cells).
+        #[derive(Clone, Default)]
+        pub struct DriveStats {
+            $($name: Counter,)*
+        }
 
-#[derive(Debug, Default)]
-struct Counters {
-    requests: AtomicU64,
-    denied: AtomicU64,
-    bytes_written: AtomicU64,
-    bytes_read: AtomicU64,
-    versions_created: AtomicU64,
-    time_based_reads: AtomicU64,
-    audit_records: AtomicU64,
-    audit_blocks: AtomicU64,
-    journal_sectors: AtomicU64,
-    checkpoints: AtomicU64,
-    expired_blocks: AtomicU64,
-    cleaner_relocations: AtomicU64,
-    cleaner_segments: AtomicU64,
-    throttle_penalty_us: AtomicU64,
-    syncs: AtomicU64,
-    anchors: AtomicU64,
-}
+        /// Snapshot of the counters.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        pub struct StatsSnapshot {
+            $(pub $name: u64,)*
+        }
 
-/// Snapshot of the counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[allow(missing_docs)]
-pub struct StatsSnapshot {
-    pub requests: u64,
-    pub denied: u64,
-    pub bytes_written: u64,
-    pub bytes_read: u64,
-    pub versions_created: u64,
-    pub time_based_reads: u64,
-    pub audit_records: u64,
-    pub audit_blocks: u64,
-    pub journal_sectors: u64,
-    pub checkpoints: u64,
-    pub expired_blocks: u64,
-    pub cleaner_relocations: u64,
-    pub cleaner_segments: u64,
-    pub throttle_penalty_us: u64,
-    pub syncs: u64,
-    pub anchors: u64,
-}
-
-macro_rules! bump {
-    ($($name:ident),*) => {
-        $(
-            #[doc = concat!("Increments `", stringify!($name), "` by `n`.")]
-            pub fn $name(&self, n: u64) {
-                self.inner.$name.fetch_add(n, Ordering::Relaxed);
+        impl DriveStats {
+            /// Fresh zeroed counters, not attached to any registry.
+            pub fn new() -> Self {
+                Self::default()
             }
-        )*
+
+            /// Fresh counters registered as `s4_<name>_total` in
+            /// `registry`, so exposition sees every bump.
+            pub fn registered(registry: &Registry) -> Self {
+                DriveStats {
+                    $($name: registry.counter(
+                        concat!("s4_", stringify!($name), "_total"),
+                        $help,
+                    ),)*
+                }
+            }
+
+            $(
+                #[doc = concat!("Increments `", stringify!($name), "` by `n`.")]
+                pub fn $name(&self, n: u64) {
+                    self.$name.add(n);
+                }
+            )*
+
+            /// Snapshot all counters.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.get(),)*
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Field-wise `self - earlier` (saturating), for measuring
+            /// an interval between two snapshots.
+            pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)*
+                }
+            }
+        }
     };
 }
 
-impl DriveStats {
-    /// Fresh zeroed counters.
-    pub fn new() -> Self {
-        Self::default()
-    }
+drive_counters!(
+    (requests, "RPC requests dispatched"),
+    (denied, "requests rejected (access, bounds, bad args)"),
+    (bytes_written, "object payload bytes written"),
+    (bytes_read, "object payload bytes read"),
+    (versions_created, "object versions created in the history pool"),
+    (time_based_reads, "history reads at an explicit time"),
+    (audit_records, "audit records appended"),
+    (audit_blocks, "full audit blocks flushed to the log"),
+    (journal_sectors, "journal subsectors packed into log entries"),
+    (checkpoints, "object checkpoints written"),
+    (expired_blocks, "history blocks expired past the window"),
+    (cleaner_relocations, "live blocks relocated by the cleaner"),
+    (cleaner_segments, "segments reclaimed by the cleaner"),
+    (throttle_penalty_us, "simulated microseconds of throttle penalty"),
+    (syncs, "log flushes (sync points)"),
+    (anchors, "recovery anchors written"),
+);
 
-    bump!(
-        requests,
-        denied,
-        bytes_written,
-        bytes_read,
-        versions_created,
-        time_based_reads,
-        audit_records,
-        audit_blocks,
-        journal_sectors,
-        checkpoints,
-        expired_blocks,
-        cleaner_relocations,
-        cleaner_segments,
-        throttle_penalty_us,
-        syncs,
-        anchors
-    );
-
-    /// Snapshot all counters.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        let c = &self.inner;
-        StatsSnapshot {
-            requests: c.requests.load(Ordering::Relaxed),
-            denied: c.denied.load(Ordering::Relaxed),
-            bytes_written: c.bytes_written.load(Ordering::Relaxed),
-            bytes_read: c.bytes_read.load(Ordering::Relaxed),
-            versions_created: c.versions_created.load(Ordering::Relaxed),
-            time_based_reads: c.time_based_reads.load(Ordering::Relaxed),
-            audit_records: c.audit_records.load(Ordering::Relaxed),
-            audit_blocks: c.audit_blocks.load(Ordering::Relaxed),
-            journal_sectors: c.journal_sectors.load(Ordering::Relaxed),
-            checkpoints: c.checkpoints.load(Ordering::Relaxed),
-            expired_blocks: c.expired_blocks.load(Ordering::Relaxed),
-            cleaner_relocations: c.cleaner_relocations.load(Ordering::Relaxed),
-            cleaner_segments: c.cleaner_segments.load(Ordering::Relaxed),
-            throttle_penalty_us: c.throttle_penalty_us.load(Ordering::Relaxed),
-            syncs: c.syncs.load(Ordering::Relaxed),
-            anchors: c.anchors.load(Ordering::Relaxed),
-        }
+impl std::fmt::Debug for DriveStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriveStats")
+            .field("snapshot", &self.snapshot())
+            .finish()
     }
 }
 
@@ -126,5 +109,35 @@ mod tests {
         assert_eq!(snap.requests, 4);
         assert_eq!(snap.bytes_written, 4096);
         assert_eq!(snap.denied, 0);
+    }
+
+    #[test]
+    fn registered_counters_feed_the_registry() {
+        let reg = Registry::new();
+        let s = DriveStats::registered(&reg);
+        s.requests(2);
+        s.syncs(1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("s4_requests_total 2"), "{text}");
+        assert!(text.contains("s4_syncs_total 1"));
+        assert!(text.contains("s4_anchors_total 0"));
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_fieldwise() {
+        let s = DriveStats::new();
+        s.requests(10);
+        s.bytes_written(100);
+        let a = s.snapshot();
+        s.requests(5);
+        s.bytes_read(7);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.requests, 5);
+        assert_eq!(d.bytes_read, 7);
+        assert_eq!(d.bytes_written, 0);
+        // Saturating: a reset-or-reordered earlier snapshot never
+        // underflows.
+        assert_eq!(a.delta(&b).requests, 0);
     }
 }

@@ -55,8 +55,8 @@ pub use detector::{
     OnlineMonitor,
 };
 pub use forensics::{
-    audit_coverage, damage_report, object_timeline, tree_at, tree_diff, CoverageReport,
-    DamageReport, TimelineEvent, TimelineSource, TreeDiff, TreeNode,
+    audit_coverage, damage_report, flight_log, object_timeline, tree_at, tree_diff,
+    CoverageReport, DamageReport, FlightEntry, TimelineEvent, TimelineSource, TreeDiff, TreeNode,
 };
 pub use recovery::{
     execute_plan, plan_recovery, PlannedAction, RecoveryAction, RecoveryPlan, RecoveryReport,

@@ -9,6 +9,13 @@
 //! Request payload: `user:u32 || client:u32 || has_token:u8 ||
 //! token:u64 || Request::encode()`. Response payload: `0u8 ||
 //! Response::encode()` on success, `1u8 || utf8 error` on failure.
+//!
+//! One out-of-band frame: a request payload equal to
+//! [`STATS_FRAME_MARKER`] (too short to be a valid RPC frame, so it
+//! cannot collide) returns `0u8 || <Prometheus text exposition>`. It is
+//! unauthenticated by design: the exposition carries aggregate
+//! operational metrics only — no object contents, names, or
+//! per-principal data — mirroring how real fleets scrape `/metrics`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -24,6 +31,11 @@ use s4_simdisk::BlockDev;
 
 use crate::server::{FsError, FsResult};
 use crate::transport::Transport;
+
+/// Request payload that asks the server for its metrics exposition
+/// instead of dispatching an RPC (9 bytes, shorter than the 17-byte
+/// minimum RPC frame).
+pub const STATS_FRAME_MARKER: &[u8] = b"__stats__";
 
 fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -111,6 +123,14 @@ impl TcpServerHandle {
                         let Ok(frame) = read_frame(&mut stream) else {
                             break;
                         };
+                        if frame == STATS_FRAME_MARKER {
+                            let mut out = vec![0u8];
+                            out.extend_from_slice(drive.metrics_text().as_bytes());
+                            if write_frame(&mut stream, &out).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
                         let reply = match decode_request_frame(&frame) {
                             Some((ctx, req)) => match drive.dispatch(&ctx, &req) {
                                 Ok(resp) => {
@@ -189,6 +209,23 @@ impl TcpTransport {
             stream: Mutex::new(stream),
             clock: SimClock::new(),
         })
+    }
+}
+
+impl TcpTransport {
+    /// Fetches the server's Prometheus text exposition over this
+    /// connection (the out-of-band stats frame).
+    pub fn fetch_stats(&self) -> FsResult<String> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, STATS_FRAME_MARKER)
+            .map_err(|e| FsError::Storage(format!("tcp write: {e}")))?;
+        let reply =
+            read_frame(&mut *stream).map_err(|e| FsError::Storage(format!("tcp read: {e}")))?;
+        match reply.first() {
+            Some(0) => String::from_utf8(reply[1..].to_vec())
+                .map_err(|_| FsError::Storage("non-utf8 stats exposition".into())),
+            _ => Err(FsError::Storage("stats frame rejected".into())),
+        }
     }
 }
 
@@ -325,6 +362,26 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+
+        // The out-of-band stats frame returns the Prometheus
+        // exposition, and RPC dispatch keeps working afterwards.
+        let text = t.fetch_stats().unwrap();
+        assert!(text.contains("s4_requests_total"), "{text}");
+        assert!(text.contains("s4_rpc_latency_us{quantile=\"0.99\"}"));
+        assert!(text.contains("s4_history_pool_occupancy"));
+        assert!(text.contains("s4_detection_window_headroom_days"));
+        assert!(matches!(
+            t.call(
+                &ctx,
+                &Request::Read {
+                    oid,
+                    offset: 0,
+                    len: 4,
+                    time: None,
+                },
+            ),
+            Ok(Response::Data(_))
+        ));
         server.shutdown();
     }
 }

@@ -379,7 +379,11 @@ impl<D: BlockDev> Log<D> {
             (NO_NEXT_SEGMENT, false)
         };
 
-        // Write data blocks as one contiguous transfer.
+        // Write data blocks as one contiguous transfer. Device time
+        // spent inside the flush is also charged to the Lfs span layer,
+        // so per-request latency decomposes segment-write cost out of
+        // total disk cost.
+        let disk_before = s4_obs::span::charged(s4_obs::Layer::Disk);
         let mut data_buf = Vec::with_capacity(st.pending.len() * BLOCK_SIZE);
         for p in &st.pending {
             data_buf.extend_from_slice(&p.data);
@@ -402,6 +406,10 @@ impl<D: BlockDev> Log<D> {
         let sum_addr = self.geo.addr_of(seg, batch_start);
         self.dev
             .write(self.geo.sector_of(sum_addr), &summary.encode())?;
+        s4_obs::span::charge(
+            s4_obs::Layer::Lfs,
+            s4_obs::span::charged(s4_obs::Layer::Disk) - disk_before,
+        );
 
         // Account and cache.
         self.usage.lock().note_append(seg, n + 1, n);

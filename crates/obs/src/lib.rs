@@ -1,0 +1,38 @@
+//! Observability layer for the S4 stack: metrics, spans, and a
+//! crash-surviving flight recorder.
+//!
+//! The paper's administrative story (§3.6, §5) assumes the operator can
+//! *see* the drive: how much detection-window headroom the history pool
+//! has left, what the cleaner reclaims, and what the last requests
+//! looked like before an intrusion. This crate provides the plumbing,
+//! with zero external dependencies so every other crate can use it:
+//!
+//! * [`registry`] — a named-metric registry holding monotonic
+//!   [`Counter`]s, float [`Gauge`]s, and log-linear latency
+//!   [`Histogram`]s, rendered as Prometheus-style text or JSON;
+//! * [`hist`] — the histogram itself (4 linear sub-buckets per
+//!   power-of-two octave; constant memory, lock-free recording,
+//!   p50/p90/p99/max queries);
+//! * [`span`] — a thread-local per-request span that hot-path layers
+//!   (rpc, journal, lfs, disk) charge simulated microseconds to, so one
+//!   request's latency decomposes by layer without threading a context
+//!   object through every call;
+//! * [`trace`] — the fixed-size [`TraceRecord`] codec and the in-memory
+//!   ring-buffer [`FlightRecorder`]. The drive additionally appends
+//!   every record to a reserved, drive-written-only object so the
+//!   recorder's prefix survives crashes (see `s4-core`).
+//!
+//! Everything here measures **simulated** time (the `SimClock` the rest
+//! of the stack runs on), never wall time, so recorded values are
+//! deterministic and replayable — a property the crash-torture harness
+//! relies on when it byte-compares recovered trace streams.
+
+pub mod hist;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use registry::{Counter, Gauge, Registry};
+pub use span::Layer;
+pub use trace::{FlightRecorder, TraceRecord, TRACE_RECORD_BYTES};

@@ -1,0 +1,267 @@
+//! Named-metric registry with Prometheus-style text and JSON
+//! exposition.
+//!
+//! Names follow Prometheus conventions (`s4_requests_total`,
+//! `s4_rpc_latency_us`). The registry hands out shared handles —
+//! [`Counter`], [`Gauge`], [`Histogram`] — that record without taking
+//! the registry lock; the lock is only held to register and to render.
+//! `BTreeMap` keeps exposition output deterministically ordered.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Histogram;
+
+/// Monotonic counter handle (clones share the same cell).
+#[derive(Clone, Default)]
+pub struct Counter {
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Float gauge handle (f64 bits in an atomic; clones share the cell).
+#[derive(Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        // Non-finite values would corrupt JSON output; clamp to zero.
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    help: &'static str,
+    metric: Metric,
+}
+
+/// The registry itself; cheap to clone (shared map).
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Entry>>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or retrieves) a counter by name. Re-registering the
+    /// same name returns the existing handle, so layers can look
+    /// metrics up idempotently.
+    pub fn counter(&self, name: &str, help: &'static str) -> Counter {
+        let mut map = self.inner.lock().unwrap();
+        match &map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry {
+                help,
+                metric: Metric::Counter(Counter::new()),
+            })
+            .metric
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with another type"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge by name.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Gauge {
+        let mut map = self.inner.lock().unwrap();
+        match &map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry {
+                help,
+                metric: Metric::Gauge(Gauge::new()),
+            })
+            .metric
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with another type"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram by name.
+    pub fn histogram(&self, name: &str, help: &'static str) -> Histogram {
+        let mut map = self.inner.lock().unwrap();
+        match &map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry {
+                help,
+                metric: Metric::Histogram(Histogram::new()),
+            })
+            .metric
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with another type"),
+        }
+    }
+
+    /// Prometheus text exposition. Histograms render as summaries:
+    /// `name{quantile="…"}` lines (0.5 / 0.9 / 0.99 / 1 = max) plus
+    /// `name_sum` / `name_count`.
+    pub fn render_prometheus(&self) -> String {
+        let map = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, e) in map.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", e.help);
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", fmt_f64(g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    for (q, v) in [
+                        ("0.5", h.percentile(0.5)),
+                        ("0.9", h.percentile(0.9)),
+                        ("0.99", h.percentile(0.99)),
+                        ("1", h.max()),
+                    ] {
+                        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition: `{"counters":{…},"gauges":{…},"histograms":{…}}`
+    /// with per-histogram count/sum/max and p50/p90/p99. Hand-rolled —
+    /// names are identifier-like, so no escaping is needed.
+    pub fn render_json(&self) -> String {
+        let map = self.inner.lock().unwrap();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        for (name, e) in map.iter() {
+            match &e.metric {
+                Metric::Counter(c) => counters.push(format!("\"{name}\":{}", c.get())),
+                Metric::Gauge(g) => gauges.push(format!("\"{name}\":{}", fmt_f64(g.get()))),
+                Metric::Histogram(h) => hists.push(format!(
+                    "\"{name}\":{{\"count\":{},\"sum_us\":{},\"max_us\":{},\
+                     \"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+                    h.count(),
+                    h.sum(),
+                    h.max(),
+                    h.percentile(0.5),
+                    h.percentile(0.9),
+                    h.percentile(0.99),
+                )),
+            }
+        }
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            hists.join(",")
+        )
+    }
+}
+
+/// Formats an f64 so it round-trips as both Prometheus and JSON (always
+/// finite; integral values keep a trailing `.0`? No — Prometheus and
+/// JSON both accept bare integers, and `{}` on f64 prints `12` for
+/// 12.0, which is valid in both).
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("s4_requests_total", "requests");
+        c.add(3);
+        r.counter("s4_requests_total", "requests").inc();
+        assert_eq!(c.get(), 4, "re-registration returns the same cell");
+        let g = r.gauge("s4_occupancy", "fraction");
+        g.set(0.25);
+        assert_eq!(r.gauge("s4_occupancy", "fraction").get(), 0.25);
+        g.set(f64::NAN);
+        assert_eq!(g.get(), 0.0, "non-finite values clamp to zero");
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let r = Registry::new();
+        r.counter("s4_b_total", "b counter").add(7);
+        r.gauge("s4_a_gauge", "a gauge").set(1.5);
+        let h = r.histogram("s4_lat_us", "latency");
+        h.record(10);
+        h.record(20);
+        let text = r.render_prometheus();
+        // BTreeMap ordering: gauge (a) before counter (b) before hist (lat).
+        let ia = text.find("s4_a_gauge 1.5").unwrap();
+        let ib = text.find("s4_b_total 7").unwrap();
+        assert!(ia < ib);
+        assert!(text.contains("# TYPE s4_b_total counter"));
+        assert!(text.contains("# TYPE s4_lat_us summary"));
+        assert!(text.contains("s4_lat_us{quantile=\"0.99\"}"));
+        assert!(text.contains("s4_lat_us_sum 30"));
+        assert!(text.contains("s4_lat_us_count 2"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = Registry::new();
+        r.counter("s4_x_total", "x").add(1);
+        r.gauge("s4_y", "y").set(2.5);
+        r.histogram("s4_z_us", "z").record(100);
+        let j = r.render_json();
+        assert!(j.starts_with("{\"counters\":{"));
+        assert!(j.contains("\"s4_x_total\":1"));
+        assert!(j.contains("\"s4_y\":2.5"));
+        assert!(j.contains("\"s4_z_us\":{\"count\":1"));
+        assert!(j.ends_with("}"));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Thread-local per-request span.
+//!
+//! The drive's request path crosses several crates (rpc dispatch →
+//! journal packing → lfs segment writes → simulated disk), and none of
+//! them share a context object. Instead of threading one through every
+//! signature, each layer charges simulated microseconds to a
+//! thread-local accumulator; `dispatch` calls [`begin`] on entry and
+//! [`take`] on exit to read the decomposition. The simulation executes
+//! a request on one thread, so thread-local state is exactly
+//! per-request state.
+//!
+//! Layers can overlap by construction: [`Layer::Disk`] is raw device
+//! service time wherever it happens; [`Layer::Lfs`] is the portion of
+//! disk time incurred inside a segment flush; [`Layer::Journal`] is
+//! simulated time spent packing journal entries (including any flush it
+//! triggers). They decompose a request's cost by *where it was spent*,
+//! not into disjoint slices.
+
+use std::cell::Cell;
+
+/// Hot-path layers that charge time to the current span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layer {
+    /// Whole-dispatch latency (recorded by the dispatcher itself).
+    Rpc = 0,
+    /// Journal entry packing (object mutations → log entries).
+    Journal = 1,
+    /// LFS segment writes (device time inside a log flush).
+    Lfs = 2,
+    /// Simulated disk service time (any device read/write).
+    Disk = 3,
+}
+
+const LAYERS: usize = 4;
+
+thread_local! {
+    static SPAN: Cell<[u64; LAYERS]> = const { Cell::new([0; LAYERS]) };
+}
+
+/// Resets the current thread's span (dispatch entry).
+pub fn begin() {
+    SPAN.with(|s| s.set([0; LAYERS]));
+}
+
+/// Adds `us` simulated microseconds to `layer` in the current span.
+pub fn charge(layer: Layer, us: u64) {
+    SPAN.with(|s| {
+        let mut v = s.get();
+        v[layer as usize] = v[layer as usize].saturating_add(us);
+        s.set(v);
+    });
+}
+
+/// Total charged to `layer` since [`begin`].
+pub fn charged(layer: Layer) -> u64 {
+    SPAN.with(|s| s.get()[layer as usize])
+}
+
+/// Reads and resets the span; returns `[rpc, journal, lfs, disk]`
+/// (rpc is only nonzero if something charged it explicitly).
+pub fn take() -> [u64; LAYERS] {
+    SPAN.with(|s| s.replace([0; LAYERS]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_per_layer() {
+        begin();
+        charge(Layer::Disk, 10);
+        charge(Layer::Disk, 5);
+        charge(Layer::Journal, 7);
+        assert_eq!(charged(Layer::Disk), 15);
+        assert_eq!(charged(Layer::Journal), 7);
+        assert_eq!(charged(Layer::Lfs), 0);
+        let v = take();
+        assert_eq!(v, [0, 7, 0, 15]);
+        assert_eq!(charged(Layer::Disk), 0, "take resets");
+    }
+
+    #[test]
+    fn begin_clears_stale_state() {
+        charge(Layer::Rpc, 99);
+        begin();
+        assert_eq!(take(), [0; 4]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-request trace records and the in-memory flight recorder.
+//!
+//! Every dispatched request produces one fixed-size [`TraceRecord`]
+//! carrying its identity (who/what/outcome) and per-layer simulated
+//! timings. The [`FlightRecorder`] keeps the last N records in a ring
+//! for cheap "what just happened" queries; the drive *additionally*
+//! appends every encoded record to a reserved, drive-written-only
+//! object (`TRACE_OBJECT` in `s4-core`) so the stream's prefix survives
+//! power loss and is readable by forensics after remount — an
+//! append-only black box an intruder with client privileges cannot
+//! scrub (§4.2.3 applies to it exactly as to the audit log).
+
+/// Encoded size of one record. Fixed so recovery can sanity-check
+/// blocks and the torture harness can predict spill boundaries.
+pub const TRACE_RECORD_BYTES: usize = 68;
+
+/// One dispatched request, as seen by the flight recorder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Position in the drive's persisted trace stream (0-based).
+    pub seq: u64,
+    /// Simulated time at dispatch completion, microseconds.
+    pub time_us: u64,
+    /// Requesting principal.
+    pub user: u32,
+    /// Originating client.
+    pub client: u32,
+    /// Operation kind (same byte encoding as `s4_core::OpKind`).
+    pub op: u8,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Object the request touched (0 when none).
+    pub object: u64,
+    /// Whole-dispatch latency, simulated µs.
+    pub rpc_us: u64,
+    /// Simulated µs spent packing journal entries.
+    pub journal_us: u64,
+    /// Device µs incurred inside LFS segment flushes.
+    pub lfs_us: u64,
+    /// Total simulated disk service µs.
+    pub disk_us: u64,
+}
+
+impl TraceRecord {
+    /// Appends the fixed-size encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.time_us.to_le_bytes());
+        out.extend_from_slice(&self.user.to_le_bytes());
+        out.extend_from_slice(&self.client.to_le_bytes());
+        out.push(self.op);
+        out.push(self.ok as u8);
+        out.extend_from_slice(&[0u8; 2]); // reserved
+        out.extend_from_slice(&self.object.to_le_bytes());
+        out.extend_from_slice(&self.rpc_us.to_le_bytes());
+        out.extend_from_slice(&self.journal_us.to_le_bytes());
+        out.extend_from_slice(&self.lfs_us.to_le_bytes());
+        out.extend_from_slice(&self.disk_us.to_le_bytes());
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(TRACE_RECORD_BYTES);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one record; `None` on short or malformed input.
+    pub fn decode(buf: &[u8]) -> Option<TraceRecord> {
+        if buf.len() < TRACE_RECORD_BYTES {
+            return None;
+        }
+        let u64at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        let u32at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        if buf[25] > 1 {
+            return None; // ok flag must be 0/1
+        }
+        Some(TraceRecord {
+            seq: u64at(0),
+            time_us: u64at(8),
+            user: u32at(16),
+            client: u32at(20),
+            op: buf[24],
+            ok: buf[25] == 1,
+            object: u64at(28),
+            rpc_us: u64at(36),
+            journal_us: u64at(44),
+            lfs_us: u64at(52),
+            disk_us: u64at(60),
+        })
+    }
+}
+
+use std::sync::{Arc, Mutex};
+
+struct Ring {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    next: usize,
+    total: u64,
+}
+
+/// Ring buffer of the last `cap` trace records (shared handle).
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl FlightRecorder {
+    /// `cap` is clamped to at least 1.
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(Ring {
+                buf: Vec::new(),
+                cap: cap.max(1),
+                next: 0,
+                total: 0,
+            })),
+        }
+    }
+
+    pub fn push(&self, rec: TraceRecord) {
+        let mut r = self.inner.lock().unwrap();
+        if r.buf.len() < r.cap {
+            r.buf.push(rec);
+        } else {
+            let i = r.next;
+            r.buf[i] = rec;
+        }
+        r.next = (r.next + 1) % r.cap;
+        r.total += 1;
+    }
+
+    /// The retained records, oldest first.
+    pub fn recent(&self) -> Vec<TraceRecord> {
+        let r = self.inner.lock().unwrap();
+        if r.buf.len() < r.cap {
+            return r.buf.clone();
+        }
+        let mut out = Vec::with_capacity(r.cap);
+        out.extend_from_slice(&r.buf[r.next..]);
+        out.extend_from_slice(&r.buf[..r.next]);
+        out
+    }
+
+    /// Total records ever pushed (≥ retained count).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().unwrap().total
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            time_us: 1000 + seq,
+            user: 7,
+            client: 3,
+            op: 4,
+            ok: seq % 2 == 0,
+            object: 42,
+            rpc_us: 11,
+            journal_us: 5,
+            lfs_us: 2,
+            disk_us: 9,
+        }
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let r = rec(9);
+        let enc = r.encode();
+        assert_eq!(enc.len(), TRACE_RECORD_BYTES);
+        assert_eq!(TraceRecord::decode(&enc), Some(r));
+        assert_eq!(TraceRecord::decode(&enc[..TRACE_RECORD_BYTES - 1]), None);
+        let mut bad = enc.clone();
+        bad[25] = 2; // invalid ok flag
+        assert_eq!(TraceRecord::decode(&bad), None);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_oldest_first() {
+        let fr = FlightRecorder::new(4);
+        for s in 0..10 {
+            fr.push(rec(s));
+        }
+        let got = fr.recent();
+        assert_eq!(got.len(), 4);
+        assert_eq!(
+            got.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "last cap records, oldest first"
+        );
+        assert_eq!(fr.total(), 10);
+        assert_eq!(fr.capacity(), 4);
+    }
+
+    #[test]
+    fn ring_before_wrap_returns_all() {
+        let fr = FlightRecorder::new(8);
+        for s in 0..3 {
+            fr.push(rec(s));
+        }
+        assert_eq!(fr.recent().len(), 3);
+        assert_eq!(fr.recent()[0].seq, 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let fr = FlightRecorder::new(0);
+        fr.push(rec(0));
+        fr.push(rec(1));
+        assert_eq!(fr.recent().len(), 1);
+        assert_eq!(fr.recent()[0].seq, 1);
+    }
+}

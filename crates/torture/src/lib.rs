@@ -20,7 +20,7 @@
 //! prefix `p`, the same workload replays against
 //! `FaultyDisk::power_loss_after_requests(k, p, WRITES|SYNCS)`. The
 //! drive dies mid-flight; the harness revives the device, remounts, and
-//! asserts four invariants:
+//! asserts five invariants:
 //!
 //! - **(a) durability**: every version the oracle saw durable at the
 //!   last *completed* sync is readable at its historical time, with the
@@ -33,7 +33,12 @@
 //!   [`RecoveryReport`]s (mount performs no writes);
 //! - **(d) post-recovery retention**: a full cleaner pass after recovery
 //!   reclaims nothing inside the detection window — invariant (a) still
-//!   holds afterwards.
+//!   holds afterwards;
+//! - **(e) flight-recorder prefix**: the observability layer's
+//!   crash-surviving trace stream (see `s4_obs`) is an exact prefix of
+//!   the predicted request stream — trace records are written 1:1 with
+//!   audit records and share their identity fields — with the same
+//!   full-block durability floor as (b).
 //!
 //! Each replay is *self-contained*: it rebuilds its own oracle and
 //! predicted audit stream while driving the faulty drive, and records
@@ -52,7 +57,7 @@ use std::collections::HashMap;
 use s4_clock::{SimClock, SimDuration, SimTime};
 use s4_core::{
     AuditRecord, ClientId, DriveConfig, ObjectId, RecoveryReport, Request, RequestContext,
-    Response, S4Drive, UserId,
+    Response, S4Drive, TraceRecord, UserId,
 };
 use s4_lfs::BLOCK_SIZE;
 use s4_simdisk::{BlockDev, FaultPlan, FaultyDisk, MemDisk, RequestClassMask, TraceDisk};
@@ -66,6 +71,10 @@ pub const CRASH_MASK: RequestClassMask = RequestClassMask::WRITES.union(RequestC
 
 /// Whole audit records per 4 KiB audit block.
 const RECORDS_PER_BLOCK: usize = BLOCK_SIZE / s4_core::audit::RECORD_BYTES;
+
+/// Whole trace records per 4 KiB trace block (each record carries a
+/// 2-byte length prefix, like an alert blob).
+const TRACES_PER_BLOCK: usize = BLOCK_SIZE / (s4_obs::TRACE_RECORD_BYTES + 2);
 
 /// Device size for every torture drive (sparse in memory).
 const DISK_BYTES: u64 = 96 << 20;
@@ -529,6 +538,49 @@ fn verify_audit_prefix(recovered: &[AuditRecord], st: &RunState, what: &str) {
     );
 }
 
+/// Invariant (e): the recovered flight-recorder stream is an exact
+/// prefix of the predicted request stream. The drive writes one trace
+/// record per dispatched request, in dispatch order, sharing the audit
+/// record's identity fields — so the audit predictor doubles as the
+/// trace oracle. The durability floor mirrors (b): every full trace
+/// block flushed by the last completed sync must have survived.
+fn verify_trace_prefix(traces: &[TraceRecord], st: &RunState, what: &str) {
+    assert!(
+        traces.len() <= st.predicted.len(),
+        "{what}: recovered {} trace records, predicted only {}",
+        traces.len(),
+        st.predicted.len()
+    );
+    for (i, (got, want)) in traces.iter().zip(&st.predicted).enumerate() {
+        assert_eq!(got.seq, i as u64, "{what}: trace {i} seq (hole or reordering)");
+        let identity = (got.time_us, got.user, got.client, got.op, got.ok, got.object);
+        let expect = (
+            want.time.as_micros(),
+            want.user.0,
+            want.client.0,
+            want.op as u8,
+            want.ok,
+            want.object.0,
+        );
+        assert_eq!(
+            identity, expect,
+            "{what}: trace {i} diverged from its audit record"
+        );
+    }
+    let min_durable = if st.last_ok_sync.is_some() {
+        (st.records_at_sync / TRACES_PER_BLOCK) * TRACES_PER_BLOCK
+    } else {
+        0
+    };
+    assert!(
+        traces.len() >= min_durable,
+        "{what}: only {} trace records recovered; {} were in full blocks \
+         flushed by the last completed sync",
+        traces.len(),
+        min_durable
+    );
+}
+
 // ---------------------------------------------------------------------
 // Phase 1: golden run.
 // ---------------------------------------------------------------------
@@ -559,6 +611,18 @@ pub fn golden_run(cfg: &TortureConfig) -> GoldenSummary {
         recovered, st.predicted,
         "golden: predictor diverged from the drive's audit log"
     );
+    // On a live drive the flight recorder has lost nothing: the trace
+    // stream must cover the predicted stream exactly (validating the
+    // 1:1 trace-per-audit-record assumption replays depend on).
+    let traces = drive
+        .read_traces(&admin_ctx())
+        .expect("golden: trace read");
+    assert_eq!(
+        traces.len(),
+        st.predicted.len(),
+        "golden: trace stream incomplete on a fault-free run"
+    );
+    verify_trace_prefix(&traces, &st, "golden");
 
     GoldenSummary {
         domain: (format_points, end_points),
@@ -576,7 +640,7 @@ pub fn golden_run(cfg: &TortureConfig) -> GoldenSummary {
 
 /// Replays the workload with power loss armed at countable request `k`
 /// (tearing the faulting write to `torn` sectors), then remounts and
-/// asserts the four recovery invariants. Panics with a descriptive
+/// asserts the five recovery invariants. Panics with a descriptive
 /// message on any violation.
 pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: u64) -> CrashOutcome {
     let what = format!("crash@{k}/torn{torn}");
@@ -653,6 +717,13 @@ pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: u64) -> CrashOutco
         verify_audit_prefix(&recovered, &st, &what);
         audit_prefix = recovered.len();
     }
+
+    // Invariant (e): the flight recorder's persisted trace stream is an
+    // exact prefix of the predicted request stream.
+    let traces = d2
+        .read_traces(&admin_ctx())
+        .unwrap_or_else(|e| panic!("{what}: trace read failed: {e:?}"));
+    verify_trace_prefix(&traces, &st, &what);
 
     // Invariant (d): a cleaner pass must reclaim nothing inside the
     // detection window (the workload spans seconds; the window is an

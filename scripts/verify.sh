@@ -9,6 +9,9 @@
 # 4. the §2 intrusion scenario end-to-end: the online detectors must
 #    flag the staged intrusion and the recovery plan must restore the
 #    pre-intrusion state (the example asserts both)
+# 5. the observability smoke check: format a scratch image, drive it
+#    through the CLI, and require `s4 stats` to expose the per-layer
+#    latency summaries and window gauges (saved to target/verify-stats.prom)
 #
 # The exhaustive campaign (every crash point of a 500-op workload) is
 # not part of tier-1; run it with:
@@ -27,5 +30,25 @@ cargo test -q --test crash_torture
 
 echo "== intrusion_recovery example (detectors + recovery planner)"
 cargo run --release --example intrusion_recovery
+
+echo "== s4 stats smoke check (metrics exposition)"
+S4_IMG="$(mktemp -d)/verify.s4"
+./target/release/s4 format "$S4_IMG" 64
+echo "observability smoke" | ./target/release/s4 put "$S4_IMG" verify.txt
+./target/release/s4 stats "$S4_IMG" > target/verify-stats.prom
+for metric in \
+    's4_rpc_latency_us{quantile="0.5"}' \
+    's4_rpc_latency_us{quantile="0.99"}' \
+    s4_journal_latency_us \
+    s4_lfs_latency_us \
+    s4_disk_latency_us \
+    s4_detection_window_headroom_days \
+    s4_history_pool_occupancy \
+    s4_requests_total; do
+  grep -qF "$metric" target/verify-stats.prom \
+    || { echo "verify: exposition missing $metric" >&2; exit 1; }
+done
+rm -rf "$(dirname "$S4_IMG")"
+echo "exposition OK: target/verify-stats.prom"
 
 echo "verify: OK"

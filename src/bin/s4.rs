@@ -45,6 +45,7 @@ fn usage() -> ExitCode {
            pin <image> <path> <secs>     (landmark: survives the window)\n\
            pins <image> <path>\n\
            audit <image>\n\
+           stats <image> [--json]        (metrics exposition + flight-recorder tail)\n\
            detect <image>                (run the intrusion detectors over the audit log)\n\
            plan <image> <secs> --client <id> [--user <id>]   (recovery plan for intrusion at <secs>)\n\
            revert <image> <secs> --client <id> [--user <id>] (plan and execute the recovery)\n\
@@ -294,6 +295,40 @@ fn run() -> Result<(), String> {
                 );
             }
             eprintln!("{} records", records.len());
+            close(fs)?;
+        }
+        "stats" => {
+            let fs = open_fs(image)?;
+            {
+                let drive = fs.transport().drive();
+                if args.iter().any(|a| a == "--json") {
+                    println!("{}", drive.metrics_json());
+                } else {
+                    // Prometheus-style exposition on stdout; the
+                    // flight-recorder tail as human context on stderr.
+                    print!("{}", drive.metrics_text());
+                    let admin = RequestContext::admin(ClientId(0), drive.config().admin_token);
+                    let log = s4_detect::flight_log(drive, &admin).map_err(|e| e.to_string())?;
+                    eprintln!("flight recorder: {} persisted traces", log.len());
+                    for e in log.iter().rev().take(10).rev() {
+                        eprintln!(
+                            "  #{:<6} {:>14} user={:<4} client={:<4} {:<14} {} ok={} \
+                             rpc={}us journal={}us lfs={}us disk={}us",
+                            e.seq,
+                            e.time.to_string(),
+                            e.user.0,
+                            e.client.0,
+                            format!("{:?}", e.op),
+                            e.object,
+                            e.ok,
+                            e.rpc_us,
+                            e.journal_us,
+                            e.lfs_us,
+                            e.disk_us
+                        );
+                    }
+                }
+            }
             close(fs)?;
         }
         "detect" => {

@@ -12,5 +12,6 @@ pub use s4_delta as delta;
 pub use s4_fs as fs;
 pub use s4_journal as journal;
 pub use s4_lfs as lfs;
+pub use s4_obs as obs;
 pub use s4_simdisk as simdisk;
 pub use s4_workloads as workloads;

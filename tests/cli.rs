@@ -97,6 +97,26 @@ fn cli_versioning_workflow_across_invocations() {
     assert!(audit_out.contains("Delete"));
     assert!(audit_err.contains("records"));
 
+    // stats serves the metrics exposition and the flight-recorder tail
+    // persisted by the earlier invocations.
+    let (stats_out, stats_err, ok) = s4(&["stats"], &image);
+    assert!(ok, "stats failed: {stats_err}");
+    for needle in [
+        "s4_rpc_latency_us{quantile=\"0.99\"}",
+        "s4_history_pool_occupancy",
+        "s4_detection_window_headroom_days",
+    ] {
+        assert!(stats_out.contains(needle), "stats missing {needle}");
+    }
+    assert!(
+        stats_err.contains("flight recorder"),
+        "stats tail: {stats_err}"
+    );
+    assert!(stats_err.contains("ok=true"), "traces span sessions: {stats_err}");
+    let (json_out, _, ok) = s4(&["stats", "--json"], &image);
+    assert!(ok);
+    assert!(json_out.starts_with('{') && json_out.contains("\"histograms\""));
+
     // unknown command fails politely
     let (_, err, ok) = s4(&["frobnicate"], &image);
     assert!(!ok);

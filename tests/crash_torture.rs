@@ -5,11 +5,11 @@
 //! exhaustive campaign (`--ignored`) replays *every* countable device
 //! request of a 500-op workload.
 //!
-//! Every replay asserts the four recovery invariants — durability of
+//! Every replay asserts the five recovery invariants — durability of
 //! everything the last completed sync covered, audit-log prefix
-//! integrity, remount idempotence, and post-recovery retention — so
-//! these tests pass only if recovery is correct at every crash point
-//! visited.
+//! integrity, remount idempotence, post-recovery retention, and
+//! flight-recorder trace-stream prefix integrity — so these tests pass
+//! only if recovery is correct at every crash point visited.
 
 use s4_torture::{enumerate, golden_run, torture_crash_point, TortureConfig};
 

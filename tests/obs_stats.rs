@@ -1,0 +1,175 @@
+//! End-to-end checks of the observability layer (`crates/obs`): the
+//! metrics exposition a mounted drive serves, the in-memory flight
+//! recorder's ring semantics, and the persisted trace stream's
+//! crash-surviving readback.
+
+use s4_clock::{SimClock, SimDuration};
+use s4_core::{
+    ClientId, DriveConfig, Request, RequestContext, S4Drive, TraceRecord, UserId, TRACE_OBJECT,
+};
+use s4_simdisk::{DiskModelParams, MemDisk, TimedDisk};
+
+fn contexts(config: &DriveConfig) -> (RequestContext, RequestContext) {
+    (
+        RequestContext::admin(ClientId(9), config.admin_token),
+        RequestContext::user(UserId(1), ClientId(1)),
+    )
+}
+
+fn write(drive: &S4Drive<impl s4_simdisk::BlockDev>, ctx: &RequestContext, data: &[u8]) {
+    let oid = match drive.dispatch(ctx, &Request::Create).unwrap() {
+        s4_core::Response::Created(oid) => oid,
+        other => panic!("unexpected {other:?}"),
+    };
+    drive
+        .dispatch(
+            ctx,
+            &Request::Write {
+                oid,
+                offset: 0,
+                data: data.to_vec(),
+            },
+        )
+        .unwrap();
+}
+
+#[test]
+fn exposition_reports_per_layer_latency_and_gauges() {
+    // A timed disk so the per-layer histograms see real service time.
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let disk = TimedDisk::new(
+        MemDisk::with_capacity_bytes(64 << 20),
+        DiskModelParams::cheetah_9gb_10k(),
+        clock.clone(),
+    );
+    let drive = S4Drive::format(disk, DriveConfig::small_test(), clock.clone()).unwrap();
+    let (_, user) = contexts(drive.config());
+    for i in 0..20u8 {
+        write(&drive, &user, &vec![i; 2048]);
+        clock.advance(SimDuration::from_millis(10));
+    }
+    drive.dispatch(&user, &Request::Sync).unwrap();
+
+    let text = drive.metrics_text();
+    for needle in [
+        "s4_requests_total",
+        "s4_bytes_written_total",
+        "s4_rpc_latency_us{quantile=\"0.5\"}",
+        "s4_rpc_latency_us{quantile=\"0.9\"}",
+        "s4_rpc_latency_us{quantile=\"0.99\"}",
+        "s4_journal_latency_us{quantile=\"0.99\"}",
+        "s4_lfs_latency_us{quantile=\"0.99\"}",
+        "s4_disk_latency_us{quantile=\"0.99\"}",
+        "s4_history_pool_occupancy",
+        "s4_detection_window_headroom_days",
+        "s4_journal_depth",
+        "s4_alert_object_blocks",
+        "s4_trace_object_blocks",
+    ] {
+        assert!(text.contains(needle), "exposition missing {needle}:\n{text}");
+    }
+    // The sync flushed segments through the timed disk, so the disk
+    // histogram must have observed nonzero service time.
+    assert!(
+        !text.contains("s4_disk_latency_us_count 0"),
+        "timed disk saw no service time:\n{text}"
+    );
+
+    let json = drive.metrics_json();
+    for needle in [
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "\"s4_rpc_latency_us\"",
+        "\"p99_us\"",
+    ] {
+        assert!(json.contains(needle), "json exposition missing {needle}:\n{json}");
+    }
+}
+
+#[test]
+fn flight_ring_wraps_keeping_the_most_recent_requests() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let mut config = DriveConfig::small_test();
+    config.flight_recorder_ring = 8;
+    let drive = S4Drive::format(MemDisk::new(200_000), config, clock.clone()).unwrap();
+    let (_, user) = contexts(drive.config());
+    for i in 0..15u8 {
+        write(&drive, &user, &[i]); // 2 dispatches each
+        clock.advance(SimDuration::from_millis(1));
+    }
+
+    let recent = drive.flight_recent();
+    assert_eq!(recent.len(), 8, "ring must cap at the configured size");
+    let total = 30; // 15 creates + 15 writes
+    for (i, rec) in recent.iter().enumerate() {
+        assert_eq!(
+            rec.seq,
+            (total - 8 + i) as u64,
+            "ring must hold the newest records oldest-first"
+        );
+    }
+}
+
+#[test]
+fn persisted_traces_survive_crash_and_remount() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let drive = S4Drive::format(MemDisk::new(400_000), DriveConfig::small_test(), clock.clone())
+        .unwrap();
+    let (_, user) = contexts(drive.config());
+    // 140 dispatches: enough to spill two full trace blocks (58
+    // records each) to the reserved trace object.
+    for i in 0..69u8 {
+        write(&drive, &user, &[i]);
+        clock.advance(SimDuration::from_millis(1));
+    }
+    drive.dispatch(&user, &Request::Sync).unwrap();
+    let live: Vec<TraceRecord> = {
+        let (admin, _) = contexts(drive.config());
+        drive.read_traces(&admin).unwrap()
+    };
+    assert_eq!(live.len(), 139, "one trace per dispatched request");
+
+    // Power loss: all volatile state gone; remount from the image.
+    let mem = drive.crash();
+    let (d2, report) =
+        S4Drive::mount_with_report(mem, DriveConfig::small_test(), SimClock::new()).unwrap();
+    assert!(
+        report.trace_blocks >= 2,
+        "spilled trace blocks must be recovered: {report:?}"
+    );
+    let (admin, _) = contexts(d2.config());
+    let recovered = d2.read_traces(&admin).unwrap();
+    assert!(
+        recovered.len() >= 2 * 58,
+        "full trace blocks flushed by the sync must survive, got {}",
+        recovered.len()
+    );
+    // Exact prefix of the pre-crash stream, contiguous from seq 0.
+    for (i, (got, want)) in recovered.iter().zip(&live).enumerate() {
+        assert_eq!(got.seq, i as u64);
+        assert_eq!(got, want, "trace {i} diverged across the crash");
+    }
+
+    // New requests keep extending the stream contiguously.
+    write(&d2, &user, b"post-crash");
+    let after = d2.read_traces(&admin).unwrap();
+    assert_eq!(after.len(), recovered.len() + 2);
+    assert_eq!(after.last().unwrap().seq, after.len() as u64 - 1);
+
+    // The reserved trace object is drive-written-only.
+    let err = d2
+        .dispatch(
+            &user,
+            &Request::Write {
+                oid: TRACE_OBJECT,
+                offset: 0,
+                data: b"forge".to_vec(),
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, s4_core::S4Error::AccessDenied));
+}
