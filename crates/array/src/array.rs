@@ -1,0 +1,397 @@
+//! The array itself: per-shard worker threads, bounded request queues,
+//! and scatter-gather dispatch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use s4_clock::SimClock;
+use s4_core::{
+    DriveConfig, RecoveryReport, Request, RequestContext, Response, S4Drive, S4Error,
+};
+use s4_fs::RpcHandler;
+use s4_simdisk::BlockDev;
+
+use crate::router::{route, split_batch, Merge, Route};
+
+/// Returned when a shard's worker thread is gone (array shutting down
+/// or worker panicked).
+const WORKER_GONE: S4Error = S4Error::BadRequest("array shard worker unavailable");
+
+/// Array-level tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayConfig {
+    /// Bound of each shard's request queue. A full queue blocks the
+    /// submitting client thread (backpressure) instead of growing
+    /// without limit — the array runs one worker per shard, not one
+    /// thread per connection.
+    pub queue_depth: usize,
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        ArrayConfig { queue_depth: 64 }
+    }
+}
+
+/// One queued request plus the channel its response goes back on.
+struct Job {
+    ctx: RequestContext,
+    req: Request,
+    reply: SyncSender<s4_core::Result<Response>>,
+}
+
+/// One member drive with its worker thread and bounded queue.
+struct ShardHandle<D: BlockDev> {
+    drive: Arc<S4Drive<D>>,
+    tx: Option<SyncSender<Job>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl<D: BlockDev> Drop for ShardHandle<D> {
+    fn drop(&mut self) {
+        // Closing the queue ends the worker's recv loop; join so no
+        // thread outlives the array.
+        drop(self.tx.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A sharded array of [`S4Drive`]s presenting the single-drive RPC
+/// surface (it implements [`RpcHandler`], so the TCP server and the
+/// file-system layer run over it unchanged).
+///
+/// Object placement is `oid % n` with reserved objects pinned (see
+/// [`crate::router`]); each member drive allocates ObjectIDs only in
+/// its own residue class so drive-assigned IDs route home. Every shard
+/// keeps its own audit log, alert stream, and flight recorder — the
+/// security perimeter stays per-drive, exactly as §3.2 argues: a
+/// compromised client (or even a compromised sibling drive) cannot
+/// forge or truncate another shard's history.
+pub struct S4Array<D: BlockDev> {
+    shards: Vec<ShardHandle<D>>,
+    rr: AtomicUsize,
+    clock: SimClock,
+}
+
+impl<D: BlockDev + 'static> S4Array<D> {
+    /// Formats `devices` as a fresh `n`-shard array sharing `clock`.
+    /// Shard `i` gets `config` with ObjectID class `i (mod n)`.
+    pub fn format(
+        devices: Vec<D>,
+        config: DriveConfig,
+        array: ArrayConfig,
+        clock: SimClock,
+    ) -> s4_core::Result<S4Array<D>> {
+        let n = devices.len();
+        if n == 0 {
+            return Err(S4Error::BadRequest("array needs at least one drive"));
+        }
+        let drives = devices
+            .into_iter()
+            .enumerate()
+            .map(|(i, dev)| {
+                S4Drive::format(
+                    dev,
+                    config.with_oid_class(n as u64, i as u64),
+                    clock.clone(),
+                )
+            })
+            .collect::<s4_core::Result<Vec<_>>>()?;
+        Ok(Self::spawn(drives, array, clock))
+    }
+
+    /// Remounts an array previously formatted (or unmounted) with the
+    /// same shard order, running per-shard crash recovery. Returns the
+    /// per-shard [`RecoveryReport`]s — recovery is strictly per drive.
+    pub fn mount(
+        devices: Vec<D>,
+        config: DriveConfig,
+        array: ArrayConfig,
+        clock: SimClock,
+    ) -> s4_core::Result<(S4Array<D>, Vec<RecoveryReport>)> {
+        let n = devices.len();
+        if n == 0 {
+            return Err(S4Error::BadRequest("array needs at least one drive"));
+        }
+        let mut drives = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        for (i, dev) in devices.into_iter().enumerate() {
+            let (drive, report) = S4Drive::mount_with_report(
+                dev,
+                config.with_oid_class(n as u64, i as u64),
+                clock.clone(),
+            )?;
+            drives.push(drive);
+            reports.push(report);
+        }
+        Ok((Self::spawn(drives, array, clock), reports))
+    }
+
+    /// Builds an array over already-constructed drives (benchmarks use
+    /// this to give each shard an independent clock). Each drive must
+    /// already allocate in its residue class: drive `i` of `n` with
+    /// stride `n`, offset `i`.
+    pub fn from_drives(
+        drives: Vec<S4Drive<D>>,
+        array: ArrayConfig,
+    ) -> s4_core::Result<S4Array<D>> {
+        let n = drives.len();
+        if n == 0 {
+            return Err(S4Error::BadRequest("array needs at least one drive"));
+        }
+        for (i, d) in drives.iter().enumerate() {
+            if d.config().oid_stride != n as u64 || d.config().oid_offset != i as u64 {
+                return Err(S4Error::BadRequest("array member oid class mismatch"));
+            }
+        }
+        let clock = drives[0].clock().clone();
+        Ok(Self::spawn(drives, array, clock))
+    }
+
+    fn spawn(drives: Vec<S4Drive<D>>, array: ArrayConfig, clock: SimClock) -> S4Array<D> {
+        let shards = drives
+            .into_iter()
+            .map(|drive| {
+                let drive = Arc::new(drive);
+                let (tx, rx): (SyncSender<Job>, Receiver<Job>) =
+                    mpsc::sync_channel(array.queue_depth.max(1));
+                let worker_drive = drive.clone();
+                let thread = std::thread::spawn(move || {
+                    // The queue closing (all senders dropped) ends the loop.
+                    while let Ok(job) = rx.recv() {
+                        let result = worker_drive.dispatch(&job.ctx, &job.req);
+                        // A client that gave up is not an error.
+                        let _ = job.reply.send(result);
+                    }
+                });
+                ShardHandle {
+                    drive,
+                    tx: Some(tx),
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        S4Array {
+            shards,
+            rr: AtomicUsize::new(0),
+            clock,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct handle to shard `i`'s drive — the admin plane (forensics,
+    /// detector installation, metrics) reads member drives in place.
+    pub fn shard_drive(&self, i: usize) -> &Arc<S4Drive<D>> {
+        &self.shards[i].drive
+    }
+
+    /// The simulated clock requests are timed on (shard 0's).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Shuts down the workers and unmounts every shard, returning the
+    /// block devices in shard order.
+    pub fn unmount(mut self) -> s4_core::Result<Vec<D>> {
+        let mut devices = Vec::with_capacity(self.shards.len());
+        for handle in self.shards.drain(..) {
+            let drive = handle.drive.clone();
+            drop(handle); // closes the queue and joins the worker
+            let drive = Arc::try_unwrap(drive)
+                .map_err(|_| S4Error::BadRequest("array drive still referenced"))?;
+            devices.push(drive.unmount()?);
+        }
+        Ok(devices)
+    }
+
+    /// Verifies, executes, and audits one request against the array —
+    /// the sharded equivalent of [`S4Drive::dispatch`]. Single-object
+    /// requests go to the owning shard's queue; broadcast requests
+    /// scatter to every shard and gather one merged response; batches
+    /// are split per shard (see [`crate::router::split_batch`]).
+    pub fn dispatch(&self, ctx: &RequestContext, req: &Request) -> s4_core::Result<Response> {
+        let n = self.shards.len();
+        match route(req, n) {
+            Route::Create => {
+                let s = self.rr.fetch_add(1, Ordering::Relaxed) % n;
+                self.submit(s, ctx, req.clone())
+            }
+            Route::Shard(s) => self.submit(s, ctx, req.clone()),
+            Route::Broadcast(merge) => {
+                let results = self.scatter(ctx, (0..n).map(|s| (s, req.clone())));
+                merge_broadcast(merge, results)
+            }
+            Route::SplitBatch => {
+                let Request::Batch(reqs) = req else { unreachable!() };
+                self.dispatch_split(ctx, reqs)
+            }
+        }
+    }
+
+    /// Queues one request on shard `s` and waits for the response.
+    /// Blocks while the shard's queue is full — that is the
+    /// backpressure contract.
+    fn submit(&self, s: usize, ctx: &RequestContext, req: Request) -> s4_core::Result<Response> {
+        let mut rx = self.scatter(ctx, std::iter::once((s, req)));
+        rx.pop().expect("one submission, one result")
+    }
+
+    /// Sends every `(shard, request)` job, then gathers responses in
+    /// submission order. Jobs on distinct shards execute concurrently.
+    fn scatter(
+        &self,
+        ctx: &RequestContext,
+        jobs: impl Iterator<Item = (usize, Request)>,
+    ) -> Vec<s4_core::Result<Response>> {
+        let mut pending = Vec::new();
+        for (s, req) in jobs {
+            let (reply, rx) = mpsc::sync_channel(1);
+            let sent = match &self.shards[s].tx {
+                Some(tx) => tx.send(Job { ctx: *ctx, req, reply }).is_ok(),
+                None => false,
+            };
+            pending.push((sent, rx));
+        }
+        pending
+            .into_iter()
+            .map(|(sent, rx)| {
+                if !sent {
+                    return Err(WORKER_GONE);
+                }
+                rx.recv().unwrap_or(Err(WORKER_GONE))
+            })
+            .collect()
+    }
+
+    /// Splits a batch across shards, runs the sub-batches concurrently,
+    /// and reassembles the responses in original order.
+    fn dispatch_split(
+        &self,
+        ctx: &RequestContext,
+        reqs: &[Request],
+    ) -> s4_core::Result<Response> {
+        let n = self.shards.len();
+        let plan = split_batch(reqs, n, || self.rr.fetch_add(1, Ordering::Relaxed) % n)?;
+        let touched: Vec<usize> = (0..n).filter(|&s| !plan.subs[s].is_empty()).collect();
+        let subs = plan.subs;
+        let results = self.scatter(
+            ctx,
+            touched
+                .iter()
+                .map(|&s| (s, Request::Batch(subs[s].clone()))),
+        );
+
+        let mut out: Vec<Option<Response>> = vec![None; plan.total];
+        let mut first_err: Option<(usize, S4Error)> = None;
+        for (&s, result) in touched.iter().zip(results) {
+            match result {
+                Ok(Response::Batch(rs)) => {
+                    for (pos, resp) in rs.into_iter().enumerate() {
+                        out[plan.slots[s][pos]] = Some(resp);
+                    }
+                }
+                Ok(_) => {
+                    return Err(S4Error::BadRequest(
+                        "array: shard returned non-batch response",
+                    ))
+                }
+                Err(e) => {
+                    // Report the failing shard whose sub-batch starts
+                    // earliest in the original order (deterministic).
+                    let start = plan.slots[s].first().copied().unwrap_or(usize::MAX);
+                    match &first_err {
+                        Some((fs, _)) if start >= *fs => {}
+                        _ => first_err = Some((start, e)),
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        Ok(Response::Batch(
+            out.into_iter()
+                .map(|r| r.expect("every batch slot answered"))
+                .collect(),
+        ))
+    }
+}
+
+/// Combines per-shard responses of a broadcast request.
+fn merge_broadcast(
+    merge: Merge,
+    results: Vec<s4_core::Result<Response>>,
+) -> s4_core::Result<Response> {
+    match merge {
+        Merge::AllOk => {
+            for r in results {
+                r?;
+            }
+            Ok(Response::Ok)
+        }
+        Merge::SumNewSize => {
+            let mut total = 0u64;
+            for r in results {
+                match r? {
+                    Response::NewSize(k) => total += k,
+                    other => {
+                        return Err(bad_shape(&other));
+                    }
+                }
+            }
+            Ok(Response::NewSize(total))
+        }
+        Merge::Partitions => {
+            let mut all = Vec::new();
+            for r in results {
+                match r? {
+                    Response::Partitions(p) => all.extend(p),
+                    other => return Err(bad_shape(&other)),
+                }
+            }
+            all.sort();
+            Ok(Response::Partitions(all))
+        }
+        Merge::FirstMounted => pick_first_success(results),
+        Merge::AnyOk => pick_first_success(results),
+    }
+}
+
+/// First successful response in shard order; otherwise the most
+/// specific error (any non-`NoSuchPartition` error beats the generic
+/// "no shard knows that name").
+fn pick_first_success(results: Vec<s4_core::Result<Response>>) -> s4_core::Result<Response> {
+    let mut err = None;
+    for r in results {
+        match r {
+            Ok(resp) => return Ok(resp),
+            Err(S4Error::NoSuchPartition) => {
+                err.get_or_insert(S4Error::NoSuchPartition);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(err.unwrap_or(S4Error::NoSuchPartition))
+}
+
+fn bad_shape(_resp: &Response) -> S4Error {
+    S4Error::BadRequest("array: unexpected per-shard response shape")
+}
+
+impl<D: BlockDev + 'static> RpcHandler for S4Array<D> {
+    fn handle(&self, ctx: &RequestContext, req: &Request) -> s4_core::Result<Response> {
+        self.dispatch(ctx, req)
+    }
+
+    fn stats_text(&self) -> String {
+        self.metrics_text()
+    }
+}

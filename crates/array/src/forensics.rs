@@ -1,0 +1,112 @@
+//! Merged admin plane: audit, alerts, detection, and forensics across
+//! shards.
+//!
+//! Every member drive keeps its own tamper-resistant audit log, alert
+//! stream, and flight recorder — the array merely *reads* them all and
+//! merges, tagging each record with its shard so an analyst can always
+//! trace a finding back to the drive that vouches for it. Merging is a
+//! view, not a copy: no cross-shard object ever holds security state,
+//! so compromising one shard (or the array frontend itself) cannot
+//! rewrite another shard's history.
+
+use s4_core::{AuditRecord, ObjectId, RequestContext, S4Error};
+use s4_detect::{flight_log, install_standard_monitor, object_timeline, FlightEntry, TimelineEvent};
+use s4_simdisk::BlockDev;
+
+use crate::array::S4Array;
+use crate::router::shard_of;
+
+/// A record tagged with the shard whose log it came from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sharded<T> {
+    /// Shard index the record was read from.
+    pub shard: usize,
+    /// The record itself.
+    pub record: T,
+}
+
+impl<D: BlockDev + 'static> S4Array<D> {
+    /// Installs the standard online monitor on every member drive;
+    /// each shard detects independently over its own audit stream.
+    pub fn install_standard_monitors(&self) {
+        for s in 0..self.shard_count() {
+            install_standard_monitor(self.shard_drive(s));
+        }
+    }
+
+    /// Every shard's audit log merged into one stream, sorted by
+    /// record time (ties keep shard order — the merge is stable).
+    pub fn read_audit_merged(
+        &self,
+        admin: &RequestContext,
+    ) -> Result<Vec<Sharded<AuditRecord>>, S4Error> {
+        let mut all = Vec::new();
+        for s in 0..self.shard_count() {
+            all.extend(
+                self.shard_drive(s)
+                    .read_audit_records(admin)?
+                    .into_iter()
+                    .map(|record| Sharded { shard: s, record }),
+            );
+        }
+        all.sort_by_key(|r| r.record.time);
+        Ok(all)
+    }
+
+    /// Every shard's alert stream merged, sorted by raise time (the
+    /// alert wire format dates each blob at bytes `[1..9]`).
+    pub fn read_alerts_merged(
+        &self,
+        admin: &RequestContext,
+    ) -> Result<Vec<Sharded<Vec<u8>>>, S4Error> {
+        let mut all = Vec::new();
+        for s in 0..self.shard_count() {
+            all.extend(
+                self.shard_drive(s)
+                    .read_alerts(admin)?
+                    .into_iter()
+                    .map(|record| Sharded { shard: s, record }),
+            );
+        }
+        all.sort_by_key(|r| alert_time(&r.record));
+        Ok(all)
+    }
+
+    /// Every shard's flight recorder merged, sorted by completion time.
+    pub fn flight_log_merged(
+        &self,
+        admin: &RequestContext,
+    ) -> Result<Vec<Sharded<FlightEntry>>, S4Error> {
+        let mut all = Vec::new();
+        for s in 0..self.shard_count() {
+            all.extend(
+                flight_log(self.shard_drive(s), admin)?
+                    .into_iter()
+                    .map(|record| Sharded { shard: s, record }),
+            );
+        }
+        all.sort_by_key(|r| r.record.time);
+        Ok(all)
+    }
+
+    /// Forensic timeline of one object, served by its home shard
+    /// (object history never crosses shards).
+    pub fn object_timeline(
+        &self,
+        admin: &RequestContext,
+        oid: ObjectId,
+    ) -> Result<Vec<TimelineEvent>, S4Error> {
+        let s = shard_of(oid, self.shard_count());
+        object_timeline(self.shard_drive(s), admin, oid)
+    }
+}
+
+/// Raise time of an alert blob (µs), per the wire format's dating
+/// convention: severity byte, then the time at bytes `[1..9]`.
+fn alert_time(blob: &[u8]) -> u64 {
+    if blob.len() >= 9 {
+        u64::from_le_bytes(blob[1..9].try_into().unwrap())
+    } else {
+        0
+    }
+}

@@ -1,0 +1,41 @@
+//! Sharded multi-drive S4 array (scale-out, §5 "costs and scalability").
+//!
+//! One self-securing drive bounds its throughput by a single log and a
+//! single security perimeter. The array scales out by running `n`
+//! independent [`s4_core::S4Drive`]s and partitioning the flat object
+//! namespace across them by residue class (`oid % n`), with each member
+//! drive allocating ObjectIDs only inside its own class so that
+//! drive-assigned IDs route home with no mapping table.
+//!
+//! Design points:
+//!
+//! * **Per-shard workers with bounded queues.** Each shard owns one
+//!   worker thread fed by a bounded channel; a full queue blocks the
+//!   submitter (backpressure) rather than spawning threads or buffering
+//!   without limit.
+//! * **Scatter-gather.** Whole-array operations (`Sync`, `Flush`,
+//!   `SetWindow`, retention flushes, partition lookups) broadcast to
+//!   every shard concurrently and merge the responses; batches split
+//!   into per-shard sub-batches that run in parallel.
+//! * **Security perimeter stays per drive.** Audit logs, alert streams,
+//!   and flight recorders are shard-local and tamper-resistant exactly
+//!   as on a lone drive; the array only ever *reads* and merges them
+//!   ([`Sharded`] tags each record with the vouching shard). Recovery
+//!   and mount are strictly per shard.
+//! * **Drop-in surface.** The array implements [`s4_fs::RpcHandler`],
+//!   so the TCP server and the NFS-style file system layer run over it
+//!   unchanged ([`ArrayTransport`] is the in-process variant).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod forensics;
+mod metrics;
+pub mod router;
+mod transport;
+
+pub use array::{ArrayConfig, S4Array};
+pub use forensics::Sharded;
+pub use router::{is_reserved, shard_of};
+pub use transport::ArrayTransport;

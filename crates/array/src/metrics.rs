@@ -1,0 +1,94 @@
+//! Aggregated observability over the member drives' registries.
+//!
+//! Each shard keeps its own [`s4_obs::Registry`]; the array renders one
+//! exposition with a per-shard breakdown plus array totals. Counters
+//! and gauges sum across shards (both are per-drive magnitudes: request
+//! counts, occupancy blocks, queue depths); histograms stay per shard —
+//! summing quantiles would be meaningless, so the JSON exposition keeps
+//! them inside the per-shard documents.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use s4_simdisk::BlockDev;
+
+use crate::array::S4Array;
+
+impl<D: BlockDev + 'static> S4Array<D> {
+    /// Prometheus-style text exposition: one `name{shard="i"}` sample
+    /// per member drive plus an unlabeled array total per name.
+    pub fn metrics_text(&self) -> String {
+        let n = self.shard_count();
+        let mut counters: BTreeMap<String, Vec<(usize, u64)>> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
+        for s in 0..n {
+            let drive = self.shard_drive(s);
+            drive.metrics_text(); // refresh operational gauges
+            for (name, v) in drive.registry().counter_values() {
+                counters.entry(name).or_default().push((s, v));
+            }
+            for (name, v) in drive.registry().gauge_values() {
+                gauges.entry(name).or_default().push((s, v));
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# HELP s4_array_shards member drives in the array");
+        let _ = writeln!(out, "# TYPE s4_array_shards gauge");
+        let _ = writeln!(out, "s4_array_shards {n}");
+        for (name, samples) in &counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let mut total = 0u64;
+            for (s, v) in samples {
+                total += v;
+                let _ = writeln!(out, "{name}{{shard=\"{s}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name} {total}");
+        }
+        for (name, samples) in &gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let mut total = 0.0f64;
+            for (s, v) in samples {
+                total += v;
+                let _ = writeln!(out, "{name}{{shard=\"{s}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name} {total}");
+        }
+        out
+    }
+
+    /// JSON exposition:
+    /// `{"shards":N,"shard_metrics":[…],"aggregate":{"counters":…,"gauges":…}}`
+    /// where `shard_metrics[i]` is shard `i`'s full single-drive
+    /// document (histograms included) and `aggregate` sums counters and
+    /// gauges across shards.
+    pub fn metrics_json(&self) -> String {
+        let n = self.shard_count();
+        let mut per_shard = Vec::with_capacity(n);
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        for s in 0..n {
+            let drive = self.shard_drive(s);
+            per_shard.push(drive.metrics_json()); // refreshes gauges too
+            for (name, v) in drive.registry().counter_values() {
+                *counters.entry(name).or_insert(0) += v;
+            }
+            for (name, v) in drive.registry().gauge_values() {
+                *gauges.entry(name).or_insert(0.0) += v;
+            }
+        }
+        let counters = counters
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let gauges = gauges
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"shards\":{n},\"shard_metrics\":[{}],\"aggregate\":{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}}}}}}",
+            per_shard.join(",")
+        )
+    }
+}

@@ -1,0 +1,248 @@
+//! Deterministic request routing for the sharded array.
+//!
+//! The flat object namespace is partitioned by residue class: shard `i`
+//! of an `n`-shard array owns every dynamic ObjectID `oid ≡ i (mod n)`.
+//! Because each member drive allocates only inside its own class (see
+//! [`s4_core::DriveConfig::with_oid_class`]), the ID a drive assigns at
+//! `Create` time already routes home — the array never needs a mapping
+//! table, and any client holding an ObjectID can compute its shard.
+//!
+//! Reserved drive-local objects (audit log, partition table, alert
+//! stream, flight recorder) exist *per shard* — each member drive keeps
+//! its own security perimeter — so a request explicitly addressed to a
+//! reserved ID routes to shard 0 by convention, while the admin plane
+//! reads every shard's copy and merges (see `forensics`).
+
+use s4_core::rpc::LAST_CREATED;
+use s4_core::{ObjectId, Request, S4Error, TRACE_OBJECT};
+
+/// How the scatter-gather layer combines per-shard responses of a
+/// broadcast request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Merge {
+    /// Every shard must answer `Ok` (Sync, Flush, SetWindow).
+    AllOk,
+    /// Sum the per-shard `NewSize` counts (FlushAlerts, FlushTraces).
+    SumNewSize,
+    /// Concatenate partition listings, sorted by name (PList).
+    Partitions,
+    /// First shard that resolves the name wins (PMount).
+    FirstMounted,
+    /// Succeeds if any shard succeeded (PDelete — the association
+    /// lives only on the root object's home shard).
+    AnyOk,
+}
+
+/// Where a single (non-batch) request goes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Round-robin shard choice; the drive assigns an ID in its class.
+    Create,
+    /// One specific shard.
+    Shard(usize),
+    /// Every shard, responses combined per [`Merge`].
+    Broadcast(Merge),
+    /// `Request::Batch`: split into per-shard sub-batches.
+    SplitBatch,
+}
+
+/// Whether `oid` is one of the drive-local reserved objects that every
+/// shard keeps its own copy of (plus the 0 "not object-directed"
+/// placeholder).
+pub fn is_reserved(oid: ObjectId) -> bool {
+    oid.0 < 4 || oid == TRACE_OBJECT
+}
+
+/// Home shard of `oid` in an `n`-shard array.
+pub fn shard_of(oid: ObjectId, n: usize) -> usize {
+    if is_reserved(oid) {
+        0
+    } else {
+        (oid.0 % n as u64) as usize
+    }
+}
+
+/// Computes the route of one request in an `n`-shard array.
+pub fn route(req: &Request, n: usize) -> Route {
+    match req {
+        Request::Create => Route::Create,
+        Request::Batch(_) => Route::SplitBatch,
+        // Namespace ops: the association lives on the root object's
+        // home shard (PCreate validates the object exists), so lookups
+        // and deletions scatter.
+        Request::PCreate { oid, .. } => Route::Shard(shard_of(*oid, n)),
+        Request::PDelete { .. } => Route::Broadcast(Merge::AnyOk),
+        Request::PList { .. } => Route::Broadcast(Merge::Partitions),
+        Request::PMount { .. } => Route::Broadcast(Merge::FirstMounted),
+        // Whole-drive admin/durability ops apply everywhere.
+        Request::Sync => Route::Broadcast(Merge::AllOk),
+        Request::Flush { .. } => Route::Broadcast(Merge::AllOk),
+        Request::SetWindow { .. } => Route::Broadcast(Merge::AllOk),
+        Request::FlushAlerts | Request::FlushTraces => Route::Broadcast(Merge::SumNewSize),
+        // Everything else is object-directed.
+        _ => Route::Shard(shard_of(req.target(), n)),
+    }
+}
+
+/// A batch split into per-shard sub-batches.
+///
+/// `slots[s][p]` is the original batch index answered by position `p`
+/// of shard `s`'s sub-batch. A `Sync` sub-request fans out to every
+/// shard (one slot per shard, all mapping to the same original index),
+/// so one original index may own several slots.
+pub struct BatchPlan {
+    /// Per-shard sub-batch (empty = shard not involved).
+    pub subs: Vec<Vec<Request>>,
+    /// Per-shard slot → original-index map.
+    pub slots: Vec<Vec<usize>>,
+    /// Number of sub-requests in the original batch.
+    pub total: usize,
+}
+
+/// Splits a batch into per-shard sub-batches, preserving each shard's
+/// relative order. `next_create_shard` supplies the round-robin shard
+/// for each `Create`; [`LAST_CREATED`] targets follow the most recent
+/// `Create`'s shard (its placeholder is substituted drive-side, inside
+/// that shard's sub-batch).
+///
+/// Semantics deviation, documented: a lone drive aborts a batch at the
+/// first failing sub-request. Split across shards, only the failing
+/// *shard's* remainder is aborted — other shards' sub-batches may have
+/// completed. This matches the paper's per-drive perimeter (a drive
+/// can only vouch for its own operations) and the existing "earlier
+/// effects remain" batch contract.
+pub fn split_batch(
+    reqs: &[Request],
+    n: usize,
+    mut next_create_shard: impl FnMut() -> usize,
+) -> Result<BatchPlan, S4Error> {
+    let mut plan = BatchPlan {
+        subs: vec![Vec::new(); n],
+        slots: vec![Vec::new(); n],
+        total: reqs.len(),
+    };
+    let mut last_created: Option<usize> = None;
+    for (idx, sub) in reqs.iter().enumerate() {
+        let shard = match sub {
+            Request::Batch(_) => return Err(S4Error::BadRequest("nested batch")),
+            Request::Create => {
+                let s = next_create_shard();
+                last_created = Some(s);
+                s
+            }
+            Request::Sync => {
+                // Durability barrier: every shard syncs, the single
+                // original index collapses to Ok iff all succeeded.
+                for s in 0..n {
+                    plan.subs[s].push(Request::Sync);
+                    plan.slots[s].push(idx);
+                }
+                continue;
+            }
+            Request::PDelete { .. }
+            | Request::PList { .. }
+            | Request::PMount { .. }
+            | Request::Flush { .. }
+            | Request::SetWindow { .. }
+            | Request::FlushAlerts
+            | Request::FlushTraces => {
+                return Err(S4Error::BadRequest("array: broadcast op inside batch"))
+            }
+            other if other.target() == LAST_CREATED => last_created
+                .ok_or(S4Error::BadRequest("LAST_CREATED before any batch Create"))?,
+            other => shard_of(other.target(), n),
+        };
+        plan.subs[shard].push(sub.clone());
+        plan.slots[shard].push(idx);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_objects_pin_to_shard_zero() {
+        for oid in [0u64, 1, 2, 3, u64::MAX - 3] {
+            assert_eq!(shard_of(ObjectId(oid), 4), 0, "oid {oid}");
+        }
+        assert_eq!(shard_of(ObjectId(7), 4), 3);
+        assert_eq!(shard_of(ObjectId(8), 4), 0);
+    }
+
+    #[test]
+    fn routes_cover_table_one() {
+        let n = 4;
+        assert_eq!(route(&Request::Create, n), Route::Create);
+        assert_eq!(
+            route(
+                &Request::Read {
+                    oid: ObjectId(6),
+                    offset: 0,
+                    len: 1,
+                    time: None
+                },
+                n
+            ),
+            Route::Shard(2)
+        );
+        assert_eq!(route(&Request::Sync, n), Route::Broadcast(Merge::AllOk));
+        assert_eq!(
+            route(&Request::FlushAlerts, n),
+            Route::Broadcast(Merge::SumNewSize)
+        );
+        assert_eq!(
+            route(&Request::PList { time: None }, n),
+            Route::Broadcast(Merge::Partitions)
+        );
+        assert_eq!(
+            route(
+                &Request::PCreate {
+                    name: "p".into(),
+                    oid: ObjectId(5)
+                },
+                n
+            ),
+            Route::Shard(1)
+        );
+        assert_eq!(route(&Request::Batch(Vec::new()), n), Route::SplitBatch);
+    }
+
+    #[test]
+    fn batch_split_follows_creates_and_fans_out_sync() {
+        let reqs = vec![
+            Request::Create,
+            Request::SetAttr {
+                oid: LAST_CREATED,
+                attrs: vec![1],
+            },
+            Request::Write {
+                oid: ObjectId(6),
+                offset: 0,
+                data: vec![2],
+            },
+            Request::Sync,
+        ];
+        let mut rr = 1;
+        let plan = split_batch(&reqs, 2, || {
+            rr += 1;
+            (rr - 1) % 2
+        })
+        .unwrap();
+        // Create + its LAST_CREATED SetAttr land on the rr shard (1);
+        // the write on oid 6's home shard (0); Sync on both.
+        assert_eq!(plan.slots[1], vec![0, 1, 3]);
+        assert_eq!(plan.slots[0], vec![2, 3]);
+        assert_eq!(plan.subs[0][1], Request::Sync);
+        assert_eq!(plan.total, 4);
+    }
+
+    #[test]
+    fn batch_split_rejects_broadcast_admin_ops_and_orphan_last_created() {
+        assert!(split_batch(&[Request::FlushAlerts], 2, || 0).is_err());
+        let orphan = [Request::Delete { oid: LAST_CREATED }];
+        assert!(split_batch(&orphan, 2, || 0).is_err());
+        assert!(split_batch(&[Request::Batch(Vec::new())], 2, || 0).is_err());
+    }
+}

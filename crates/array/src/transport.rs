@@ -1,0 +1,54 @@
+//! In-process [`Transport`] over an array, so [`s4_fs::S4FileServer`]
+//! runs array-backed without code changes: directory operations resolve
+//! on the root object's home shard, file payload operations route
+//! independently to each file's own shard.
+
+use std::sync::Arc;
+
+use s4_clock::{NetworkModel, SimClock};
+use s4_core::{Request, RequestContext, Response};
+use s4_fs::server::{FsError, FsResult};
+use s4_fs::Transport;
+use s4_simdisk::BlockDev;
+
+use crate::array::S4Array;
+
+/// Loopback transport over a sharded array, charging the network cost
+/// model to the array clock (mirrors [`s4_fs::LoopbackTransport`]).
+pub struct ArrayTransport<D: BlockDev> {
+    array: Arc<S4Array<D>>,
+    net: NetworkModel,
+    clock: SimClock,
+}
+
+impl<D: BlockDev + 'static> ArrayTransport<D> {
+    /// Creates a transport over `array` with the given network model.
+    pub fn new(array: Arc<S4Array<D>>, net: NetworkModel) -> Self {
+        let clock = array.clock().clone();
+        ArrayTransport { array, net, clock }
+    }
+
+    /// The wrapped array.
+    pub fn array(&self) -> &Arc<S4Array<D>> {
+        &self.array
+    }
+}
+
+impl<D: BlockDev + 'static> Transport for ArrayTransport<D> {
+    fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    fn call(&self, ctx: &RequestContext, req: &Request) -> FsResult<Response> {
+        let resp = self.array.dispatch(ctx, req);
+        // Charge the wire: request out, response (or small error) back.
+        let resp_size = resp.as_ref().map(|r| r.wire_size()).unwrap_or(16);
+        self.clock
+            .advance(self.net.rpc_cost(req.wire_size(), resp_size));
+        resp.map_err(|e| match e {
+            s4_core::S4Error::AccessDenied => FsError::Denied,
+            s4_core::S4Error::NoSuchObject | s4_core::S4Error::NoSuchPartition => FsError::NotFound,
+            other => FsError::Storage(other.to_string()),
+        })
+    }
+}

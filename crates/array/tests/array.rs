@@ -1,0 +1,440 @@
+//! End-to-end behavior of the sharded array: routing, residue-class
+//! allocation, scatter-gather, batch splitting, the distributed
+//! partition table, aggregated metrics, merged forensics, and the
+//! array-backed file system.
+
+use std::sync::Arc;
+
+use s4_array::{shard_of, ArrayConfig, ArrayTransport, S4Array};
+use s4_clock::{NetworkModel, SimClock, SimDuration};
+use s4_core::rpc::LAST_CREATED;
+use s4_core::{
+    ClientId, DriveConfig, ObjectId, OpKind, Request, RequestContext, Response, S4Error, UserId,
+};
+use s4_fs::{FileServer, S4FileServer, S4FsConfig};
+use s4_simdisk::MemDisk;
+
+fn disks(n: usize) -> Vec<MemDisk> {
+    (0..n).map(|_| MemDisk::with_capacity_bytes(64 << 20)).collect()
+}
+
+fn array(n: usize) -> S4Array<MemDisk> {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    S4Array::format(
+        disks(n),
+        DriveConfig::small_test(),
+        ArrayConfig::default(),
+        clock,
+    )
+    .unwrap()
+}
+
+fn user() -> RequestContext {
+    RequestContext::user(UserId(1), ClientId(1))
+}
+
+fn admin() -> RequestContext {
+    RequestContext::admin(ClientId(0), 42)
+}
+
+fn create(a: &S4Array<MemDisk>, ctx: &RequestContext) -> ObjectId {
+    match a.dispatch(ctx, &Request::Create).unwrap() {
+        Response::Created(oid) => oid,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+#[test]
+fn creates_allocate_in_residue_classes_and_route_home() {
+    let a = array(4);
+    let ctx = user();
+    let mut oids = Vec::new();
+    for _ in 0..12 {
+        oids.push(create(&a, &ctx));
+    }
+    // Each drive-assigned id lives in its allocating shard's class, so
+    // `oid % 4` routes home; round-robin spreads creates evenly.
+    let mut per_shard = [0u32; 4];
+    for oid in &oids {
+        per_shard[shard_of(*oid, 4)] += 1;
+    }
+    assert_eq!(per_shard, [3, 3, 3, 3]);
+
+    // Writes and reads land on the owning shard and round-trip.
+    for (i, oid) in oids.iter().enumerate() {
+        let data = vec![i as u8; 100];
+        a.dispatch(
+            &ctx,
+            &Request::Write {
+                oid: *oid,
+                offset: 0,
+                data: data.clone(),
+            },
+        )
+        .unwrap();
+        match a
+            .dispatch(
+                &ctx,
+                &Request::Read {
+                    oid: *oid,
+                    offset: 0,
+                    len: 100,
+                    time: None,
+                },
+            )
+            .unwrap()
+        {
+            Response::Data(d) => assert_eq!(d, data),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    // Only the home shard audited the object's operations.
+    for oid in &oids {
+        let home = shard_of(*oid, 4);
+        for s in 0..4 {
+            let touched = a
+                .shard_drive(s)
+                .read_audit_records(&admin())
+                .unwrap()
+                .iter()
+                .any(|r| r.object == *oid);
+            assert_eq!(touched, s == home, "oid {oid} on shard {s}");
+        }
+    }
+}
+
+#[test]
+fn broadcast_ops_scatter_and_merge() {
+    let a = array(3);
+    let ctx = user();
+    let adm = admin();
+    for _ in 0..6 {
+        create(&a, &ctx);
+    }
+    // Sync fans out to every shard and collapses to one Ok.
+    assert_eq!(a.dispatch(&ctx, &Request::Sync).unwrap(), Response::Ok);
+    for s in 0..3 {
+        assert!(a
+            .shard_drive(s)
+            .read_audit_records(&adm)
+            .unwrap()
+            .iter()
+            .any(|r| r.op == OpKind::Sync));
+    }
+
+    // SetWindow applies everywhere; the denied broadcast is denied
+    // (and audited) on every shard.
+    let w = Request::SetWindow {
+        window: SimDuration::from_secs(1800),
+    };
+    assert!(a.dispatch(&ctx, &w).is_err());
+    assert_eq!(a.dispatch(&adm, &w).unwrap(), Response::Ok);
+
+    // Retention flushes sum their per-shard released-block counts
+    // (nothing is expired here, so the sum is zero — the shape is
+    // what's under test).
+    assert_eq!(
+        a.dispatch(&adm, &Request::FlushAlerts).unwrap(),
+        Response::NewSize(0)
+    );
+}
+
+#[test]
+fn partition_table_is_distributed_across_home_shards() {
+    let a = array(4);
+    let ctx = user();
+    // Roots on different shards, each named on its home shard.
+    let roots: Vec<ObjectId> = (0..4).map(|_| create(&a, &ctx)).collect();
+    for (i, oid) in roots.iter().enumerate() {
+        a.dispatch(
+            &ctx,
+            &Request::PCreate {
+                name: format!("vol{i}"),
+                oid: *oid,
+            },
+        )
+        .unwrap();
+    }
+    // PMount scatters and finds each name wherever it lives.
+    for (i, oid) in roots.iter().enumerate() {
+        match a
+            .dispatch(
+                &ctx,
+                &Request::PMount {
+                    name: format!("vol{i}"),
+                    time: None,
+                },
+            )
+            .unwrap()
+        {
+            Response::Mounted(m) => assert_eq!(m, *oid),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    // PList merges every shard's associations, name-sorted.
+    match a.dispatch(&ctx, &Request::PList { time: None }).unwrap() {
+        Response::Partitions(p) => {
+            let names: Vec<&str> = p.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(names, ["vol0", "vol1", "vol2", "vol3"]);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    // PDelete succeeds via whichever shard holds the name, and an
+    // unknown name is NoSuchPartition from every shard.
+    assert_eq!(
+        a.dispatch(&ctx, &Request::PDelete { name: "vol2".into() })
+            .unwrap(),
+        Response::Ok
+    );
+    assert!(matches!(
+        a.dispatch(&ctx, &Request::PDelete { name: "vol2".into() }),
+        Err(S4Error::NoSuchPartition)
+    ));
+    assert!(matches!(
+        a.dispatch(
+            &ctx,
+            &Request::PMount {
+                name: "vol2".into(),
+                time: None
+            }
+        ),
+        Err(S4Error::NoSuchPartition)
+    ));
+}
+
+#[test]
+fn batches_split_per_shard_and_follow_last_created() {
+    let a = array(2);
+    let ctx = user();
+    let existing = create(&a, &ctx); // lands on shard 0 (rr)
+    let batch = Request::Batch(vec![
+        Request::Create, // rr → shard 1
+        Request::SetAttr {
+            oid: LAST_CREATED,
+            attrs: vec![9, 9],
+        },
+        Request::Write {
+            oid: existing,
+            offset: 0,
+            data: b"cross-shard".to_vec(),
+        },
+        Request::Append {
+            oid: LAST_CREATED,
+            data: b"tail".to_vec(),
+        },
+        Request::Sync,
+    ]);
+    let rs = match a.dispatch(&ctx, &batch).unwrap() {
+        Response::Batch(rs) => rs,
+        other => panic!("unexpected response {other:?}"),
+    };
+    assert_eq!(rs.len(), 5);
+    let new_oid = match rs[0] {
+        Response::Created(oid) => oid,
+        ref other => panic!("unexpected response {other:?}"),
+    };
+    assert_ne!(
+        shard_of(new_oid, 2),
+        shard_of(existing, 2),
+        "batch spanned both shards"
+    );
+    assert_eq!(rs[1], Response::Ok);
+    assert_eq!(rs[2], Response::Ok);
+    assert_eq!(rs[3], Response::NewSize(4));
+    assert_eq!(rs[4], Response::Ok, "sync collapses to one response");
+
+    // The batch's effects are visible on both shards.
+    match a
+        .dispatch(
+            &ctx,
+            &Request::Read {
+                oid: new_oid,
+                offset: 0,
+                len: 4,
+                time: None,
+            },
+        )
+        .unwrap()
+    {
+        Response::Data(d) => assert_eq!(d, b"tail"),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Broadcast admin ops are not batchable in an array.
+    assert!(a
+        .dispatch(&ctx, &Request::Batch(vec![Request::FlushAlerts]))
+        .is_err());
+}
+
+#[test]
+fn metrics_aggregate_across_shards() {
+    let a = array(2);
+    let ctx = user();
+    let oids: Vec<ObjectId> = (0..4).map(|_| create(&a, &ctx)).collect();
+    for oid in &oids {
+        a.dispatch(
+            &ctx,
+            &Request::Write {
+                oid: *oid,
+                offset: 0,
+                data: vec![1; 64],
+            },
+        )
+        .unwrap();
+    }
+    let per_shard: u64 = (0..2)
+        .map(|s| {
+            a.shard_drive(s)
+                .registry()
+                .counter_values()
+                .iter()
+                .find(|(n, _)| n == "s4_requests_total")
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(per_shard >= 8, "both shards served requests: {per_shard}");
+
+    let json = a.metrics_json();
+    assert!(json.starts_with("{\"shards\":2,"));
+    assert!(json.contains("\"shard_metrics\":["));
+    assert!(json.contains("\"aggregate\":"));
+    assert!(
+        json.contains(&format!("\"s4_requests_total\":{per_shard}")),
+        "aggregate sums shard counters"
+    );
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+    let text = a.metrics_text();
+    assert!(text.contains("s4_array_shards 2"));
+    assert!(text.contains("s4_requests_total{shard=\"0\"}"));
+    assert!(text.contains("s4_requests_total{shard=\"1\"}"));
+    assert!(text.contains(&format!("\ns4_requests_total {per_shard}\n")));
+}
+
+#[test]
+fn merged_audit_is_time_sorted_and_shard_tagged() {
+    let a = array(2);
+    let ctx = user();
+    let adm = admin();
+    let oids: Vec<ObjectId> = (0..4).map(|_| create(&a, &ctx)).collect();
+    for oid in &oids {
+        a.dispatch(
+            &ctx,
+            &Request::Write {
+                oid: *oid,
+                offset: 0,
+                data: vec![2; 16],
+            },
+        )
+        .unwrap();
+    }
+    a.dispatch(&ctx, &Request::Sync).unwrap();
+
+    let merged = a.read_audit_merged(&adm).unwrap();
+    assert!(merged.iter().any(|r| r.shard == 0));
+    assert!(merged.iter().any(|r| r.shard == 1));
+    for w in merged.windows(2) {
+        assert!(w[0].record.time <= w[1].record.time, "merge is time-sorted");
+    }
+    // The merged stream contains exactly the per-shard streams.
+    for s in 0..2 {
+        let own: Vec<_> = merged
+            .iter()
+            .filter(|r| r.shard == s)
+            .map(|r| r.record)
+            .collect();
+        assert_eq!(own, a.shard_drive(s).read_audit_records(&adm).unwrap());
+    }
+    // Object timelines resolve on the object's home shard.
+    let events = a.object_timeline(&adm, oids[0]).unwrap();
+    assert!(!events.is_empty());
+}
+
+#[test]
+fn array_survives_unmount_and_remount() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let a = S4Array::format(
+        disks(3),
+        DriveConfig::small_test(),
+        ArrayConfig::default(),
+        clock.clone(),
+    )
+    .unwrap();
+    let ctx = user();
+    let mut written = Vec::new();
+    for i in 0..9u8 {
+        let oid = create(&a, &ctx);
+        a.dispatch(
+            &ctx,
+            &Request::Write {
+                oid,
+                offset: 0,
+                data: vec![i; 32],
+            },
+        )
+        .unwrap();
+        written.push((oid, vec![i; 32]));
+    }
+    a.dispatch(&ctx, &Request::Sync).unwrap();
+    let devices = a.unmount().unwrap();
+
+    let (a2, reports) = S4Array::mount(
+        devices,
+        DriveConfig::small_test(),
+        ArrayConfig::default(),
+        SimClock::new(),
+    )
+    .unwrap();
+    assert_eq!(reports.len(), 3, "recovery is per shard");
+    for (oid, data) in &written {
+        match a2
+            .dispatch(
+                &ctx,
+                &Request::Read {
+                    oid: *oid,
+                    offset: 0,
+                    len: 32,
+                    time: None,
+                },
+            )
+            .unwrap()
+        {
+            Response::Data(d) => assert_eq!(&d, data),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn file_system_runs_array_backed() {
+    let a = Arc::new(array(4));
+    let transport = ArrayTransport::new(a.clone(), NetworkModel::lan_100mbit());
+    let fs = S4FileServer::mount(transport, user(), "vol", S4FsConfig::default()).unwrap();
+    let root = fs.root();
+    let dir = fs.mkdir(root, "docs").unwrap();
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        let f = fs.create(dir, &format!("file{i}")).unwrap();
+        fs.write(f, 0, format!("payload {i}").as_bytes()).unwrap();
+        handles.push(f);
+    }
+    // Directory entries resolve while payloads live on many shards.
+    let spread: std::collections::BTreeSet<usize> = handles
+        .iter()
+        .map(|h| shard_of(ObjectId(*h), 4))
+        .collect();
+    assert!(spread.len() >= 2, "files spread across shards: {spread:?}");
+    for (i, f) in handles.iter().enumerate() {
+        assert_eq!(
+            fs.read(*f, 0, 100).unwrap(),
+            format!("payload {i}").into_bytes()
+        );
+        assert_eq!(fs.lookup(dir, &format!("file{i}")).unwrap(), *f);
+    }
+    let listing = fs.readdir(dir).unwrap();
+    assert_eq!(listing.len(), 8);
+}

@@ -21,7 +21,7 @@ const MEASURE: Duration = Duration::from_millis(800);
 
 /// Runs `op` repeatedly for the measurement budget and prints ns/op.
 fn bench<R>(name: &str, mut op: impl FnMut() -> R) {
-    let spin = |budget: Duration| -> (u64, Duration) {
+    let mut spin = |budget: Duration| -> (u64, Duration) {
         let start = Instant::now();
         let mut iters = 0u64;
         while start.elapsed() < budget {

@@ -26,6 +26,10 @@ pub struct AlertState {
     pub pending: Vec<u8>,
     /// Total alerts ever appended.
     pub total_alerts: u64,
+    /// Blocks truncated from the front by admin retention flushes — the
+    /// absolute stream index of `blocks[0]`, so cursors that count
+    /// blocks stay stable across truncation.
+    pub flushed_blocks: u64,
 }
 
 impl AlertState {
@@ -50,8 +54,9 @@ impl AlertState {
     /// payload. Like the audit tail, the pending buffer is persisted
     /// separately at anchor time.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(12 + self.blocks.len() * 8);
+        let mut out = Vec::with_capacity(20 + self.blocks.len() * 8);
         out.extend_from_slice(&self.total_alerts.to_le_bytes());
+        out.extend_from_slice(&self.flushed_blocks.to_le_bytes());
         out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
         for b in &self.blocks {
             out.extend_from_slice(&b.0.to_le_bytes());
@@ -61,12 +66,13 @@ impl AlertState {
 
     /// Deserializes from the anchor payload, advancing `pos`.
     pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<AlertState> {
-        if *pos + 12 > buf.len() {
+        if *pos + 20 > buf.len() {
             return Err(S4Error::BadRequest("alert state truncated"));
         }
         let total_alerts = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
-        let n = u32::from_le_bytes(buf[*pos + 8..*pos + 12].try_into().unwrap()) as usize;
-        *pos += 12;
+        let flushed_blocks = u64::from_le_bytes(buf[*pos + 8..*pos + 16].try_into().unwrap());
+        let n = u32::from_le_bytes(buf[*pos + 16..*pos + 20].try_into().unwrap()) as usize;
+        *pos += 20;
         if *pos + n * 8 > buf.len() {
             return Err(S4Error::BadRequest("alert block list truncated"));
         }
@@ -81,7 +87,17 @@ impl AlertState {
             blocks,
             pending: Vec::new(),
             total_alerts,
+            flushed_blocks,
         })
+    }
+
+    /// Removes the first `n` flushed blocks from the stream (admin
+    /// retention), returning their addresses so the caller can release
+    /// them, and advances the [`AlertState::flushed_blocks`] base.
+    pub fn truncate_front(&mut self, n: usize) -> Vec<BlockAddr> {
+        let n = n.min(self.blocks.len());
+        self.flushed_blocks += n as u64;
+        self.blocks.drain(..n).collect()
     }
 
     /// Decodes every blob in an alert block payload.
@@ -165,13 +181,34 @@ mod tests {
             blocks: vec![BlockAddr(11), BlockAddr(42)],
             pending: vec![1, 2],
             total_alerts: 7,
+            flushed_blocks: 3,
         };
         let enc = st.encode();
         let mut pos = 0;
         let d = AlertState::decode_from(&enc, &mut pos).unwrap();
         assert_eq!(d.blocks, st.blocks);
         assert_eq!(d.total_alerts, 7);
+        assert_eq!(d.flushed_blocks, 3);
         assert!(d.pending.is_empty());
         assert_eq!(pos, enc.len());
+    }
+
+    #[test]
+    fn truncate_front_advances_base_and_returns_addrs() {
+        let mut st = AlertState {
+            blocks: vec![BlockAddr(11), BlockAddr(42), BlockAddr(77)],
+            pending: Vec::new(),
+            total_alerts: 9,
+            flushed_blocks: 0,
+        };
+        let freed = st.truncate_front(2);
+        assert_eq!(freed, vec![BlockAddr(11), BlockAddr(42)]);
+        assert_eq!(st.blocks, vec![BlockAddr(77)]);
+        assert_eq!(st.flushed_blocks, 2);
+        // Over-long truncation clamps.
+        let freed = st.truncate_front(5);
+        assert_eq!(freed.len(), 1);
+        assert_eq!(st.flushed_blocks, 3);
+        assert!(st.blocks.is_empty());
     }
 }

@@ -40,12 +40,14 @@ pub enum OpKind {
     Flush = 17,
     FlushO = 18,
     SetWindow = 19,
+    FlushAlerts = 20,
+    FlushTraces = 21,
 }
 
 impl OpKind {
     /// Parses the on-disk representation.
     pub fn from_u8(v: u8) -> Result<OpKind> {
-        if (1..=19).contains(&v) {
+        if (1..=21).contains(&v) {
             // SAFETY-free mapping: match keeps this total.
             Ok(match v {
                 1 => OpKind::Create,
@@ -66,7 +68,9 @@ impl OpKind {
                 16 => OpKind::Sync,
                 17 => OpKind::Flush,
                 18 => OpKind::FlushO,
-                _ => OpKind::SetWindow,
+                19 => OpKind::SetWindow,
+                20 => OpKind::FlushAlerts,
+                _ => OpKind::FlushTraces,
             })
         } else {
             Err(S4Error::BadRequest("audit op kind"))
@@ -351,11 +355,11 @@ mod tests {
 
     #[test]
     fn op_kind_round_trip() {
-        for v in 1..=19u8 {
+        for v in 1..=21u8 {
             assert_eq!(OpKind::from_u8(v).unwrap() as u8, v);
         }
         assert!(OpKind::from_u8(0).is_err());
-        assert!(OpKind::from_u8(20).is_err());
+        assert!(OpKind::from_u8(22).is_err());
     }
 
     #[test]

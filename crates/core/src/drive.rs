@@ -100,6 +100,14 @@ pub struct DriveConfig {
     /// Fire a self-alert when the append-only alert object reaches this
     /// many flushed blocks (0 disables the warning).
     pub alert_warn_blocks: u64,
+    /// Object-id allocation stride. A lone drive uses 1; shard `i` of an
+    /// N-drive array uses stride N with [`DriveConfig::oid_offset`] `i`,
+    /// so every id the drive assigns routes back to it under the array's
+    /// `oid % N` placement rule — no cross-shard id coordination needed.
+    pub oid_stride: u64,
+    /// Residue (mod [`DriveConfig::oid_stride`]) of every object id this
+    /// drive assigns.
+    pub oid_offset: u64,
 }
 
 impl Default for DriveConfig {
@@ -117,6 +125,8 @@ impl Default for DriveConfig {
             flight_recorder: true,
             flight_recorder_ring: 256,
             alert_warn_blocks: 1024, // ~4 MiB of alerts
+            oid_stride: 1,
+            oid_offset: 0,
         }
     }
 }
@@ -144,7 +154,20 @@ impl DriveConfig {
             // Disabled so tests that count exact alert streams are not
             // perturbed; the warn path has its own dedicated test.
             alert_warn_blocks: 0,
+            oid_stride: 1,
+            oid_offset: 0,
         }
+    }
+
+    /// The same configuration as `self`, allocating object ids in the
+    /// residue class `offset (mod stride)` — how an array builds its
+    /// member-drive configs.
+    pub fn with_oid_class(mut self, stride: u64, offset: u64) -> Self {
+        assert!(stride >= 1, "oid stride must be at least 1");
+        assert!(offset < stride, "oid offset must be < stride");
+        self.oid_stride = stride;
+        self.oid_offset = offset;
+        self
     }
 }
 
@@ -248,7 +271,8 @@ pub struct RecoveryReport {
 /// the drive advances it on every poll.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AlertCursor {
-    /// Flushed alert blocks fully consumed.
+    /// Flushed alert blocks fully consumed, counted from the start of
+    /// the stream (absolute — stable across retention truncation).
     pub blocks: usize,
     /// Blobs of the in-memory pending tail already consumed (they become
     /// the prefix of the next flushed block when the tail spills).
@@ -622,8 +646,22 @@ impl<D: BlockDev> S4Drive<D> {
     /// entry unless an explicit table is supplied.
     pub fn op_create(&self, ctx: &RequestContext, acl: Option<AclTable>) -> Result<ObjectId> {
         let mut inner = self.inner.lock();
-        let oid = inner.next_oid;
-        inner.next_oid += 1;
+        // Round up to the drive's oid residue class (stride 1 / offset 0
+        // degenerates to sequential allocation). Array members allocate
+        // in disjoint classes so drive-assigned ids route home.
+        let (stride, offset) = (self.config.oid_stride, self.config.oid_offset);
+        let oid = if stride <= 1 {
+            inner.next_oid
+        } else {
+            let n = inner.next_oid;
+            let rem = n % stride;
+            if rem == offset {
+                n
+            } else {
+                n + (offset + stride - rem) % stride
+            }
+        };
+        inner.next_oid = oid + 1;
         let stamp = self.stamps.next();
         let table = acl.unwrap_or_else(|| AclTable::owner_default(ctx.user));
         let mut entry = ObjectEntry::new(ObjectMeta::new(oid, stamp));
@@ -962,6 +1000,77 @@ impl<D: BlockDev> S4Drive<D> {
         }
         self.inner.lock().window = window;
         Ok(())
+    }
+
+    /// Administrative retention for the append-only alert object
+    /// (ROADMAP open item): releases flushed alert blocks whose *newest*
+    /// blob is strictly older than the detection window. In-window
+    /// alerts and the buffered tail are untouched, and the stream keeps
+    /// absolute block numbering (see [`AlertState::flushed_blocks`]) so
+    /// outstanding [`AlertCursor`]s remain valid. Returns the number of
+    /// blocks released back to the free pool.
+    pub fn op_flush_alerts(&self, ctx: &RequestContext) -> Result<u64> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let mut inner = self.inner.lock();
+        let cutoff = self
+            .clock
+            .now()
+            .as_micros()
+            .saturating_sub(inner.window.as_micros());
+        let k = self.retention_prefix(&inner.alerts.blocks, cutoff, alert_blob_time)?;
+        let freed = inner.alerts.truncate_front(k);
+        Ok(self.release_reserved_blocks(&mut inner, freed))
+    }
+
+    /// Administrative retention for the persisted flight-recorder
+    /// stream: same policy as [`S4Drive::op_flush_alerts`], applied to
+    /// the reserved trace object.
+    pub fn op_flush_traces(&self, ctx: &RequestContext) -> Result<u64> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let mut inner = self.inner.lock();
+        let cutoff = self
+            .clock
+            .now()
+            .as_micros()
+            .saturating_sub(inner.window.as_micros());
+        let k = self.retention_prefix(&inner.traces.blocks, cutoff, trace_blob_time)?;
+        let freed = inner.traces.truncate_front(k);
+        Ok(self.release_reserved_blocks(&mut inner, freed))
+    }
+
+    /// Longest prefix of `blocks` whose newest blob timestamp is
+    /// strictly below `cutoff_us`. Blob times are monotone across the
+    /// stream, so a block whose newest entry is in-window ends the scan.
+    fn retention_prefix(
+        &self,
+        blocks: &[BlockAddr],
+        cutoff_us: u64,
+        blob_time: fn(&[u8]) -> u64,
+    ) -> Result<usize> {
+        let mut k = 0;
+        for &addr in blocks {
+            let blobs = AlertState::decode_block(&self.log.read_block(addr)?)?;
+            let newest = blobs.iter().map(|b| blob_time(b)).max().unwrap_or(0);
+            if newest >= cutoff_us {
+                break;
+            }
+            k += 1;
+        }
+        Ok(k)
+    }
+
+    /// Drops truncated reserved-object blocks from the live set and
+    /// returns them to the log's free pool.
+    fn release_reserved_blocks(&self, inner: &mut Inner, freed: Vec<BlockAddr>) -> u64 {
+        for a in &freed {
+            inner.live.remove(&a.0);
+        }
+        self.log.release_blocks(freed.iter().copied());
+        freed.len() as u64
     }
 
     /// Administrative: removes all versions of all objects whose creating
@@ -1311,27 +1420,40 @@ impl<D: BlockDev> S4Drive<D> {
             return Err(S4Error::AccessDenied);
         }
         let inner = self.inner.lock();
-        if cursor.blocks > inner.alerts.blocks.len() {
+        // Cursors count *absolute* stream blocks: retention truncation
+        // (`FlushAlerts`) removes old blocks from the front without
+        // renumbering what remains.
+        let flushed = inner.alerts.flushed_blocks as usize;
+        let total = flushed + inner.alerts.blocks.len();
+        if cursor.blocks > total {
             *cursor = AlertCursor::default();
         }
         let mut out = Vec::new();
-        let mut skip = cursor.tail_blobs;
-        for (i, &addr) in inner.alerts.blocks.iter().enumerate().skip(cursor.blocks) {
+        let mut skip = if cursor.blocks >= flushed {
+            cursor.tail_blobs
+        } else {
+            // The cursor's resume block was truncated by retention; the
+            // blobs it had consumed are gone, so resume at the surviving
+            // front without a partial-block skip.
+            0
+        };
+        let start = cursor.blocks.saturating_sub(flushed);
+        for (i, &addr) in inner.alerts.blocks.iter().enumerate().skip(start) {
             let blobs = AlertState::decode_block(&self.log.read_block(addr)?)?;
-            let s = if i == cursor.blocks {
+            let s = if flushed + i == cursor.blocks {
                 skip.min(blobs.len())
             } else {
                 0
             };
             out.extend(blobs.into_iter().skip(s));
         }
-        if inner.alerts.blocks.len() > cursor.blocks {
+        if total > cursor.blocks {
             // The old tail spilled into the first unread block above.
             skip = 0;
         }
         let tail = AlertState::decode_block(&inner.alerts.pending)?;
         cursor.tail_blobs = tail.len();
-        cursor.blocks = inner.alerts.blocks.len();
+        cursor.blocks = total;
         out.extend(tail.into_iter().skip(skip.min(cursor.tail_blobs)));
         Ok(out)
     }
@@ -1403,12 +1525,14 @@ impl<D: BlockDev> S4Drive<D> {
         }
         h.bytes(&inner.alerts.pending);
         h.u64(inner.alerts.total_alerts);
+        h.u64(inner.alerts.flushed_blocks);
         h.u64(inner.traces.blocks.len() as u64);
         for a in &inner.traces.blocks {
             h.u64(a.0);
         }
         h.bytes(&inner.traces.pending);
         h.u64(inner.traces.total_alerts);
+        h.u64(inner.traces.flushed_blocks);
         h.0
     }
 
@@ -3094,6 +3218,23 @@ fn encode_growth_alert(time_us: u64, message: &[u8]) -> Vec<u8> {
     out.extend_from_slice(&(message.len() as u16).to_le_bytes());
     out.extend_from_slice(message);
     out
+}
+
+/// Timestamp (µs) of one alert blob — every alert the drive or the
+/// `s4-detect` crate writes carries its time at bytes `[1..9]` (after
+/// the severity byte; see [`encode_growth_alert`]). Undated blobs read
+/// as time 0 (oldest), so retention treats them as expired.
+fn alert_blob_time(blob: &[u8]) -> u64 {
+    if blob.len() >= 9 {
+        u64::from_le_bytes(blob[1..9].try_into().unwrap())
+    } else {
+        0
+    }
+}
+
+/// Timestamp (µs) of one persisted flight-recorder blob.
+fn trace_blob_time(blob: &[u8]) -> u64 {
+    TraceRecord::decode(blob).map(|r| r.time_us).unwrap_or(0)
 }
 
 fn encode_anchor_payload(inner: &Inner) -> Vec<u8> {

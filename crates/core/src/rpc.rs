@@ -84,6 +84,12 @@ pub enum Request {
     },
     /// Admin: adjust the guaranteed detection window.
     SetWindow { window: SimDuration },
+    /// Admin: truncate alert-object blocks strictly older than the
+    /// detection window (retention for the append-only alert stream).
+    FlushAlerts,
+    /// Admin: truncate flight-recorder (trace) blocks strictly older
+    /// than the detection window.
+    FlushTraces,
     /// Several operations in one round trip (§4.1.2: "the drive also
     /// supports batching of setattr, getattr, and sync operations with
     /// create, read, write, and append operations"). Sub-requests run in
@@ -145,6 +151,8 @@ impl Request {
             Request::Flush { .. } => OpKind::Flush,
             Request::FlushO { .. } => OpKind::FlushO,
             Request::SetWindow { .. } => OpKind::SetWindow,
+            Request::FlushAlerts => OpKind::FlushAlerts,
+            Request::FlushTraces => OpKind::FlushTraces,
             // Batches are audited per sub-request, not as a whole.
             Request::Batch(_) => OpKind::Sync,
         }
@@ -348,6 +356,8 @@ impl<D: BlockDev> S4Drive<D> {
             Request::SetWindow { window } => {
                 self.op_set_window(ctx, *window).map(|()| Response::Ok)
             }
+            Request::FlushAlerts => self.op_flush_alerts(ctx).map(Response::NewSize),
+            Request::FlushTraces => self.op_flush_traces(ctx).map(Response::NewSize),
             Request::Batch(_) => Err(S4Error::BadRequest("batch inside execute")),
         }
     }
@@ -561,6 +571,8 @@ impl Request {
                 out.push(19);
                 put_u64(&mut out, window.as_micros());
             }
+            Request::FlushAlerts => out.push(21),
+            Request::FlushTraces => out.push(22),
             Request::Batch(reqs) => {
                 out.push(20);
                 put_u32(&mut out, reqs.len() as u32);
@@ -662,6 +674,8 @@ impl Request {
                 }
                 Request::Batch(reqs)
             }
+            21 => Request::FlushAlerts,
+            22 => Request::FlushTraces,
             _ => return Err(S4Error::BadRequest("unknown request tag")),
         })
     }
@@ -868,6 +882,8 @@ mod tests {
             Request::SetWindow {
                 window: SimDuration::from_days(7),
             },
+            Request::FlushAlerts,
+            Request::FlushTraces,
         ]
     }
 
@@ -923,11 +939,12 @@ mod tests {
 
     #[test]
     fn table1_coverage() {
-        // Exactly the 19 operations of Table 1.
-        assert_eq!(all_requests().len(), 19);
+        // The 19 operations of Table 1 plus the two retention
+        // extensions (FlushAlerts / FlushTraces).
+        assert_eq!(all_requests().len(), 21);
         let mut kinds: Vec<u8> = all_requests().iter().map(|r| r.op_kind() as u8).collect();
         kinds.sort_unstable();
         kinds.dedup();
-        assert_eq!(kinds.len(), 19);
+        assert_eq!(kinds.len(), 21);
     }
 }

@@ -516,6 +516,7 @@ mod tests {
     use super::*;
     use s4_core::{ClientId, ObjectId, UserId};
 
+    #[allow(clippy::too_many_arguments)]
     fn rec_at(
         secs: u64,
         user: u32,

@@ -37,6 +37,28 @@ use crate::transport::Transport;
 /// minimum RPC frame).
 pub const STATS_FRAME_MARKER: &[u8] = b"__stats__";
 
+/// Anything that can sit behind the TCP server and execute S4 RPCs: a
+/// single [`S4Drive`] or a sharded drive array (`s4-array`). The server
+/// is generic over this trait so both deployments share the framing,
+/// connection handling, and out-of-band stats plumbing.
+pub trait RpcHandler: Send + Sync {
+    /// Verifies, executes, and audits one request.
+    fn handle(&self, ctx: &RequestContext, req: &Request) -> s4_core::Result<Response>;
+
+    /// Prometheus text exposition served on the out-of-band stats frame.
+    fn stats_text(&self) -> String;
+}
+
+impl<D: BlockDev> RpcHandler for S4Drive<D> {
+    fn handle(&self, ctx: &RequestContext, req: &Request) -> s4_core::Result<Response> {
+        self.dispatch(ctx, req)
+    }
+
+    fn stats_text(&self) -> String {
+        self.metrics_text()
+    }
+}
+
 fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
@@ -92,7 +114,7 @@ fn decode_request_frame(buf: &[u8]) -> Option<(RequestContext, Request)> {
     ))
 }
 
-/// A running TCP server exporting one S4 drive.
+/// A running TCP server exporting one S4 drive (or drive array).
 pub struct TcpServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -100,10 +122,11 @@ pub struct TcpServerHandle {
 }
 
 impl TcpServerHandle {
-    /// Starts serving `drive` on `bind` (use port 0 for an ephemeral
-    /// port). Each connection is handled on its own thread.
-    pub fn serve<D: BlockDev + 'static>(
-        drive: Arc<S4Drive<D>>,
+    /// Starts serving `handler` — an [`S4Drive`] or any other
+    /// [`RpcHandler`] — on `bind` (use port 0 for an ephemeral port).
+    /// Each connection is handled on its own thread.
+    pub fn serve<H: RpcHandler + 'static>(
+        handler: Arc<H>,
         bind: &str,
     ) -> std::io::Result<TcpServerHandle> {
         let listener = TcpListener::bind(bind)?;
@@ -116,7 +139,7 @@ impl TcpServerHandle {
                     break;
                 }
                 let Ok(mut stream) = conn else { continue };
-                let drive = drive.clone();
+                let handler = handler.clone();
                 let stop3 = stop2.clone();
                 std::thread::spawn(move || {
                     while !stop3.load(Ordering::SeqCst) {
@@ -125,14 +148,14 @@ impl TcpServerHandle {
                         };
                         if frame == STATS_FRAME_MARKER {
                             let mut out = vec![0u8];
-                            out.extend_from_slice(drive.metrics_text().as_bytes());
+                            out.extend_from_slice(handler.stats_text().as_bytes());
                             if write_frame(&mut stream, &out).is_err() {
                                 break;
                             }
                             continue;
                         }
                         let reply = match decode_request_frame(&frame) {
-                            Some((ctx, req)) => match drive.dispatch(&ctx, &req) {
+                            Some((ctx, req)) => match handler.handle(&ctx, &req) {
                                 Ok(resp) => {
                                     let mut out = vec![0u8];
                                     out.extend_from_slice(&resp.encode());

@@ -132,6 +132,30 @@ impl Registry {
         }
     }
 
+    /// Snapshot of every registered counter as `(name, value)`,
+    /// name-ordered — array aggregation sums these across shards.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let map = self.inner.lock().unwrap();
+        map.iter()
+            .filter_map(|(name, e)| match &e.metric {
+                Metric::Counter(c) => Some((name.clone(), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Snapshot of every registered gauge as `(name, value)`,
+    /// name-ordered.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        let map = self.inner.lock().unwrap();
+        map.iter()
+            .filter_map(|(name, e)| match &e.metric {
+                Metric::Gauge(g) => Some((name.clone(), g.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Prometheus text exposition. Histograms render as summaries:
     /// `name{quantile="…"}` lines (0.5 / 0.9 / 0.99 / 1 = max) plus
     /// `name_sum` / `name_count`.
@@ -244,6 +268,20 @@ mod tests {
         assert!(text.contains("s4_lat_us{quantile=\"0.99\"}"));
         assert!(text.contains("s4_lat_us_sum 30"));
         assert!(text.contains("s4_lat_us_count 2"));
+    }
+
+    #[test]
+    fn value_snapshots_enumerate_by_type() {
+        let r = Registry::new();
+        r.counter("s4_b_total", "b").add(7);
+        r.counter("s4_a_total", "a").add(3);
+        r.gauge("s4_g", "g").set(1.5);
+        r.histogram("s4_h_us", "h").record(10);
+        assert_eq!(
+            r.counter_values(),
+            vec![("s4_a_total".into(), 3), ("s4_b_total".into(), 7)]
+        );
+        assert_eq!(r.gauge_values(), vec![("s4_g".into(), 1.5)]);
     }
 
     #[test]

@@ -163,7 +163,7 @@ mod tests {
             user: 7,
             client: 3,
             op: 4,
-            ok: seq % 2 == 0,
+            ok: seq.is_multiple_of(2),
             object: 42,
             rpc_us: 11,
             journal_us: 5,

@@ -11,9 +11,10 @@
 //! [`RequestClassMask`]. Historically only `write()` requests counted,
 //! which made crash points *between* a data write and its `sync()`
 //! unreachable; plans can now count sync and read requests too. A fault
-//! that fires on a write tears it per [`FaultPlan::torn_write_sectors`];
-//! a fault that fires on a sync or read simply fails the request (there
-//! is nothing to tear).
+//! that fires on a write tears it per [`FaultPlan::torn`] — a
+//! [`TornPattern`] deciding sector-by-sector what persists (prefix,
+//! interleaved, or holed); a fault that fires on a sync or read simply
+//! fails the request (there is nothing to tear).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -58,6 +59,43 @@ impl std::ops::BitOr for RequestClassMask {
     }
 }
 
+/// Sector-level persistence shape of a torn write: which sectors of the
+/// offending multi-sector write actually reach the platter before power
+/// dies. Real disks reorder sectors within a queued write, so a crash
+/// can persist an arbitrary subset — not just a prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TornPattern {
+    /// Persist only the first `n` sectors (the historical behaviour;
+    /// `Prefix(0)` drops the write entirely).
+    Prefix(u64),
+    /// Persist alternating sectors, keeping those whose index within the
+    /// write is congruent to `phase` (mod 2) — the interleaved loss a
+    /// disk's zig-zag servo scheduling can produce.
+    Interleaved {
+        /// Parity of the sector indices that persist (0 or 1).
+        phase: u64,
+    },
+    /// Persist everything except a hole of `len` sectors starting at
+    /// index `start` within the write — a dropped DMA chunk mid-write.
+    Holed {
+        /// First lost sector index within the write.
+        start: u64,
+        /// Number of consecutive lost sectors.
+        len: u64,
+    },
+}
+
+impl TornPattern {
+    /// Whether sector `index` (within the torn write) persists.
+    pub fn keeps(self, index: u64) -> bool {
+        match self {
+            TornPattern::Prefix(n) => index < n,
+            TornPattern::Interleaved { phase } => index % 2 == phase % 2,
+            TornPattern::Holed { start, len } => index < start || index >= start + len,
+        }
+    }
+}
+
 /// What should go wrong, and when.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultPlan {
@@ -66,10 +104,9 @@ pub struct FaultPlan {
     /// [`FaultPlan::counted`]; with a wider mask it counts every request
     /// class in the mask, not just writes.)
     pub writes_until_fault: u64,
-    /// When the fault fires on a write, persist only this many sectors of
-    /// the offending write (0 = drop it entirely). Ignored when the fault
-    /// fires on a sync or read.
-    pub torn_write_sectors: u64,
+    /// When the fault fires on a write, which sectors of the offending
+    /// write persist. Ignored when the fault fires on a sync or read.
+    pub torn: TornPattern,
     /// If true, every request after the fault fails with
     /// [`DiskError::DeviceFailed`] until [`FaultyDisk::revive`] is called —
     /// emulating power loss.
@@ -85,25 +122,26 @@ impl FaultPlan {
     pub fn none() -> Self {
         FaultPlan {
             writes_until_fault: u64::MAX,
-            torn_write_sectors: 0,
+            torn: TornPattern::Prefix(0),
             die_after_fault: false,
             counted: RequestClassMask::WRITES,
         }
     }
 
     /// Power loss after `n` successful writes, tearing the (n+1)-th write
-    /// to `torn_sectors` sectors. Only writes count.
+    /// to a `torn_sectors`-sector prefix. Only writes count.
     pub fn power_loss_after_writes(n: u64, torn_sectors: u64) -> Self {
         FaultPlan {
             writes_until_fault: n,
-            torn_write_sectors: torn_sectors,
+            torn: TornPattern::Prefix(torn_sectors),
             die_after_fault: true,
             counted: RequestClassMask::WRITES,
         }
     }
 
     /// Power loss after `n` counted requests of the given classes, tearing
-    /// the offending request to `torn_sectors` sectors if it is a write.
+    /// the offending request to a `torn_sectors`-sector prefix if it is a
+    /// write.
     pub fn power_loss_after_requests(
         n: u64,
         torn_sectors: u64,
@@ -111,7 +149,22 @@ impl FaultPlan {
     ) -> Self {
         FaultPlan {
             writes_until_fault: n,
-            torn_write_sectors: torn_sectors,
+            torn: TornPattern::Prefix(torn_sectors),
+            die_after_fault: true,
+            counted,
+        }
+    }
+
+    /// Power loss after `n` counted requests, tearing the offending write
+    /// per an arbitrary [`TornPattern`].
+    pub fn power_loss_with_pattern(
+        n: u64,
+        torn: TornPattern,
+        counted: RequestClassMask,
+    ) -> Self {
+        FaultPlan {
+            writes_until_fault: n,
+            torn,
             die_after_fault: true,
             counted,
         }
@@ -218,10 +271,22 @@ impl<D: BlockDev> BlockDev for FaultyDisk<D> {
         }
         match self.count(RequestClassMask::WRITES) {
             Counted::Fire => {
-                // Tear the write: persist only a prefix.
-                let keep = (self.plan.torn_write_sectors as usize * SECTOR_SIZE).min(buf.len());
-                if keep > 0 {
-                    self.inner.write(sector, &buf[..keep])?;
+                // Tear the write: persist only the sectors the pattern
+                // keeps, as maximal contiguous runs.
+                let nsectors = buf.len().div_ceil(SECTOR_SIZE) as u64;
+                let mut run_start: Option<u64> = None;
+                for i in 0..=nsectors {
+                    let keep = i < nsectors && self.plan.torn.keeps(i);
+                    match (keep, run_start) {
+                        (true, None) => run_start = Some(i),
+                        (false, Some(s)) => {
+                            let lo = (s as usize) * SECTOR_SIZE;
+                            let hi = ((i as usize) * SECTOR_SIZE).min(buf.len());
+                            self.inner.write(sector + s, &buf[lo..hi])?;
+                            run_start = None;
+                        }
+                        _ => {}
+                    }
                 }
                 if self.plan.die_after_fault {
                     self.dead.store(true, Ordering::SeqCst);
@@ -283,6 +348,58 @@ mod tests {
         assert_eq!(out[0], 2, "first torn sector persisted");
         d.read(9, &mut out).unwrap();
         assert_eq!(out[0], 0, "later sectors of torn write lost");
+    }
+
+    #[test]
+    fn interleaved_tear_keeps_alternating_sectors() {
+        for phase in [0u64, 1] {
+            let d = FaultyDisk::new(
+                MemDisk::new(64),
+                FaultPlan::power_loss_with_pattern(
+                    0,
+                    TornPattern::Interleaved { phase },
+                    RequestClassMask::WRITES,
+                ),
+            );
+            assert!(d.write(8, &[9u8; SECTOR_SIZE * 4]).is_err());
+            d.revive();
+            for i in 0..4u64 {
+                let mut out = [0u8; SECTOR_SIZE];
+                d.read(8 + i, &mut out).unwrap();
+                let expect = if i % 2 == phase { 9 } else { 0 };
+                assert_eq!(out[0], expect, "sector {i} phase {phase}");
+            }
+        }
+    }
+
+    #[test]
+    fn holed_tear_loses_middle_run_only() {
+        let d = FaultyDisk::new(
+            MemDisk::new(64),
+            FaultPlan::power_loss_with_pattern(
+                0,
+                TornPattern::Holed { start: 1, len: 2 },
+                RequestClassMask::WRITES,
+            ),
+        );
+        assert!(d.write(0, &[5u8; SECTOR_SIZE * 4]).is_err());
+        d.revive();
+        for (i, expect) in [(0u64, 5u8), (1, 0), (2, 0), (3, 5)] {
+            let mut out = [0u8; SECTOR_SIZE];
+            d.read(i, &mut out).unwrap();
+            assert_eq!(out[0], expect, "sector {i}");
+        }
+    }
+
+    #[test]
+    fn torn_pattern_keep_decisions() {
+        assert!(TornPattern::Prefix(2).keeps(1));
+        assert!(!TornPattern::Prefix(2).keeps(2));
+        assert!(TornPattern::Interleaved { phase: 0 }.keeps(4));
+        assert!(!TornPattern::Interleaved { phase: 0 }.keeps(3));
+        assert!(TornPattern::Holed { start: 2, len: 3 }.keeps(1));
+        assert!(!TornPattern::Holed { start: 2, len: 3 }.keeps(4));
+        assert!(TornPattern::Holed { start: 2, len: 3 }.keeps(5));
     }
 
     #[test]

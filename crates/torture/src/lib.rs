@@ -17,8 +17,9 @@
 //! come from recovery, not from harness bugs.
 //!
 //! **Phase 2 (replays).** For each crash point `k` and torn-sector
-//! prefix `p`, the same workload replays against
-//! `FaultyDisk::power_loss_after_requests(k, p, WRITES|SYNCS)`. The
+//! pattern `p` (prefix, interleaved, or holed — see
+//! [`s4_simdisk::TornPattern`]), the same workload replays against
+//! `FaultyDisk::power_loss_with_pattern(k, p, WRITES|SYNCS)`. The
 //! drive dies mid-flight; the harness revives the device, remounts, and
 //! asserts five invariants:
 //!
@@ -60,7 +61,7 @@ use s4_core::{
     Response, S4Drive, TraceRecord, UserId,
 };
 use s4_lfs::BLOCK_SIZE;
-use s4_simdisk::{BlockDev, FaultPlan, FaultyDisk, MemDisk, RequestClassMask, TraceDisk};
+use s4_simdisk::{BlockDev, FaultPlan, FaultyDisk, MemDisk, RequestClassMask, TornPattern, TraceDisk};
 use s4_workloads::Rng;
 
 /// Request classes that count as crash points: the write path plus the
@@ -86,34 +87,74 @@ pub struct TortureConfig {
     pub seed: u64,
     /// Workload length in operations.
     pub ops: usize,
-    /// Torn-sector prefixes to replay per crash point (0 = the faulting
-    /// write is dropped whole; `n` = its first `n` sectors persist).
-    pub torn_prefixes: Vec<u64>,
+    /// Torn-write patterns the campaign draws from: which sectors of the
+    /// faulting write persist (prefix, interleaved, or holed).
+    pub torn_patterns: Vec<TornPattern>,
+    /// How many of `torn_patterns` to replay per crash point. `None`
+    /// replays every pattern at every point; `Some(m)` cycles through
+    /// the pattern set across crash points, m per point, so the full
+    /// set is exercised over the campaign without multiplying the replay
+    /// budget.
+    pub patterns_per_point: Option<usize>,
     /// Cap on crash points (sampled evenly across the domain);
     /// `None` enumerates every countable request.
     pub max_crash_points: Option<usize>,
 }
 
+/// The standard torn-pattern mix: whole-write loss, a persisted prefix,
+/// alternating sectors of either parity, and a mid-write hole.
+fn standard_patterns() -> Vec<TornPattern> {
+    vec![
+        TornPattern::Prefix(0),
+        TornPattern::Prefix(4),
+        TornPattern::Interleaved { phase: 0 },
+        TornPattern::Holed { start: 1, len: 2 },
+        TornPattern::Interleaved { phase: 1 },
+    ]
+}
+
 impl TortureConfig {
     /// The bounded CI campaign: small workload, ≤ 64 crash points,
-    /// 2 torn prefixes.
+    /// 2 patterns per point (cycling through the standard mix, so the
+    /// replay budget matches the historical 2-prefix campaign).
     pub fn bounded(seed: u64) -> Self {
         TortureConfig {
             seed,
             ops: 120,
-            torn_prefixes: vec![0, 4],
+            torn_patterns: standard_patterns(),
+            patterns_per_point: Some(2),
             max_crash_points: Some(64),
         }
     }
 
-    /// The exhaustive campaign: 500-op workload, every crash point.
+    /// The exhaustive campaign: 500-op workload, every crash point,
+    /// 2 patterns per point cycling through the standard mix.
     pub fn exhaustive(seed: u64) -> Self {
         TortureConfig {
             seed,
             ops: 500,
-            torn_prefixes: vec![0, 4],
+            torn_patterns: standard_patterns(),
+            patterns_per_point: Some(2),
             max_crash_points: None,
         }
+    }
+
+    /// Replays performed per crash point.
+    pub fn replays_per_point(&self) -> usize {
+        match self.patterns_per_point {
+            Some(m) => m.min(self.torn_patterns.len()),
+            None => self.torn_patterns.len(),
+        }
+    }
+
+    /// The torn patterns replayed at the `j`-th sampled crash point:
+    /// a deterministic rotating window over `torn_patterns`.
+    pub fn patterns_at(&self, j: usize) -> Vec<TornPattern> {
+        let n = self.torn_patterns.len();
+        let m = self.replays_per_point();
+        (0..m)
+            .map(|i| self.torn_patterns[(j * m + i) % n])
+            .collect()
     }
 }
 
@@ -143,8 +184,8 @@ pub struct GoldenSummary {
 pub struct CrashOutcome {
     /// The countable-request index the fault was armed at.
     pub crash_point: u64,
-    /// Torn-sector prefix of the faulting write.
-    pub torn_sectors: u64,
+    /// Torn-sector pattern applied to the faulting write.
+    pub torn: TornPattern,
     /// Whether the fault actually fired (false = the replay's request
     /// sequence ended before `crash_point`; the workload completed).
     pub died: bool,
@@ -639,14 +680,14 @@ pub fn golden_run(cfg: &TortureConfig) -> GoldenSummary {
 // ---------------------------------------------------------------------
 
 /// Replays the workload with power loss armed at countable request `k`
-/// (tearing the faulting write to `torn` sectors), then remounts and
+/// (tearing the faulting write per `torn`), then remounts and
 /// asserts the five recovery invariants. Panics with a descriptive
 /// message on any violation.
-pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: u64) -> CrashOutcome {
-    let what = format!("crash@{k}/torn{torn}");
+pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: TornPattern) -> CrashOutcome {
+    let what = format!("crash@{k}/{torn:?}");
     let clock = SimClock::new();
     clock.advance(SimDuration::from_secs(1));
-    let plan = FaultPlan::power_loss_after_requests(k, torn, CRASH_MASK);
+    let plan = FaultPlan::power_loss_with_pattern(k, torn, CRASH_MASK);
     let dev = FaultyDisk::new(MemDisk::with_capacity_bytes(DISK_BYTES), plan);
     // k is at or past format's request count, so format always succeeds.
     let drive = S4Drive::format(dev, DriveConfig::small_test(), clock.clone())
@@ -696,8 +737,7 @@ pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: u64) -> CrashOutco
     // the workload completed — hold the replay to the golden bar
     // instead (everything readable, full audit stream present).
     let mut versions_checked = 0;
-    let audit_prefix;
-    if died {
+    let audit_prefix = if died {
         if let Some(boundary) = st.last_ok_sync {
             versions_checked += verify_durable(&d2, &st, boundary, &what);
         }
@@ -705,7 +745,7 @@ pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: u64) -> CrashOutco
             .read_audit_records(&admin_ctx())
             .unwrap_or_else(|e| panic!("{what}: audit read failed: {e:?}"));
         verify_audit_prefix(&recovered, &st, &what);
-        audit_prefix = recovered.len();
+        recovered.len()
     } else {
         // Flush so every version is on disk, then verify everything.
         d2.op_sync(&user_ctx())
@@ -715,8 +755,8 @@ pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: u64) -> CrashOutco
             .read_audit_records(&admin_ctx())
             .unwrap_or_else(|e| panic!("{what}: audit read failed: {e:?}"));
         verify_audit_prefix(&recovered, &st, &what);
-        audit_prefix = recovered.len();
-    }
+        recovered.len()
+    };
 
     // Invariant (e): the flight recorder's persisted trace stream is an
     // exact prefix of the predicted request stream.
@@ -740,7 +780,7 @@ pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: u64) -> CrashOutco
 
     CrashOutcome {
         crash_point: k,
-        torn_sectors: torn,
+        torn,
         died,
         versions_checked,
         audit_prefix,
@@ -753,7 +793,8 @@ pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: u64) -> CrashOutco
 // ---------------------------------------------------------------------
 
 /// Runs the golden run, then replays every (sampled) crash point with
-/// every torn prefix. Panics on the first invariant violation.
+/// its rotating slice of the torn-pattern set. Panics on the first
+/// invariant violation.
 pub fn enumerate(cfg: &TortureConfig) -> TortureSummary {
     let golden = golden_run(cfg);
     let (start, end) = golden.domain;
@@ -772,15 +813,17 @@ pub fn enumerate(cfg: &TortureConfig) -> TortureSummary {
         versions_checked: 0,
     };
     let mut k = start;
+    let mut j = 0usize;
     while k < end {
         summary.crash_points += 1;
-        for &torn in &cfg.torn_prefixes {
+        for torn in cfg.patterns_at(j) {
             let outcome = torture_crash_point(cfg, k, torn);
             summary.replays += 1;
             summary.died += outcome.died as usize;
             summary.versions_checked += outcome.versions_checked;
         }
         k += step;
+        j += 1;
     }
     summary
 }
@@ -804,7 +847,7 @@ mod tests {
         let g = golden_run(&cfg);
         // Crash mid-domain: the drive dies with real state at risk.
         let mid = g.domain.0 + (g.domain.1 - g.domain.0) / 2;
-        let outcome = torture_crash_point(&cfg, mid, 0);
+        let outcome = torture_crash_point(&cfg, mid, TornPattern::Prefix(0));
         assert!(outcome.died, "mid-domain crash point must fire");
         assert!(outcome.report.recovered_objects >= 1, "partition object");
     }
@@ -814,7 +857,41 @@ mod tests {
         let cfg = TortureConfig::bounded(0x5EED);
         let g = golden_run(&cfg);
         let late = g.domain.0 + (g.domain.1 - g.domain.0) * 3 / 4;
-        let outcome = torture_crash_point(&cfg, late, 4);
+        let outcome = torture_crash_point(&cfg, late, TornPattern::Prefix(4));
         assert!(outcome.died);
+    }
+
+    #[test]
+    fn interleaved_and_holed_tears_hold_invariants() {
+        // One deep probe per new pattern kind: a late crash point where
+        // multi-sector segment writes are in flight, torn interleaved
+        // and holed.
+        let cfg = TortureConfig::bounded(0xB0A710AD);
+        let g = golden_run(&cfg);
+        let late = g.domain.0 + (g.domain.1 - g.domain.0) * 2 / 3;
+        for torn in [
+            TornPattern::Interleaved { phase: 0 },
+            TornPattern::Holed { start: 2, len: 4 },
+        ] {
+            let outcome = torture_crash_point(&cfg, late, torn);
+            assert!(outcome.died, "{torn:?} crash point must fire");
+        }
+    }
+
+    #[test]
+    fn pattern_rotation_covers_the_whole_set() {
+        let cfg = TortureConfig::bounded(1);
+        assert_eq!(cfg.replays_per_point(), 2);
+        let mut seen = std::collections::HashSet::new();
+        for j in 0..cfg.torn_patterns.len() {
+            for p in cfg.patterns_at(j) {
+                seen.insert(format!("{p:?}"));
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            cfg.torn_patterns.len(),
+            "rotation must exercise every pattern across the campaign"
+        );
     }
 }

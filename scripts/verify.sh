@@ -12,6 +12,14 @@
 # 5. the observability smoke check: format a scratch image, drive it
 #    through the CLI, and require `s4 stats` to expose the per-layer
 #    latency summaries and window gauges (saved to target/verify-stats.prom)
+# 6. lint gate: clippy over every target with warnings denied
+# 7. the array stress test: 8 threaded TCP clients against a lone drive
+#    and a 4-shard array; the recovered audit stream must be a
+#    serializable interleaving (also part of the workspace suite — rerun
+#    here so a failure is named in the verify transcript)
+# 8. the array scale-out bench at smoke scale, which asserts >= 2x
+#    simulated throughput at 4 shards (BENCH_JSON line; committed
+#    baseline in BENCH_array.json)
 #
 # The exhaustive campaign (every crash point of a 500-op workload) is
 # not part of tier-1; run it with:
@@ -21,6 +29,9 @@ cd "$(dirname "$0")/.."
 
 echo "== cargo build --release"
 cargo build --release
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
@@ -50,5 +61,15 @@ for metric in \
 done
 rm -rf "$(dirname "$S4_IMG")"
 echo "exposition OK: target/verify-stats.prom"
+
+echo "== array stress (8 TCP clients, single-drive + 4-shard array)"
+cargo test -q --test array_stress
+
+echo "== fig_array scale-out bench (smoke scale, asserts >=2x at 4 shards)"
+S4_BENCH_SCALE="${S4_BENCH_SCALE:-0.25}" cargo bench -p s4-bench --bench fig_array \
+  | tee target/fig_array.out
+grep -q '^BENCH_JSON ' target/fig_array.out \
+  || { echo "verify: fig_array emitted no BENCH_JSON line" >&2; exit 1; }
+grep '^BENCH_JSON ' target/fig_array.out | sed 's/^BENCH_JSON //' > target/BENCH_array.json
 
 echo "verify: OK"

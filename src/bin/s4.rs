@@ -45,7 +45,9 @@ fn usage() -> ExitCode {
            pin <image> <path> <secs>     (landmark: survives the window)\n\
            pins <image> <path>\n\
            audit <image>\n\
-           stats <image> [--json]        (metrics exposition + flight-recorder tail)\n\
+           stats <image> [<image>...] [--json]\n\
+                                         (metrics + flight-recorder tail; several\n\
+                                          images = array mode, per-shard + aggregate)\n\
            detect <image>                (run the intrusion detectors over the audit log)\n\
            plan <image> <secs> --client <id> [--user <id>]   (recovery plan for intrusion at <secs>)\n\
            revert <image> <secs> --client <id> [--user <id>] (plan and execute the recovery)\n\
@@ -296,6 +298,52 @@ fn run() -> Result<(), String> {
             }
             eprintln!("{} records", records.len());
             close(fs)?;
+        }
+        "stats" if args.iter().skip(2).any(|a| !a.starts_with("--")) => {
+            // Array mode: every image is one shard; metrics aggregate
+            // across the member drives and the flight-recorder tail is
+            // the time-merged view.
+            let devices = args[1..]
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .map(|p| FileDisk::open(p).map_err(|e| format!("open {p}: {e}")))
+                .collect::<Result<Vec<_>, String>>()?;
+            let (array, _reports) = s4_array::S4Array::mount(
+                devices,
+                DriveConfig::default(),
+                s4_array::ArrayConfig::default(),
+                SimClock::new(),
+            )
+            .map_err(|e| format!("mount array: {e}"))?;
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", array.metrics_json());
+            } else {
+                print!("{}", array.metrics_text());
+                let admin = RequestContext::admin(
+                    ClientId(0),
+                    array.shard_drive(0).config().admin_token,
+                );
+                let log = array.flight_log_merged(&admin).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "flight recorder: {} persisted traces across {} shards",
+                    log.len(),
+                    array.shard_count()
+                );
+                for e in log.iter().rev().take(10).rev() {
+                    eprintln!(
+                        "  shard={} #{:<6} {:>14} user={:<4} client={:<4} {:<14} {} ok={}",
+                        e.shard,
+                        e.record.seq,
+                        e.record.time.to_string(),
+                        e.record.user.0,
+                        e.record.client.0,
+                        format!("{:?}", e.record.op),
+                        e.record.object,
+                        e.record.ok
+                    );
+                }
+            }
+            array.unmount().map_err(|e| format!("unmount array: {e}"))?;
         }
         "stats" => {
             let fs = open_fs(image)?;

@@ -1,9 +1,11 @@
 //! Crash-consistency torture campaigns (see `crates/torture`).
 //!
 //! The bounded campaign is the CI gate: a fixed seed, crash points
-//! sampled down to ≤ 64, two torn-sector prefixes per point. The
-//! exhaustive campaign (`--ignored`) replays *every* countable device
-//! request of a 500-op workload.
+//! sampled down to ≤ 64, two torn-sector patterns per point (rotating
+//! through prefix / interleaved / holed tears so the whole mix is
+//! exercised without growing the replay budget). The exhaustive
+//! campaign (`--ignored`) replays *every* countable device request of a
+//! 500-op workload.
 //!
 //! Every replay asserts the five recovery invariants — durability of
 //! everything the last completed sync covered, audit-log prefix
@@ -11,6 +13,7 @@
 //! flight-recorder trace-stream prefix integrity — so these tests pass
 //! only if recovery is correct at every crash point visited.
 
+use s4_simdisk::TornPattern;
 use s4_torture::{enumerate, golden_run, torture_crash_point, TortureConfig};
 
 /// Fixed CI seed; campaigns are pure functions of it.
@@ -25,7 +28,7 @@ fn bounded_crash_enumeration_holds_invariants() {
         "workload too small to be interesting: {summary:?}"
     );
     assert!(summary.crash_points <= 64, "bounded cap violated: {summary:?}");
-    assert_eq!(summary.replays, summary.crash_points * cfg.torn_prefixes.len());
+    assert_eq!(summary.replays, summary.crash_points * cfg.replays_per_point());
     // Every sampled crash point is inside the workload, so every replay
     // must actually lose power.
     assert_eq!(summary.died, summary.replays, "some faults never fired: {summary:?}");
@@ -52,7 +55,7 @@ fn crash_on_first_workload_request() {
     // recovery must fall back to the format-time anchor.
     let cfg = TortureConfig::bounded(SEED);
     let g = golden_run(&cfg);
-    let outcome = torture_crash_point(&cfg, g.domain.0, 0);
+    let outcome = torture_crash_point(&cfg, g.domain.0, TornPattern::Prefix(0));
     assert!(outcome.died);
 }
 
