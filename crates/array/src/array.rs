@@ -1,14 +1,17 @@
 //! The array itself: per-shard worker threads, bounded request queues,
-//! and scatter-gather dispatch.
+//! mirrored members with degraded mode, and scatter-gather dispatch.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use s4_clock::SimClock;
+use s4_clock::sync::Mutex;
+use s4_clock::{SimClock, SimDuration};
 use s4_core::{
-    DriveConfig, RecoveryReport, Request, RequestContext, Response, S4Drive, S4Error,
+    ClientId, DiskFaultKind, DriveConfig, RecoveryReport, Request, RequestContext, Response,
+    S4Drive, S4Error,
 };
 use s4_fs::RpcHandler;
 use s4_simdisk::BlockDev;
@@ -19,6 +22,13 @@ use crate::router::{route, split_batch, Merge, Route};
 /// or worker panicked).
 const WORKER_GONE: S4Error = S4Error::BadRequest("array shard worker unavailable");
 
+/// Returned for mutations when every member of the shard has fallen
+/// back to read-only (a lone member that exhausted its write retries).
+const SHARD_READ_ONLY: S4Error = S4Error::BadRequest("array shard is read-only (degraded)");
+
+/// Returned when every member of a shard is dead.
+const SHARD_DEAD: S4Error = S4Error::BadRequest("array shard has no live members");
+
 /// Array-level tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ArrayConfig {
@@ -27,25 +37,111 @@ pub struct ArrayConfig {
     /// without limit — the array runs one worker per shard, not one
     /// thread per connection.
     pub queue_depth: usize,
+    /// Member drives per shard (1 = no redundancy). With `m` mirrors,
+    /// `devices.len()` must be a multiple of `m`; shard `s` owns
+    /// devices `s*m .. (s+1)*m`, all formatted in the same ObjectID
+    /// residue class. Mutations apply to every in-sync member; reads
+    /// are served by the first live member, failing over on disk
+    /// faults.
+    pub mirrors: usize,
+    /// How many times a transient disk fault (an I/O error, as opposed
+    /// to whole-device failure) is retried before the member is
+    /// declared dead.
+    pub retries: u32,
+    /// Base backoff between retries, charged to the simulated clock and
+    /// doubled on each attempt.
+    pub retry_backoff_us: u64,
 }
 
 impl Default for ArrayConfig {
     fn default() -> Self {
-        ArrayConfig { queue_depth: 64 }
+        ArrayConfig {
+            queue_depth: 64,
+            mirrors: 1,
+            retries: 3,
+            retry_backoff_us: 100,
+        }
     }
 }
 
-/// One queued request plus the channel its response goes back on.
-struct Job {
-    ctx: RequestContext,
-    req: Request,
-    reply: SyncSender<s4_core::Result<Response>>,
+/// Health of one mirrored member drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemberState {
+    /// Healthy: serves reads and applies every mutation.
+    InSync,
+    /// Last member standing after exhausting write retries: still
+    /// serves reads, rejects mutations ([`S4Error::BadRequest`] with
+    /// "read-only"). Only reachable when no in-sync sibling remains.
+    ReadOnly,
+    /// Removed from service after a fatal fault (or exhausted retries
+    /// with a surviving sibling). Awaits [`S4Array::resync_member`].
+    Dead,
 }
 
-/// One member drive with its worker thread and bounded queue.
+const STATE_IN_SYNC: usize = 0;
+const STATE_READ_ONLY: usize = 1;
+const STATE_DEAD: usize = 2;
+
+/// One member drive slot, shared between the shard worker (which owns
+/// state transitions and the drive swap at resync) and the admin plane
+/// (which reads state and live members' logs).
+struct MemberSlot<D: BlockDev> {
+    drive: Mutex<Arc<S4Drive<D>>>,
+    state: AtomicUsize,
+}
+
+impl<D: BlockDev> MemberSlot<D> {
+    fn new(drive: S4Drive<D>) -> Self {
+        MemberSlot {
+            drive: Mutex::new(Arc::new(drive)),
+            state: AtomicUsize::new(STATE_IN_SYNC),
+        }
+    }
+
+    fn drive(&self) -> Arc<S4Drive<D>> {
+        self.drive.lock().clone()
+    }
+
+    fn state(&self) -> MemberState {
+        match self.state.load(Ordering::SeqCst) {
+            STATE_IN_SYNC => MemberState::InSync,
+            STATE_READ_ONLY => MemberState::ReadOnly,
+            _ => MemberState::Dead,
+        }
+    }
+
+    fn set_state(&self, s: MemberState) {
+        let v = match s {
+            MemberState::InSync => STATE_IN_SYNC,
+            MemberState::ReadOnly => STATE_READ_ONLY,
+            MemberState::Dead => STATE_DEAD,
+        };
+        self.state.store(v, Ordering::SeqCst);
+    }
+}
+
+/// One queued job for a shard worker.
+enum Job<D: BlockDev> {
+    /// A client request plus the channel its response goes back on.
+    Rpc {
+        ctx: RequestContext,
+        req: Request,
+        reply: SyncSender<s4_core::Result<Response>>,
+    },
+    /// Rebuild member `member` onto `dev` from a surviving sibling.
+    /// Runs on the worker thread, so the shard is quiesced for the
+    /// duration — no mutation can interleave with the copy.
+    Resync {
+        member: usize,
+        dev: Box<D>,
+        reply: SyncSender<s4_core::Result<()>>,
+    },
+}
+
+/// One shard: its mirrored member slots, worker thread, and queue.
 struct ShardHandle<D: BlockDev> {
-    drive: Arc<S4Drive<D>>,
-    tx: Option<SyncSender<Job>>,
+    members: Vec<Arc<MemberSlot<D>>>,
+    tx: Option<SyncSender<Job<D>>>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -60,116 +156,169 @@ impl<D: BlockDev> Drop for ShardHandle<D> {
     }
 }
 
+/// Per-shard sub-result of a split batch that failed on that shard:
+/// how far the shard's sub-batch got before aborting, and why. The
+/// indices are in the *original* batch's coordinates, so a client can
+/// tell exactly which prefix of its batch took effect on which shard
+/// (DESIGN §6f).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// The shard whose sub-batch aborted.
+    pub shard: usize,
+    /// Sub-requests of that shard's sub-batch that completed before the
+    /// failure.
+    pub completed: u32,
+    /// Index *in the original batch* of the failing sub-request.
+    pub failed_at: u32,
+    /// The failing sub-request's error.
+    pub error: S4Error,
+}
+
 /// A sharded array of [`S4Drive`]s presenting the single-drive RPC
 /// surface (it implements [`RpcHandler`], so the TCP server and the
 /// file-system layer run over it unchanged).
 ///
 /// Object placement is `oid % n` with reserved objects pinned (see
 /// [`crate::router`]); each member drive allocates ObjectIDs only in
-/// its own residue class so drive-assigned IDs route home. Every shard
-/// keeps its own audit log, alert stream, and flight recorder — the
-/// security perimeter stays per-drive, exactly as §3.2 argues: a
-/// compromised client (or even a compromised sibling drive) cannot
-/// forge or truncate another shard's history.
+/// its own residue class so drive-assigned IDs route home. With
+/// [`ArrayConfig::mirrors`] > 1 every residue class is served by a
+/// mirror group: mutations apply to all in-sync members, reads come
+/// from the first live member with failover, and a member that fails
+/// fatally (or exhausts its transient-fault retries) is declared dead
+/// — the shard keeps serving from the survivor in *degraded mode*,
+/// surfaced through a `s4_array_degraded` gauge and an
+/// `array-degraded` alert on each survivor's tamper-evident alert
+/// stream. Every member keeps its own audit log, alert stream, and
+/// flight recorder — the security perimeter stays per-drive, exactly
+/// as §3.2 argues: a compromised client (or even a compromised sibling
+/// drive) cannot forge or truncate another drive's history.
 pub struct S4Array<D: BlockDev> {
     shards: Vec<ShardHandle<D>>,
     rr: AtomicUsize,
     clock: SimClock,
+    cfg: ArrayConfig,
 }
 
 impl<D: BlockDev + 'static> S4Array<D> {
-    /// Formats `devices` as a fresh `n`-shard array sharing `clock`.
-    /// Shard `i` gets `config` with ObjectID class `i (mod n)`.
+    /// Formats `devices` as a fresh array sharing `clock`. With
+    /// `array.mirrors = m`, `devices.len()` must be a positive multiple
+    /// of `m`: shard `s` of `n = devices.len()/m` owns devices
+    /// `s*m..(s+1)*m`, every member formatted with ObjectID class
+    /// `s (mod n)`.
     pub fn format(
         devices: Vec<D>,
         config: DriveConfig,
         array: ArrayConfig,
         clock: SimClock,
     ) -> s4_core::Result<S4Array<D>> {
-        let n = devices.len();
-        if n == 0 {
-            return Err(S4Error::BadRequest("array needs at least one drive"));
+        let n = shard_count_of(devices.len(), array.mirrors)?;
+        let mut groups: Vec<Vec<S4Drive<D>>> = Vec::with_capacity(n);
+        for (i, dev) in devices.into_iter().enumerate() {
+            let s = i / array.mirrors.max(1);
+            let drive = S4Drive::format(dev, config.with_oid_class(n as u64, s as u64), clock.clone())?;
+            if i % array.mirrors.max(1) == 0 {
+                groups.push(Vec::with_capacity(array.mirrors));
+            }
+            groups[s].push(drive);
         }
-        let drives = devices
-            .into_iter()
-            .enumerate()
-            .map(|(i, dev)| {
-                S4Drive::format(
-                    dev,
-                    config.with_oid_class(n as u64, i as u64),
-                    clock.clone(),
-                )
-            })
-            .collect::<s4_core::Result<Vec<_>>>()?;
-        Ok(Self::spawn(drives, array, clock))
+        Ok(Self::spawn(groups, array, clock))
     }
 
     /// Remounts an array previously formatted (or unmounted) with the
-    /// same shard order, running per-shard crash recovery. Returns the
-    /// per-shard [`RecoveryReport`]s — recovery is strictly per drive.
+    /// same device order, running per-member crash recovery. Returns
+    /// the per-member [`RecoveryReport`]s in device order — recovery is
+    /// strictly per drive.
     pub fn mount(
         devices: Vec<D>,
         config: DriveConfig,
         array: ArrayConfig,
         clock: SimClock,
     ) -> s4_core::Result<(S4Array<D>, Vec<RecoveryReport>)> {
-        let n = devices.len();
-        if n == 0 {
-            return Err(S4Error::BadRequest("array needs at least one drive"));
-        }
-        let mut drives = Vec::with_capacity(n);
-        let mut reports = Vec::with_capacity(n);
+        let n = shard_count_of(devices.len(), array.mirrors)?;
+        let mut groups: Vec<Vec<S4Drive<D>>> = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(devices.len());
         for (i, dev) in devices.into_iter().enumerate() {
+            let s = i / array.mirrors.max(1);
             let (drive, report) = S4Drive::mount_with_report(
                 dev,
-                config.with_oid_class(n as u64, i as u64),
+                config.with_oid_class(n as u64, s as u64),
                 clock.clone(),
             )?;
-            drives.push(drive);
+            if i % array.mirrors.max(1) == 0 {
+                groups.push(Vec::with_capacity(array.mirrors));
+            }
+            groups[s].push(drive);
             reports.push(report);
         }
-        Ok((Self::spawn(drives, array, clock), reports))
+        Ok((Self::spawn(groups, array, clock), reports))
     }
 
     /// Builds an array over already-constructed drives (benchmarks use
-    /// this to give each shard an independent clock). Each drive must
-    /// already allocate in its residue class: drive `i` of `n` with
-    /// stride `n`, offset `i`.
+    /// this to give each shard an independent clock). Drive `i` belongs
+    /// to shard `i / mirrors` and must already allocate in that shard's
+    /// residue class.
     pub fn from_drives(
         drives: Vec<S4Drive<D>>,
         array: ArrayConfig,
     ) -> s4_core::Result<S4Array<D>> {
-        let n = drives.len();
-        if n == 0 {
-            return Err(S4Error::BadRequest("array needs at least one drive"));
-        }
+        let n = shard_count_of(drives.len(), array.mirrors)?;
         for (i, d) in drives.iter().enumerate() {
-            if d.config().oid_stride != n as u64 || d.config().oid_offset != i as u64 {
+            let s = i / array.mirrors.max(1);
+            if d.config().oid_stride != n as u64 || d.config().oid_offset != s as u64 {
                 return Err(S4Error::BadRequest("array member oid class mismatch"));
             }
         }
         let clock = drives[0].clock().clone();
-        Ok(Self::spawn(drives, array, clock))
+        let mut groups: Vec<Vec<S4Drive<D>>> = Vec::with_capacity(n);
+        for (i, d) in drives.into_iter().enumerate() {
+            if i % array.mirrors.max(1) == 0 {
+                groups.push(Vec::with_capacity(array.mirrors));
+            }
+            let s = groups.len() - 1;
+            groups[s].push(d);
+        }
+        Ok(Self::spawn(groups, array, clock))
     }
 
-    fn spawn(drives: Vec<S4Drive<D>>, array: ArrayConfig, clock: SimClock) -> S4Array<D> {
-        let shards = drives
+    fn spawn(groups: Vec<Vec<S4Drive<D>>>, array: ArrayConfig, clock: SimClock) -> S4Array<D> {
+        let shards = groups
             .into_iter()
-            .map(|drive| {
-                let drive = Arc::new(drive);
-                let (tx, rx): (SyncSender<Job>, Receiver<Job>) =
+            .enumerate()
+            .map(|(shard, drives)| {
+                let members: Vec<Arc<MemberSlot<D>>> = drives
+                    .into_iter()
+                    .map(|d| Arc::new(MemberSlot::new(d)))
+                    .collect();
+                let (tx, rx): (SyncSender<Job<D>>, Receiver<Job<D>>) =
                     mpsc::sync_channel(array.queue_depth.max(1));
-                let worker_drive = drive.clone();
+                let worker_members = members.clone();
+                let worker_clock = clock.clone();
                 let thread = std::thread::spawn(move || {
                     // The queue closing (all senders dropped) ends the loop.
                     while let Ok(job) = rx.recv() {
-                        let result = worker_drive.dispatch(&job.ctx, &job.req);
-                        // A client that gave up is not an error.
-                        let _ = job.reply.send(result);
+                        match job {
+                            Job::Rpc { ctx, req, reply } => {
+                                let result = worker_process(
+                                    shard,
+                                    &worker_members,
+                                    &array,
+                                    &worker_clock,
+                                    &ctx,
+                                    &req,
+                                );
+                                // A client that gave up is not an error.
+                                let _ = reply.send(result);
+                            }
+                            Job::Resync { member, dev, reply } => {
+                                let result =
+                                    worker_resync(shard, &worker_members, member, *dev);
+                                let _ = reply.send(result);
+                            }
+                        }
                     }
                 });
                 ShardHandle {
-                    drive,
+                    members,
                     tx: Some(tx),
                     thread: Some(thread),
                 }
@@ -179,18 +328,54 @@ impl<D: BlockDev + 'static> S4Array<D> {
             shards,
             rr: AtomicUsize::new(0),
             clock,
+            cfg: array,
         }
     }
 
-    /// Number of shards.
+    /// Number of shards (mirror groups).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
-    /// Direct handle to shard `i`'s drive — the admin plane (forensics,
-    /// detector installation, metrics) reads member drives in place.
-    pub fn shard_drive(&self, i: usize) -> &Arc<S4Drive<D>> {
-        &self.shards[i].drive
+    /// Members per shard.
+    pub fn mirror_count(&self) -> usize {
+        self.cfg.mirrors.max(1)
+    }
+
+    /// Handle to the first live member of shard `i` — the admin plane
+    /// (forensics, detector installation, metrics) reads member drives
+    /// in place, and a dead member's logs are unreachable anyway. Falls
+    /// back to member 0 when the whole shard is dead.
+    pub fn shard_drive(&self, i: usize) -> Arc<S4Drive<D>> {
+        let members = &self.shards[i].members;
+        members
+            .iter()
+            .find(|m| m.state() != MemberState::Dead)
+            .unwrap_or(&members[0])
+            .drive()
+    }
+
+    /// Handle to member `k` of shard `i`, regardless of its state.
+    pub fn member_drive(&self, i: usize, k: usize) -> Arc<S4Drive<D>> {
+        self.shards[i].members[k].drive()
+    }
+
+    /// Health of every member: `states()[shard][member]`.
+    pub fn member_states(&self) -> Vec<Vec<MemberState>> {
+        self.shards
+            .iter()
+            .map(|s| s.members.iter().map(|m| m.state()).collect())
+            .collect()
+    }
+
+    /// True if shard `i` has lost at least one member (or fallen back
+    /// to read-only) — i.e. redundancy is reduced and an operator
+    /// should resync a replacement.
+    pub fn shard_degraded(&self, i: usize) -> bool {
+        self.shards[i]
+            .members
+            .iter()
+            .any(|m| m.state() != MemberState::InSync)
     }
 
     /// The simulated clock requests are timed on (shard 0's).
@@ -198,16 +383,53 @@ impl<D: BlockDev + 'static> S4Array<D> {
         &self.clock
     }
 
-    /// Shuts down the workers and unmounts every shard, returning the
-    /// block devices in shard order.
+    /// Rebuilds member `member` of shard `shard` onto the fresh device
+    /// `dev`: the shard worker (so the shard is quiesced) exports the
+    /// surviving sibling's logical state, replays it onto `dev`,
+    /// verifies every live object's digest and all three reserved
+    /// streams match, and only then promotes the rebuilt drive to
+    /// `InSync`. Works for any member state — including replacing the
+    /// sole, read-only member of an unmirrored shard.
+    pub fn resync_member(&self, shard: usize, member: usize, dev: D) -> s4_core::Result<()> {
+        if shard >= self.shards.len() {
+            return Err(S4Error::BadRequest("array: no such shard"));
+        }
+        if member >= self.shards[shard].members.len() {
+            return Err(S4Error::BadRequest("array: no such member"));
+        }
+        let (reply, rx) = mpsc::sync_channel(1);
+        let sent = match &self.shards[shard].tx {
+            Some(tx) => tx
+                .send(Job::Resync {
+                    member,
+                    dev: Box::new(dev),
+                    reply,
+                })
+                .is_ok(),
+            None => false,
+        };
+        if !sent {
+            return Err(WORKER_GONE);
+        }
+        rx.recv().unwrap_or(Err(WORKER_GONE))
+    }
+
+    /// Shuts down the workers and unmounts every member, returning the
+    /// block devices in device order (shard-major, mirrors within a
+    /// shard adjacent). Fails if any member is dead — resync it first,
+    /// or drop the array instead.
     pub fn unmount(mut self) -> s4_core::Result<Vec<D>> {
-        let mut devices = Vec::with_capacity(self.shards.len());
+        let mut devices = Vec::new();
         for handle in self.shards.drain(..) {
-            let drive = handle.drive.clone();
+            let members: Vec<Arc<MemberSlot<D>>> = handle.members.clone();
             drop(handle); // closes the queue and joins the worker
-            let drive = Arc::try_unwrap(drive)
-                .map_err(|_| S4Error::BadRequest("array drive still referenced"))?;
-            devices.push(drive.unmount()?);
+            for m in members {
+                let slot = Arc::try_unwrap(m)
+                    .map_err(|_| S4Error::BadRequest("array member still referenced"))?;
+                let drive = Arc::try_unwrap(slot.drive.into_inner())
+                    .map_err(|_| S4Error::BadRequest("array drive still referenced"))?;
+                devices.push(drive.unmount()?);
+            }
         }
         Ok(devices)
     }
@@ -255,7 +477,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
         for (s, req) in jobs {
             let (reply, rx) = mpsc::sync_channel(1);
             let sent = match &self.shards[s].tx {
-                Some(tx) => tx.send(Job { ctx: *ctx, req, reply }).is_ok(),
+                Some(tx) => tx.send(Job::Rpc { ctx: *ctx, req, reply }).is_ok(),
                 None => false,
             };
             pending.push((sent, rx));
@@ -272,12 +494,16 @@ impl<D: BlockDev + 'static> S4Array<D> {
     }
 
     /// Splits a batch across shards, runs the sub-batches concurrently,
-    /// and reassembles the responses in original order.
-    fn dispatch_split(
+    /// and returns the per-slot responses plus one [`BatchOutcome`] per
+    /// shard whose sub-batch aborted (empty = full success). Slots of a
+    /// failed shard's unreached suffix are `None`. The outer error is
+    /// reserved for planning failures (nested batch, broadcast op
+    /// inside a batch, orphan `LAST_CREATED`).
+    pub fn dispatch_batch_outcomes(
         &self,
         ctx: &RequestContext,
         reqs: &[Request],
-    ) -> s4_core::Result<Response> {
+    ) -> s4_core::Result<(Vec<Option<Response>>, Vec<BatchOutcome>)> {
         let n = self.shards.len();
         let plan = split_batch(reqs, n, || self.rr.fetch_add(1, Ordering::Relaxed) % n)?;
         let touched: Vec<usize> = (0..n).filter(|&s| !plan.subs[s].is_empty()).collect();
@@ -290,7 +516,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
         );
 
         let mut out: Vec<Option<Response>> = vec![None; plan.total];
-        let mut first_err: Option<(usize, S4Error)> = None;
+        let mut outcomes = Vec::new();
         for (&s, result) in touched.iter().zip(results) {
             match result {
                 Ok(Response::Batch(rs)) => {
@@ -303,19 +529,59 @@ impl<D: BlockDev + 'static> S4Array<D> {
                         "array: shard returned non-batch response",
                     ))
                 }
+                Err(S4Error::BatchFailed {
+                    completed,
+                    failed_at,
+                    error,
+                }) => {
+                    // The drive reports sub-batch coordinates; map the
+                    // failing index back to the original batch.
+                    let orig = plan.slots[s]
+                        .get(failed_at as usize)
+                        .copied()
+                        .unwrap_or(usize::MAX);
+                    outcomes.push(BatchOutcome {
+                        shard: s,
+                        completed,
+                        failed_at: orig as u32,
+                        error: *error,
+                    });
+                }
                 Err(e) => {
-                    // Report the failing shard whose sub-batch starts
-                    // earliest in the original order (deterministic).
-                    let start = plan.slots[s].first().copied().unwrap_or(usize::MAX);
-                    match &first_err {
-                        Some((fs, _)) if start >= *fs => {}
-                        _ => first_err = Some((start, e)),
-                    }
+                    // Whole-sub-batch failure without partial-progress
+                    // info (worker gone, shard dead): nothing completed.
+                    let orig = plan.slots[s].first().copied().unwrap_or(usize::MAX);
+                    outcomes.push(BatchOutcome {
+                        shard: s,
+                        completed: 0,
+                        failed_at: orig as u32,
+                        error: e,
+                    });
                 }
             }
         }
-        if let Some((_, e)) = first_err {
-            return Err(e);
+        outcomes.sort_by_key(|o| o.failed_at);
+        Ok((out, outcomes))
+    }
+
+    /// Splits a batch across shards and reassembles one response,
+    /// aborting with an aggregate [`S4Error::BatchFailed`] (earliest
+    /// failing original index; `completed` counts sub-requests that
+    /// finished across all shards) when any shard's sub-batch failed.
+    fn dispatch_split(
+        &self,
+        ctx: &RequestContext,
+        reqs: &[Request],
+    ) -> s4_core::Result<Response> {
+        let (out, outcomes) = self.dispatch_batch_outcomes(ctx, reqs)?;
+        if let Some(first) = outcomes.first() {
+            let completed = out.iter().filter(|r| r.is_some()).count() as u32
+                + outcomes.iter().map(|o| o.completed).sum::<u32>();
+            return Err(S4Error::BatchFailed {
+                completed,
+                failed_at: first.failed_at,
+                error: Box::new(first.error.clone()),
+            });
         }
         Ok(Response::Batch(
             out.into_iter()
@@ -323,6 +589,224 @@ impl<D: BlockDev + 'static> S4Array<D> {
                 .collect(),
         ))
     }
+}
+
+/// `devices / mirrors`, validating the shape.
+fn shard_count_of(devices: usize, mirrors: usize) -> s4_core::Result<usize> {
+    let m = mirrors.max(1);
+    if devices == 0 {
+        return Err(S4Error::BadRequest("array needs at least one drive"));
+    }
+    if !devices.is_multiple_of(m) {
+        return Err(S4Error::BadRequest(
+            "array: device count not a multiple of the mirror count",
+        ));
+    }
+    Ok(devices / m)
+}
+
+/// Outcome of applying one request to one member.
+enum Applied {
+    /// The member answered (possibly a logical error — denial, missing
+    /// object — which is a property of the request, not the member).
+    Done(s4_core::Result<Response>),
+    /// The member faulted at the disk level (retries exhausted, device
+    /// failed, or its dispatch panicked) and must leave service.
+    MemberFailed(S4Error),
+}
+
+/// Applies `req` to one member with bounded retry on transient disk
+/// faults and panic containment: a panicking dispatch is contained to
+/// this member (the drive's locks are non-poisoning and every guarded
+/// structure stays valid), converted into a member failure.
+fn apply_with_retry<D: BlockDev>(
+    drive: &S4Drive<D>,
+    cfg: &ArrayConfig,
+    clock: &SimClock,
+    ctx: &RequestContext,
+    req: &Request,
+) -> Applied {
+    let mut backoff = cfg.retry_backoff_us.max(1);
+    let mut attempt = 0u32;
+    loop {
+        let result = match catch_unwind(AssertUnwindSafe(|| drive.dispatch(ctx, req))) {
+            Ok(r) => r,
+            Err(_) => {
+                return Applied::MemberFailed(S4Error::BadRequest(
+                    "array member panicked during dispatch",
+                ))
+            }
+        };
+        match result {
+            Ok(resp) => return Applied::Done(Ok(resp)),
+            Err(e) => match e.disk_fault() {
+                None => return Applied::Done(Err(e)),
+                Some(DiskFaultKind::Transient) if attempt < cfg.retries => {
+                    attempt += 1;
+                    clock.advance(SimDuration::from_micros(backoff));
+                    backoff = backoff.saturating_mul(2);
+                }
+                Some(_) => return Applied::MemberFailed(e),
+            },
+        }
+    }
+}
+
+/// Takes member `k` out of service after `error`: the last non-dead
+/// member of the shard degrades to read-only (reads may still work),
+/// anyone else goes dead. Raises an `array-degraded` alert on every
+/// surviving member's tamper-evident alert stream — the same channel
+/// the operator already polls for intrusion alerts.
+fn fail_member<D: BlockDev>(
+    shard: usize,
+    members: &[Arc<MemberSlot<D>>],
+    k: usize,
+    error: &S4Error,
+) {
+    let others_alive = members
+        .iter()
+        .enumerate()
+        .any(|(i, m)| i != k && m.state() != MemberState::Dead);
+    let new_state = if others_alive {
+        MemberState::Dead
+    } else {
+        MemberState::ReadOnly
+    };
+    members[k].set_state(new_state);
+    let what = match new_state {
+        MemberState::Dead => "dead",
+        _ => "read-only",
+    };
+    let msg = format!("member {k} of shard {shard} marked {what}: {error}");
+    for (i, m) in members.iter().enumerate() {
+        if i != k && m.state() != MemberState::Dead {
+            m.drive().system_alert("array-degraded", &msg);
+        }
+    }
+    // A member degraded to read-only alerts through its own stream
+    // too — it may be the only reachable log.
+    if new_state == MemberState::ReadOnly {
+        members[k].drive().system_alert("array-degraded", &msg);
+    }
+}
+
+/// Processes one request on the shard worker: mutations apply to every
+/// in-sync member (first member's answer is canonical — replicas are
+/// deterministic, so they agree), reads go to the first live member
+/// and fail over on member faults.
+fn worker_process<D: BlockDev>(
+    shard: usize,
+    members: &[Arc<MemberSlot<D>>],
+    cfg: &ArrayConfig,
+    clock: &SimClock,
+    ctx: &RequestContext,
+    req: &Request,
+) -> s4_core::Result<Response> {
+    if req.mutates() {
+        let writable: Vec<usize> = (0..members.len())
+            .filter(|&k| members[k].state() == MemberState::InSync)
+            .collect();
+        if writable.is_empty() {
+            let any_alive = members.iter().any(|m| m.state() != MemberState::Dead);
+            return Err(if any_alive { SHARD_READ_ONLY } else { SHARD_DEAD });
+        }
+        let mut canonical: Option<s4_core::Result<Response>> = None;
+        let mut last_fault: Option<S4Error> = None;
+        for k in writable {
+            let drive = members[k].drive();
+            match apply_with_retry(&drive, cfg, clock, ctx, req) {
+                Applied::Done(r) => {
+                    if canonical.is_none() {
+                        canonical = Some(r);
+                    }
+                }
+                Applied::MemberFailed(e) => {
+                    fail_member(shard, members, k, &e);
+                    last_fault = Some(e);
+                }
+            }
+        }
+        canonical.unwrap_or_else(|| Err(last_fault.unwrap_or(SHARD_DEAD)))
+    } else {
+        let mut last_err: Option<S4Error> = None;
+        for k in 0..members.len() {
+            if members[k].state() == MemberState::Dead {
+                continue;
+            }
+            let drive = members[k].drive();
+            match apply_with_retry(&drive, cfg, clock, ctx, req) {
+                Applied::Done(r) => return r,
+                Applied::MemberFailed(e) => {
+                    fail_member(shard, members, k, &e);
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or(SHARD_DEAD))
+    }
+}
+
+/// Rebuilds member `member` from the first surviving sibling: export
+/// the survivor's logical image, replay it onto `dev`, verify object
+/// digests and all three reserved streams, then promote to `InSync`.
+/// Runs on the shard worker thread, so no request interleaves.
+fn worker_resync<D: BlockDev>(
+    shard: usize,
+    members: &[Arc<MemberSlot<D>>],
+    member: usize,
+    dev: D,
+) -> s4_core::Result<()> {
+    // Copy source: the first surviving sibling, or — when replacing
+    // the sole (read-only) member of an unmirrored shard — the member
+    // being replaced itself, which is still readable.
+    let survivor_idx = members
+        .iter()
+        .enumerate()
+        .position(|(i, m)| i != member && m.state() != MemberState::Dead)
+        .or_else(|| {
+            (members[member].state() != MemberState::Dead).then_some(member)
+        })
+        .ok_or(SHARD_DEAD)?;
+    let survivor = members[survivor_idx].drive();
+    let config = *survivor.config();
+    let admin = RequestContext::admin(ClientId(0), config.admin_token);
+
+    let image = survivor.resync_image(&admin)?;
+    let rebuilt = S4Drive::format_from_image(dev, config, survivor.clock().clone(), &image)?;
+
+    // Verify the replica object by object and stream by stream before
+    // trusting it with client reads.
+    let survivor_ids = survivor.live_object_ids(&admin)?;
+    if survivor_ids != rebuilt.live_object_ids(&admin)? {
+        return Err(S4Error::BadRequest("array resync: object set mismatch"));
+    }
+    for &oid in &survivor_ids {
+        let a = survivor.object_digest(&admin, s4_core::ObjectId(oid))?;
+        let b = rebuilt.object_digest(&admin, s4_core::ObjectId(oid))?;
+        if a != b {
+            return Err(S4Error::BadRequest("array resync: object digest mismatch"));
+        }
+    }
+    if survivor.read_audit_records(&admin)? != rebuilt.read_audit_records(&admin)?
+        || survivor.read_alerts(&admin)? != rebuilt.read_alerts(&admin)?
+        || survivor.read_traces(&admin)? != rebuilt.read_traces(&admin)?
+    {
+        return Err(S4Error::BadRequest("array resync: stream mismatch"));
+    }
+
+    // Promote: swap the rebuilt drive in and mark the pair healthy.
+    *members[member].drive.lock() = Arc::new(rebuilt);
+    members[member].set_state(MemberState::InSync);
+    if survivor_idx != member && members[survivor_idx].state() == MemberState::ReadOnly {
+        members[survivor_idx].set_state(MemberState::InSync);
+    }
+    let msg = format!("member {member} of shard {shard} resynced and back in sync");
+    for m in members.iter() {
+        if m.state() == MemberState::InSync {
+            m.drive().system_alert("array-resync", &msg);
+        }
+    }
+    Ok(())
 }
 
 /// Combines per-shard responses of a broadcast request.

@@ -26,11 +26,15 @@ pub struct Sharded<T> {
 }
 
 impl<D: BlockDev + 'static> S4Array<D> {
-    /// Installs the standard online monitor on every member drive;
-    /// each shard detects independently over its own audit stream.
+    /// Installs the standard online monitor on every member drive
+    /// (mirrors included, so replicas raise the same alerts and stay
+    /// comparable); each drive detects independently over its own
+    /// audit stream.
     pub fn install_standard_monitors(&self) {
         for s in 0..self.shard_count() {
-            install_standard_monitor(self.shard_drive(s));
+            for k in 0..self.mirror_count() {
+                install_standard_monitor(&self.member_drive(s, k));
+            }
         }
     }
 
@@ -80,7 +84,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
         let mut all = Vec::new();
         for s in 0..self.shard_count() {
             all.extend(
-                flight_log(self.shard_drive(s), admin)?
+                flight_log(&self.shard_drive(s), admin)?
                     .into_iter()
                     .map(|record| Sharded { shard: s, record }),
             );
@@ -97,7 +101,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
         oid: ObjectId,
     ) -> Result<Vec<TimelineEvent>, S4Error> {
         let s = shard_of(oid, self.shard_count());
-        object_timeline(self.shard_drive(s), admin, oid)
+        object_timeline(&self.shard_drive(s), admin, oid)
     }
 }
 

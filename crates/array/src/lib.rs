@@ -22,6 +22,17 @@
 //!   as on a lone drive; the array only ever *reads* and merges them
 //!   ([`Sharded`] tags each record with the vouching shard). Recovery
 //!   and mount are strictly per shard.
+//! * **Mirrored shards, degraded mode, online resync.** With
+//!   [`ArrayConfig::mirrors`] > 1 each residue class is served by a
+//!   replica group: mutations re-execute on every in-sync member, reads
+//!   fail over, transient device faults are retried with backoff while
+//!   hard faults / torn writes / panics mark the member
+//!   [`MemberState::Dead`] — invisibly to clients. Degraded shards are
+//!   surfaced via a persisted `array-degraded` alert, the
+//!   `s4_array_degraded` gauge, and `s4 stats`;
+//!   [`S4Array::resync_member`] rebuilds a dead replica onto a fresh
+//!   device online with per-object digest verification. A lone
+//!   surviving replica whose device fails falls back to read-only.
 //! * **Drop-in surface.** The array implements [`s4_fs::RpcHandler`],
 //!   so the TCP server and the NFS-style file system layer run over it
 //!   unchanged ([`ArrayTransport`] is the in-process variant).
@@ -35,7 +46,7 @@ mod metrics;
 pub mod router;
 mod transport;
 
-pub use array::{ArrayConfig, S4Array};
+pub use array::{ArrayConfig, BatchOutcome, MemberState, S4Array};
 pub use forensics::Sharded;
 pub use router::{is_reserved, shard_of};
 pub use transport::ArrayTransport;

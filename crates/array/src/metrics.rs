@@ -32,9 +32,24 @@ impl<D: BlockDev + 'static> S4Array<D> {
             }
         }
         let mut out = String::new();
-        let _ = writeln!(out, "# HELP s4_array_shards member drives in the array");
+        let _ = writeln!(out, "# HELP s4_array_shards mirror groups in the array");
         let _ = writeln!(out, "# TYPE s4_array_shards gauge");
         let _ = writeln!(out, "s4_array_shards {n}");
+        let _ = writeln!(out, "# HELP s4_array_mirrors member drives per shard");
+        let _ = writeln!(out, "# TYPE s4_array_mirrors gauge");
+        let _ = writeln!(out, "s4_array_mirrors {}", self.mirror_count());
+        let _ = writeln!(
+            out,
+            "# HELP s4_array_degraded shard running with reduced redundancy (dead or read-only member)"
+        );
+        let _ = writeln!(out, "# TYPE s4_array_degraded gauge");
+        let mut degraded_total = 0u64;
+        for s in 0..n {
+            let d = u64::from(self.shard_degraded(s));
+            degraded_total += d;
+            let _ = writeln!(out, "s4_array_degraded{{shard=\"{s}\"}} {d}");
+        }
+        let _ = writeln!(out, "s4_array_degraded {degraded_total}");
         for (name, samples) in &counters {
             let _ = writeln!(out, "# TYPE {name} counter");
             let mut total = 0u64;
@@ -86,8 +101,13 @@ impl<D: BlockDev + 'static> S4Array<D> {
             .map(|(k, v)| format!("\"{k}\":{v}"))
             .collect::<Vec<_>>()
             .join(",");
+        let degraded = (0..n)
+            .map(|s| if self.shard_degraded(s) { "1" } else { "0" })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\"shards\":{n},\"shard_metrics\":[{}],\"aggregate\":{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}}}}}}",
+            "{{\"shards\":{n},\"mirrors\":{},\"degraded\":[{degraded}],\"shard_metrics\":[{}],\"aggregate\":{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}}}}}}",
+            self.mirror_count(),
             per_shard.join(",")
         )
     }

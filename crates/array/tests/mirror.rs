@@ -1,0 +1,402 @@
+//! Mirrored-shard fault tolerance: member death mid-workload with zero
+//! client-visible errors, degraded-mode surfacing (gauge + alert),
+//! online resync of a replacement member, the read-only fallback for
+//! unmirrored shards, transient-fault retry, worker panic containment,
+//! and per-shard partial batch outcomes (DESIGN §6f/§6g).
+
+use s4_array::{ArrayConfig, BatchOutcome, MemberState, S4Array};
+use s4_clock::{SimClock, SimDuration};
+use s4_core::{
+    AuditObserver, AuditRecord, ClientId, DriveConfig, ObjectId, Request, RequestContext, Response,
+    S4Error, UserId,
+};
+use s4_simdisk::{FaultPlan, FaultyDisk, MemDisk, RequestClassMask};
+
+type Disk = FaultyDisk<MemDisk>;
+
+fn clean_disk() -> Disk {
+    FaultyDisk::new(MemDisk::with_capacity_bytes(64 << 20), FaultPlan::none())
+}
+
+fn user() -> RequestContext {
+    RequestContext::user(UserId(1), ClientId(1))
+}
+
+fn admin() -> RequestContext {
+    RequestContext::admin(ClientId(0), 42)
+}
+
+fn mirrored(mirrors: usize) -> ArrayConfig {
+    ArrayConfig {
+        mirrors,
+        ..ArrayConfig::default()
+    }
+}
+
+fn create(a: &S4Array<Disk>, ctx: &RequestContext) -> ObjectId {
+    match a.dispatch(ctx, &Request::Create).unwrap() {
+        Response::Created(oid) => oid,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+fn write(a: &S4Array<Disk>, ctx: &RequestContext, oid: ObjectId, data: &[u8]) {
+    a.dispatch(
+        ctx,
+        &Request::Write {
+            oid,
+            offset: 0,
+            data: data.to_vec(),
+        },
+    )
+    .unwrap();
+}
+
+fn read(a: &S4Array<Disk>, ctx: &RequestContext, oid: ObjectId, len: u64) -> Vec<u8> {
+    match a
+        .dispatch(
+            ctx,
+            &Request::Read {
+                oid,
+                offset: 0,
+                len,
+                time: None,
+            },
+        )
+        .unwrap()
+    {
+        Response::Data(d) => d,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// True if any alert blob on any shard carries the given rule name.
+fn has_alert(a: &S4Array<Disk>, rule: &[u8]) -> bool {
+    a.read_alerts_merged(&admin())
+        .unwrap()
+        .iter()
+        .any(|s| s.record.windows(rule.len()).any(|w| w == rule))
+}
+
+/// Formats a mirrored array on clean devices, then remounts it with
+/// `plans[i]` armed on device `i` — faults must not fire during format,
+/// and `FaultyDisk` counters restart at zero on the remount wrapper, so
+/// the plans' thresholds count post-mount disk requests only.
+fn array_with_plans(
+    shards: usize,
+    mirrors: usize,
+    clock: &SimClock,
+    plans: Vec<FaultPlan>,
+) -> S4Array<Disk> {
+    assert_eq!(plans.len(), shards * mirrors);
+    let devices = (0..shards * mirrors).map(|_| clean_disk()).collect();
+    let a = S4Array::format(
+        devices,
+        DriveConfig::small_test(),
+        mirrored(mirrors),
+        clock.clone(),
+    )
+    .unwrap();
+    let devices = a.unmount().unwrap();
+    let devices = devices
+        .into_iter()
+        .zip(plans)
+        .map(|(d, plan)| FaultyDisk::new(d.into_inner(), plan))
+        .collect();
+    let (a, _) = S4Array::mount(
+        devices,
+        DriveConfig::small_test(),
+        mirrored(mirrors),
+        clock.clone(),
+    )
+    .unwrap();
+    a
+}
+
+/// All-InSync digests must agree member-to-member within every shard.
+fn assert_mirrors_converged(a: &S4Array<Disk>) {
+    let adm = admin();
+    for s in 0..a.shard_count() {
+        let first = a.member_drive(s, 0);
+        let ids = first.live_object_ids(&adm).unwrap();
+        for k in 1..a.mirror_count() {
+            let other = a.member_drive(s, k);
+            assert_eq!(ids, other.live_object_ids(&adm).unwrap(), "shard {s} object sets");
+            for &oid in &ids {
+                assert_eq!(
+                    first.object_digest(&adm, ObjectId(oid)).unwrap(),
+                    other.object_digest(&adm, ObjectId(oid)).unwrap(),
+                    "shard {s} object {oid} diverged between mirrors"
+                );
+            }
+            assert_eq!(
+                first.read_audit_records(&adm).unwrap(),
+                other.read_audit_records(&adm).unwrap(),
+                "shard {s} audit streams diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn member_death_mid_workload_is_invisible_to_clients() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    // Shard 0, member 0 dies after a handful of post-mount disk writes;
+    // everyone else stays healthy.
+    let mut plans = vec![FaultPlan::none(); 4];
+    plans[0] = FaultPlan::member_death_after_requests(5, RequestClassMask::WRITES);
+    let a = array_with_plans(2, 2, &clock, plans);
+    let ctx = user();
+
+    // Mixed workload: every operation must succeed from the client's
+    // point of view even as the member dies mid-stream.
+    let mut oids = Vec::new();
+    for i in 0..8u8 {
+        let oid = create(&a, &ctx);
+        write(&a, &ctx, oid, &[i; 64]);
+        oids.push(oid);
+        a.dispatch(&ctx, &Request::Sync).unwrap();
+    }
+    for (i, &oid) in oids.iter().enumerate() {
+        assert_eq!(read(&a, &ctx, oid, 64), vec![i as u8; 64]);
+    }
+
+    // The victim is dead, the shard degraded, and the survivor serves.
+    assert_eq!(a.member_states()[0][0], MemberState::Dead);
+    assert_eq!(a.member_states()[0][1], MemberState::InSync);
+    assert!(a.shard_degraded(0));
+    assert!(!a.shard_degraded(1));
+
+    // Degraded mode is surfaced: gauge in the metrics exposition and an
+    // alert on the survivor's tamper-evident stream.
+    let metrics = a.metrics_text();
+    assert!(metrics.contains("s4_array_degraded{shard=\"0\"} 1"), "{metrics}");
+    assert!(metrics.contains("s4_array_degraded{shard=\"1\"} 0"), "{metrics}");
+    assert!(metrics.contains("s4_array_mirrors 2"), "{metrics}");
+    assert!(has_alert(&a, b"array-degraded"));
+    let json = a.metrics_json();
+    assert!(json.contains("\"degraded\":[1,0]"), "{json}");
+}
+
+#[test]
+fn resync_restores_redundancy_and_mirrors_reconverge() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let mut plans = vec![FaultPlan::none(); 4];
+    plans[2] = FaultPlan::member_death_after_requests(5, RequestClassMask::WRITES);
+    let a = array_with_plans(2, 2, &clock, plans);
+    let ctx = user();
+
+    let mut oids = Vec::new();
+    for i in 0..8u8 {
+        let oid = create(&a, &ctx);
+        write(&a, &ctx, oid, &[i; 32]);
+        oids.push(oid);
+        a.dispatch(&ctx, &Request::Sync).unwrap();
+    }
+    assert_eq!(a.member_states()[1][0], MemberState::Dead);
+
+    // Replace the dead member with a fresh device; resync verifies the
+    // replica object-by-object before promoting it.
+    a.resync_member(1, 0, clean_disk()).unwrap();
+    assert_eq!(
+        a.member_states(),
+        vec![
+            vec![MemberState::InSync, MemberState::InSync],
+            vec![MemberState::InSync, MemberState::InSync],
+        ]
+    );
+    assert!(!a.shard_degraded(1));
+    assert!(a.metrics_text().contains("s4_array_degraded{shard=\"1\"} 0"));
+    assert!(has_alert(&a, b"array-resync"));
+    assert_mirrors_converged(&a);
+
+    // The rebuilt member tracks new mutations like any other mirror.
+    for &oid in &oids {
+        write(&a, &ctx, oid, b"post-resync contents");
+    }
+    a.dispatch(&ctx, &Request::Sync).unwrap();
+    assert_mirrors_converged(&a);
+    for &oid in &oids {
+        assert_eq!(read(&a, &ctx, oid, 20), b"post-resync contents");
+    }
+}
+
+#[test]
+fn lone_member_falls_back_to_read_only_and_resyncs_in_place() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    // Unmirrored shard whose every post-mount disk write fails: the
+    // worker exhausts its retries and the sole member degrades to
+    // read-only instead of dying.
+    let plans = vec![FaultPlan::intermittent_io(0, 1, RequestClassMask::WRITES)];
+    let a = array_with_plans(1, 1, &clock, plans);
+    let ctx = user();
+
+    // Mutations buffer in memory; forcing them to disk exhausts the
+    // retries and trips the fallback.
+    let err = match a.dispatch(&ctx, &Request::Create) {
+        Ok(_) => a
+            .dispatch(&ctx, &Request::Sync)
+            .expect_err("sync cannot persist"),
+        Err(e) => e,
+    };
+    assert!(err.disk_fault().is_some(), "unexpected error {err:?}");
+    assert_eq!(a.member_states()[0][0], MemberState::ReadOnly);
+    assert!(a.shard_degraded(0));
+    assert!(has_alert(&a, b"array-degraded"));
+
+    // Further mutations are refused up front; reads still succeed.
+    assert_eq!(
+        a.dispatch(&ctx, &Request::Create),
+        Err(S4Error::BadRequest("array shard is read-only (degraded)"))
+    );
+    assert_eq!(
+        a.dispatch(&ctx, &Request::PList { time: None }).unwrap(),
+        Response::Partitions(vec![])
+    );
+
+    // In-place replacement: the read-only member is its own resync
+    // source; the rebuilt drive lands on a healthy device and the shard
+    // becomes writable again.
+    a.resync_member(0, 0, clean_disk()).unwrap();
+    assert_eq!(a.member_states()[0][0], MemberState::InSync);
+    assert!(!a.shard_degraded(0));
+    let oid = create(&a, &ctx);
+    write(&a, &ctx, oid, b"healthy again");
+    assert_eq!(read(&a, &ctx, oid, 13), b"healthy again");
+}
+
+#[test]
+fn transient_faults_are_retried_without_client_errors() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    // One early transient I/O error (period far beyond the workload's
+    // write count, so it fires exactly once per long stretch): bounded
+    // retry absorbs it and the member stays in sync.
+    let plans = vec![FaultPlan::intermittent_io(0, 100_000, RequestClassMask::WRITES)];
+    let a = array_with_plans(1, 1, &clock, plans);
+    let ctx = user();
+
+    let before = clock.now();
+    let oid = create(&a, &ctx);
+    write(&a, &ctx, oid, b"retried write");
+    a.dispatch(&ctx, &Request::Sync).unwrap();
+    assert_eq!(read(&a, &ctx, oid, 13), b"retried write");
+    assert_eq!(a.member_states()[0][0], MemberState::InSync);
+    assert!(!a.shard_degraded(0));
+    // The retry charged its backoff to the simulated clock.
+    assert!(clock.now() > before);
+}
+
+/// An audit observer that panics on every record — stands in for a
+/// buggy detection rule wedging one member's dispatch path.
+struct PanickingObserver;
+
+impl AuditObserver for PanickingObserver {
+    fn on_record(&mut self, _rec: &AuditRecord) -> Vec<Vec<u8>> {
+        panic!("detector bug");
+    }
+}
+
+#[test]
+fn member_panic_is_contained_and_marked_dead() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let a = array_with_plans(1, 2, &clock, vec![FaultPlan::none(); 2]);
+    let ctx = user();
+
+    a.member_drive(0, 0)
+        .register_audit_observer(Box::new(PanickingObserver));
+
+    // The panic is contained to the faulty member: the client's request
+    // succeeds via the healthy mirror and nothing deadlocks.
+    let oid = create(&a, &ctx);
+    write(&a, &ctx, oid, b"after panic");
+    assert_eq!(read(&a, &ctx, oid, 11), b"after panic");
+    assert_eq!(a.member_states()[0][0], MemberState::Dead);
+    assert_eq!(a.member_states()[0][1], MemberState::InSync);
+    assert!(a.shard_degraded(0));
+    assert!(has_alert(&a, b"array-degraded"));
+
+    // A fresh replacement brings the shard back to full redundancy.
+    a.resync_member(0, 0, clean_disk()).unwrap();
+    assert_eq!(a.member_states()[0][0], MemberState::InSync);
+    assert_mirrors_converged(&a);
+}
+
+#[test]
+fn batch_outcomes_map_failures_to_original_indices() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let a = array_with_plans(2, 1, &clock, vec![FaultPlan::none(); 2]);
+    let ctx = user();
+
+    // One object per shard so the batch genuinely splits.
+    let (mut even, mut odd) = (None, None);
+    while even.is_none() || odd.is_none() {
+        let oid = create(&a, &ctx);
+        if oid.0.is_multiple_of(2) {
+            even.get_or_insert(oid);
+        } else {
+            odd.get_or_insert(oid);
+        }
+    }
+    let (even, odd) = (even.unwrap(), odd.unwrap());
+    // An odd id that was never allocated: routes to shard 1, fails there.
+    let missing = ObjectId(odd.0 + 1000);
+
+    let reqs = vec![
+        Request::Write {
+            oid: even,
+            offset: 0,
+            data: b"even".to_vec(),
+        },
+        Request::Write {
+            oid: missing,
+            offset: 0,
+            data: b"ghost".to_vec(),
+        },
+        Request::Write {
+            oid: odd,
+            offset: 0,
+            data: b"odd".to_vec(),
+        },
+    ];
+
+    // The fine-grained surface: per-slot responses plus one outcome for
+    // the failing shard, indexed in the original batch's coordinates.
+    let (slots, outcomes) = a.dispatch_batch_outcomes(&ctx, &reqs).unwrap();
+    assert_eq!(slots.len(), 3);
+    assert!(slots[0].is_some(), "shard 0 completed its sub-batch");
+    assert!(slots[1].is_none(), "failed slot has no response");
+    assert_eq!(
+        outcomes,
+        vec![BatchOutcome {
+            shard: 1,
+            completed: 0,
+            failed_at: 1,
+            error: S4Error::NoSuchObject,
+        }]
+    );
+
+    // The coarse surface aggregates the same information into one
+    // BatchFailed error with the earliest failing original index.
+    match a.dispatch(&ctx, &Request::Batch(reqs)).unwrap_err() {
+        S4Error::BatchFailed {
+            completed,
+            failed_at,
+            error,
+        } => {
+            assert_eq!(failed_at, 1);
+            assert_eq!(*error, S4Error::NoSuchObject);
+            assert!(completed >= 1, "shard 0's write completed");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+
+    // Partial effects are real: the even write took effect even though
+    // the batch as a whole failed.
+    assert_eq!(read(&a, &ctx, even, 4), b"even");
+}

@@ -103,6 +103,15 @@ impl HybridClock {
         }
     }
 
+    /// Issues just the next sequence number, letting the caller pair it
+    /// with a time of their choosing. Used when replaying state onto a
+    /// replacement drive: the rebuilt stamps must carry the *original*
+    /// mutation times (so time-based reads agree across replicas) while
+    /// the sequence stream stays strictly increasing on this drive.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
     /// Returns the sequence number the next call to [`HybridClock::next`]
     /// would use (persisted at sync so restarts can resume).
     pub fn peek_seq(&self) -> u64 {

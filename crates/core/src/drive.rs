@@ -377,6 +377,28 @@ pub struct S4Drive<D: BlockDev> {
 impl<D: BlockDev> S4Drive<D> {
     /// Formats `dev` as a fresh S4 drive and writes the initial anchor.
     pub fn format(dev: D, config: DriveConfig, clock: SimClock) -> Result<S4Drive<D>> {
+        let drive = Self::format_bare(dev, config, clock)?;
+        // Create the partition-table object (versioned like any other).
+        {
+            let mut inner = drive.inner.lock();
+            let stamp = drive.stamps.next();
+            let meta = ObjectMeta::new(PARTITION_OBJECT.0, stamp);
+            let mut entry = ObjectEntry::new(meta);
+            entry.pending.push(JournalEntry::Create { stamp });
+            inner
+                .table
+                .insert(PARTITION_OBJECT.0, Slot::Cached(Box::new(entry)));
+            drive.sync_locked(&mut inner)?;
+            drive.anchor_locked(&mut inner)?;
+        }
+        Ok(drive)
+    }
+
+    /// Formats the log and builds the empty drive, without creating the
+    /// partition object or anchoring — shared by [`S4Drive::format`] and
+    /// [`S4Drive::format_from_image`] (which replays the partition
+    /// object, along with everything else, from the image).
+    fn format_bare(dev: D, config: DriveConfig, clock: SimClock) -> Result<S4Drive<D>> {
         let log = Log::format(dev, config.log)?;
         let stamps = HybridClock::new(clock.clone());
         let obs = DriveObs::new(&config);
@@ -406,19 +428,6 @@ impl<D: BlockDev> S4Drive<D> {
             observers: Mutex::new(Vec::new()),
             obs,
         };
-        // Create the partition-table object (versioned like any other).
-        {
-            let mut inner = drive.inner.lock();
-            let stamp = drive.stamps.next();
-            let meta = ObjectMeta::new(PARTITION_OBJECT.0, stamp);
-            let mut entry = ObjectEntry::new(meta);
-            entry.pending.push(JournalEntry::Create { stamp });
-            inner
-                .table
-                .insert(PARTITION_OBJECT.0, Slot::Cached(Box::new(entry)));
-            drive.sync_locked(&mut inner)?;
-            drive.anchor_locked(&mut inner)?;
-        }
         Ok(drive)
     }
 
@@ -1546,6 +1555,260 @@ impl<D: BlockDev> S4Drive<D> {
         Ok(self.inner.lock().audit.total_records)
     }
 
+    // ------------------------------------------------------------------
+    // Mirror resync: exporting one member's logical state and replaying
+    // it onto a replacement drive (DESIGN §6g).
+    // ------------------------------------------------------------------
+
+    /// Raises a drive-originated alert (severity 2, no user/client)
+    /// through the tamper-evident alert object — the channel redundancy
+    /// layers use to surface member death and degraded mode, so the
+    /// operator's existing alert poll sees infrastructure faults too.
+    pub fn system_alert(&self, rule: &str, message: &str) {
+        let blob = encode_system_alert(
+            rule.as_bytes(),
+            self.clock.now().as_micros(),
+            message.as_bytes(),
+        );
+        self.alert_append(&blob);
+    }
+
+    /// Exports the drive's logical state for mirror resync (admin only):
+    /// every live object's current version plus the raw audit, alert,
+    /// and trace streams. Deleted objects and expired history are *not*
+    /// exported — clients observe `NoSuchObject` either way, and the
+    /// replacement member starts its history pool from the survivor's
+    /// present (the paper's window guarantee is per-drive; a rebuilt
+    /// member's window restarts at the rebuild).
+    pub fn resync_image(&self, ctx: &RequestContext) -> Result<ResyncImage> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let mut inner = self.inner.lock();
+        let mut oids: Vec<u64> = inner.table.keys().copied().collect();
+        oids.sort_unstable();
+        let mut objects = Vec::new();
+        for oid in oids {
+            let entry = self.take_cached(&mut inner, ObjectId(oid))?;
+            let r = (|| -> Result<Option<ResyncObject>> {
+                if !entry.meta.is_live() {
+                    return Ok(None); // deleted: not replayed
+                }
+                let content = self.read_extent(&entry, &entry.meta, 0, entry.meta.size)?;
+                Ok(Some(ResyncObject {
+                    oid,
+                    created: entry.meta.created.time,
+                    modified: entry.meta.modified.time,
+                    content,
+                    attrs: entry.meta.attrs.clone(),
+                    acl: entry.meta.acl.clone(),
+                }))
+            })();
+            self.put_back(&mut inner, entry);
+            if let Some(obj) = r? {
+                objects.push(obj);
+            }
+        }
+        let read_stream = |blocks: &[BlockAddr],
+                               pending: &[u8],
+                               total: u64,
+                               flushed: u64|
+         -> Result<ResyncStream> {
+            let mut out = Vec::with_capacity(blocks.len());
+            for &addr in blocks {
+                out.push(self.log.read_block(addr)?.to_vec());
+            }
+            Ok(ResyncStream {
+                blocks: out,
+                pending: pending.to_vec(),
+                total,
+                flushed_blocks: flushed,
+            })
+        };
+        let audit = read_stream(
+            &inner.audit.blocks,
+            &inner.audit.pending,
+            inner.audit.total_records,
+            0,
+        )?;
+        let alerts = read_stream(
+            &inner.alerts.blocks,
+            &inner.alerts.pending,
+            inner.alerts.total_alerts,
+            inner.alerts.flushed_blocks,
+        )?;
+        let traces = read_stream(
+            &inner.traces.blocks,
+            &inner.traces.pending,
+            inner.traces.total_alerts,
+            inner.traces.flushed_blocks,
+        )?;
+        Ok(ResyncImage {
+            next_oid: inner.next_oid,
+            window: inner.window,
+            objects,
+            audit,
+            alerts,
+            traces,
+        })
+    }
+
+    /// Formats `dev` and replays `image` onto it: each live object is
+    /// recreated with its original creation/modification *times* (the
+    /// stamp sequence component is drive-local), and the audit, alert,
+    /// and trace streams are copied byte for byte. The result is a
+    /// mounted, anchored drive whose client-visible state matches the
+    /// image's source — [`S4Drive::object_digest`] verifies the claim
+    /// per object.
+    pub fn format_from_image(
+        dev: D,
+        config: DriveConfig,
+        clock: SimClock,
+        image: &ResyncImage,
+    ) -> Result<S4Drive<D>> {
+        let drive = Self::format_bare(dev, config, clock)?;
+        {
+            let mut guard = drive.inner.lock();
+            let inner = &mut *guard;
+            inner.window = image.window;
+            for obj in &image.objects {
+                let created = HybridTimestamp::new(obj.created, drive.stamps.next_seq());
+                let mut entry = ObjectEntry::new(ObjectMeta::new(obj.oid, created));
+                entry.pending.push(JournalEntry::Create { stamp: created });
+                if !obj.acl.is_empty() {
+                    let set = JournalEntry::SetAcl {
+                        stamp: HybridTimestamp::new(obj.created, drive.stamps.next_seq()),
+                        old: Vec::new(),
+                        new: obj.acl.clone(),
+                    };
+                    redo(&mut entry.meta, &set);
+                    entry.pending.push(set);
+                }
+                entry.last_used = inner.bump_lru();
+                let modified = HybridTimestamp::new(obj.modified, drive.stamps.next_seq());
+                if obj.content.is_empty() {
+                    // An empty write is a no-op; stamp the modification
+                    // time with an empty truncate instead.
+                    let e = JournalEntry::Truncate {
+                        stamp: modified,
+                        old_size: 0,
+                        new_size: 0,
+                        freed: Vec::new(),
+                    };
+                    redo(&mut entry.meta, &e);
+                    entry.pending.push(e);
+                } else {
+                    drive.write_extent_stamped(inner, &mut entry, 0, &obj.content, modified)?;
+                }
+                if !obj.attrs.is_empty() {
+                    let e = JournalEntry::SetAttr {
+                        stamp: HybridTimestamp::new(obj.modified, drive.stamps.next_seq()),
+                        old: entry.meta.attrs.clone(),
+                        new: obj.attrs.clone(),
+                    };
+                    redo(&mut entry.meta, &e);
+                    entry.pending.push(e);
+                }
+                entry.dirty = true;
+                inner.table.insert(obj.oid, Slot::Cached(Box::new(entry)));
+            }
+            inner.next_oid = inner.next_oid.max(image.next_oid);
+
+            restore_stream(
+                &drive.log,
+                &mut inner.live,
+                &mut inner.audit.blocks,
+                AUDIT_OBJECT.0,
+                &image.audit.blocks,
+            )?;
+            inner.audit.pending = image.audit.pending.clone();
+            inner.audit.total_records = image.audit.total;
+            restore_stream(
+                &drive.log,
+                &mut inner.live,
+                &mut inner.alerts.blocks,
+                ALERT_OBJECT.0,
+                &image.alerts.blocks,
+            )?;
+            inner.alerts.pending = image.alerts.pending.clone();
+            inner.alerts.total_alerts = image.alerts.total;
+            inner.alerts.flushed_blocks = image.alerts.flushed_blocks;
+            restore_stream(
+                &drive.log,
+                &mut inner.live,
+                &mut inner.traces.blocks,
+                TRACE_OBJECT.0,
+                &image.traces.blocks,
+            )?;
+            inner.traces.pending = image.traces.pending.clone();
+            inner.traces.total_alerts = image.traces.total;
+            inner.traces.flushed_blocks = image.traces.flushed_blocks;
+
+            drive.sync_locked(inner)?;
+            drive.anchor_locked(inner)?;
+        }
+        Ok(drive)
+    }
+
+    /// Digest of one live object's *logical* current version (admin
+    /// only): FNV-1a over creation/modification times, size, contents,
+    /// attributes, and ACL. Unlike [`S4Drive::state_digest`] it avoids
+    /// physical block addresses and sequence numbers, so two mirrored
+    /// members — whose layouts differ — can be compared object by object
+    /// after a resync.
+    pub fn object_digest(&self, ctx: &RequestContext, oid: ObjectId) -> Result<u64> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let mut inner = self.inner.lock();
+        let entry = self.take_cached(&mut inner, oid)?;
+        let r = (|| {
+            if !entry.meta.is_live() {
+                return Err(S4Error::NoSuchObject);
+            }
+            let content = self.read_extent(&entry, &entry.meta, 0, entry.meta.size)?;
+            const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut eat = |bytes: &[u8]| {
+                for &b in bytes {
+                    h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+                }
+            };
+            eat(&entry.meta.created.time.as_micros().to_le_bytes());
+            eat(&entry.meta.modified.time.as_micros().to_le_bytes());
+            eat(&entry.meta.size.to_le_bytes());
+            eat(&content);
+            eat(&(entry.meta.attrs.len() as u64).to_le_bytes());
+            eat(&entry.meta.attrs);
+            eat(&(entry.meta.acl.len() as u64).to_le_bytes());
+            eat(&entry.meta.acl);
+            Ok(h)
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Ids of every live (non-deleted) object, ascending (admin only) —
+    /// the enumeration a resync verification walks, comparing
+    /// [`S4Drive::object_digest`] across the mirror pair.
+    pub fn live_object_ids(&self, ctx: &RequestContext) -> Result<Vec<u64>> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let inner = self.inner.lock();
+        let mut out: Vec<u64> = inner
+            .table
+            .iter()
+            .filter(|(_, slot)| match slot {
+                Slot::Cached(e) => e.meta.is_live(),
+                Slot::Evicted(info) => info.deleted.is_none(),
+            })
+            .map(|(&oid, _)| oid)
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
     /// Walks an object's retained journal history, oldest first: one
     /// [`VersionRecord`] per in-window mutation. Requires admin (the
     /// forensic path) or `RECOVERY` permission on the current ACL.
@@ -2140,6 +2403,20 @@ impl<D: BlockDev> S4Drive<D> {
         offset: u64,
         data: &[u8],
     ) -> Result<()> {
+        self.write_extent_stamped(inner, entry, offset, data, self.stamps.next())
+    }
+
+    /// [`S4Drive::write_extent`] with a caller-chosen stamp — resync
+    /// replay uses this to reproduce the survivor's mutation *times* on a
+    /// replacement drive (the sequence component is still drive-local).
+    fn write_extent_stamped(
+        &self,
+        inner: &mut Inner,
+        entry: &mut ObjectEntry,
+        offset: u64,
+        data: &[u8],
+        stamp: HybridTimestamp,
+    ) -> Result<()> {
         if data.is_empty() {
             return Ok(());
         }
@@ -2148,7 +2425,6 @@ impl<D: BlockDev> S4Drive<D> {
         let new_size = old_size.max(offset + data.len() as u64);
         let first = offset / bs;
         let last = (offset + data.len() as u64 - 1) / bs;
-        let stamp = self.stamps.next();
         let mut changes = Vec::with_capacity((last - first + 1) as usize);
         for lbn in first..=last {
             let block_start = lbn * bs;
@@ -3197,27 +3473,103 @@ fn read_stamp(buf: &[u8], pos: &mut usize) -> Result<HybridTimestamp> {
     Ok(HybridTimestamp::new(SimTime::from_micros(t), q))
 }
 
-/// Encodes the alert-object growth self-alert in the `s4-detect`
-/// `Alert` wire format (severity, time, user, client, object, then
-/// length-prefixed rule and message strings), so the standard alert
-/// pollers decode it like any detector-raised alert. The drive cannot
-/// depend on `s4-detect` (the dependency points the other way), so the
-/// format is reproduced here; `s4-detect` has a test pinning the two
-/// together.
-fn encode_growth_alert(time_us: u64, message: &[u8]) -> Vec<u8> {
-    const RULE: &[u8] = b"alert-object-growth";
+/// One live object's current version as exported by
+/// [`S4Drive::resync_image`]: everything needed to recreate the
+/// client-visible object on a replacement mirror member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResyncObject {
+    /// Object id (preserved verbatim — ids route by residue class).
+    pub oid: u64,
+    /// Creation time (the stamp's time component; sequence is local).
+    pub created: SimTime,
+    /// Last-modification time.
+    pub modified: SimTime,
+    /// Full current contents (`size` bytes; sparse holes as zeros).
+    pub content: Vec<u8>,
+    /// Opaque attribute blob.
+    pub attrs: Vec<u8>,
+    /// Encoded ACL table.
+    pub acl: Vec<u8>,
+}
+
+/// One reserved append-only stream (audit, alert, or trace) as exported
+/// by [`S4Drive::resync_image`]: flushed block payloads plus the
+/// buffered tail, with the counters recovery re-derives seq from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResyncStream {
+    /// Flushed block payloads, oldest first.
+    pub blocks: Vec<Vec<u8>>,
+    /// The in-memory pending tail.
+    pub pending: Vec<u8>,
+    /// Total records ever appended (survives retention truncation).
+    pub total: u64,
+    /// Blocks dropped from the front by retention flushes.
+    pub flushed_blocks: u64,
+}
+
+/// A point-in-time export of a drive's logical state, consumed by
+/// [`S4Drive::format_from_image`] to rebuild a failed mirror member
+/// from its surviving peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResyncImage {
+    /// The id allocator floor, so the replacement never re-issues an id.
+    pub next_oid: u64,
+    /// The detection window in force on the source drive.
+    pub window: SimDuration,
+    /// Every live object's current version, ascending by id.
+    pub objects: Vec<ResyncObject>,
+    /// The audit log stream.
+    pub audit: ResyncStream,
+    /// The alert object stream.
+    pub alerts: ResyncStream,
+    /// The flight-recorder trace stream.
+    pub traces: ResyncStream,
+}
+
+/// Re-appends exported stream block payloads onto a freshly formatted
+/// log, registering each new address as live. Split-borrow helper for
+/// [`S4Drive::format_from_image`].
+fn restore_stream<D: BlockDev>(
+    log: &Log<D>,
+    live: &mut HashSet<u64>,
+    blocks: &mut Vec<BlockAddr>,
+    oid: u64,
+    payloads: &[Vec<u8>],
+) -> Result<()> {
+    for payload in payloads {
+        let idx = blocks.len() as u64;
+        let addr = log.append(BlockTag::new(BlockKind::Audit, oid, idx), payload)?;
+        blocks.push(addr);
+        live.insert(addr.0);
+    }
+    Ok(())
+}
+
+/// Encodes a drive-raised self-alert in the `s4-detect` `Alert` wire
+/// format (severity, time, user, client, object, then length-prefixed
+/// rule and message strings), so the standard alert pollers decode it
+/// like any detector-raised alert. The drive cannot depend on
+/// `s4-detect` (the dependency points the other way), so the format is
+/// reproduced here; `s4-detect` has a test pinning the two together.
+pub(crate) fn encode_system_alert(rule: &[u8], time_us: u64, message: &[u8]) -> Vec<u8> {
     const SEVERITY_WARNING: u8 = 2;
-    let mut out = Vec::with_capacity(29 + RULE.len() + message.len());
+    let mut out = Vec::with_capacity(29 + rule.len() + message.len());
     out.push(SEVERITY_WARNING);
     out.extend_from_slice(&time_us.to_le_bytes());
     out.extend_from_slice(&0u32.to_le_bytes()); // user: the drive itself
     out.extend_from_slice(&0u32.to_le_bytes()); // client: the drive itself
     out.extend_from_slice(&ALERT_OBJECT.0.to_le_bytes());
-    out.extend_from_slice(&(RULE.len() as u16).to_le_bytes());
-    out.extend_from_slice(RULE);
+    out.extend_from_slice(&(rule.len() as u16).to_le_bytes());
+    out.extend_from_slice(rule);
     out.extend_from_slice(&(message.len() as u16).to_le_bytes());
     out.extend_from_slice(message);
     out
+}
+
+/// The alert-object growth self-alert (kept as its own function so the
+/// `s4-detect` wire-format pin test has a stable target).
+fn encode_growth_alert(time_us: u64, message: &[u8]) -> Vec<u8> {
+    encode_system_alert(b"alert-object-growth", time_us, message)
 }
 
 /// Timestamp (µs) of one alert blob — every alert the drive or the

@@ -74,8 +74,9 @@ pub use acl::{AclEntry, AclTable, Perm};
 pub use alert::{AlertState, MAX_ALERT_BYTES};
 pub use audit::{AuditRecord, AuditState, OpKind};
 pub use drive::{
-    AlertCursor, AuditObserver, DriveConfig, RecoveryReport, S4Drive, VersionKind, VersionRecord,
-    ALERT_OBJECT, AUDIT_OBJECT, PARTITION_OBJECT, TRACE_OBJECT,
+    AlertCursor, AuditObserver, DriveConfig, RecoveryReport, ResyncImage, ResyncObject,
+    ResyncStream, S4Drive, VersionKind, VersionRecord, ALERT_OBJECT, AUDIT_OBJECT,
+    PARTITION_OBJECT, TRACE_OBJECT,
 };
 pub use ids::{ClientId, ObjectId, RequestContext, UserId, ADMIN_USER};
 pub use rpc::{Request, Response};
@@ -107,6 +108,48 @@ pub enum S4Error {
     Storage(s4_lfs::LfsError),
     /// A journal structure failed validation.
     Journal(s4_journal::JournalError),
+    /// A batch aborted partway: `completed` sub-requests finished before
+    /// sub-request `failed_at` returned `error`. Callers that batched
+    /// mutations can tell exactly which prefix took effect.
+    BatchFailed {
+        /// Sub-requests that completed successfully before the failure.
+        completed: u32,
+        /// Index of the failing sub-request within the batch.
+        failed_at: u32,
+        /// The failing sub-request's error.
+        error: Box<S4Error>,
+    },
+}
+
+/// Classification of an [`S4Error`] as a disk-level fault, used by
+/// redundancy layers to decide between retrying and declaring a member
+/// dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// A fault worth retrying (an I/O error that may not recur).
+    Transient,
+    /// The device is gone or structurally unusable; retrying is futile.
+    Fatal,
+}
+
+impl S4Error {
+    /// Classifies this error as a disk fault, if it is one. Logical
+    /// errors (denials, missing objects, malformed requests, a full
+    /// history pool) return `None` — they are properties of the request
+    /// or drive state, not of the medium, and must not trigger failover.
+    pub fn disk_fault(&self) -> Option<DiskFaultKind> {
+        match self {
+            S4Error::Storage(s4_lfs::LfsError::Disk(d)) => match d {
+                s4_simdisk::DiskError::Io(_) => Some(DiskFaultKind::Transient),
+                s4_simdisk::DiskError::DeviceFailed
+                | s4_simdisk::DiskError::OutOfRange { .. }
+                | s4_simdisk::DiskError::UnalignedLength(_) => Some(DiskFaultKind::Fatal),
+            },
+            S4Error::Storage(s4_lfs::LfsError::Corrupt(_)) => Some(DiskFaultKind::Fatal),
+            S4Error::BatchFailed { error, .. } => error.disk_fault(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for S4Error {
@@ -121,6 +164,14 @@ impl fmt::Display for S4Error {
             S4Error::PoolFull => write!(f, "history pool exhausted"),
             S4Error::Storage(e) => write!(f, "storage error: {e}"),
             S4Error::Journal(e) => write!(f, "journal error: {e}"),
+            S4Error::BatchFailed {
+                completed,
+                failed_at,
+                error,
+            } => write!(
+                f,
+                "batch failed at sub-request {failed_at} after {completed} completed: {error}"
+            ),
         }
     }
 }

@@ -193,6 +193,22 @@ impl Request {
         }
     }
 
+    /// True if this request can change drive state. Redundancy layers
+    /// use this to decide which requests must reach every replica
+    /// (mutations) versus any one live replica (pure reads). `Batch` is
+    /// conservatively a mutation — its sub-requests usually include one.
+    pub fn mutates(&self) -> bool {
+        !matches!(
+            self,
+            Request::Read { .. }
+                | Request::GetAttr { .. }
+                | Request::GetAclByUser { .. }
+                | Request::GetAclByIndex { .. }
+                | Request::PList { .. }
+                | Request::PMount { .. }
+        )
+    }
+
     /// Approximate request size on the wire, for network cost models.
     pub fn wire_size(&self) -> usize {
         let body = match self {
@@ -287,17 +303,24 @@ impl<D: BlockDev> S4Drive<D> {
     }
 
     /// Executes a batch: each sub-request is dispatched (and audited)
-    /// individually; the first failure aborts the remainder.
+    /// individually; the first failure aborts the remainder and is
+    /// reported as [`S4Error::BatchFailed`], naming the failing index so
+    /// callers know exactly which prefix of the batch took effect.
     fn dispatch_batch(&self, ctx: &RequestContext, reqs: &[Request]) -> Result<Response> {
         let mut out = Vec::with_capacity(reqs.len());
         let mut last_created: Option<ObjectId> = None;
-        for sub in reqs {
+        for (i, sub) in reqs.iter().enumerate() {
+            let fail = |error: S4Error| S4Error::BatchFailed {
+                completed: i as u32,
+                failed_at: i as u32,
+                error: Box::new(error),
+            };
             if matches!(sub, Request::Batch(_)) {
-                return Err(S4Error::BadRequest("nested batch"));
+                return Err(fail(S4Error::BadRequest("nested batch")));
             }
             // Substitute the LAST_CREATED placeholder.
-            let resolved = substitute_oid(sub, last_created)?;
-            let resp = self.dispatch(ctx, &resolved)?;
+            let resolved = substitute_oid(sub, last_created).map_err(fail)?;
+            let resp = self.dispatch(ctx, &resolved).map_err(fail)?;
             if let Response::Created(oid) = &resp {
                 last_created = Some(*oid);
             }

@@ -85,7 +85,15 @@ fn failure_aborts_the_rest_but_keeps_earlier_effects() {
             ]),
         )
         .unwrap_err();
-    assert_eq!(err, S4Error::NoSuchObject);
+    // The error names the failing index and how much of the batch ran.
+    assert_eq!(
+        err,
+        S4Error::BatchFailed {
+            completed: 1,
+            failed_at: 1,
+            error: Box::new(S4Error::NoSuchObject),
+        }
+    );
     // The first write stuck; the truncate never ran.
     assert_eq!(d.op_read(&ctx, oid, 0, 16, None).unwrap(), b"applied");
 }
@@ -102,14 +110,16 @@ fn placeholder_without_create_and_nesting_are_rejected() {
                 time: None
             }])
         ),
-        Err(S4Error::BadRequest(_))
+        Err(S4Error::BatchFailed { failed_at: 0, error, .. })
+            if matches!(*error, S4Error::BadRequest(_))
     ));
     assert!(matches!(
         d.dispatch(
             &ctx,
             &Request::Batch(vec![Request::Batch(vec![Request::Sync])])
         ),
-        Err(S4Error::BadRequest(_))
+        Err(S4Error::BatchFailed { failed_at: 0, error, .. })
+            if matches!(*error, S4Error::BadRequest(_))
     ));
 }
 

@@ -145,6 +145,18 @@ impl MemDisk {
     }
 }
 
+impl Clone for MemDisk {
+    /// Deep-copies the device contents — a point-in-time image snapshot,
+    /// used by fault campaigns that replay many crash schedules from one
+    /// captured state.
+    fn clone(&self) -> Self {
+        MemDisk {
+            num_sectors: self.num_sectors,
+            chunks: Mutex::new(self.chunks.lock().clone()),
+        }
+    }
+}
+
 impl BlockDev for MemDisk {
     fn num_sectors(&self) -> u64 {
         self.num_sectors

@@ -96,6 +96,29 @@ impl TornPattern {
     }
 }
 
+/// How the fault manifests once the trigger count is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The historical crash model: the firing write tears per
+    /// [`FaultPlan::torn`], then (with `die_after_fault`) the whole
+    /// device refuses requests until [`FaultyDisk::revive`].
+    PowerLoss,
+    /// Whole-member death: the firing request and every request after it
+    /// fail with [`DiskError::DeviceFailed`], permanently (no revive is
+    /// expected — the member is replaced, not rebooted). Nothing tears:
+    /// the failing request performs no I/O at all.
+    MemberDeath,
+    /// A flaky-but-alive medium: every `period`-th counted request (from
+    /// the trigger onward) fails with a transient [`DiskError::Io`]; the
+    /// device never dies and intervening requests succeed. Exercises
+    /// bounded-retry paths.
+    Intermittent {
+        /// Counted requests between consecutive transient failures
+        /// (clamped to at least 1).
+        period: u64,
+    },
+}
+
 /// What should go wrong, and when.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultPlan {
@@ -115,6 +138,8 @@ pub struct FaultPlan {
     /// to [`RequestClassMask::WRITES`] in the stock constructors, matching
     /// the historical behaviour.
     pub counted: RequestClassMask,
+    /// How the fault manifests (power loss, member death, intermittent).
+    pub mode: FaultMode,
 }
 
 impl FaultPlan {
@@ -125,6 +150,20 @@ impl FaultPlan {
             torn: TornPattern::Prefix(0),
             die_after_fault: false,
             counted: RequestClassMask::WRITES,
+            mode: FaultMode::PowerLoss,
+        }
+    }
+
+    /// A plan that never faults but counts requests of the given classes,
+    /// observable via [`FaultyDisk::requests_seen`] — used to measure a
+    /// workload's fault domain before enumerating injection points.
+    pub fn count_only(counted: RequestClassMask) -> Self {
+        FaultPlan {
+            writes_until_fault: u64::MAX,
+            torn: TornPattern::Prefix(0),
+            die_after_fault: false,
+            counted,
+            mode: FaultMode::PowerLoss,
         }
     }
 
@@ -136,6 +175,7 @@ impl FaultPlan {
             torn: TornPattern::Prefix(torn_sectors),
             die_after_fault: true,
             counted: RequestClassMask::WRITES,
+            mode: FaultMode::PowerLoss,
         }
     }
 
@@ -152,6 +192,7 @@ impl FaultPlan {
             torn: TornPattern::Prefix(torn_sectors),
             die_after_fault: true,
             counted,
+            mode: FaultMode::PowerLoss,
         }
     }
 
@@ -167,6 +208,33 @@ impl FaultPlan {
             torn,
             die_after_fault: true,
             counted,
+            mode: FaultMode::PowerLoss,
+        }
+    }
+
+    /// Whole-member death after `n` counted requests: the (n+1)-th
+    /// counted request and everything after it fail with
+    /// [`DiskError::DeviceFailed`].
+    pub fn member_death_after_requests(n: u64, counted: RequestClassMask) -> Self {
+        FaultPlan {
+            writes_until_fault: n,
+            torn: TornPattern::Prefix(0),
+            die_after_fault: true,
+            counted,
+            mode: FaultMode::MemberDeath,
+        }
+    }
+
+    /// Intermittent transient I/O errors: starting at counted request
+    /// `start`, every `period`-th counted request fails with a transient
+    /// [`DiskError::Io`]; the device stays alive throughout.
+    pub fn intermittent_io(start: u64, period: u64, counted: RequestClassMask) -> Self {
+        FaultPlan {
+            writes_until_fault: start,
+            torn: TornPattern::Prefix(0),
+            die_after_fault: false,
+            counted,
+            mode: FaultMode::Intermittent { period },
         }
     }
 }
@@ -217,6 +285,12 @@ impl<D: BlockDev> FaultyDisk<D> {
         &self.inner
     }
 
+    /// Counted requests observed so far (only classes in the plan's
+    /// [`RequestClassMask`] increment this).
+    pub fn requests_seen(&self) -> u64 {
+        self.requests_seen.load(Ordering::SeqCst)
+    }
+
     /// Counts one request of class `class` against the plan.
     fn count(&self, class: RequestClassMask) -> Counted {
         if !self.plan.counted.contains(class) {
@@ -224,12 +298,39 @@ impl<D: BlockDev> FaultyDisk<D> {
         }
         let armed_at = self.armed_at.load(Ordering::SeqCst);
         let n = self.requests_seen.fetch_add(1, Ordering::SeqCst);
+        if let FaultMode::Intermittent { period } = self.plan.mode {
+            return if armed_at != u64::MAX
+                && n >= armed_at
+                && (n - armed_at).is_multiple_of(period.max(1))
+            {
+                Counted::Fire
+            } else {
+                Counted::Pass
+            };
+        }
         if n == armed_at {
             Counted::Fire
         } else if n > armed_at && self.plan.die_after_fault {
             Counted::Dead
         } else {
             Counted::Pass
+        }
+    }
+
+    /// Handles a firing fault on a read or sync (no data to tear).
+    fn fire_simple(&self, what: &str) -> DiskError {
+        match self.plan.mode {
+            FaultMode::MemberDeath => {
+                self.dead.store(true, Ordering::SeqCst);
+                DiskError::DeviceFailed
+            }
+            FaultMode::Intermittent { .. } => DiskError::Io(format!("injected {what} fault")),
+            FaultMode::PowerLoss => {
+                if self.plan.die_after_fault {
+                    self.dead.store(true, Ordering::SeqCst);
+                }
+                DiskError::Io(format!("injected {what} fault"))
+            }
         }
     }
 }
@@ -254,12 +355,7 @@ impl<D: BlockDev> BlockDev for FaultyDisk<D> {
             return Err(DiskError::DeviceFailed);
         }
         match self.count(RequestClassMask::READS) {
-            Counted::Fire => {
-                if self.plan.die_after_fault {
-                    self.dead.store(true, Ordering::SeqCst);
-                }
-                Err(DiskError::Io("injected read fault".into()))
-            }
+            Counted::Fire => Err(self.fire_simple("read")),
             Counted::Dead => Err(DiskError::DeviceFailed),
             Counted::Pass => self.inner.read(sector, buf),
         }
@@ -271,6 +367,19 @@ impl<D: BlockDev> BlockDev for FaultyDisk<D> {
         }
         match self.count(RequestClassMask::WRITES) {
             Counted::Fire => {
+                match self.plan.mode {
+                    FaultMode::MemberDeath => {
+                        self.dead.store(true, Ordering::SeqCst);
+                        return Err(DiskError::DeviceFailed);
+                    }
+                    // A transient write failure persists nothing: the
+                    // controller fails before touching the medium, so the
+                    // caller can safely retry.
+                    FaultMode::Intermittent { .. } => {
+                        return Err(DiskError::Io("injected write fault".into()));
+                    }
+                    FaultMode::PowerLoss => {}
+                }
                 // Tear the write: persist only the sectors the pattern
                 // keeps, as maximal contiguous runs.
                 let nsectors = buf.len().div_ceil(SECTOR_SIZE) as u64;
@@ -303,12 +412,7 @@ impl<D: BlockDev> BlockDev for FaultyDisk<D> {
             return Err(DiskError::DeviceFailed);
         }
         match self.count(RequestClassMask::SYNCS) {
-            Counted::Fire => {
-                if self.plan.die_after_fault {
-                    self.dead.store(true, Ordering::SeqCst);
-                }
-                Err(DiskError::Io("injected sync fault".into()))
-            }
+            Counted::Fire => Err(self.fire_simple("sync")),
             Counted::Dead => Err(DiskError::DeviceFailed),
             Counted::Pass => self.inner.sync(),
         }
@@ -475,6 +579,67 @@ mod tests {
             d.read(i as u64, &mut out).unwrap();
             assert_eq!(out[0], *v);
         }
+    }
+
+    #[test]
+    fn member_death_fails_everything_without_tearing() {
+        let d = FaultyDisk::new(
+            MemDisk::new(64),
+            FaultPlan::member_death_after_requests(1, RequestClassMask::WRITES),
+        );
+        d.write(0, &[1u8; SECTOR_SIZE]).unwrap(); // request 0
+        assert!(matches!(
+            d.write(1, &[2u8; SECTOR_SIZE * 4]),
+            Err(DiskError::DeviceFailed)
+        ));
+        assert!(d.is_dead());
+        // Reads die too (whole-member death, not a media error).
+        assert!(matches!(
+            d.read(0, &mut [0u8; SECTOR_SIZE]),
+            Err(DiskError::DeviceFailed)
+        ));
+        // The failing write persisted nothing.
+        d.revive();
+        let mut out = [0u8; SECTOR_SIZE];
+        d.read(1, &mut out).unwrap();
+        assert_eq!(out[0], 0, "dead member's write never reached the medium");
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out[0], 1, "pre-death write intact");
+    }
+
+    #[test]
+    fn intermittent_fails_periodically_and_stays_alive() {
+        let d = FaultyDisk::new(
+            MemDisk::new(64),
+            FaultPlan::intermittent_io(2, 3, RequestClassMask::WRITES),
+        );
+        let mut outcomes = Vec::new();
+        for i in 0..9u64 {
+            outcomes.push(d.write(i, &[7u8; SECTOR_SIZE]).is_ok());
+        }
+        // Requests 2, 5, 8 fail; everything else succeeds.
+        assert_eq!(
+            outcomes,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        assert!(!d.is_dead());
+        // Failed writes persisted nothing; successful ones did.
+        d.revive();
+        let mut out = [0u8; SECTOR_SIZE];
+        d.read(2, &mut out).unwrap();
+        assert_eq!(out[0], 0);
+        d.read(3, &mut out).unwrap();
+        assert_eq!(out[0], 7);
+    }
+
+    #[test]
+    fn count_only_observes_without_firing() {
+        let d = FaultyDisk::new(MemDisk::new(64), FaultPlan::count_only(RequestClassMask::ALL));
+        d.write(0, &[1u8; SECTOR_SIZE]).unwrap();
+        d.sync().unwrap();
+        d.read(0, &mut [0u8; SECTOR_SIZE]).unwrap();
+        assert_eq!(d.requests_seen(), 3);
+        assert!(!d.is_dead());
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod timed;
 pub mod trace;
 
 pub use dev::{BlockDev, DiskError, FileDisk, MemDisk, SECTOR_SIZE};
-pub use fault::{FaultPlan, FaultyDisk, RequestClassMask, TornPattern};
+pub use fault::{FaultMode, FaultPlan, FaultyDisk, RequestClassMask, TornPattern};
 pub use trace::{TraceClass, TraceDisk, TraceHandle, TraceRecord};
 pub use model::{DiskModel, DiskModelParams};
 pub use stats::{DiskStats, StatsHandle};

@@ -41,6 +41,14 @@
 //!   audit records and share their identity fields — with the same
 //!   full-block durability floor as (b).
 //!
+//! Two harder campaigns build on the same machinery:
+//! [`torture_cleaner_between`] wedges a full maintenance pass (cleaner,
+//! history compaction, forced anchor) between recovery and a second
+//! power-off, and [`torture_crash_during_recovery`] crashes the drive a
+//! *second time inside the recovery replay itself* — legal because
+//! recovery is strictly read-only, which the harness proves by counting
+//! device writes during an undisturbed mount.
+//!
 //! Each replay is *self-contained*: it rebuilds its own oracle and
 //! predicted audit stream while driving the faulty drive, and records
 //! the last sync that returned `Ok` as the durability boundary. The
@@ -789,13 +797,339 @@ pub fn torture_crash_point(cfg: &TortureConfig, k: u64, torn: TornPattern) -> Cr
 }
 
 // ---------------------------------------------------------------------
+// Satellite 1: cleaner/compaction between crash and final remount.
+// ---------------------------------------------------------------------
+
+/// Like [`torture_crash_point`], but with a full maintenance pass —
+/// cleaner, history compaction, and a forced anchor — wedged between
+/// the post-crash recovery and a second power-off/remount cycle. The
+/// cleaner must reclaim nothing inside the detection window even when
+/// it runs on freshly recovered (possibly torn-tail) state, and the
+/// compacted, re-anchored image must remount to the identical drive.
+pub fn torture_cleaner_between(cfg: &TortureConfig, k: u64, torn: TornPattern) -> CrashOutcome {
+    let what = format!("cleaner-crash@{k}/{torn:?}");
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let plan = FaultPlan::power_loss_with_pattern(k, torn, CRASH_MASK);
+    let dev = FaultyDisk::new(MemDisk::with_capacity_bytes(DISK_BYTES), plan);
+    let drive = S4Drive::format(dev, DriveConfig::small_test(), clock.clone())
+        .unwrap_or_else(|e| panic!("{what}: format failed: {e:?}"));
+    let st = run_workload(&drive, &clock, cfg.seed, cfg.ops);
+
+    let faulty = drive.crash();
+    let died = faulty.is_dead() || st.stopped_early;
+    faulty.revive();
+    let mem = faulty.into_inner();
+
+    let (d1, report) =
+        S4Drive::mount_with_report(mem, DriveConfig::small_test(), SimClock::new())
+            .unwrap_or_else(|e| panic!("{what}: recovery failed: {e:?}"));
+
+    // Invariants (a)/(b)/(e) hold right after recovery…
+    let mut versions_checked = 0;
+    if died {
+        if let Some(boundary) = st.last_ok_sync {
+            versions_checked += verify_durable(&d1, &st, boundary, &what);
+        }
+    } else {
+        d1.op_sync(&user_ctx())
+            .unwrap_or_else(|e| panic!("{what}: post-replay sync failed: {e:?}"));
+        versions_checked += verify_full(&d1, &st);
+    }
+    let recovered = d1
+        .read_audit_records(&admin_ctx())
+        .unwrap_or_else(|e| panic!("{what}: audit read failed: {e:?}"));
+    verify_audit_prefix(&recovered, &st, &what);
+    let audit_prefix = recovered.len();
+
+    // …then the maintenance pass runs on the recovered state…
+    d1.clean()
+        .unwrap_or_else(|e| panic!("{what}: cleaner failed on recovered state: {e:?}"));
+    d1.compact_history()
+        .unwrap_or_else(|e| panic!("{what}: compaction failed on recovered state: {e:?}"));
+    d1.force_anchor()
+        .unwrap_or_else(|e| panic!("{what}: anchor failed after maintenance: {e:?}"));
+
+    // …and must not have eaten anything inside the window.
+    if died {
+        if let Some(boundary) = st.last_ok_sync {
+            versions_checked += verify_durable(&d1, &st, boundary, &what);
+        }
+    } else {
+        versions_checked += verify_full(&d1, &st);
+    }
+
+    // Second power-off. The anchor committed everything, so the cleaned
+    // and compacted image must remount to the identical logical state,
+    // idempotently.
+    let digest = d1.state_digest();
+    let mem = d1.crash();
+    let (d2, report2) =
+        S4Drive::mount_with_report(mem, DriveConfig::small_test(), SimClock::new())
+            .unwrap_or_else(|e| panic!("{what}: remount after maintenance failed: {e:?}"));
+    assert_eq!(
+        digest,
+        d2.state_digest(),
+        "{what}: cleaned state diverged across the second crash"
+    );
+    let digest2 = d2.state_digest();
+    let mem = d2.crash();
+    let (d3, report3) =
+        S4Drive::mount_with_report(mem, DriveConfig::small_test(), SimClock::new())
+            .unwrap_or_else(|e| panic!("{what}: third recovery failed: {e:?}"));
+    assert_eq!(digest2, d3.state_digest(), "{what}: double-crash remount not idempotent");
+    assert_eq!(report2, report3, "{what}: double-crash recovery reports differ");
+
+    // Durability and audit-prefix integrity survive the whole gauntlet.
+    if died {
+        if let Some(boundary) = st.last_ok_sync {
+            versions_checked += verify_durable(&d3, &st, boundary, &what);
+        }
+    } else {
+        versions_checked += verify_full(&d3, &st);
+    }
+    let recovered = d3
+        .read_audit_records(&admin_ctx())
+        .unwrap_or_else(|e| panic!("{what}: audit read failed: {e:?}"));
+    verify_audit_prefix(&recovered, &st, &what);
+    let traces = d3
+        .read_traces(&admin_ctx())
+        .unwrap_or_else(|e| panic!("{what}: trace read failed: {e:?}"));
+    verify_trace_prefix(&traces, &st, &what);
+
+    CrashOutcome {
+        crash_point: k,
+        torn,
+        died,
+        versions_checked,
+        audit_prefix,
+        report,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite 2: a second crash *during recovery replay*.
+// ---------------------------------------------------------------------
+
+/// Outcome of one crash-during-recovery probe (panics on violation).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryCrashOutcome {
+    /// The first (workload) crash point.
+    pub crash_point: u64,
+    /// Torn pattern of the first crash.
+    pub torn: TornPattern,
+    /// Whether the first fault fired.
+    pub died: bool,
+    /// Device requests the undisturbed recovery issues — the domain the
+    /// second crash is sampled from.
+    pub recovery_requests: u64,
+    /// Device writes issued by recovery (must be zero: recovery is
+    /// read-only, which is what makes a crash inside it harmless).
+    pub recovery_writes: u64,
+    /// Second-crash points replayed.
+    pub second_replays: usize,
+    /// Replays in which the second fault aborted the mount.
+    pub second_died: usize,
+    /// Versions verified readable across all double-crash recoveries.
+    pub versions_checked: usize,
+}
+
+/// Crashes the workload at countable request `k`, then enumerates a
+/// second power loss at (sampled) device-request points *inside the
+/// recovery replay itself*. After each interrupted recovery the image
+/// is remounted again; the result must be byte-identical to the
+/// undisturbed recovery (same state digest, same [`RecoveryReport`]),
+/// remain idempotent across a further remount, and hold the durability,
+/// audit-prefix, trace-prefix, and post-cleaner invariants.
+///
+/// The probe first proves recovery performs **zero** device writes, so
+/// an interrupted recovery leaves the image bit-for-bit unchanged —
+/// replaying the second crash is then exactly "remount the same image".
+pub fn torture_crash_during_recovery(
+    cfg: &TortureConfig,
+    k: u64,
+    torn: TornPattern,
+    max_second_points: Option<usize>,
+) -> RecoveryCrashOutcome {
+    let what = format!("recovery-crash@{k}/{torn:?}");
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let plan = FaultPlan::power_loss_with_pattern(k, torn, CRASH_MASK);
+    let dev = FaultyDisk::new(MemDisk::with_capacity_bytes(DISK_BYTES), plan);
+    let drive = S4Drive::format(dev, DriveConfig::small_test(), clock.clone())
+        .unwrap_or_else(|e| panic!("{what}: format failed: {e:?}"));
+    let st = run_workload(&drive, &clock, cfg.seed, cfg.ops);
+
+    let faulty = drive.crash();
+    let died = faulty.is_dead() || st.stopped_early;
+    faulty.revive();
+    let image = faulty.into_inner();
+
+    // Undisturbed recovery: the baseline every interrupted recovery must
+    // reproduce. The counting wrapper also measures the second-crash
+    // domain and proves recovery writes nothing.
+    let probe = FaultyDisk::new(image.clone(), FaultPlan::count_only(RequestClassMask::ALL));
+    let (baseline, base_report) =
+        S4Drive::mount_with_report(probe, DriveConfig::small_test(), SimClock::new())
+            .unwrap_or_else(|e| panic!("{what}: baseline recovery failed: {e:?}"));
+    let base_digest = baseline.state_digest();
+    let probe = baseline.crash();
+    let recovery_requests = probe.requests_seen();
+    let probe = FaultyDisk::new(image.clone(), FaultPlan::count_only(CRASH_MASK));
+    let (w, _) = S4Drive::mount_with_report(probe, DriveConfig::small_test(), SimClock::new())
+        .unwrap_or_else(|e| panic!("{what}: write-count recovery failed: {e:?}"));
+    let recovery_writes = w.crash().requests_seen();
+    assert_eq!(
+        recovery_writes, 0,
+        "{what}: recovery wrote to the device — a crash inside it is no longer harmless"
+    );
+
+    let step = match max_second_points {
+        Some(cap) if recovery_requests > cap as u64 => recovery_requests.div_ceil(cap as u64),
+        _ => 1,
+    };
+    let mut second_replays = 0;
+    let mut second_died = 0;
+    let mut versions_checked = 0;
+    let mut r = 0u64;
+    while r < recovery_requests {
+        second_replays += 1;
+        let wrapped = FaultyDisk::new(
+            image.clone(),
+            FaultPlan::power_loss_after_requests(r, 0, RequestClassMask::ALL),
+        );
+        match S4Drive::mount_with_report(wrapped, DriveConfig::small_test(), SimClock::new()) {
+            Err(_) => second_died += 1,
+            Ok((d, rep)) => {
+                // Tolerable only if the interrupted recovery still
+                // reproduced the undisturbed result exactly.
+                assert_eq!(
+                    d.state_digest(),
+                    base_digest,
+                    "{what}@r{r}: recovery survived its fault with different state"
+                );
+                assert_eq!(rep, base_report, "{what}@r{r}: reports diverged");
+            }
+        }
+
+        // Reboot after the second crash: recovery wrote nothing (proved
+        // above), so the pre-crash image *is* the post-crash image.
+        let (d2, rep2) =
+            S4Drive::mount_with_report(image.clone(), DriveConfig::small_test(), SimClock::new())
+                .unwrap_or_else(|e| panic!("{what}@r{r}: double-crash recovery failed: {e:?}"));
+        assert_eq!(
+            d2.state_digest(),
+            base_digest,
+            "{what}@r{r}: double-crash recovery diverged from the undisturbed one"
+        );
+        assert_eq!(rep2, base_report, "{what}@r{r}: double-crash report diverged");
+
+        // Idempotence still holds after the double crash.
+        let mem2 = d2.crash();
+        let (d3, rep3) =
+            S4Drive::mount_with_report(mem2, DriveConfig::small_test(), SimClock::new())
+                .unwrap_or_else(|e| panic!("{what}@r{r}: third recovery failed: {e:?}"));
+        assert_eq!(d3.state_digest(), base_digest, "{what}@r{r}: remount not idempotent");
+        assert_eq!(rep3, base_report, "{what}@r{r}: remount reports differ");
+
+        // Durability, audit-prefix, trace-prefix, and post-cleaner
+        // retention — the same bar as a single crash.
+        if died {
+            if let Some(boundary) = st.last_ok_sync {
+                versions_checked += verify_durable(&d3, &st, boundary, &what);
+            }
+        } else {
+            versions_checked += verify_full(&d3, &st);
+        }
+        let recovered = d3
+            .read_audit_records(&admin_ctx())
+            .unwrap_or_else(|e| panic!("{what}@r{r}: audit read failed: {e:?}"));
+        verify_audit_prefix(&recovered, &st, &what);
+        let traces = d3
+            .read_traces(&admin_ctx())
+            .unwrap_or_else(|e| panic!("{what}@r{r}: trace read failed: {e:?}"));
+        verify_trace_prefix(&traces, &st, &what);
+        d3.clean()
+            .unwrap_or_else(|e| panic!("{what}@r{r}: post-recovery clean failed: {e:?}"));
+        if died {
+            if let Some(boundary) = st.last_ok_sync {
+                versions_checked += verify_durable(&d3, &st, boundary, &what);
+            }
+        }
+        r += step;
+    }
+
+    RecoveryCrashOutcome {
+        crash_point: k,
+        torn,
+        died,
+        recovery_requests,
+        recovery_writes,
+        second_replays,
+        second_died,
+        versions_checked,
+    }
+}
+
+/// Outcome of a crash-during-recovery campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoverySummary {
+    /// First-crash points probed.
+    pub first_points: usize,
+    /// Total second-crash replays across all first points.
+    pub second_replays: usize,
+    /// Second faults that aborted the mount.
+    pub second_died: usize,
+    /// Total device requests across all undisturbed recoveries.
+    pub recovery_requests: u64,
+    /// Versions verified readable across all double-crash recoveries.
+    pub versions_checked: usize,
+}
+
+/// Crash-during-recovery campaign: probes `first_points` workload crash
+/// points spread across the golden domain (rotating through the torn
+/// patterns), and at each enumerates up to `second_per_point` second
+/// crashes inside the recovery replay.
+pub fn enumerate_recovery_crashes(
+    cfg: &TortureConfig,
+    first_points: usize,
+    second_per_point: Option<usize>,
+) -> RecoverySummary {
+    let golden = golden_run(cfg);
+    let (start, end) = golden.domain;
+    assert!(end > start, "workload issued no countable requests");
+    let n = first_points.max(1).min((end - start) as usize);
+    let mut summary = RecoverySummary {
+        first_points: 0,
+        second_replays: 0,
+        second_died: 0,
+        recovery_requests: 0,
+        versions_checked: 0,
+    };
+    for j in 0..n {
+        // Midpoints of n equal slices of the domain.
+        let k = start + (end - start) * (2 * j as u64 + 1) / (2 * n as u64);
+        let torn = cfg.torn_patterns[j % cfg.torn_patterns.len()];
+        let o = torture_crash_during_recovery(cfg, k, torn, second_per_point);
+        summary.first_points += 1;
+        summary.second_replays += o.second_replays;
+        summary.second_died += o.second_died;
+        summary.recovery_requests += o.recovery_requests;
+        summary.versions_checked += o.versions_checked;
+    }
+    summary
+}
+
+// ---------------------------------------------------------------------
 // Campaign driver.
 // ---------------------------------------------------------------------
 
-/// Runs the golden run, then replays every (sampled) crash point with
-/// its rotating slice of the torn-pattern set. Panics on the first
-/// invariant violation.
-pub fn enumerate(cfg: &TortureConfig) -> TortureSummary {
+/// Shared campaign loop: golden run, then one `replay` call per sampled
+/// crash point with its rotating slice of the torn-pattern set.
+fn enumerate_with(
+    cfg: &TortureConfig,
+    replay: impl Fn(&TortureConfig, u64, TornPattern) -> CrashOutcome,
+) -> TortureSummary {
     let golden = golden_run(cfg);
     let (start, end) = golden.domain;
     assert!(end > start, "workload issued no countable requests");
@@ -817,7 +1151,7 @@ pub fn enumerate(cfg: &TortureConfig) -> TortureSummary {
     while k < end {
         summary.crash_points += 1;
         for torn in cfg.patterns_at(j) {
-            let outcome = torture_crash_point(cfg, k, torn);
+            let outcome = replay(cfg, k, torn);
             summary.replays += 1;
             summary.died += outcome.died as usize;
             summary.versions_checked += outcome.versions_checked;
@@ -826,6 +1160,21 @@ pub fn enumerate(cfg: &TortureConfig) -> TortureSummary {
         j += 1;
     }
     summary
+}
+
+/// Runs the golden run, then replays every (sampled) crash point with
+/// its rotating slice of the torn-pattern set. Panics on the first
+/// invariant violation.
+pub fn enumerate(cfg: &TortureConfig) -> TortureSummary {
+    enumerate_with(cfg, torture_crash_point)
+}
+
+/// The cleaner-between-crashes campaign: every (sampled) crash point is
+/// replayed through [`torture_cleaner_between`] — recovery, a full
+/// maintenance pass, a second power-off, and a final remount all hold
+/// the invariants.
+pub fn enumerate_cleaner_between(cfg: &TortureConfig) -> TortureSummary {
+    enumerate_with(cfg, torture_cleaner_between)
 }
 
 #[cfg(test)]

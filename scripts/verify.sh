@@ -17,12 +17,22 @@
 #    and a 4-shard array; the recovered audit stream must be a
 #    serializable interleaving (also part of the workspace suite — rerun
 #    here so a failure is named in the verify transcript)
-# 8. the array scale-out bench at smoke scale, which asserts >= 2x
-#    simulated throughput at 4 shards (BENCH_JSON line; committed
-#    baseline in BENCH_array.json)
+# 8. the member-kill drill: 8 TCP clients against a mirrored 4×2 array
+#    while one replica's device dies mid-run — zero client-visible
+#    errors, degraded mode surfaced on the stats wire and the alert
+#    stream, online resync restores redundancy
+# 9. the crash-during-recovery smoke campaign: a second power loss
+#    injected inside the recovery replay itself, plus the
+#    cleaner-between-crashes campaign (both named here so a failure is
+#    visible in the verify transcript)
+# 10. the array scale-out bench at smoke scale, which asserts >= 2x
+#    simulated throughput at 4 shards and that degraded-mode throughput
+#    stays >= 0.5x healthy (BENCH_JSON line; committed baseline in
+#    BENCH_array.json)
 #
-# The exhaustive campaign (every crash point of a 500-op workload) is
-# not part of tier-1; run it with:
+# The exhaustive campaigns (every crash point of a 500-op workload, and
+# every second-crash point inside recovery) are not part of tier-1; run
+# them with:
 #   cargo test --test crash_torture -- --ignored
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -64,6 +74,13 @@ echo "exposition OK: target/verify-stats.prom"
 
 echo "== array stress (8 TCP clients, single-drive + 4-shard array)"
 cargo test -q --test array_stress
+
+echo "== array member-kill drill (mirrored 4x2, one replica dies mid-run)"
+cargo test -q --test array_member_kill
+
+echo "== crash-during-recovery + cleaner-between-crashes smoke campaigns"
+cargo test -q --test crash_torture crash_during_recovery_holds_invariants
+cargo test -q --test crash_torture cleaner_between_crash_and_remount_holds_invariants
 
 echo "== fig_array scale-out bench (smoke scale, asserts >=2x at 4 shards)"
 S4_BENCH_SCALE="${S4_BENCH_SCALE:-0.25}" cargo bench -p s4-bench --bench fig_array \

@@ -14,7 +14,10 @@
 //! only if recovery is correct at every crash point visited.
 
 use s4_simdisk::TornPattern;
-use s4_torture::{enumerate, golden_run, torture_crash_point, TortureConfig};
+use s4_torture::{
+    enumerate, enumerate_cleaner_between, enumerate_recovery_crashes, golden_run,
+    torture_crash_during_recovery, torture_crash_point, TortureConfig,
+};
 
 /// Fixed CI seed; campaigns are pure functions of it.
 const SEED: u64 = 0xB0A710AD;
@@ -60,6 +63,54 @@ fn crash_on_first_workload_request() {
 }
 
 #[test]
+fn cleaner_between_crash_and_remount_holds_invariants() {
+    // A maintenance pass (cleaner + compaction + anchor) between the
+    // crash and the final remount must neither eat windowed versions
+    // nor break remount idempotence. Smaller sample than the plain
+    // campaign: each point costs three recoveries plus two cleans.
+    let cfg = TortureConfig {
+        max_crash_points: Some(12),
+        patterns_per_point: Some(1),
+        ..TortureConfig::bounded(SEED)
+    };
+    let summary = enumerate_cleaner_between(&cfg);
+    assert!(summary.crash_points >= 8, "{summary:?}");
+    assert_eq!(summary.died, summary.replays, "some faults never fired: {summary:?}");
+    assert!(summary.versions_checked > 0, "{summary:?}");
+}
+
+#[test]
+fn crash_during_recovery_holds_invariants() {
+    // Second power loss inside the recovery replay: sample three
+    // first-crash points across the domain and a handful of
+    // second-crash points inside each recovery.
+    let cfg = TortureConfig::bounded(SEED);
+    let summary = enumerate_recovery_crashes(&cfg, 3, Some(6));
+    assert_eq!(summary.first_points, 3, "{summary:?}");
+    assert!(
+        summary.recovery_requests > 0,
+        "recovery issued no device requests: {summary:?}"
+    );
+    // Every sampled second crash lands inside the recovery's request
+    // stream, so every one must abort the interrupted mount.
+    assert!(summary.second_replays >= 3, "{summary:?}");
+    assert_eq!(summary.second_died, summary.second_replays, "{summary:?}");
+}
+
+#[test]
+fn recovery_crash_on_first_recovery_read() {
+    // The nastiest double crash: the workload dies mid-stream, then the
+    // very first device request of the recovery replay dies too.
+    let cfg = TortureConfig::bounded(SEED);
+    let g = golden_run(&cfg);
+    let mid = g.domain.0 + (g.domain.1 - g.domain.0) / 2;
+    let o = torture_crash_during_recovery(&cfg, mid, TornPattern::Prefix(0), Some(1));
+    assert!(o.died, "first fault must fire");
+    assert_eq!(o.recovery_writes, 0, "recovery must be read-only");
+    assert!(o.second_died >= 1, "second fault must abort the mount: {o:?}");
+}
+
+#[test]
 #[ignore = "exhaustive: replays every crash point of a 500-op workload; run with --ignored"]
 fn exhaustive_crash_enumeration_holds_invariants() {
     let cfg = TortureConfig::exhaustive(SEED);
@@ -76,4 +127,18 @@ fn exhaustive_crash_enumeration_holds_invariants() {
         summary.sync_points > 0,
         "exhaustive workload never hit the anchor barrier: {summary:?}"
     );
+}
+
+#[test]
+#[ignore = "exhaustive: cleaner pass at every crash point of a 500-op workload; run with --ignored"]
+fn exhaustive_cleaner_between_holds_invariants() {
+    let summary = enumerate_cleaner_between(&TortureConfig::exhaustive(SEED));
+    assert_eq!(summary.died, summary.replays, "{summary:?}");
+}
+
+#[test]
+#[ignore = "exhaustive: every second-crash point inside recovery at 16 first points; run with --ignored"]
+fn exhaustive_crash_during_recovery_holds_invariants() {
+    let summary = enumerate_recovery_crashes(&TortureConfig::exhaustive(SEED), 16, None);
+    assert_eq!(summary.second_died, summary.second_replays, "{summary:?}");
 }
