@@ -7,16 +7,18 @@ use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use s4_clock::sync::Mutex;
+use s4_clock::sync::{Mutex, RwLock};
 use s4_clock::{SimClock, SimDuration};
 use s4_core::{
-    ClientId, DiskFaultKind, DriveConfig, RecoveryReport, Request, RequestContext, Response,
-    S4Drive, S4Error,
+    ClientId, DiskFaultKind, DriveConfig, ObjectId, RecoveryReport, Request, RequestContext,
+    Response, S4Drive, S4Error, PARTITION_OBJECT,
 };
 use s4_fs::RpcHandler;
+use s4_obs::Registry;
 use s4_simdisk::BlockDev;
 
-use crate::router::{route, split_batch, Merge, Route};
+use crate::epoch::{EpochInfo, FlipReport, EPOCH_NOTE_PREFIX, RESERVED_NAME_PREFIX};
+use crate::router::{dense_of, route, split_batch, Merge, Route};
 
 /// Returned when a shard's worker thread is gone (array shutting down
 /// or worker panicked).
@@ -61,6 +63,21 @@ impl Default for ArrayConfig {
             retries: 3,
             retry_backoff_us: 100,
         }
+    }
+}
+
+impl ArrayConfig {
+    /// Validates the knobs that workers would otherwise trip over at
+    /// runtime: a zero mirror count (shards with no members), and a
+    /// zero queue depth (a rendezvous channel every send deadlocks on).
+    pub fn validate(&self) -> s4_core::Result<()> {
+        if self.mirrors == 0 {
+            return Err(S4Error::BadRequest("array: mirrors must be at least 1"));
+        }
+        if self.queue_depth == 0 {
+            return Err(S4Error::BadRequest("array: queue depth must be at least 1"));
+        }
+        Ok(())
     }
 }
 
@@ -136,10 +153,26 @@ enum Job<D: BlockDev> {
         dev: Box<D>,
         reply: SyncSender<s4_core::Result<()>>,
     },
+    /// Install an epoch note in the shard's partition table (slot 0
+    /// only): create `new_name`, remove `old_name`, and anchor each
+    /// live member. Routed through the worker queue so the partition
+    /// object's bytes stay identical across mirrors with respect to
+    /// interleaved client `PCreate`s.
+    Epoch {
+        new_name: String,
+        old_name: Option<String>,
+        reply: SyncSender<s4_core::Result<()>>,
+    },
 }
 
-/// One shard: its mirrored member slots, worker thread, and queue.
+/// One shard: its mirrored member slots, worker thread, queue, and
+/// quiesce gate. `slot` is the shard's stable residue-class id (see
+/// [`crate::epoch`]); the gate is held shared by every dispatcher for
+/// the duration of its sends and exclusively by a reshard flip, so the
+/// flip observes a moment with no dispatcher mid-send on this shard.
 struct ShardHandle<D: BlockDev> {
+    slot: usize,
+    gate: RwLock<()>,
     members: Vec<Arc<MemberSlot<D>>>,
     tx: Option<SyncSender<Job<D>>>,
     thread: Option<JoinHandle<()>>,
@@ -193,10 +226,21 @@ pub struct BatchOutcome {
 /// as §3.2 argues: a compromised client (or even a compromised sibling
 /// drive) cannot forge or truncate another drive's history.
 pub struct S4Array<D: BlockDev> {
-    shards: Vec<ShardHandle<D>>,
+    routing: Mutex<Arc<Routing<D>>>,
     rr: AtomicUsize,
     clock: SimClock,
     cfg: ArrayConfig,
+    reshard_reg: Registry,
+}
+
+/// One routing epoch's view of the array: the epoch itself plus the
+/// live shards in dense order (sources first, then in-flight split
+/// targets in slot order). Dispatchers snapshot the current `Arc`,
+/// plan against it, and recheck `epoch.seq` after taking their gates —
+/// a flip swaps in a new `Routing` atomically.
+struct Routing<D: BlockDev> {
+    epoch: EpochInfo,
+    shards: Vec<Arc<ShardHandle<D>>>,
 }
 
 impl<D: BlockDev + 'static> S4Array<D> {
@@ -204,137 +248,223 @@ impl<D: BlockDev + 'static> S4Array<D> {
     /// `array.mirrors = m`, `devices.len()` must be a positive multiple
     /// of `m`: shard `s` of `n = devices.len()/m` owns devices
     /// `s*m..(s+1)*m`, every member formatted with ObjectID class
-    /// `s (mod n)`.
+    /// `s (mod n)`. The initial routing epoch is persisted in shard 0's
+    /// partition table.
     pub fn format(
         devices: Vec<D>,
         config: DriveConfig,
         array: ArrayConfig,
         clock: SimClock,
     ) -> s4_core::Result<S4Array<D>> {
+        array.validate()?;
         let n = shard_count_of(devices.len(), array.mirrors)?;
+        let epoch = EpochInfo::initial(n);
         let mut groups: Vec<Vec<S4Drive<D>>> = Vec::with_capacity(n);
         for (i, dev) in devices.into_iter().enumerate() {
-            let s = i / array.mirrors.max(1);
-            let drive = S4Drive::format(dev, config.with_oid_class(n as u64, s as u64), clock.clone())?;
-            if i % array.mirrors.max(1) == 0 {
+            let s = i / array.mirrors;
+            let drive =
+                S4Drive::format(dev, config.with_oid_class(n as u64, s as u64), clock.clone())?;
+            if i % array.mirrors == 0 {
                 groups.push(Vec::with_capacity(array.mirrors));
             }
             groups[s].push(drive);
         }
-        Ok(Self::spawn(groups, array, clock))
+        // Persist the initial epoch on every shard-0 member before the
+        // array serves anything.
+        let ctx = RequestContext::admin(ClientId(0), config.admin_token);
+        for member in &groups[0] {
+            member.op_pcreate(&ctx, &epoch.note_name(), PARTITION_OBJECT)?;
+            member.force_anchor()?;
+        }
+        Ok(Self::spawn(groups, epoch, array, clock))
     }
 
     /// Remounts an array previously formatted (or unmounted) with the
-    /// same device order, running per-member crash recovery. Returns
-    /// the per-member [`RecoveryReport`]s in device order — recovery is
-    /// strictly per drive.
+    /// same device order (dense: sources first, split targets after,
+    /// mirrors adjacent), running per-member crash recovery. The
+    /// routing epoch is read back from shard 0's partition table —
+    /// highest sequence across its members wins, and members a crash
+    /// left behind are repaired to the winner — so a crash anywhere in
+    /// a reshard remounts wholly old-epoch or wholly new-epoch. Returns
+    /// the per-member [`RecoveryReport`]s in device order.
     pub fn mount(
         devices: Vec<D>,
         config: DriveConfig,
         array: ArrayConfig,
         clock: SimClock,
     ) -> s4_core::Result<(S4Array<D>, Vec<RecoveryReport>)> {
-        let n = shard_count_of(devices.len(), array.mirrors)?;
-        let mut groups: Vec<Vec<S4Drive<D>>> = Vec::with_capacity(n);
-        let mut reports = Vec::with_capacity(devices.len());
-        for (i, dev) in devices.into_iter().enumerate() {
-            let s = i / array.mirrors.max(1);
-            let (drive, report) = S4Drive::mount_with_report(
-                dev,
-                config.with_oid_class(n as u64, s as u64),
-                clock.clone(),
-            )?;
-            if i % array.mirrors.max(1) == 0 {
-                groups.push(Vec::with_capacity(array.mirrors));
+        array.validate()?;
+        let total = devices.len();
+        let m = array.mirrors;
+        if total == 0 {
+            return Err(S4Error::BadRequest("array needs at least one drive"));
+        }
+        if !total.is_multiple_of(m) {
+            return Err(S4Error::BadRequest(
+                "array: device count not a multiple of the mirror count",
+            ));
+        }
+        // Peek shard 0's members for the newest persisted epoch note.
+        // Mounting is read-only and `crash` hands the device back
+        // unwritten, so the peek leaves no trace.
+        let admin = RequestContext::admin(ClientId(0), config.admin_token);
+        let mut devices = devices;
+        let rest = devices.split_off(m);
+        let mut notes: Vec<Option<EpochInfo>> = Vec::with_capacity(m);
+        let mut head = Vec::with_capacity(m);
+        for dev in devices {
+            let drive = S4Drive::mount(dev, config, clock.clone())?;
+            let best = drive
+                .op_plist(&admin, None)?
+                .into_iter()
+                .filter_map(|(name, _)| EpochInfo::parse_note(&name))
+                .max_by_key(|e| e.seq);
+            notes.push(best);
+            head.push(drive.crash());
+        }
+        let epoch = notes
+            .iter()
+            .flatten()
+            .copied()
+            .max_by_key(|e| e.seq)
+            // Legacy image without a note: a plain n-shard array.
+            .unwrap_or_else(|| EpochInfo::initial(total / m));
+        if epoch.live_shards() * m != total {
+            return Err(S4Error::BadRequest(
+                "array: device count does not match the persisted epoch",
+            ));
+        }
+        if epoch.base > 64 {
+            return Err(S4Error::BadRequest(
+                "array: more than 64 shards (epoch bitmap limit)",
+            ));
+        }
+        let repair = notes.iter().any(|n| *n != Some(epoch));
+
+        let mut groups: Vec<Vec<S4Drive<D>>> = Vec::with_capacity(epoch.live_shards());
+        let mut reports = Vec::with_capacity(total);
+        for (i, dev) in head.into_iter().chain(rest).enumerate() {
+            let p = i / m;
+            let (stride, offset) = epoch.class_of_dense(p);
+            let (drive, report) =
+                S4Drive::mount_with_report(dev, config.with_oid_class(stride, offset), clock.clone())?;
+            if i % m == 0 {
+                groups.push(Vec::with_capacity(m));
             }
-            groups[s].push(drive);
+            groups[p].push(drive);
             reports.push(report);
         }
-        Ok((Self::spawn(groups, array, clock), reports))
+        // Repair divergent shard-0 members (a crash can land between a
+        // flip's per-member note installs): everyone gets the winning
+        // note, stale notes are dropped. Skipped entirely when the
+        // members agree, so a healthy remount performs no writes here.
+        if repair {
+            let winner = epoch.note_name();
+            for member in &groups[0] {
+                let mut dirty = false;
+                let listed = member.op_plist(&admin, None)?;
+                for (name, _) in &listed {
+                    if name.starts_with(EPOCH_NOTE_PREFIX) && *name != winner {
+                        member.op_pdelete(&admin, name)?;
+                        dirty = true;
+                    }
+                }
+                if !listed.iter().any(|(n, _)| *n == winner) {
+                    member.op_pcreate(&admin, &winner, PARTITION_OBJECT)?;
+                    dirty = true;
+                }
+                if dirty {
+                    member.force_anchor()?;
+                }
+            }
+        }
+        Ok((Self::spawn(groups, epoch, array, clock), reports))
     }
 
     /// Builds an array over already-constructed drives (benchmarks use
     /// this to give each shard an independent clock). Drive `i` belongs
     /// to shard `i / mirrors` and must already allocate in that shard's
-    /// residue class.
+    /// residue class. The routing epoch starts fresh (no split in
+    /// flight) and nothing is persisted until a flip.
     pub fn from_drives(
         drives: Vec<S4Drive<D>>,
         array: ArrayConfig,
     ) -> s4_core::Result<S4Array<D>> {
+        array.validate()?;
         let n = shard_count_of(drives.len(), array.mirrors)?;
         for (i, d) in drives.iter().enumerate() {
-            let s = i / array.mirrors.max(1);
-            if d.config().oid_stride != n as u64 || d.config().oid_offset != s as u64 {
+            let s = i / array.mirrors;
+            if d.oid_class() != (n as u64, s as u64) {
                 return Err(S4Error::BadRequest("array member oid class mismatch"));
             }
         }
         let clock = drives[0].clock().clone();
         let mut groups: Vec<Vec<S4Drive<D>>> = Vec::with_capacity(n);
         for (i, d) in drives.into_iter().enumerate() {
-            if i % array.mirrors.max(1) == 0 {
+            if i % array.mirrors == 0 {
                 groups.push(Vec::with_capacity(array.mirrors));
             }
             let s = groups.len() - 1;
             groups[s].push(d);
         }
-        Ok(Self::spawn(groups, array, clock))
+        Ok(Self::spawn(groups, EpochInfo::initial(n), array, clock))
     }
 
-    fn spawn(groups: Vec<Vec<S4Drive<D>>>, array: ArrayConfig, clock: SimClock) -> S4Array<D> {
+    fn spawn(
+        groups: Vec<Vec<S4Drive<D>>>,
+        epoch: EpochInfo,
+        array: ArrayConfig,
+        clock: SimClock,
+    ) -> S4Array<D> {
         let shards = groups
             .into_iter()
             .enumerate()
-            .map(|(shard, drives)| {
-                let members: Vec<Arc<MemberSlot<D>>> = drives
-                    .into_iter()
-                    .map(|d| Arc::new(MemberSlot::new(d)))
-                    .collect();
-                let (tx, rx): (SyncSender<Job<D>>, Receiver<Job<D>>) =
-                    mpsc::sync_channel(array.queue_depth.max(1));
-                let worker_members = members.clone();
-                let worker_clock = clock.clone();
-                let thread = std::thread::spawn(move || {
-                    // The queue closing (all senders dropped) ends the loop.
-                    while let Ok(job) = rx.recv() {
-                        match job {
-                            Job::Rpc { ctx, req, reply } => {
-                                let result = worker_process(
-                                    shard,
-                                    &worker_members,
-                                    &array,
-                                    &worker_clock,
-                                    &ctx,
-                                    &req,
-                                );
-                                // A client that gave up is not an error.
-                                let _ = reply.send(result);
-                            }
-                            Job::Resync { member, dev, reply } => {
-                                let result =
-                                    worker_resync(shard, &worker_members, member, *dev);
-                                let _ = reply.send(result);
-                            }
-                        }
-                    }
-                });
-                ShardHandle {
-                    members,
-                    tx: Some(tx),
-                    thread: Some(thread),
-                }
+            .map(|(p, drives)| {
+                Arc::new(spawn_shard(epoch.slot_of_dense(p), drives, array, clock.clone()))
             })
             .collect();
         S4Array {
-            shards,
+            routing: Mutex::new(Arc::new(Routing { epoch, shards })),
             rr: AtomicUsize::new(0),
             clock,
             cfg: array,
+            reshard_reg: Registry::new(),
         }
     }
 
-    /// Number of shards (mirror groups).
+    /// Snapshot of the current routing (cheap: one lock, one `Arc`
+    /// clone).
+    fn routing(&self) -> Arc<Routing<D>> {
+        self.routing.lock().clone()
+    }
+
+    /// Number of live shards (mirror groups), split targets included.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.routing().shards.len()
+    }
+
+    /// The current routing epoch.
+    pub fn epoch(&self) -> EpochInfo {
+        self.routing().epoch
+    }
+
+    /// Stable residue-class slot id of the shard at dense index `i`
+    /// (metric labels use this; it survives epoch changes).
+    pub fn shard_slot(&self, i: usize) -> usize {
+        self.routing().shards[i].slot
+    }
+
+    /// Dense index of `oid`'s home shard under the current epoch — the
+    /// index to hand to [`S4Array::shard_drive`].
+    pub fn shard_index_of(&self, oid: ObjectId) -> usize {
+        let r = self.routing();
+        dense_of(oid, &r.epoch)
+    }
+
+    /// Registry of reshard progress metrics (objects copied, catch-up
+    /// lag, flip pauses), rendered into the array's expositions.
+    pub fn reshard_registry(&self) -> &Registry {
+        &self.reshard_reg
     }
 
     /// Members per shard.
@@ -347,7 +477,8 @@ impl<D: BlockDev + 'static> S4Array<D> {
     /// in place, and a dead member's logs are unreachable anyway. Falls
     /// back to member 0 when the whole shard is dead.
     pub fn shard_drive(&self, i: usize) -> Arc<S4Drive<D>> {
-        let members = &self.shards[i].members;
+        let r = self.routing();
+        let members = &r.shards[i].members;
         members
             .iter()
             .find(|m| m.state() != MemberState::Dead)
@@ -357,12 +488,13 @@ impl<D: BlockDev + 'static> S4Array<D> {
 
     /// Handle to member `k` of shard `i`, regardless of its state.
     pub fn member_drive(&self, i: usize, k: usize) -> Arc<S4Drive<D>> {
-        self.shards[i].members[k].drive()
+        self.routing().shards[i].members[k].drive()
     }
 
     /// Health of every member: `states()[shard][member]`.
     pub fn member_states(&self) -> Vec<Vec<MemberState>> {
-        self.shards
+        self.routing()
+            .shards
             .iter()
             .map(|s| s.members.iter().map(|m| m.state()).collect())
             .collect()
@@ -372,7 +504,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
     /// to read-only) — i.e. redundancy is reduced and an operator
     /// should resync a replacement.
     pub fn shard_degraded(&self, i: usize) -> bool {
-        self.shards[i]
+        self.routing().shards[i]
             .members
             .iter()
             .any(|m| m.state() != MemberState::InSync)
@@ -391,14 +523,15 @@ impl<D: BlockDev + 'static> S4Array<D> {
     /// `InSync`. Works for any member state — including replacing the
     /// sole, read-only member of an unmirrored shard.
     pub fn resync_member(&self, shard: usize, member: usize, dev: D) -> s4_core::Result<()> {
-        if shard >= self.shards.len() {
+        let r = self.routing();
+        if shard >= r.shards.len() {
             return Err(S4Error::BadRequest("array: no such shard"));
         }
-        if member >= self.shards[shard].members.len() {
+        if member >= r.shards[shard].members.len() {
             return Err(S4Error::BadRequest("array: no such member"));
         }
         let (reply, rx) = mpsc::sync_channel(1);
-        let sent = match &self.shards[shard].tx {
+        let sent = match &r.shards[shard].tx {
             Some(tx) => tx
                 .send(Job::Resync {
                     member,
@@ -414,13 +547,18 @@ impl<D: BlockDev + 'static> S4Array<D> {
         rx.recv().unwrap_or(Err(WORKER_GONE))
     }
 
-    /// Shuts down the workers and unmounts every member, returning the
-    /// block devices in device order (shard-major, mirrors within a
-    /// shard adjacent). Fails if any member is dead — resync it first,
-    /// or drop the array instead.
-    pub fn unmount(mut self) -> s4_core::Result<Vec<D>> {
+    /// Tears the array down member by member, handing each drive to
+    /// `finish` in dense device order.
+    fn into_devices(
+        self,
+        finish: impl Fn(S4Drive<D>) -> s4_core::Result<D>,
+    ) -> s4_core::Result<Vec<D>> {
+        let routing = Arc::try_unwrap(self.routing.into_inner())
+            .map_err(|_| S4Error::BadRequest("array routing still referenced"))?;
         let mut devices = Vec::new();
-        for handle in self.shards.drain(..) {
+        for handle in routing.shards {
+            let handle = Arc::try_unwrap(handle)
+                .map_err(|_| S4Error::BadRequest("array shard still referenced"))?;
             let members: Vec<Arc<MemberSlot<D>>> = handle.members.clone();
             drop(handle); // closes the queue and joins the worker
             for m in members {
@@ -428,10 +566,27 @@ impl<D: BlockDev + 'static> S4Array<D> {
                     .map_err(|_| S4Error::BadRequest("array member still referenced"))?;
                 let drive = Arc::try_unwrap(slot.drive.into_inner())
                     .map_err(|_| S4Error::BadRequest("array drive still referenced"))?;
-                devices.push(drive.unmount()?);
+                devices.push(finish(drive)?);
             }
         }
         Ok(devices)
+    }
+
+    /// Shuts down the workers and unmounts every member, returning the
+    /// block devices in device order (dense shard order, mirrors within
+    /// a shard adjacent — the order [`S4Array::mount`] expects back).
+    /// Fails if any member is dead — resync it first, or drop the array
+    /// instead.
+    pub fn unmount(self) -> s4_core::Result<Vec<D>> {
+        self.into_devices(|drive| drive.unmount())
+    }
+
+    /// Drops every member *without* syncing or anchoring and returns
+    /// the devices in dense device order — simulated array-wide power
+    /// loss for the reshard crash-point campaigns. Volatile state on
+    /// every member is lost, exactly as [`S4Drive::crash`].
+    pub fn crash(self) -> s4_core::Result<Vec<D>> {
+        self.into_devices(|drive| Ok(drive.crash()))
     }
 
     /// Verifies, executes, and audits one request against the array —
@@ -440,57 +595,88 @@ impl<D: BlockDev + 'static> S4Array<D> {
     /// scatter to every shard and gather one merged response; batches
     /// are split per shard (see [`crate::router::split_batch`]).
     pub fn dispatch(&self, ctx: &RequestContext, req: &Request) -> s4_core::Result<Response> {
-        let n = self.shards.len();
-        match route(req, n) {
-            Route::Create => {
-                let s = self.rr.fetch_add(1, Ordering::Relaxed) % n;
-                self.submit(s, ctx, req.clone())
+        // The `__s4/` partition namespace carries array-internal state
+        // (epoch notes); clients cannot create, delete, or resolve it.
+        if let Request::PCreate { name, .. } | Request::PDelete { name } = req {
+            if name.starts_with(RESERVED_NAME_PREFIX) {
+                return Err(S4Error::BadRequest("array: reserved partition namespace"));
             }
-            Route::Shard(s) => self.submit(s, ctx, req.clone()),
-            Route::Broadcast(merge) => {
-                let results = self.scatter(ctx, (0..n).map(|s| (s, req.clone())));
-                merge_broadcast(merge, results)
+        }
+        if let Request::PMount { name, .. } = req {
+            if name.starts_with(RESERVED_NAME_PREFIX) {
+                return Err(S4Error::NoSuchPartition);
             }
-            Route::SplitBatch => {
-                let Request::Batch(reqs) = req else { unreachable!() };
-                self.dispatch_split(ctx, reqs)
-            }
+        }
+        loop {
+            let r = self.routing();
+            let n = r.shards.len();
+            let jobs: Vec<(usize, Request)> = match route(req, &r.epoch) {
+                Route::Create => {
+                    let s = self.rr.fetch_add(1, Ordering::Relaxed) % n;
+                    vec![(s, req.clone())]
+                }
+                Route::Shard(s) => vec![(s, req.clone())],
+                Route::Broadcast(_) => (0..n).map(|s| (s, req.clone())).collect(),
+                Route::SplitBatch => {
+                    let Request::Batch(reqs) = req else { unreachable!() };
+                    return self.dispatch_split(ctx, reqs);
+                }
+            };
+            let Some(mut results) = self.try_scatter(&r, ctx, jobs) else {
+                continue; // epoch moved between snapshot and gates: replan
+            };
+            return match route(req, &r.epoch) {
+                Route::Broadcast(merge) => merge_broadcast(merge, results),
+                _ => results.pop().expect("one submission, one result"),
+            };
         }
     }
 
-    /// Queues one request on shard `s` and waits for the response.
-    /// Blocks while the shard's queue is full — that is the
-    /// backpressure contract.
-    fn submit(&self, s: usize, ctx: &RequestContext, req: Request) -> s4_core::Result<Response> {
-        let mut rx = self.scatter(ctx, std::iter::once((s, req)));
-        rx.pop().expect("one submission, one result")
-    }
-
-    /// Sends every `(shard, request)` job, then gathers responses in
-    /// submission order. Jobs on distinct shards execute concurrently.
-    fn scatter(
+    /// Sends every `(dense shard, request)` job under the routing
+    /// snapshot `r`, then gathers responses in submission order — all
+    /// sends complete before the first reply is awaited, so jobs on
+    /// distinct shards execute concurrently. Blocks while a shard's
+    /// queue is full — that is the backpressure contract.
+    ///
+    /// Returns `None` without sending anything if the epoch moved
+    /// between the snapshot and gate acquisition (the caller replans
+    /// against the new routing); the seq check runs *after* every
+    /// involved shard's gate is held, so a plan can never be applied
+    /// half-old-epoch, half-new-epoch.
+    fn try_scatter(
         &self,
+        r: &Routing<D>,
         ctx: &RequestContext,
-        jobs: impl Iterator<Item = (usize, Request)>,
-    ) -> Vec<s4_core::Result<Response>> {
-        let mut pending = Vec::new();
+        jobs: Vec<(usize, Request)>,
+    ) -> Option<Vec<s4_core::Result<Response>>> {
+        let mut involved: Vec<usize> = jobs.iter().map(|&(s, _)| s).collect();
+        involved.sort_unstable();
+        involved.dedup();
+        let gates: Vec<_> = involved.iter().map(|&s| r.shards[s].gate.read()).collect();
+        if self.routing.lock().epoch.seq != r.epoch.seq {
+            return None;
+        }
+        let mut pending = Vec::with_capacity(jobs.len());
         for (s, req) in jobs {
             let (reply, rx) = mpsc::sync_channel(1);
-            let sent = match &self.shards[s].tx {
+            let sent = match &r.shards[s].tx {
                 Some(tx) => tx.send(Job::Rpc { ctx: *ctx, req, reply }).is_ok(),
                 None => false,
             };
             pending.push((sent, rx));
         }
-        pending
-            .into_iter()
-            .map(|(sent, rx)| {
-                if !sent {
-                    return Err(WORKER_GONE);
-                }
-                rx.recv().unwrap_or(Err(WORKER_GONE))
-            })
-            .collect()
+        drop(gates);
+        Some(
+            pending
+                .into_iter()
+                .map(|(sent, rx)| {
+                    if !sent {
+                        return Err(WORKER_GONE);
+                    }
+                    rx.recv().unwrap_or(Err(WORKER_GONE))
+                })
+                .collect(),
+        )
     }
 
     /// Splits a batch across shards, runs the sub-batches concurrently,
@@ -504,16 +690,21 @@ impl<D: BlockDev + 'static> S4Array<D> {
         ctx: &RequestContext,
         reqs: &[Request],
     ) -> s4_core::Result<(Vec<Option<Response>>, Vec<BatchOutcome>)> {
-        let n = self.shards.len();
-        let plan = split_batch(reqs, n, || self.rr.fetch_add(1, Ordering::Relaxed) % n)?;
-        let touched: Vec<usize> = (0..n).filter(|&s| !plan.subs[s].is_empty()).collect();
-        let subs = plan.subs;
-        let results = self.scatter(
-            ctx,
-            touched
+        let (plan, touched, results) = loop {
+            let r = self.routing();
+            let n = r.shards.len();
+            let plan =
+                split_batch(reqs, &r.epoch, || self.rr.fetch_add(1, Ordering::Relaxed) % n)?;
+            let touched: Vec<usize> = (0..n).filter(|&s| !plan.subs[s].is_empty()).collect();
+            let jobs: Vec<(usize, Request)> = touched
                 .iter()
-                .map(|&s| (s, Request::Batch(subs[s].clone()))),
-        );
+                .map(|&s| (s, Request::Batch(plan.subs[s].clone())))
+                .collect();
+            match self.try_scatter(&r, ctx, jobs) {
+                Some(results) => break (plan, touched, results),
+                None => continue, // epoch moved: replan the split
+            }
+        };
 
         let mut out: Vec<Option<Response>> = vec![None; plan.total];
         let mut outcomes = Vec::new();
@@ -589,6 +780,260 @@ impl<D: BlockDev + 'static> S4Array<D> {
                 .collect(),
         ))
     }
+
+    /// The flip of a live split (DESIGN §6h): atomically installs the
+    /// epoch in which source `source_slot`'s residue class has split,
+    /// bringing the target shard (slot `base + source_slot`) online.
+    ///
+    /// The caller (the reshard engine) has already bulk-copied the
+    /// moving class and caught up to a small lag. This method performs
+    /// only the brief quiesced window:
+    ///
+    /// 1. takes the source shard's write gate — no dispatcher can be
+    ///    mid-send on it — and re-verifies the epoch hasn't moved;
+    /// 2. drains the source's queue with a `Sync` barrier (the queue is
+    ///    FIFO, so the reply implies every earlier job finished, and
+    ///    every member is durable);
+    /// 3. hands the quiesced source members to `finish`, which replays
+    ///    the final delta onto the prepared target member drives and
+    ///    returns them (one per mirror, formatted in class
+    ///    `base + source_slot (mod 2·base)`);
+    /// 4. raises each target's ObjectID allocator above the source's
+    ///    (moved-then-deleted oids must never be re-issued) and anchors
+    ///    it, persists the new epoch note on shard 0 *through its worker
+    ///    queue*, narrows the source's allocator class, and swaps in the
+    ///    new routing.
+    ///
+    /// An error anywhere before the note install leaves the routing
+    /// untouched — the array keeps running wholly in the old epoch and
+    /// the flip can be retried. The returned [`FlipReport`] carries the
+    /// pause duration (on the source's member clock) that
+    /// `fig_reshard` asserts against.
+    pub fn install_split<F>(&self, source_slot: usize, finish: F) -> s4_core::Result<FlipReport>
+    where
+        F: FnOnce(&[Arc<S4Drive<D>>]) -> s4_core::Result<Vec<S4Drive<D>>>,
+    {
+        let r = self.routing();
+        let e = r.epoch;
+        if source_slot >= e.base || source_slot >= 64 {
+            return Err(S4Error::BadRequest("array: no such source slot"));
+        }
+        if e.bits & (1u64 << source_slot) != 0 {
+            return Err(S4Error::BadRequest("array: slot already split"));
+        }
+        let src = &r.shards[source_slot]; // dense == slot for sources
+        let _gate = src.gate.write();
+        if self.routing.lock().epoch.seq != e.seq {
+            return Err(S4Error::BadRequest("array: epoch moved during flip"));
+        }
+        let live: Vec<Arc<S4Drive<D>>> = src
+            .members
+            .iter()
+            .filter(|m| m.state() == MemberState::InSync)
+            .map(|m| m.drive())
+            .collect();
+        if live.is_empty() {
+            return Err(SHARD_READ_ONLY);
+        }
+        let clock = live[0].clock().clone();
+        let started = clock.now();
+        let admin = RequestContext::admin(ClientId(0), live[0].config().admin_token);
+
+        // Drain: a Sync through the FIFO queue completes every queued
+        // job and makes every member durable.
+        let (reply, rx) = mpsc::sync_channel(1);
+        let sent = match &src.tx {
+            Some(tx) => tx
+                .send(Job::Rpc {
+                    ctx: admin,
+                    req: Request::Sync,
+                    reply,
+                })
+                .is_ok(),
+            None => false,
+        };
+        if !sent {
+            return Err(WORKER_GONE);
+        }
+        rx.recv().unwrap_or(Err(WORKER_GONE))?;
+
+        // Final delta onto the prepared targets, under quiescence.
+        let targets = finish(&live)?;
+        let target_slot = e.base + source_slot;
+        let class = (2 * e.base as u64, target_slot as u64);
+        if targets.len() != self.cfg.mirrors {
+            return Err(S4Error::BadRequest("array: wrong target mirror count"));
+        }
+        if targets.iter().any(|t| t.oid_class() != class) {
+            return Err(S4Error::BadRequest("array: target oid class mismatch"));
+        }
+        // The target must never re-issue an ObjectID the source already
+        // allocated (a moved-then-deleted oid would resurrect). The
+        // reshard engine pre-raises and anchors outside the gate, so
+        // this usually finds the floor already durable and skips the
+        // anchor write.
+        let floor = live[0].next_oid(&admin)?;
+        for t in &targets {
+            if t.next_oid(&admin)? < floor {
+                t.raise_next_oid(&admin, floor)?;
+                t.force_anchor()?;
+            }
+        }
+
+        // Persist the new epoch through shard 0's worker queue so the
+        // partition object stays bit-identical across its mirrors. Only
+        // the new note's creation is the commit point; the stale note is
+        // retired after the gate drops (mount elects the highest seq and
+        // repairs leftovers, so the overlap is harmless).
+        let ne = e.after_split(source_slot);
+        let (reply, rx) = mpsc::sync_channel(1);
+        let sent = match &r.shards[0].tx {
+            Some(tx) => tx
+                .send(Job::Epoch {
+                    new_name: ne.note_name(),
+                    old_name: None,
+                    reply,
+                })
+                .is_ok(),
+            None => false,
+        };
+        if !sent {
+            return Err(WORKER_GONE);
+        }
+        rx.recv().unwrap_or(Err(WORKER_GONE))?;
+
+        // Commit point passed: narrow the source's allocator and swap
+        // in the new routing.
+        for m in &src.members {
+            if m.state() != MemberState::Dead {
+                m.drive().set_oid_class(2 * e.base as u64, source_slot as u64);
+            }
+        }
+        let target_clock = targets[0].clock().clone();
+        let handle = Arc::new(spawn_shard(target_slot, targets, self.cfg, target_clock));
+        let mut shards = r.shards.clone();
+        let dense = ne
+            .dense_of_slot(target_slot)
+            .expect("freshly split slot is live");
+        shards.insert(dense, handle);
+        *self.routing.lock() = Arc::new(Routing { epoch: ne, shards });
+
+        let pause = clock.now() - started;
+        self.reshard_reg
+            .histogram(
+                "s4_reshard_flip_pause_us",
+                "time the source shard spent quiesced per flip",
+            )
+            .record(pause.as_micros());
+
+        // Quiesce over: release the gate, then retire the old epoch
+        // note outside the client-visible window. The job is idempotent
+        // (pcreate tolerates an existing note), so a crash in between
+        // just leaves both notes for mount's repair pass.
+        drop(_gate);
+        let (reply, rx) = mpsc::sync_channel(1);
+        if let Some(tx) = &r.shards[0].tx {
+            let job = Job::Epoch {
+                new_name: ne.note_name(),
+                old_name: Some(e.note_name()),
+                reply,
+            };
+            if tx.send(job).is_ok() {
+                rx.recv().unwrap_or(Err(WORKER_GONE))?;
+            }
+        }
+        Ok(FlipReport { pause, epoch: ne })
+    }
+}
+
+/// Builds one shard: wraps `drives` in member slots and starts the
+/// worker thread that owns them. `slot` is the shard's stable
+/// residue-class id (used in alerts and metric labels).
+fn spawn_shard<D: BlockDev + 'static>(
+    slot: usize,
+    drives: Vec<S4Drive<D>>,
+    cfg: ArrayConfig,
+    clock: SimClock,
+) -> ShardHandle<D> {
+    let members: Vec<Arc<MemberSlot<D>>> = drives
+        .into_iter()
+        .map(|d| Arc::new(MemberSlot::new(d)))
+        .collect();
+    let (tx, rx): (SyncSender<Job<D>>, Receiver<Job<D>>) = mpsc::sync_channel(cfg.queue_depth);
+    let worker_members = members.clone();
+    let thread = std::thread::Builder::new()
+        .name(format!("s4-shard-{slot}"))
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                match job {
+                    Job::Rpc { ctx, req, reply } => {
+                        let _ = reply.send(worker_process(
+                            slot,
+                            &worker_members,
+                            &cfg,
+                            &clock,
+                            &ctx,
+                            &req,
+                        ));
+                    }
+                    Job::Resync { member, dev, reply } => {
+                        let _ = reply.send(worker_resync(slot, &worker_members, member, *dev));
+                    }
+                    Job::Epoch {
+                        new_name,
+                        old_name,
+                        reply,
+                    } => {
+                        let _ = reply.send(worker_epoch(
+                            &worker_members,
+                            &new_name,
+                            old_name.as_deref(),
+                        ));
+                    }
+                }
+            }
+        })
+        .expect("spawn shard worker thread");
+    ShardHandle {
+        slot,
+        gate: RwLock::new(()),
+        members,
+        tx: Some(tx),
+        thread: Some(thread),
+    }
+}
+
+/// Installs an epoch note on every live member of the shard (create
+/// the new name, drop the old, anchor). Both steps are idempotent —
+/// a crash between members leaves a divergence that
+/// [`S4Array::mount`] repairs to the highest sequence.
+fn worker_epoch<D: BlockDev>(
+    members: &[Arc<MemberSlot<D>>],
+    new_name: &str,
+    old_name: Option<&str>,
+) -> s4_core::Result<()> {
+    for m in members {
+        if m.state() == MemberState::Dead {
+            continue;
+        }
+        let drive = m.drive();
+        let admin = RequestContext::admin(ClientId(0), drive.config().admin_token);
+        match drive.op_pcreate(&admin, new_name, PARTITION_OBJECT) {
+            Ok(_) | Err(S4Error::PartitionExists) => {}
+            Err(e) => return Err(e),
+        }
+        if let Some(old) = old_name {
+            match drive.op_pdelete(&admin, old) {
+                Ok(_) | Err(S4Error::NoSuchPartition) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // A journal flush is the durability barrier — recovery replays
+        // the journal, so the note survives a crash without paying for
+        // a full anchor (checkpoint promotion) inside the flip window.
+        drive.op_sync(&admin)?;
+    }
+    Ok(())
 }
 
 /// `devices / mirrors`, validating the shape.
@@ -600,6 +1045,13 @@ fn shard_count_of(devices: usize, mirrors: usize) -> s4_core::Result<usize> {
     if !devices.is_multiple_of(m) {
         return Err(S4Error::BadRequest(
             "array: device count not a multiple of the mirror count",
+        ));
+    }
+    // The routing epoch tracks in-flight splits in a 64-bit mask, so a
+    // generation's base caps at 64 source slots.
+    if devices / m > 64 {
+        return Err(S4Error::BadRequest(
+            "array: more than 64 shards (epoch bitmap limit)",
         ));
     }
     Ok(devices / m)
@@ -773,6 +1225,10 @@ fn worker_resync<D: BlockDev>(
 
     let image = survivor.resync_image(&admin)?;
     let rebuilt = S4Drive::format_from_image(dev, config, survivor.clock().clone(), &image)?;
+    // The survivor's allocator class may have been narrowed by a flip
+    // since it was formatted; the replica must allocate identically.
+    let (stride, offset) = survivor.oid_class();
+    rebuilt.set_oid_class(stride, offset);
 
     // Verify the replica object by object and stream by stream before
     // trusting it with client reads.
@@ -841,6 +1297,8 @@ fn merge_broadcast(
                     other => return Err(bad_shape(&other)),
                 }
             }
+            // Array-internal names (epoch notes) never reach clients.
+            all.retain(|(name, _)| !name.starts_with(RESERVED_NAME_PREFIX));
             all.sort();
             Ok(Response::Partitions(all))
         }
@@ -877,5 +1335,9 @@ impl<D: BlockDev + 'static> RpcHandler for S4Array<D> {
 
     fn stats_text(&self) -> String {
         self.metrics_text()
+    }
+
+    fn reshard_text(&self) -> String {
+        self.reshard_status_text()
     }
 }

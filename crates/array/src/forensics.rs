@@ -14,7 +14,6 @@ use s4_detect::{flight_log, install_standard_monitor, object_timeline, FlightEnt
 use s4_simdisk::BlockDev;
 
 use crate::array::S4Array;
-use crate::router::shard_of;
 
 /// A record tagged with the shard whose log it came from.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,7 +99,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
         admin: &RequestContext,
         oid: ObjectId,
     ) -> Result<Vec<TimelineEvent>, S4Error> {
-        let s = shard_of(oid, self.shard_count());
+        let s = self.shard_index_of(oid);
         object_timeline(&self.shard_drive(s), admin, oid)
     }
 }

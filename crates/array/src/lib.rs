@@ -36,17 +36,25 @@
 //! * **Drop-in surface.** The array implements [`s4_fs::RpcHandler`],
 //!   so the TCP server and the NFS-style file system layer run over it
 //!   unchanged ([`ArrayTransport`] is the in-process variant).
+//! * **Online resharding.** Routing is epoch-aware ([`EpochInfo`]):
+//!   a live array splits from `N` to `2N` shards one residue class at a
+//!   time, with the history pool serving as the migration mechanism and
+//!   only a brief per-shard quiesce at the flip
+//!   ([`S4Array::install_split`]; the full protocol lives in
+//!   `s4-reshard`, DESIGN §6h).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod array;
+pub mod epoch;
 mod forensics;
 mod metrics;
 pub mod router;
 mod transport;
 
 pub use array::{ArrayConfig, BatchOutcome, MemberState, S4Array};
+pub use epoch::{EpochInfo, FlipReport, EPOCH_NOTE_PREFIX, RESERVED_NAME_PREFIX};
 pub use forensics::Sharded;
-pub use router::{is_reserved, shard_of};
+pub use router::{dense_of, is_reserved, shard_of, slot_of};
 pub use transport::ArrayTransport;

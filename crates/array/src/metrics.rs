@@ -23,12 +23,13 @@ impl<D: BlockDev + 'static> S4Array<D> {
         let mut gauges: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
         for s in 0..n {
             let drive = self.shard_drive(s);
+            let slot = self.shard_slot(s);
             drive.metrics_text(); // refresh operational gauges
             for (name, v) in drive.registry().counter_values() {
-                counters.entry(name).or_default().push((s, v));
+                counters.entry(name).or_default().push((slot, v));
             }
             for (name, v) in drive.registry().gauge_values() {
-                gauges.entry(name).or_default().push((s, v));
+                gauges.entry(name).or_default().push((slot, v));
             }
         }
         let mut out = String::new();
@@ -46,8 +47,9 @@ impl<D: BlockDev + 'static> S4Array<D> {
         let mut degraded_total = 0u64;
         for s in 0..n {
             let d = u64::from(self.shard_degraded(s));
+            let slot = self.shard_slot(s);
             degraded_total += d;
-            let _ = writeln!(out, "s4_array_degraded{{shard=\"{s}\"}} {d}");
+            let _ = writeln!(out, "s4_array_degraded{{shard=\"{slot}\"}} {d}");
         }
         let _ = writeln!(out, "s4_array_degraded {degraded_total}");
         for (name, samples) in &counters {
@@ -68,7 +70,36 @@ impl<D: BlockDev + 'static> S4Array<D> {
             }
             let _ = writeln!(out, "{name} {total}");
         }
+        // Reshard progress (migration gauges, lag, flip pauses) lives
+        // in the array-level registry, not on any member drive.
+        out.push_str(&self.reshard_registry().render_prometheus());
         out
+    }
+
+    /// One-line reshard status: the routing epoch plus the progress
+    /// gauges of any in-flight split (served on the TCP reshard frame).
+    pub fn reshard_status_text(&self) -> String {
+        let get = |name: &str| {
+            self.reshard_registry()
+                .gauge_values()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .unwrap_or(0.0)
+        };
+        let e = self.epoch();
+        format!(
+            "epoch seq={} base={} bits={:#b} active={} source_slot={} snapshot={} catchup={} lag={} rounds={}",
+            e.seq,
+            e.base,
+            e.bits,
+            get("s4_reshard_active") as u64,
+            get("s4_reshard_source_slot") as u64,
+            get("s4_reshard_snapshot_objects") as u64,
+            get("s4_reshard_catchup_objects") as u64,
+            get("s4_reshard_lag") as u64,
+            get("s4_reshard_rounds") as u64,
+        )
     }
 
     /// JSON exposition:
@@ -106,8 +137,9 @@ impl<D: BlockDev + 'static> S4Array<D> {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"shards\":{n},\"mirrors\":{},\"degraded\":[{degraded}],\"shard_metrics\":[{}],\"aggregate\":{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}}}}}}",
+            "{{\"shards\":{n},\"mirrors\":{},\"degraded\":[{degraded}],\"reshard\":{},\"shard_metrics\":[{}],\"aggregate\":{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}}}}}}",
             self.mirror_count(),
+            self.reshard_registry().render_json(),
             per_shard.join(",")
         )
     }

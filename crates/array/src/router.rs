@@ -16,6 +16,8 @@
 use s4_core::rpc::LAST_CREATED;
 use s4_core::{ObjectId, Request, S4Error, TRACE_OBJECT};
 
+use crate::epoch::EpochInfo;
+
 /// How the scatter-gather layer combines per-shard responses of a
 /// broadcast request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,24 +55,43 @@ pub fn is_reserved(oid: ObjectId) -> bool {
     oid.0 < 4 || oid == TRACE_OBJECT
 }
 
-/// Home shard of `oid` in an `n`-shard array.
+/// Home shard of `oid` in an `n`-shard array with no split in flight.
 pub fn shard_of(oid: ObjectId, n: usize) -> usize {
+    slot_of(oid, &EpochInfo::initial(n))
+}
+
+/// Home *slot* of `oid` under epoch `e`: the doubled-class residue if
+/// that class's source has split, its pre-split owner otherwise.
+/// Degenerates to `oid % base` when no split is in flight.
+pub fn slot_of(oid: ObjectId, e: &EpochInfo) -> usize {
     if is_reserved(oid) {
-        0
+        return 0;
+    }
+    let c2 = (oid.0 % (2 * e.base as u64)) as usize;
+    if c2 >= e.base && e.bits & (1u64 << (c2 - e.base)) != 0 {
+        c2
     } else {
-        (oid.0 % n as u64) as usize
+        c2 % e.base
     }
 }
 
-/// Computes the route of one request in an `n`-shard array.
-pub fn route(req: &Request, n: usize) -> Route {
+/// Dense index of `oid`'s home shard under epoch `e` (the index into
+/// the array's live-shard vector).
+pub fn dense_of(oid: ObjectId, e: &EpochInfo) -> usize {
+    e.dense_of_slot(slot_of(oid, e))
+        .expect("slot_of only routes to live slots")
+}
+
+/// Computes the route of one request under epoch `e`. `Route::Shard`
+/// carries a *dense* index.
+pub fn route(req: &Request, e: &EpochInfo) -> Route {
     match req {
         Request::Create => Route::Create,
         Request::Batch(_) => Route::SplitBatch,
         // Namespace ops: the association lives on the root object's
         // home shard (PCreate validates the object exists), so lookups
         // and deletions scatter.
-        Request::PCreate { oid, .. } => Route::Shard(shard_of(*oid, n)),
+        Request::PCreate { oid, .. } => Route::Shard(dense_of(*oid, e)),
         Request::PDelete { .. } => Route::Broadcast(Merge::AnyOk),
         Request::PList { .. } => Route::Broadcast(Merge::Partitions),
         Request::PMount { .. } => Route::Broadcast(Merge::FirstMounted),
@@ -80,7 +101,7 @@ pub fn route(req: &Request, n: usize) -> Route {
         Request::SetWindow { .. } => Route::Broadcast(Merge::AllOk),
         Request::FlushAlerts | Request::FlushTraces => Route::Broadcast(Merge::SumNewSize),
         // Everything else is object-directed.
-        _ => Route::Shard(shard_of(req.target(), n)),
+        _ => Route::Shard(dense_of(req.target(), e)),
     }
 }
 
@@ -113,9 +134,10 @@ pub struct BatchPlan {
 /// effects remain" batch contract.
 pub fn split_batch(
     reqs: &[Request],
-    n: usize,
+    e: &EpochInfo,
     mut next_create_shard: impl FnMut() -> usize,
 ) -> Result<BatchPlan, S4Error> {
+    let n = e.live_shards();
     let mut plan = BatchPlan {
         subs: vec![Vec::new(); n],
         slots: vec![Vec::new(); n],
@@ -150,7 +172,7 @@ pub fn split_batch(
             }
             other if other.target() == LAST_CREATED => last_created
                 .ok_or(S4Error::BadRequest("LAST_CREATED before any batch Create"))?,
-            other => shard_of(other.target(), n),
+            other => dense_of(other.target(), e),
         };
         plan.subs[shard].push(sub.clone());
         plan.slots[shard].push(idx);
@@ -173,8 +195,8 @@ mod tests {
 
     #[test]
     fn routes_cover_table_one() {
-        let n = 4;
-        assert_eq!(route(&Request::Create, n), Route::Create);
+        let e = EpochInfo::initial(4);
+        assert_eq!(route(&Request::Create, &e), Route::Create);
         assert_eq!(
             route(
                 &Request::Read {
@@ -183,17 +205,17 @@ mod tests {
                     len: 1,
                     time: None
                 },
-                n
+                &e
             ),
             Route::Shard(2)
         );
-        assert_eq!(route(&Request::Sync, n), Route::Broadcast(Merge::AllOk));
+        assert_eq!(route(&Request::Sync, &e), Route::Broadcast(Merge::AllOk));
         assert_eq!(
-            route(&Request::FlushAlerts, n),
+            route(&Request::FlushAlerts, &e),
             Route::Broadcast(Merge::SumNewSize)
         );
         assert_eq!(
-            route(&Request::PList { time: None }, n),
+            route(&Request::PList { time: None }, &e),
             Route::Broadcast(Merge::Partitions)
         );
         assert_eq!(
@@ -202,11 +224,32 @@ mod tests {
                     name: "p".into(),
                     oid: ObjectId(5)
                 },
-                n
+                &e
             ),
             Route::Shard(1)
         );
-        assert_eq!(route(&Request::Batch(Vec::new()), n), Route::SplitBatch);
+        assert_eq!(route(&Request::Batch(Vec::new()), &e), Route::SplitBatch);
+    }
+
+    #[test]
+    fn split_epoch_routes_moved_class_to_target() {
+        // 4 shards, slot 1 split: oids ≡ 5 (mod 8) moved to slot 5.
+        let e = EpochInfo {
+            seq: 2,
+            base: 4,
+            bits: 0b0010,
+        };
+        assert_eq!(slot_of(ObjectId(5), &e), 5, "moved residue");
+        assert_eq!(slot_of(ObjectId(13), &e), 5);
+        assert_eq!(slot_of(ObjectId(9), &e), 1, "kept residue stays home");
+        assert_eq!(slot_of(ObjectId(6), &e), 2, "unsplit classes unchanged");
+        assert_eq!(slot_of(ObjectId(7), &e), 3, "sibling unsplit class whole");
+        // Dense mapping: slot 5 is the first (only) target.
+        assert_eq!(dense_of(ObjectId(5), &e), 4);
+        assert_eq!(dense_of(ObjectId(9), &e), 1);
+        // Reserved objects pin to slot 0 in every epoch.
+        assert_eq!(slot_of(ObjectId(2), &e), 0);
+        assert_eq!(slot_of(TRACE_OBJECT, &e), 0);
     }
 
     #[test]
@@ -225,7 +268,7 @@ mod tests {
             Request::Sync,
         ];
         let mut rr = 1;
-        let plan = split_batch(&reqs, 2, || {
+        let plan = split_batch(&reqs, &EpochInfo::initial(2), || {
             rr += 1;
             (rr - 1) % 2
         })
@@ -240,9 +283,10 @@ mod tests {
 
     #[test]
     fn batch_split_rejects_broadcast_admin_ops_and_orphan_last_created() {
-        assert!(split_batch(&[Request::FlushAlerts], 2, || 0).is_err());
+        let e = EpochInfo::initial(2);
+        assert!(split_batch(&[Request::FlushAlerts], &e, || 0).is_err());
         let orphan = [Request::Delete { oid: LAST_CREATED }];
-        assert!(split_batch(&orphan, 2, || 0).is_err());
-        assert!(split_batch(&[Request::Batch(Vec::new())], 2, || 0).is_err());
+        assert!(split_batch(&orphan, &e, || 0).is_err());
+        assert!(split_batch(&[Request::Batch(Vec::new())], &e, || 0).is_err());
     }
 }

@@ -438,3 +438,64 @@ fn file_system_runs_array_backed() {
     let listing = fs.readdir(dir).unwrap();
     assert_eq!(listing.len(), 8);
 }
+
+#[test]
+fn config_validation_rejects_degenerate_shapes() {
+    let clock = SimClock::new();
+    let zero_mirrors = ArrayConfig {
+        mirrors: 0,
+        ..ArrayConfig::default()
+    };
+    assert!(matches!(
+        S4Array::format(disks(4), DriveConfig::small_test(), zero_mirrors, clock.clone()),
+        Err(S4Error::BadRequest(m)) if m.contains("mirrors")
+    ));
+    let zero_queue = ArrayConfig {
+        queue_depth: 0,
+        ..ArrayConfig::default()
+    };
+    assert!(matches!(
+        S4Array::format(disks(4), DriveConfig::small_test(), zero_queue, clock.clone()),
+        Err(S4Error::BadRequest(m)) if m.contains("queue depth")
+    ));
+    assert!(matches!(
+        S4Array::mount(disks(4), DriveConfig::small_test(), zero_mirrors, clock.clone()),
+        Err(S4Error::BadRequest(m)) if m.contains("mirrors")
+    ));
+    // The epoch bitmap tracks at most 64 source slots per generation,
+    // so shard counts beyond 64 are rejected up front instead of
+    // becoming unsplittable arrays (or worker panics).
+    assert!(matches!(
+        S4Array::format(disks(65), DriveConfig::small_test(), ArrayConfig::default(), clock),
+        Err(S4Error::BadRequest(m)) if m.contains("64 shards")
+    ));
+}
+
+#[test]
+fn reserved_partition_namespace_is_invisible_to_clients() {
+    let a = array(2);
+    let ctx = user();
+    let oid = create(&a, &ctx);
+    // Clients cannot create, delete, or resolve `__s4/…` names…
+    assert!(matches!(
+        a.dispatch(&ctx, &Request::PCreate { name: "__s4/x".into(), oid }),
+        Err(S4Error::BadRequest(_))
+    ));
+    assert!(matches!(
+        a.dispatch(&ctx, &Request::PDelete { name: "__s4/x".into() }),
+        Err(S4Error::BadRequest(_))
+    ));
+    assert!(matches!(
+        a.dispatch(&admin(), &Request::PMount { name: "__s4/epoch/1/2/0".into(), time: None }),
+        Err(S4Error::NoSuchPartition)
+    ));
+    // …and the epoch note the array persists for itself never shows up
+    // in a merged listing, while real partitions do.
+    a.dispatch(&ctx, &Request::PCreate { name: "vol".into(), oid }).unwrap();
+    match a.dispatch(&ctx, &Request::PList { time: None }).unwrap() {
+        Response::Partitions(list) => {
+            assert_eq!(list.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(), vec!["vol"]);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+}

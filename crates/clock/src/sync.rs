@@ -10,7 +10,7 @@
 //! clocks), matching the parking_lot semantics the code was written
 //! against.
 
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion primitive with `parking_lot`-style ergonomics:
 /// [`Mutex::lock`] never returns a poison error.
@@ -43,10 +43,66 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader-writer lock with the same non-poisoning ergonomics as
+/// [`Mutex`]: neither [`RwLock::read`] nor [`RwLock::write`] returns a
+/// poison error. Used by the array layer's per-shard quiesce gates,
+/// where many dispatchers hold read guards concurrently and a reshard
+/// flip briefly takes the write side.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock guarding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access; a poisoned lock is recovered.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access; a poisoned lock is recovered.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(5u32);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(*r1 + *r2, 10, "shared readers coexist");
+        }
+        *l.write() += 1;
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn poisoned_rwlock_recovers() {
+        let l = Arc::new(RwLock::new(7u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(*l.read(), 7);
+    }
 
     #[test]
     fn lock_round_trip() {

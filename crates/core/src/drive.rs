@@ -18,6 +18,7 @@
 //! from it the segment usage counts) from first principles.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use s4_clock::sync::Mutex;
 
@@ -367,6 +368,11 @@ pub struct S4Drive<D: BlockDev> {
     clock: SimClock,
     stamps: HybridClock,
     config: DriveConfig,
+    // The oid residue class new objects are allocated in. Initialized
+    // from `config` but runtime-mutable: a reshard flip narrows a
+    // source member's class from (N, s) to (2N, s) without a remount.
+    oid_stride: AtomicU64,
+    oid_offset: AtomicU64,
     inner: Mutex<Inner>,
     stats: DriveStats,
     cleaner: Cleaner,
@@ -408,6 +414,8 @@ impl<D: BlockDev> S4Drive<D> {
             stamps,
             cleaner: Cleaner::new(config.cleaner),
             stats: DriveStats::registered(&obs.registry),
+            oid_stride: AtomicU64::new(config.oid_stride),
+            oid_offset: AtomicU64::new(config.oid_offset),
             config,
             inner: Mutex::new(Inner {
                 table: HashMap::new(),
@@ -573,6 +581,8 @@ impl<D: BlockDev> S4Drive<D> {
                 stamps,
                 cleaner: Cleaner::new(config.cleaner),
                 stats: DriveStats::registered(&obs.registry),
+                oid_stride: AtomicU64::new(config.oid_stride),
+                oid_offset: AtomicU64::new(config.oid_offset),
                 config,
                 inner: Mutex::new(inner),
                 observers: Mutex::new(Vec::new()),
@@ -636,6 +646,28 @@ impl<D: BlockDev> S4Drive<D> {
         &self.config
     }
 
+    /// The oid residue class new objects are allocated in, as
+    /// `(stride, offset)`. Starts from the formatted configuration;
+    /// [`S4Drive::set_oid_class`] narrows it at runtime during a
+    /// reshard flip.
+    pub fn oid_class(&self) -> (u64, u64) {
+        (
+            self.oid_stride.load(Ordering::Acquire),
+            self.oid_offset.load(Ordering::Acquire),
+        )
+    }
+
+    /// Changes the oid residue class new objects are allocated in. A
+    /// reshard flip calls this on the source shard's members to narrow
+    /// their class from `(N, s)` to `(2N, s)` the moment the split
+    /// class `(2N, s+N)` is handed to the new shard.
+    pub fn set_oid_class(&self, stride: u64, offset: u64) {
+        assert!(stride >= 1, "oid stride must be at least 1");
+        assert!(offset < stride, "oid offset must be below the stride");
+        self.oid_stride.store(stride, Ordering::Release);
+        self.oid_offset.store(offset, Ordering::Release);
+    }
+
     /// The underlying log (exposed for benchmarks and tests).
     pub fn log(&self) -> &Log<D> {
         &self.log
@@ -658,7 +690,7 @@ impl<D: BlockDev> S4Drive<D> {
         // Round up to the drive's oid residue class (stride 1 / offset 0
         // degenerates to sequential allocation). Array members allocate
         // in disjoint classes so drive-assigned ids route home.
-        let (stride, offset) = (self.config.oid_stride, self.config.oid_offset);
+        let (stride, offset) = self.oid_class();
         let oid = if stride <= 1 {
             inner.next_oid
         } else {
@@ -1807,6 +1839,245 @@ impl<D: BlockDev> S4Drive<D> {
             .collect();
         out.sort_unstable();
         Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Online reshard: snapshot/catch-up readback and stamped replay
+    // (DESIGN §6h). These sit next to the resync surface because they
+    // move the same logical unit — one object's current (or historical)
+    // version — but one object at a time, against a live drive.
+    // ------------------------------------------------------------------
+
+    /// The next oid this drive would hand out (admin only). A reshard
+    /// flip raises the target's counter to the source's so oids whose
+    /// history lives only on the source are never reissued.
+    pub fn next_oid(&self, ctx: &RequestContext) -> Result<u64> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        Ok(self.inner.lock().next_oid)
+    }
+
+    /// Raises the drive's next-oid counter to at least `v` (admin only).
+    /// Never lowers it — oids are single-use for the drive's lifetime.
+    pub fn raise_next_oid(&self, ctx: &RequestContext, v: u64) -> Result<()> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let mut inner = self.inner.lock();
+        inner.next_oid = inner.next_oid.max(v);
+        Ok(())
+    }
+
+    /// Decodes the audit records from sequence number `from` onward
+    /// (admin only). The cursor is a record index into the stream that
+    /// [`S4Drive::audit_total_records`] counts; persisted audit blocks
+    /// are always full (records are block-packed before flush), so whole
+    /// blocks below the cursor are skipped without a device read.
+    pub fn read_audit_from(&self, ctx: &RequestContext, from: u64) -> Result<Vec<AuditRecord>> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let inner = self.inner.lock();
+        let per = (BLOCK_SIZE / crate::audit::RECORD_BYTES) as u64;
+        let mut out = Vec::new();
+        let mut idx = 0u64;
+        for &addr in &inner.audit.blocks {
+            if idx + per <= from {
+                idx += per;
+                continue;
+            }
+            let block = self.log.read_block(addr)?;
+            for rec in AuditState::decode_block(&block)? {
+                if idx >= from {
+                    out.push(rec);
+                }
+                idx += 1;
+            }
+        }
+        let mut off = 0;
+        while off + crate::audit::RECORD_BYTES <= inner.audit.pending.len() {
+            if idx >= from {
+                out.push(AuditRecord::decode(
+                    &inner.audit.pending[off..off + crate::audit::RECORD_BYTES],
+                )?);
+            }
+            idx += 1;
+            off += crate::audit::RECORD_BYTES;
+        }
+        Ok(out)
+    }
+
+    /// Exports one object's logical state for reshard migration (admin
+    /// only): the version current now (`at == None`) or at the snapshot
+    /// instant (`at == Some(t)`, served from the history pool like any
+    /// time-based read). Returns `Ok(None)` if the object does not
+    /// exist, is deleted, or had not yet been created at `t` — the
+    /// caller treats all three as "nothing to copy". An instant below
+    /// the history floor is an error: the snapshot time must sit inside
+    /// the detection window.
+    pub fn reshard_export(
+        &self,
+        ctx: &RequestContext,
+        oid: ObjectId,
+        at: Option<SimTime>,
+    ) -> Result<Option<ResyncObject>> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let mut inner = self.inner.lock();
+        let entry = match self.take_cached(&mut inner, oid) {
+            Ok(e) => e,
+            Err(S4Error::NoSuchObject) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let r = (|| -> Result<Option<ResyncObject>> {
+            let meta = match at {
+                None => {
+                    if !entry.meta.is_live() {
+                        return Ok(None);
+                    }
+                    entry.meta.clone()
+                }
+                Some(t) => {
+                    self.stats.time_based_reads(1);
+                    match self.version_at(&entry, t) {
+                        Ok(m) if m.is_live() => m,
+                        Ok(_) => return Ok(None),
+                        Err(S4Error::NoSuchObject) => return Ok(None),
+                        Err(e) => return Err(e),
+                    }
+                }
+            };
+            let content = self.read_extent(&entry, &meta, 0, meta.size)?;
+            Ok(Some(ResyncObject {
+                oid: oid.0,
+                created: meta.created.time,
+                modified: meta.modified.time,
+                content,
+                attrs: meta.attrs.clone(),
+                acl: meta.acl.clone(),
+            }))
+        })();
+        self.put_back(&mut inner, entry);
+        r
+    }
+
+    /// Replays one exported object onto this drive (admin only),
+    /// preserving its creation/modification *times* so post-reshard
+    /// [`S4Drive::object_digest`] comparisons hold (the stamp sequence
+    /// component stays drive-local, exactly as in mirror resync). A new
+    /// oid is inserted fresh; an existing live object is overwritten in
+    /// place with a stamped truncate-and-rewrite. A tombstoned oid is an
+    /// error — oids are never reused.
+    pub fn reshard_apply(&self, ctx: &RequestContext, obj: &ResyncObject) -> Result<()> {
+        if !self.is_admin(ctx) {
+            return Err(S4Error::AccessDenied);
+        }
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        if !inner.table.contains_key(&obj.oid) {
+            let created = HybridTimestamp::new(obj.created, self.stamps.next_seq());
+            let mut entry = ObjectEntry::new(ObjectMeta::new(obj.oid, created));
+            entry.pending.push(JournalEntry::Create { stamp: created });
+            if !obj.acl.is_empty() {
+                let set = JournalEntry::SetAcl {
+                    stamp: HybridTimestamp::new(obj.created, self.stamps.next_seq()),
+                    old: Vec::new(),
+                    new: obj.acl.clone(),
+                };
+                redo(&mut entry.meta, &set);
+                entry.pending.push(set);
+            }
+            entry.last_used = inner.bump_lru();
+            let modified = HybridTimestamp::new(obj.modified, self.stamps.next_seq());
+            if obj.content.is_empty() {
+                let e = JournalEntry::Truncate {
+                    stamp: modified,
+                    old_size: 0,
+                    new_size: 0,
+                    freed: Vec::new(),
+                };
+                redo(&mut entry.meta, &e);
+                entry.pending.push(e);
+            } else {
+                self.write_extent_stamped(inner, &mut entry, 0, &obj.content, modified)?;
+            }
+            if !obj.attrs.is_empty() {
+                let e = JournalEntry::SetAttr {
+                    stamp: HybridTimestamp::new(obj.modified, self.stamps.next_seq()),
+                    old: entry.meta.attrs.clone(),
+                    new: obj.attrs.clone(),
+                };
+                redo(&mut entry.meta, &e);
+                entry.pending.push(e);
+            }
+            entry.dirty = true;
+            inner.table.insert(obj.oid, Slot::Cached(Box::new(entry)));
+            inner.next_oid = inner.next_oid.max(obj.oid + 1);
+            self.stats.versions_created(1);
+            return Ok(());
+        }
+        let mut entry = self.take_cached(inner, ObjectId(obj.oid))?;
+        let r = (|| -> Result<()> {
+            if !entry.meta.is_live() {
+                return Err(S4Error::BadRequest("reshard apply onto a deleted object"));
+            }
+            // Wipe, then rewrite, all at the source's modification time.
+            // truncate_inner is unusable here: it self-stamps (and its
+            // partial-block tail zeroing writes at "now"), which would
+            // advance the modification time past the source's.
+            let freed: Vec<PtrChange> = entry
+                .meta
+                .blocks
+                .iter()
+                .map(|(&lbn, &old)| PtrChange {
+                    lbn,
+                    old,
+                    new: BlockAddr::NONE,
+                })
+                .collect();
+            let e = JournalEntry::Truncate {
+                stamp: HybridTimestamp::new(obj.modified, self.stamps.next_seq()),
+                old_size: entry.meta.size,
+                new_size: 0,
+                freed,
+            };
+            redo(&mut entry.meta, &e);
+            entry.pending.push(e);
+            if !obj.content.is_empty() {
+                self.write_extent_stamped(
+                    inner,
+                    &mut entry,
+                    0,
+                    &obj.content,
+                    HybridTimestamp::new(obj.modified, self.stamps.next_seq()),
+                )?;
+            }
+            if entry.meta.attrs != obj.attrs {
+                let e = JournalEntry::SetAttr {
+                    stamp: HybridTimestamp::new(obj.modified, self.stamps.next_seq()),
+                    old: entry.meta.attrs.clone(),
+                    new: obj.attrs.clone(),
+                };
+                redo(&mut entry.meta, &e);
+                entry.pending.push(e);
+            }
+            if entry.meta.acl != obj.acl {
+                let e = JournalEntry::SetAcl {
+                    stamp: HybridTimestamp::new(obj.modified, self.stamps.next_seq()),
+                    old: entry.meta.acl.clone(),
+                    new: obj.acl.clone(),
+                };
+                redo(&mut entry.meta, &e);
+                entry.pending.push(e);
+            }
+            entry.dirty = true;
+            self.stats.versions_created(1);
+            Ok(())
+        })();
+        self.put_back(inner, entry);
+        r
     }
 
     /// Walks an object's retained journal history, oldest first: one

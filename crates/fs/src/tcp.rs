@@ -37,6 +37,12 @@ use crate::transport::Transport;
 /// minimum RPC frame).
 pub const STATS_FRAME_MARKER: &[u8] = b"__stats__";
 
+/// Request payload that asks the server for its reshard status line
+/// (progress of any live split) instead of dispatching an RPC. Like
+/// the stats frame: too short to be a valid RPC frame, and carries no
+/// object contents or per-principal data.
+pub const RESHARD_FRAME_MARKER: &[u8] = b"__reshard__";
+
 /// Anything that can sit behind the TCP server and execute S4 RPCs: a
 /// single [`S4Drive`] or a sharded drive array (`s4-array`). The server
 /// is generic over this trait so both deployments share the framing,
@@ -47,6 +53,13 @@ pub trait RpcHandler: Send + Sync {
 
     /// Prometheus text exposition served on the out-of-band stats frame.
     fn stats_text(&self) -> String;
+
+    /// One-line reshard status served on the out-of-band reshard frame.
+    /// Meaningful only for handlers that can split (the array); a lone
+    /// drive reports that it has no shards to split.
+    fn reshard_text(&self) -> String {
+        "reshard unsupported".to_string()
+    }
 }
 
 impl<D: BlockDev> RpcHandler for S4Drive<D> {
@@ -154,6 +167,14 @@ impl TcpServerHandle {
                             }
                             continue;
                         }
+                        if frame == RESHARD_FRAME_MARKER {
+                            let mut out = vec![0u8];
+                            out.extend_from_slice(handler.reshard_text().as_bytes());
+                            if write_frame(&mut stream, &out).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
                         let reply = match decode_request_frame(&frame) {
                             Some((ctx, req)) => match handler.handle(&ctx, &req) {
                                 Ok(resp) => {
@@ -248,6 +269,21 @@ impl TcpTransport {
             Some(0) => String::from_utf8(reply[1..].to_vec())
                 .map_err(|_| FsError::Storage("non-utf8 stats exposition".into())),
             _ => Err(FsError::Storage("stats frame rejected".into())),
+        }
+    }
+
+    /// Fetches the server's one-line reshard status over this
+    /// connection (the out-of-band reshard frame).
+    pub fn fetch_reshard_status(&self) -> FsResult<String> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, RESHARD_FRAME_MARKER)
+            .map_err(|e| FsError::Storage(format!("tcp write: {e}")))?;
+        let reply =
+            read_frame(&mut *stream).map_err(|e| FsError::Storage(format!("tcp read: {e}")))?;
+        match reply.first() {
+            Some(0) => String::from_utf8(reply[1..].to_vec())
+                .map_err(|_| FsError::Storage("non-utf8 reshard status".into())),
+            _ => Err(FsError::Storage("reshard frame rejected".into())),
         }
     }
 }

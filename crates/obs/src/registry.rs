@@ -58,6 +58,26 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
+
+    /// Adds `delta` to the gauge (compare-and-swap loop; gauges are
+    /// read-mostly, so contention is negligible). Migration progress
+    /// gauges use this to accumulate copied objects across rounds.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = f64::from_bits(cur) + delta;
+            let next = if next.is_finite() { next } else { 0.0 };
+            match self.bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(v) => cur = v,
+            }
+        }
+    }
 }
 
 enum Metric {

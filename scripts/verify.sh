@@ -29,6 +29,15 @@
 #    simulated throughput at 4 shards and that degraded-mode throughput
 #    stays >= 0.5x healthy (BENCH_JSON line; committed baseline in
 #    BENCH_array.json)
+# 11. the online-reshard drill: a live 4->8 residue-class split under
+#    8 concurrent TCP clients (zero client-visible errors, digests
+#    preserved, serializable audit) plus the crash-point campaign
+#    (wholly-old / wholly-new routing after remount) and the offline
+#    digest-equality baseline
+# 12. the reshard bench at smoke scale, which asserts the flip pause
+#    stays within one shard's queue drain and migration keeps >= 0.5x
+#    steady throughput (BENCH_JSON line; committed baseline in
+#    BENCH_reshard.json)
 #
 # The exhaustive campaigns (every crash point of a 500-op workload, and
 # every second-crash point inside recovery) are not part of tier-1; run
@@ -88,5 +97,18 @@ S4_BENCH_SCALE="${S4_BENCH_SCALE:-0.25}" cargo bench -p s4-bench --bench fig_arr
 grep -q '^BENCH_JSON ' target/fig_array.out \
   || { echo "verify: fig_array emitted no BENCH_JSON line" >&2; exit 1; }
 grep '^BENCH_JSON ' target/fig_array.out | sed 's/^BENCH_JSON //' > target/BENCH_array.json
+
+echo "== online-reshard drill (live 4->8 split under 8 TCP clients)"
+cargo test -q --test array_reshard_live
+cargo test -q --test reshard_torture
+cargo test -q --test reshard_offline
+cargo test -q --test array_broadcast_concurrency
+
+echo "== fig_reshard bench (smoke scale, asserts flip pause <= queue drain)"
+S4_BENCH_SCALE="${S4_BENCH_SCALE:-0.25}" cargo bench -p s4-bench --bench fig_reshard \
+  | tee target/fig_reshard.out
+grep -q '^BENCH_JSON ' target/fig_reshard.out \
+  || { echo "verify: fig_reshard emitted no BENCH_JSON line" >&2; exit 1; }
+grep '^BENCH_JSON ' target/fig_reshard.out | sed 's/^BENCH_JSON //' > target/BENCH_reshard.json
 
 echo "verify: OK"

@@ -48,6 +48,10 @@ fn usage() -> ExitCode {
            stats <image> [<image>...] [--json]\n\
                                          (metrics + flight-recorder tail; several\n\
                                           images = array mode, per-shard + aggregate)\n\
+           reshard <image>... --targets <new-image>... [--slot <n>] [--mirrors <m>]\n\
+                                         (split an array's residue classes onto fresh\n\
+                                          images: all slots without --slot, one with;\n\
+                                          target images are created, one per mirror)\n\
            detect <image>                (run the intrusion detectors over the audit log)\n\
            plan <image> <secs> --client <id> [--user <id>]   (recovery plan for intrusion at <secs>)\n\
            revert <image> <secs> --client <id> [--user <id>] (plan and execute the recovery)\n\
@@ -343,6 +347,87 @@ fn run() -> Result<(), String> {
                     );
                 }
             }
+            array.unmount().map_err(|e| format!("unmount array: {e}"))?;
+        }
+        "reshard" => {
+            let flag = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|s| s.parse::<usize>().ok())
+            };
+            let mirrors = flag("--mirrors").unwrap_or(1);
+            let slot = flag("--slot");
+            let tpos = args
+                .iter()
+                .position(|a| a == "--targets")
+                .ok_or("reshard: need --targets <new-image>...")?;
+            let sources: Vec<&String> =
+                args[1..tpos].iter().filter(|a| !a.starts_with("--")).collect();
+            let target_paths: Vec<&String> = args[tpos + 1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
+            let devices = sources
+                .iter()
+                .map(|p| FileDisk::open(p).map_err(|e| format!("open {p}: {e}")))
+                .collect::<Result<Vec<_>, String>>()?;
+            let sectors = devices
+                .first()
+                .map(s4_simdisk::BlockDev::num_sectors)
+                .ok_or("reshard: need at least one source image")?;
+            let (array, _reports) = s4_array::S4Array::mount(
+                devices,
+                DriveConfig::default(),
+                s4_array::ArrayConfig {
+                    mirrors,
+                    ..s4_array::ArrayConfig::default()
+                },
+                SimClock::new(),
+            )
+            .map_err(|e| format!("mount array: {e}"))?;
+            let targets = target_paths
+                .iter()
+                .map(|p| FileDisk::create(p, sectors).map_err(|e| format!("create {p}: {e}")))
+                .collect::<Result<Vec<_>, String>>()?;
+            let cfg = s4_reshard::ReshardConfig::default();
+            let reports = match slot {
+                Some(s) => vec![s4_reshard::split_shard(&array, s, targets, cfg)
+                    .map_err(|e| format!("reshard: {e}"))?],
+                None => {
+                    let base = array.epoch().base;
+                    if targets.len() != base * mirrors {
+                        return Err(format!(
+                            "reshard: doubling {base} shards x {mirrors} mirrors needs {} \
+                             target images, got {}",
+                            base * mirrors,
+                            targets.len()
+                        ));
+                    }
+                    let mut groups = Vec::with_capacity(base);
+                    let mut it = targets.into_iter();
+                    for _ in 0..base {
+                        groups.push(it.by_ref().take(mirrors).collect());
+                    }
+                    s4_reshard::double_array(&array, groups, cfg)
+                        .map_err(|e| format!("reshard: {e}"))?
+                }
+            };
+            for r in &reports {
+                println!(
+                    "slot {} -> {}: snapshot={} catchup={} (rounds={}) final_delta={} \
+                     cleaned={} pause={}us",
+                    r.source_slot,
+                    r.target_slot,
+                    r.snapshot_objects,
+                    r.catchup_objects,
+                    r.catchup_rounds,
+                    r.final_delta_objects,
+                    r.cleaned_objects,
+                    r.flip.pause.as_micros()
+                );
+            }
+            println!("{}", s4_reshard::status_text(&array));
             array.unmount().map_err(|e| format!("unmount array: {e}"))?;
         }
         "stats" => {

@@ -124,3 +124,79 @@ fn cli_versioning_workflow_across_invocations() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `s4 reshard`: double a two-image array onto two fresh images and
+/// verify the split routing and every object digest from a remount.
+#[test]
+fn cli_reshard_doubles_an_array() {
+    use s4_array::{ArrayConfig, S4Array};
+    use s4_clock::{SimClock, SimDuration};
+    use s4_core::{ClientId, DriveConfig, Request, RequestContext, Response, UserId};
+    use s4_simdisk::FileDisk;
+
+    let dir = std::env::temp_dir().join(format!("s4-cli-reshard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let img = |n: &str| dir.join(n);
+    let admin = RequestContext::admin(ClientId(0), DriveConfig::default().admin_token);
+
+    // Build a 2x1 array image set with a synced population.
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let devices = ["a0.s4", "a1.s4"]
+        .iter()
+        .map(|n| FileDisk::create(img(n), 64 * 2048).unwrap())
+        .collect();
+    let cfg = ArrayConfig {
+        mirrors: 1,
+        ..ArrayConfig::default()
+    };
+    let a = S4Array::format(devices, DriveConfig::default(), cfg, clock).unwrap();
+    let ctx = RequestContext::user(UserId(5), ClientId(2));
+    let mut digests = Vec::new();
+    for i in 0..12u64 {
+        let oid = match a.dispatch(&ctx, &Request::Create).unwrap() {
+            Response::Created(oid) => oid,
+            other => panic!("unexpected response {other:?}"),
+        };
+        a.dispatch(&ctx, &Request::Write { oid, offset: 0, data: vec![i as u8; 40] })
+            .unwrap();
+        digests.push((oid, 0u64));
+    }
+    a.dispatch(&ctx, &Request::Sync).unwrap();
+    for (oid, d) in digests.iter_mut() {
+        let s = a.shard_index_of(*oid);
+        *d = a.shard_drive(s).object_digest(&admin, *oid).unwrap();
+    }
+    a.unmount().unwrap();
+
+    // The CLI splits both residue classes onto fresh images.
+    let out = Command::new(env!("CARGO_BIN_EXE_s4"))
+        .arg("reshard")
+        .args([img("a0.s4"), img("a1.s4")])
+        .arg("--targets")
+        .args([img("b0.s4"), img("b1.s4")])
+        .output()
+        .expect("spawn s4");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "reshard failed: {stderr}");
+    assert!(stdout.contains("slot 0 -> 2"), "{stdout}");
+    assert!(stdout.contains("slot 1 -> 3"), "{stdout}");
+    assert!(stdout.contains("base=4"), "{stdout}");
+
+    // Remount all four images: doubled epoch, objects in their doubled
+    // classes, digests untouched by the migration.
+    let devices = ["a0.s4", "a1.s4", "b0.s4", "b1.s4"]
+        .iter()
+        .map(|n| FileDisk::open(img(n)).unwrap())
+        .collect();
+    let (a2, _) = S4Array::mount(devices, DriveConfig::default(), cfg, SimClock::new()).unwrap();
+    assert_eq!(a2.epoch().base, 4);
+    for (oid, d) in &digests {
+        let s = a2.shard_index_of(*oid);
+        assert_eq!(a2.shard_slot(s), (oid.0 % 4) as usize);
+        assert_eq!(a2.shard_drive(s).object_digest(&admin, *oid).unwrap(), *d);
+    }
+    a2.unmount().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
