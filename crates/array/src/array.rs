@@ -1,6 +1,7 @@
 //! The array itself: per-shard worker threads, bounded request queues,
 //! mirrored members with degraded mode, and scatter-gather dispatch.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
@@ -16,9 +17,10 @@ use s4_core::{
 use s4_fs::RpcHandler;
 use s4_obs::Registry;
 use s4_simdisk::BlockDev;
+use s4_txn::{note_name, parse_note, TwoPhaseOps, TxId, TxIdGen, TxnOutcome};
 
 use crate::epoch::{EpochInfo, FlipReport, EPOCH_NOTE_PREFIX, RESERVED_NAME_PREFIX};
-use crate::router::{dense_of, route, split_batch, Merge, Route};
+use crate::router::{dense_of, route, split_batch, BatchPlan, Merge, Route};
 
 /// Returned when a shard's worker thread is gone (array shutting down
 /// or worker panicked).
@@ -153,14 +155,34 @@ enum Job<D: BlockDev> {
         dev: Box<D>,
         reply: SyncSender<s4_core::Result<()>>,
     },
-    /// Install an epoch note in the shard's partition table (slot 0
-    /// only): create `new_name`, remove `old_name`, and anchor each
-    /// live member. Routed through the worker queue so the partition
-    /// object's bytes stay identical across mirrors with respect to
-    /// interleaved client `PCreate`s.
-    Epoch {
-        new_name: String,
-        old_name: Option<String>,
+    /// Install and/or retire an array-internal note in the shard's
+    /// partition table (slot 0 only): create `create`, remove `remove`,
+    /// and journal-flush each live member. Routed through the worker
+    /// queue so the partition object's bytes stay identical across
+    /// mirrors with respect to interleaved client `PCreate`s. Reshard
+    /// epoch notes and transaction decision notes both ride this job —
+    /// the flush after the create *is* their durability commit point.
+    Note {
+        create: Option<String>,
+        remove: Option<String>,
+        reply: SyncSender<s4_core::Result<()>>,
+    },
+    /// Phase 1 of a cross-shard transaction on this shard: execute the
+    /// sub-batch on every in-sync member via
+    /// [`S4Drive::txn_prepare_at`] (same pinned `t0`, so mirrors stamp
+    /// identically) and reply with the canonical responses — the
+    /// yes-vote. A member that faults at the disk level leaves service
+    /// exactly as it would under a plain mutation.
+    Prepare {
+        ctx: RequestContext,
+        txid: u64,
+        reqs: Vec<Request>,
+        reply: SyncSender<s4_core::Result<Vec<Response>>>,
+    },
+    /// Phase 2: commit or abort `txid` on every in-sync member.
+    Decide {
+        txid: u64,
+        commit: bool,
         reply: SyncSender<s4_core::Result<()>>,
     },
 }
@@ -205,6 +227,15 @@ pub struct BatchOutcome {
     pub failed_at: u32,
     /// The failing sub-request's error.
     pub error: S4Error,
+    /// `true` when the array cannot know how much of the sub-batch
+    /// executed before the failure — the shard worker panicked mid-batch
+    /// or vanished after the sub-batch was handed over, so `completed`
+    /// is a floor, not a fact. Clients must treat the shard's state as
+    /// unknown until they re-read (or the array remounts). `false`
+    /// covers both precise partial failures (the drive reported exactly
+    /// how far it got) and pre-execution refusals (read-only/dead
+    /// shard), where `completed` is exact.
+    pub in_doubt: bool,
 }
 
 /// A sharded array of [`S4Drive`]s presenting the single-drive RPC
@@ -231,6 +262,8 @@ pub struct S4Array<D: BlockDev> {
     clock: SimClock,
     cfg: ArrayConfig,
     reshard_reg: Registry,
+    txn_ids: TxIdGen,
+    txn_reg: Registry,
 }
 
 /// One routing epoch's view of the array: the epoch itself plus the
@@ -378,7 +411,84 @@ impl<D: BlockDev + 'static> S4Array<D> {
                 }
             }
         }
-        Ok((Self::spawn(groups, epoch, array, clock), reports))
+
+        // Resolve in-doubt cross-shard transactions (presumed abort): a
+        // decision note on any shard-0 member means the coordinator
+        // passed its commit point, so the transaction commits on every
+        // participant; no note means it never did, so it aborts.
+        // Aborts run newest-`t0` first — prepares were serial per
+        // worker, so an older transaction's effects are stamped before
+        // a newer one's `t0` and blanket compensation of the newer
+        // transaction can never disturb the older one. Deciding a
+        // transaction a member never saw is an idempotent no-op, so the
+        // fan-out goes to everyone.
+        let committed: BTreeSet<u64> = groups[0]
+            .iter()
+            .map(|m| m.op_plist(&admin, None))
+            .collect::<s4_core::Result<Vec<_>>>()?
+            .into_iter()
+            .flatten()
+            .filter_map(|(name, _)| parse_note(&name))
+            .map(|t| t.0)
+            .collect();
+        let mut open: BTreeMap<u64, u64> = BTreeMap::new();
+        for g in &groups {
+            for m in g {
+                for (txid, t0) in m.txn_in_doubt() {
+                    let e = open.entry(txid).or_insert(t0);
+                    *e = (*e).max(t0);
+                }
+            }
+        }
+        let mut order: Vec<(u64, u64)> = open.into_iter().collect();
+        order.sort_by_key(|&(txid, t0)| (t0, txid));
+        let mut redone = 0u64;
+        let mut undone = 0u64;
+        for &(txid, _) in order.iter().rev() {
+            let commit = committed.contains(&txid);
+            if commit {
+                redone += 1;
+            } else {
+                undone += 1;
+            }
+            for g in &groups {
+                for m in g {
+                    m.txn_decide(txid, commit)?;
+                }
+            }
+        }
+        // Every transaction with a note is now resolved everywhere (a
+        // note without any in-doubt participant was already resolved —
+        // only its lazy retire was lost), so the notes can go.
+        for member in &groups[0] {
+            let mut dirty = false;
+            for (name, _) in member.op_plist(&admin, None)? {
+                if parse_note(&name).is_some() {
+                    member.op_pdelete(&admin, &name)?;
+                    dirty = true;
+                }
+            }
+            if dirty {
+                member.op_sync(&admin)?;
+            }
+        }
+
+        let arr = Self::spawn(groups, epoch, array, clock);
+        if redone + undone > 0 {
+            arr.txn_reg
+                .counter(
+                    "s4_txn_recovered_commit_total",
+                    "in-doubt transactions redone from a decision note at mount",
+                )
+                .add(redone);
+            arr.txn_reg
+                .counter(
+                    "s4_txn_recovered_abort_total",
+                    "in-doubt transactions rolled back by presumed abort at mount",
+                )
+                .add(undone);
+        }
+        Ok((arr, reports))
     }
 
     /// Builds an array over already-constructed drives (benchmarks use
@@ -429,6 +539,8 @@ impl<D: BlockDev + 'static> S4Array<D> {
             clock,
             cfg: array,
             reshard_reg: Registry::new(),
+            txn_ids: TxIdGen::new(),
+            txn_reg: Registry::new(),
         }
     }
 
@@ -465,6 +577,13 @@ impl<D: BlockDev + 'static> S4Array<D> {
     /// lag, flip pauses), rendered into the array's expositions.
     pub fn reshard_registry(&self) -> &Registry {
         &self.reshard_reg
+    }
+
+    /// Registry of cross-shard transaction metrics (commits, aborts,
+    /// lagging participants, mount-time resolutions), rendered into the
+    /// array's expositions.
+    pub fn txn_registry(&self) -> &Registry {
+        &self.txn_reg
     }
 
     /// Members per shard.
@@ -530,21 +649,11 @@ impl<D: BlockDev + 'static> S4Array<D> {
         if member >= r.shards[shard].members.len() {
             return Err(S4Error::BadRequest("array: no such member"));
         }
-        let (reply, rx) = mpsc::sync_channel(1);
-        let sent = match &r.shards[shard].tx {
-            Some(tx) => tx
-                .send(Job::Resync {
-                    member,
-                    dev: Box::new(dev),
-                    reply,
-                })
-                .is_ok(),
-            None => false,
-        };
-        if !sent {
-            return Err(WORKER_GONE);
-        }
-        rx.recv().unwrap_or(Err(WORKER_GONE))
+        shard_call(&r.shards[shard].tx, |reply| Job::Resync {
+            member,
+            dev: Box::new(dev),
+            reply,
+        })
     }
 
     /// Tears the array down member by member, handing each drive to
@@ -685,6 +794,14 @@ impl<D: BlockDev + 'static> S4Array<D> {
     /// failed shard's unreached suffix are `None`. The outer error is
     /// reserved for planning failures (nested batch, broadcast op
     /// inside a batch, orphan `LAST_CREATED`).
+    ///
+    /// A batch that *mutates* more than one shard is not scattered
+    /// independently — it runs as one two-phase-commit transaction
+    /// (DESIGN §6i), so it takes effect on every shard or on none:
+    /// success looks identical to the scatter path, and failure is a
+    /// single [`BatchOutcome`] with `completed = 0` (the rollback undid
+    /// everything everywhere). Single-shard and read-only batches keep
+    /// the plain scatter path — they are trivially atomic already.
     pub fn dispatch_batch_outcomes(
         &self,
         ctx: &RequestContext,
@@ -696,6 +813,12 @@ impl<D: BlockDev + 'static> S4Array<D> {
             let plan =
                 split_batch(reqs, &r.epoch, || self.rr.fetch_add(1, Ordering::Relaxed) % n)?;
             let touched: Vec<usize> = (0..n).filter(|&s| !plan.subs[s].is_empty()).collect();
+            if touched.len() > 1 && reqs.iter().any(Request::mutates) {
+                match self.dispatch_batch_txn(&r, ctx, &plan, &touched) {
+                    Some(out) => return Ok(out),
+                    None => continue, // epoch moved: replan the split
+                }
+            }
             let jobs: Vec<(usize, Request)> = touched
                 .iter()
                 .map(|&s| (s, Request::Batch(plan.subs[s].clone())))
@@ -736,23 +859,120 @@ impl<D: BlockDev + 'static> S4Array<D> {
                         completed,
                         failed_at: orig as u32,
                         error: *error,
+                        in_doubt: false,
                     });
                 }
                 Err(e) => {
                     // Whole-sub-batch failure without partial-progress
-                    // info (worker gone, shard dead): nothing completed.
+                    // info. A pre-execution refusal (read-only or dead
+                    // shard) provably executed nothing; anything else —
+                    // a worker that panicked mid-batch or vanished —
+                    // may have executed a prefix whose extent was lost
+                    // with the worker, so the outcome is in doubt
+                    // rather than falsely precise.
+                    let in_doubt = e != SHARD_READ_ONLY && e != SHARD_DEAD;
                     let orig = plan.slots[s].first().copied().unwrap_or(usize::MAX);
                     outcomes.push(BatchOutcome {
                         shard: s,
                         completed: 0,
                         failed_at: orig as u32,
                         error: e,
+                        in_doubt,
                     });
                 }
             }
         }
         outcomes.sort_by_key(|o| o.failed_at);
         Ok((out, outcomes))
+    }
+
+    /// Runs a multi-shard mutating batch as one two-phase-commit
+    /// transaction under the routing snapshot `r`: prepare every
+    /// participant (execute + journal-flush the sub-batch), durably
+    /// write the decision note on shard 0 — the commit point — then fan
+    /// the decision out. Participant gates are held (in dense order,
+    /// like [`S4Array::try_scatter`]) for the whole window, so a
+    /// reshard flip of a participant cannot interleave with the
+    /// transaction. Returns `None` if the epoch moved before the gates
+    /// were held (the caller replans against the new routing).
+    fn dispatch_batch_txn(
+        &self,
+        r: &Routing<D>,
+        ctx: &RequestContext,
+        plan: &BatchPlan,
+        touched: &[usize],
+    ) -> Option<(Vec<Option<Response>>, Vec<BatchOutcome>)> {
+        let gates: Vec<_> = touched.iter().map(|&s| r.shards[s].gate.read()).collect();
+        if self.routing.lock().epoch.seq != r.epoch.seq {
+            return None;
+        }
+        let txid = self.txn_ids.next(self.clock.now().as_micros());
+        let mut ops = ArrayTxn {
+            r,
+            ctx,
+            subs: &plan.subs,
+            responses: BTreeMap::new(),
+        };
+        let outcome = s4_txn::run(&mut ops, txid, touched);
+        let responses = ops.responses;
+        drop(gates);
+
+        let mut out: Vec<Option<Response>> = vec![None; plan.total];
+        match outcome {
+            TxnOutcome::Committed { lagging } => {
+                self.txn_reg
+                    .counter(
+                        "s4_txn_committed_total",
+                        "cross-shard transactions committed",
+                    )
+                    .inc();
+                if !lagging.is_empty() {
+                    // A lagging participant missed the commit fan-out
+                    // (its members failed after voting); its effects
+                    // are durable and the decision note survives for
+                    // its next mount, so the batch still succeeded.
+                    self.txn_reg
+                        .counter(
+                            "s4_txn_lagging_total",
+                            "participants that missed a commit fan-out (note kept for mount recovery)",
+                        )
+                        .add(lagging.len() as u64);
+                }
+                for (s, resps) in responses {
+                    for (pos, resp) in resps.into_iter().enumerate() {
+                        out[plan.slots[s][pos]] = Some(resp);
+                    }
+                }
+                Some((out, Vec::new()))
+            }
+            TxnOutcome::Aborted {
+                failed_shard,
+                error,
+            } => {
+                self.txn_reg
+                    .counter(
+                        "s4_txn_aborted_total",
+                        "cross-shard transactions rolled back",
+                    )
+                    .inc();
+                // The rollback undid every participant, so the whole
+                // batch reports as never-executed: `completed = 0` on
+                // the shard that refused (or shard 0's decision write),
+                // every response slot empty, nothing in doubt.
+                let s = failed_shard.unwrap_or(touched[0]);
+                let orig = plan.slots[s].first().copied().unwrap_or(usize::MAX);
+                Some((
+                    out,
+                    vec![BatchOutcome {
+                        shard: s,
+                        completed: 0,
+                        failed_at: orig as u32,
+                        error,
+                        in_doubt: false,
+                    }],
+                ))
+            }
+        }
     }
 
     /// Splits a batch across shards and reassembles one response,
@@ -841,21 +1061,11 @@ impl<D: BlockDev + 'static> S4Array<D> {
 
         // Drain: a Sync through the FIFO queue completes every queued
         // job and makes every member durable.
-        let (reply, rx) = mpsc::sync_channel(1);
-        let sent = match &src.tx {
-            Some(tx) => tx
-                .send(Job::Rpc {
-                    ctx: admin,
-                    req: Request::Sync,
-                    reply,
-                })
-                .is_ok(),
-            None => false,
-        };
-        if !sent {
-            return Err(WORKER_GONE);
-        }
-        rx.recv().unwrap_or(Err(WORKER_GONE))?;
+        shard_call(&src.tx, |reply| Job::Rpc {
+            ctx: admin,
+            req: Request::Sync,
+            reply,
+        })?;
 
         // Final delta onto the prepared targets, under quiescence.
         let targets = finish(&live)?;
@@ -886,21 +1096,11 @@ impl<D: BlockDev + 'static> S4Array<D> {
         // retired after the gate drops (mount elects the highest seq and
         // repairs leftovers, so the overlap is harmless).
         let ne = e.after_split(source_slot);
-        let (reply, rx) = mpsc::sync_channel(1);
-        let sent = match &r.shards[0].tx {
-            Some(tx) => tx
-                .send(Job::Epoch {
-                    new_name: ne.note_name(),
-                    old_name: None,
-                    reply,
-                })
-                .is_ok(),
-            None => false,
-        };
-        if !sent {
-            return Err(WORKER_GONE);
-        }
-        rx.recv().unwrap_or(Err(WORKER_GONE))?;
+        shard_call(&r.shards[0].tx, |reply| Job::Note {
+            create: Some(ne.note_name()),
+            remove: None,
+            reply,
+        })?;
 
         // Commit point passed: narrow the source's allocator and swap
         // in the new routing.
@@ -931,15 +1131,15 @@ impl<D: BlockDev + 'static> S4Array<D> {
         // (pcreate tolerates an existing note), so a crash in between
         // just leaves both notes for mount's repair pass.
         drop(_gate);
-        let (reply, rx) = mpsc::sync_channel(1);
-        if let Some(tx) = &r.shards[0].tx {
-            let job = Job::Epoch {
-                new_name: ne.note_name(),
-                old_name: Some(e.note_name()),
-                reply,
-            };
-            if tx.send(job).is_ok() {
-                rx.recv().unwrap_or(Err(WORKER_GONE))?;
+        if let Err(err) = shard_call(&r.shards[0].tx, |reply| Job::Note {
+            create: Some(ne.note_name()),
+            remove: Some(e.note_name()),
+            reply,
+        }) {
+            // A vanished worker (shutdown race) is tolerable — mount's
+            // repair pass drops the stale note — but a real fault is not.
+            if err != WORKER_GONE {
+                return Err(err);
             }
         }
         Ok(FlipReport { pause, epoch: ne })
@@ -979,16 +1179,35 @@ fn spawn_shard<D: BlockDev + 'static>(
                     Job::Resync { member, dev, reply } => {
                         let _ = reply.send(worker_resync(slot, &worker_members, member, *dev));
                     }
-                    Job::Epoch {
-                        new_name,
-                        old_name,
+                    Job::Note {
+                        create,
+                        remove,
                         reply,
                     } => {
-                        let _ = reply.send(worker_epoch(
+                        let _ = reply.send(worker_note(
                             &worker_members,
-                            &new_name,
-                            old_name.as_deref(),
+                            create.as_deref(),
+                            remove.as_deref(),
                         ));
+                    }
+                    Job::Prepare {
+                        ctx,
+                        txid,
+                        reqs,
+                        reply,
+                    } => {
+                        let _ = reply.send(worker_prepare(
+                            slot,
+                            &worker_members,
+                            &clock,
+                            &ctx,
+                            txid,
+                            &reqs,
+                        ));
+                    }
+                    Job::Decide { txid, commit, reply } => {
+                        let _ =
+                            reply.send(worker_decide(slot, &worker_members, txid, commit));
                     }
                 }
             }
@@ -1003,14 +1222,15 @@ fn spawn_shard<D: BlockDev + 'static>(
     }
 }
 
-/// Installs an epoch note on every live member of the shard (create
-/// the new name, drop the old, anchor). Both steps are idempotent —
-/// a crash between members leaves a divergence that
-/// [`S4Array::mount`] repairs to the highest sequence.
-fn worker_epoch<D: BlockDev>(
+/// Installs and/or retires an array-internal note on every live member
+/// of the shard. Both steps are idempotent — a crash between members
+/// leaves a divergence that [`S4Array::mount`] repairs (epoch notes:
+/// highest sequence wins; transaction notes: any member's note commits
+/// the transaction).
+fn worker_note<D: BlockDev>(
     members: &[Arc<MemberSlot<D>>],
-    new_name: &str,
-    old_name: Option<&str>,
+    create: Option<&str>,
+    remove: Option<&str>,
 ) -> s4_core::Result<()> {
     for m in members {
         if m.state() == MemberState::Dead {
@@ -1018,11 +1238,13 @@ fn worker_epoch<D: BlockDev>(
         }
         let drive = m.drive();
         let admin = RequestContext::admin(ClientId(0), drive.config().admin_token);
-        match drive.op_pcreate(&admin, new_name, PARTITION_OBJECT) {
-            Ok(_) | Err(S4Error::PartitionExists) => {}
-            Err(e) => return Err(e),
+        if let Some(new) = create {
+            match drive.op_pcreate(&admin, new, PARTITION_OBJECT) {
+                Ok(_) | Err(S4Error::PartitionExists) => {}
+                Err(e) => return Err(e),
+            }
         }
-        if let Some(old) = old_name {
+        if let Some(old) = remove {
             match drive.op_pdelete(&admin, old) {
                 Ok(_) | Err(S4Error::NoSuchPartition) => {}
                 Err(e) => return Err(e),
@@ -1030,10 +1252,87 @@ fn worker_epoch<D: BlockDev>(
         }
         // A journal flush is the durability barrier — recovery replays
         // the journal, so the note survives a crash without paying for
-        // a full anchor (checkpoint promotion) inside the flip window.
+        // a full anchor (checkpoint promotion) in the caller's window.
         drive.op_sync(&admin)?;
     }
     Ok(())
+}
+
+/// Runs one transaction step (prepare or decide) on every in-sync
+/// member — the transactional sibling of [`worker_process`]'s mutation
+/// path: first member's answer is canonical, a panicking or faulting
+/// member leaves service via [`fail_member`]. Disk faults are *not*
+/// retried here: a prepare is not idempotent under partial re-execution
+/// (the transaction id is already open on the member), so the faulting
+/// member is simply failed and the survivors carry the shard.
+fn worker_txn_step<D: BlockDev, T>(
+    shard: usize,
+    members: &[Arc<MemberSlot<D>>],
+    step: impl Fn(&S4Drive<D>) -> s4_core::Result<T>,
+) -> s4_core::Result<T> {
+    let writable: Vec<usize> = (0..members.len())
+        .filter(|&k| members[k].state() == MemberState::InSync)
+        .collect();
+    if writable.is_empty() {
+        let any_alive = members.iter().any(|m| m.state() != MemberState::Dead);
+        return Err(if any_alive { SHARD_READ_ONLY } else { SHARD_DEAD });
+    }
+    let mut canonical: Option<s4_core::Result<T>> = None;
+    let mut last_fault: Option<S4Error> = None;
+    for k in writable {
+        let drive = members[k].drive();
+        let applied = match catch_unwind(AssertUnwindSafe(|| step(&drive))) {
+            Ok(Ok(v)) => Applied::Done(Ok(v)),
+            Ok(Err(e)) => match e.disk_fault() {
+                None => Applied::Done(Err(e)),
+                Some(_) => Applied::MemberFailed(e),
+            },
+            Err(_) => Applied::MemberFailed(S4Error::BadRequest(
+                "array member panicked during dispatch",
+            )),
+        };
+        match applied {
+            Applied::Done(r) => {
+                if canonical.is_none() {
+                    canonical = Some(r);
+                }
+            }
+            Applied::MemberFailed(e) => {
+                fail_member(shard, members, k, &e);
+                last_fault = Some(e);
+            }
+        }
+    }
+    canonical.unwrap_or_else(|| Err(last_fault.unwrap_or(SHARD_DEAD)))
+}
+
+/// Phase 1 on this shard: execute the sub-batch transactionally on
+/// every in-sync member. One pinned `t0` for all members — the shared
+/// clock is advanced past it exactly once — so mirrors re-execute the
+/// sub-batch with identical version stamps and stay byte-identical.
+fn worker_prepare<D: BlockDev>(
+    shard: usize,
+    members: &[Arc<MemberSlot<D>>],
+    clock: &SimClock,
+    ctx: &RequestContext,
+    txid: u64,
+    reqs: &[Request],
+) -> s4_core::Result<Vec<Response>> {
+    let t0 = clock.now();
+    clock.advance(SimDuration::from_micros(1));
+    worker_txn_step(shard, members, |drive| {
+        drive.txn_prepare_at(ctx, txid, t0, reqs)
+    })
+}
+
+/// Phase 2 on this shard: commit or abort on every in-sync member.
+fn worker_decide<D: BlockDev>(
+    shard: usize,
+    members: &[Arc<MemberSlot<D>>],
+    txid: u64,
+    commit: bool,
+) -> s4_core::Result<()> {
+    worker_txn_step(shard, members, |drive| drive.txn_decide(txid, commit))
 }
 
 /// `devices / mirrors`, validating the shape.
@@ -1057,11 +1356,11 @@ fn shard_count_of(devices: usize, mirrors: usize) -> s4_core::Result<usize> {
     Ok(devices / m)
 }
 
-/// Outcome of applying one request to one member.
-enum Applied {
+/// Outcome of applying one operation to one member.
+enum Applied<T> {
     /// The member answered (possibly a logical error — denial, missing
     /// object — which is a property of the request, not the member).
-    Done(s4_core::Result<Response>),
+    Done(s4_core::Result<T>),
     /// The member faulted at the disk level (retries exhausted, device
     /// failed, or its dispatch panicked) and must leave service.
     MemberFailed(S4Error),
@@ -1077,7 +1376,7 @@ fn apply_with_retry<D: BlockDev>(
     clock: &SimClock,
     ctx: &RequestContext,
     req: &Request,
-) -> Applied {
+) -> Applied<Response> {
     let mut backoff = cfg.retry_backoff_us.max(1);
     let mut attempt = 0u32;
     loop {
@@ -1328,6 +1627,88 @@ fn bad_shape(_resp: &Response) -> S4Error {
     S4Error::BadRequest("array: unexpected per-shard response shape")
 }
 
+/// Sends one job to a shard worker and waits for its typed reply.
+/// [`WORKER_GONE`] covers both a closed queue and a worker that died
+/// before answering.
+fn shard_call<D: BlockDev, T>(
+    tx: &Option<SyncSender<Job<D>>>,
+    build: impl FnOnce(SyncSender<s4_core::Result<T>>) -> Job<D>,
+) -> s4_core::Result<T> {
+    let (reply, rx) = mpsc::sync_channel(1);
+    let sent = match tx {
+        Some(tx) => tx.send(build(reply)).is_ok(),
+        None => false,
+    };
+    if !sent {
+        return Err(WORKER_GONE);
+    }
+    rx.recv().unwrap_or(Err(WORKER_GONE))
+}
+
+/// The array-side port of the two-phase-commit driver: protocol
+/// messages become shard-worker jobs against a held routing snapshot,
+/// and the decision note lives in shard 0's partition table with the
+/// same flush-is-durability discipline as the reshard epoch note.
+struct ArrayTxn<'a, D: BlockDev> {
+    r: &'a Routing<D>,
+    ctx: &'a RequestContext,
+    subs: &'a [Vec<Request>],
+    responses: BTreeMap<usize, Vec<Response>>,
+}
+
+impl<D: BlockDev> TwoPhaseOps for ArrayTxn<'_, D> {
+    type Err = S4Error;
+
+    fn prepare(&mut self, shard: usize, txid: TxId) -> Result<(), S4Error> {
+        let resps = shard_call(&self.r.shards[shard].tx, |reply| Job::Prepare {
+            ctx: *self.ctx,
+            txid: txid.0,
+            reqs: self.subs[shard].clone(),
+            reply,
+        })?;
+        self.responses.insert(shard, resps);
+        Ok(())
+    }
+
+    fn record_decision(&mut self, txid: TxId) -> Result<(), S4Error> {
+        let r = shard_call(&self.r.shards[0].tx, |reply| Job::Note {
+            create: Some(note_name(txid)),
+            remove: None,
+            reply,
+        });
+        if r.is_err() {
+            // Best-effort scrub of a possibly half-installed note, so
+            // that absence — presumed abort, the decision the driver is
+            // about to fan out — is what recovery reads back. (A fault
+            // model where the note lands durably and this scrub *also*
+            // fails is outside the power-loss discipline the campaigns
+            // exercise; see DESIGN §6i.)
+            let _ = shard_call(&self.r.shards[0].tx, |reply| Job::Note {
+                create: None,
+                remove: Some(note_name(txid)),
+                reply,
+            });
+        }
+        r
+    }
+
+    fn decide(&mut self, shard: usize, txid: TxId, commit: bool) -> Result<(), S4Error> {
+        shard_call(&self.r.shards[shard].tx, |reply| Job::Decide {
+            txid: txid.0,
+            commit,
+            reply,
+        })
+    }
+
+    fn retire_decision(&mut self, txid: TxId) -> Result<(), S4Error> {
+        shard_call(&self.r.shards[0].tx, |reply| Job::Note {
+            create: None,
+            remove: Some(note_name(txid)),
+            reply,
+        })
+    }
+}
+
 impl<D: BlockDev + 'static> RpcHandler for S4Array<D> {
     fn handle(&self, ctx: &RequestContext, req: &Request) -> s4_core::Result<Response> {
         self.dispatch(ctx, req)
@@ -1339,5 +1720,9 @@ impl<D: BlockDev + 'static> RpcHandler for S4Array<D> {
 
     fn reshard_text(&self) -> String {
         self.reshard_status_text()
+    }
+
+    fn txn_text(&self) -> String {
+        self.txn_status_text()
     }
 }

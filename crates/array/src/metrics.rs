@@ -70,10 +70,34 @@ impl<D: BlockDev + 'static> S4Array<D> {
             }
             let _ = writeln!(out, "{name} {total}");
         }
-        // Reshard progress (migration gauges, lag, flip pauses) lives
-        // in the array-level registry, not on any member drive.
+        // Reshard progress (migration gauges, lag, flip pauses) and
+        // cross-shard transaction outcomes live in array-level
+        // registries, not on any member drive.
         out.push_str(&self.reshard_registry().render_prometheus());
+        out.push_str(&self.txn_registry().render_prometheus());
         out
+    }
+
+    /// One-line cross-shard transaction status: coordinator outcome
+    /// counters plus mount-time recovery counts (served on the TCP txn
+    /// frame).
+    pub fn txn_status_text(&self) -> String {
+        let get = |name: &str| {
+            self.txn_registry()
+                .counter_values()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .unwrap_or(0)
+        };
+        format!(
+            "committed={} aborted={} lagging={} recovered_commit={} recovered_abort={}",
+            get("s4_txn_committed_total"),
+            get("s4_txn_aborted_total"),
+            get("s4_txn_lagging_total"),
+            get("s4_txn_recovered_commit_total"),
+            get("s4_txn_recovered_abort_total"),
+        )
     }
 
     /// One-line reshard status: the routing epoch plus the progress
@@ -137,9 +161,10 @@ impl<D: BlockDev + 'static> S4Array<D> {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"shards\":{n},\"mirrors\":{},\"degraded\":[{degraded}],\"reshard\":{},\"shard_metrics\":[{}],\"aggregate\":{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}}}}}}",
+            "{{\"shards\":{n},\"mirrors\":{},\"degraded\":[{degraded}],\"reshard\":{},\"txn\":{},\"shard_metrics\":[{}],\"aggregate\":{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}}}}}}",
             self.mirror_count(),
             self.reshard_registry().render_json(),
+            self.txn_registry().render_json(),
             per_shard.join(",")
         )
     }

@@ -14,7 +14,7 @@
 //! reads every shard's copy and merges (see `forensics`).
 
 use s4_core::rpc::LAST_CREATED;
-use s4_core::{ObjectId, Request, S4Error, TRACE_OBJECT};
+use s4_core::{ObjectId, Request, S4Error, TRACE_OBJECT, TXN_OBJECT};
 
 use crate::epoch::EpochInfo;
 
@@ -52,7 +52,7 @@ pub enum Route {
 /// shard keeps its own copy of (plus the 0 "not object-directed"
 /// placeholder).
 pub fn is_reserved(oid: ObjectId) -> bool {
-    oid.0 < 4 || oid == TRACE_OBJECT
+    oid.0 < 4 || oid == TRACE_OBJECT || oid == TXN_OBJECT
 }
 
 /// Home shard of `oid` in an `n`-shard array with no split in flight.

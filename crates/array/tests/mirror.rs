@@ -365,12 +365,13 @@ fn batch_outcomes_map_failures_to_original_indices() {
         },
     ];
 
-    // The fine-grained surface: per-slot responses plus one outcome for
-    // the failing shard, indexed in the original batch's coordinates.
+    // The fine-grained surface: a multi-shard mutating batch runs as
+    // one two-phase-commit transaction, so the failure on shard 1
+    // rolls shard 0 back too — every slot empty, one outcome in the
+    // original batch's coordinates, nothing in doubt.
     let (slots, outcomes) = a.dispatch_batch_outcomes(&ctx, &reqs).unwrap();
     assert_eq!(slots.len(), 3);
-    assert!(slots[0].is_some(), "shard 0 completed its sub-batch");
-    assert!(slots[1].is_none(), "failed slot has no response");
+    assert!(slots.iter().all(Option::is_none), "aborted batch leaves no responses");
     assert_eq!(
         outcomes,
         vec![BatchOutcome {
@@ -378,6 +379,7 @@ fn batch_outcomes_map_failures_to_original_indices() {
             completed: 0,
             failed_at: 1,
             error: S4Error::NoSuchObject,
+            in_doubt: false,
         }]
     );
 
@@ -391,12 +393,12 @@ fn batch_outcomes_map_failures_to_original_indices() {
         } => {
             assert_eq!(failed_at, 1);
             assert_eq!(*error, S4Error::NoSuchObject);
-            assert!(completed >= 1, "shard 0's write completed");
+            assert_eq!(completed, 0, "the rollback undid every shard");
         }
         other => panic!("unexpected error {other:?}"),
     }
 
-    // Partial effects are real: the even write took effect even though
-    // the batch as a whole failed.
-    assert_eq!(read(&a, &ctx, even, 4), b"even");
+    // All-or-nothing: the even write was rolled back with the batch.
+    assert_eq!(read(&a, &ctx, even, 4), b"");
+    assert_mirrors_converged(&a);
 }

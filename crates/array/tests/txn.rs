@@ -1,0 +1,270 @@
+//! Cross-shard atomic batches (two-phase commit, DESIGN §6i): live
+//! commit across shards and mirrors, live abort rollback on a
+//! participant failure, outcome metrics, and the in-doubt reporting
+//! contract when a shard worker panics mid-batch and the extent of its
+//! progress is lost.
+
+use s4_array::{ArrayConfig, BatchOutcome, S4Array};
+use s4_clock::{SimClock, SimDuration};
+use s4_core::rpc::LAST_CREATED;
+use s4_core::{
+    AuditObserver, AuditRecord, ClientId, DriveConfig, ObjectId, Request, RequestContext, Response,
+    S4Error, UserId,
+};
+use s4_simdisk::MemDisk;
+
+fn user() -> RequestContext {
+    RequestContext::user(UserId(1), ClientId(1))
+}
+
+fn admin() -> RequestContext {
+    RequestContext::admin(ClientId(0), 42)
+}
+
+fn array(shards: usize, mirrors: usize) -> (S4Array<MemDisk>, SimClock) {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let devices = (0..shards * mirrors)
+        .map(|_| MemDisk::with_capacity_bytes(64 << 20))
+        .collect();
+    let a = S4Array::format(
+        devices,
+        DriveConfig::small_test(),
+        ArrayConfig {
+            mirrors,
+            ..ArrayConfig::default()
+        },
+        clock.clone(),
+    )
+    .unwrap();
+    (a, clock)
+}
+
+fn create(a: &S4Array<MemDisk>, ctx: &RequestContext) -> ObjectId {
+    match a.dispatch(ctx, &Request::Create).unwrap() {
+        Response::Created(oid) => oid,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// Creates until one object lands in each residue class of a 2-shard
+/// array.
+fn one_per_shard(a: &S4Array<MemDisk>, ctx: &RequestContext) -> (ObjectId, ObjectId) {
+    let (mut even, mut odd) = (None, None);
+    while even.is_none() || odd.is_none() {
+        let oid = create(a, ctx);
+        if oid.0.is_multiple_of(2) {
+            even.get_or_insert(oid);
+        } else {
+            odd.get_or_insert(oid);
+        }
+    }
+    (even.unwrap(), odd.unwrap())
+}
+
+fn read(a: &S4Array<MemDisk>, ctx: &RequestContext, oid: ObjectId, len: u64) -> Vec<u8> {
+    match a
+        .dispatch(
+            ctx,
+            &Request::Read {
+                oid,
+                offset: 0,
+                len,
+                time: None,
+            },
+        )
+        .unwrap()
+    {
+        Response::Data(d) => d,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+fn write_req(oid: ObjectId, data: &[u8]) -> Request {
+    Request::Write {
+        oid,
+        offset: 0,
+        data: data.to_vec(),
+    }
+}
+
+/// All-InSync digests must agree member-to-member within every shard.
+fn assert_mirrors_converged(a: &S4Array<MemDisk>) {
+    let adm = admin();
+    for s in 0..a.shard_count() {
+        let first = a.member_drive(s, 0);
+        let ids = first.live_object_ids(&adm).unwrap();
+        for k in 1..a.mirror_count() {
+            let other = a.member_drive(s, k);
+            assert_eq!(
+                ids,
+                other.live_object_ids(&adm).unwrap(),
+                "shard {s} object sets"
+            );
+            for &oid in &ids {
+                assert_eq!(
+                    first.object_digest(&adm, ObjectId(oid)).unwrap(),
+                    other.object_digest(&adm, ObjectId(oid)).unwrap(),
+                    "shard {s} object {oid} diverged between mirrors"
+                );
+            }
+            assert_eq!(
+                first.read_audit_records(&adm).unwrap(),
+                other.read_audit_records(&adm).unwrap(),
+                "shard {s} audit streams diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_shard_commit_lands_every_sub_request_and_mirrors_agree() {
+    let (a, _clock) = array(2, 2);
+    let ctx = user();
+    let (even, odd) = one_per_shard(&a, &ctx);
+
+    // Spans both shards and exercises the LAST_CREATED placeholder
+    // inside a transactional sub-batch.
+    let reqs = vec![
+        write_req(even, b"left"),
+        write_req(odd, b"right"),
+        Request::Create,
+        Request::Write {
+            oid: LAST_CREATED,
+            offset: 0,
+            data: b"fresh".to_vec(),
+        },
+        Request::Sync,
+    ];
+    let resp = a.dispatch(&ctx, &Request::Batch(reqs)).unwrap();
+    let rs = match resp {
+        Response::Batch(rs) => rs,
+        other => panic!("unexpected response {other:?}"),
+    };
+    assert_eq!(rs.len(), 5, "every slot answered");
+    let fresh = match &rs[2] {
+        Response::Created(oid) => *oid,
+        other => panic!("unexpected response {other:?}"),
+    };
+
+    // Before any read-path traffic (reads audit only on the first
+    // member): the transactional mutations left every mirror
+    // byte-identical, audit records included — one pinned t0 per shard.
+    assert_mirrors_converged(&a);
+
+    assert_eq!(read(&a, &ctx, even, 4), b"left");
+    assert_eq!(read(&a, &ctx, odd, 5), b"right");
+    assert_eq!(read(&a, &ctx, fresh, 5), b"fresh");
+    assert!(
+        a.txn_status_text().starts_with("committed=1 aborted=0"),
+        "status: {}",
+        a.txn_status_text()
+    );
+    // The decision note was retired after the full fan-out: the
+    // reserved transaction namespace is empty again.
+    let notes = match a
+        .dispatch(&admin(), &Request::PList { time: None })
+        .unwrap()
+    {
+        Response::Partitions(ps) => ps
+            .into_iter()
+            .filter(|(n, _)| n.starts_with("__s4/txn/"))
+            .count(),
+        other => panic!("unexpected response {other:?}"),
+    };
+    assert_eq!(notes, 0, "retired decision notes");
+}
+
+/// An audit observer that panics on every record — stands in for a
+/// buggy detection rule wedging one member's dispatch path.
+struct PanickingObserver;
+
+impl AuditObserver for PanickingObserver {
+    fn on_record(&mut self, _rec: &AuditRecord) -> Vec<Vec<u8>> {
+        panic!("detector bug");
+    }
+}
+
+#[test]
+fn participant_panic_mid_prepare_aborts_and_rolls_back_the_other_shard() {
+    let (a, _clock) = array(2, 1);
+    let ctx = user();
+    let (even, odd) = one_per_shard(&a, &ctx);
+
+    // Shard 1's only member wedges on its next audited mutation, i.e.
+    // during its prepare.
+    a.member_drive(1, 0)
+        .register_audit_observer(Box::new(PanickingObserver));
+
+    let reqs = vec![write_req(even, b"left"), write_req(odd, b"right")];
+    let (slots, outcomes) = a.dispatch_batch_outcomes(&ctx, &reqs).unwrap();
+    assert!(slots.iter().all(Option::is_none), "no partial responses");
+    assert_eq!(outcomes.len(), 1);
+    let o = &outcomes[0];
+    assert_eq!(o.shard, 1);
+    assert_eq!(o.completed, 0);
+    assert!(
+        !o.in_doubt,
+        "a refused prepare was rolled back everywhere, not in doubt"
+    );
+
+    // Shard 0 prepared first and was compensated on abort.
+    assert_eq!(read(&a, &ctx, even, 4), b"", "shard 0 write rolled back");
+    assert!(
+        a.txn_status_text().starts_with("committed=0 aborted=1"),
+        "status: {}",
+        a.txn_status_text()
+    );
+    // Nothing left in doubt on the survivor.
+    assert!(a.member_drive(0, 0).txn_in_doubt().is_empty());
+}
+
+#[test]
+fn worker_panic_mid_single_shard_batch_reports_in_doubt() {
+    let (a, _clock) = array(2, 1);
+    let ctx = user();
+    let (even, _odd) = one_per_shard(&a, &ctx);
+    let even2 = loop {
+        let oid = create(&a, &ctx);
+        if oid.0.is_multiple_of(2) {
+            break oid;
+        }
+    };
+
+    a.member_drive(0, 0)
+        .register_audit_observer(Box::new(PanickingObserver));
+
+    // Single-shard mutating batch: no two-phase commit, the worker
+    // panics mid-sub-batch and its progress extent dies with it.
+    let reqs = vec![write_req(even, b"one"), write_req(even2, b"two")];
+    let (slots, outcomes) = a.dispatch_batch_outcomes(&ctx, &reqs).unwrap();
+    assert!(slots.iter().all(Option::is_none));
+    assert_eq!(
+        outcomes,
+        vec![BatchOutcome {
+            shard: 0,
+            completed: 0,
+            failed_at: 0,
+            error: S4Error::BadRequest("array member panicked during dispatch"),
+            in_doubt: true,
+        }]
+    );
+}
+
+#[test]
+fn ordinary_batch_failure_is_not_in_doubt() {
+    let (a, _clock) = array(2, 1);
+    let ctx = user();
+    let (even, _odd) = one_per_shard(&a, &ctx);
+    // A missing even id: same shard as `even`, fails mid-sub-batch with
+    // full partial-progress information from the drive.
+    let missing = ObjectId(even.0 + 1000);
+    let reqs = vec![write_req(even, b"ok"), write_req(missing, b"ghost")];
+    let (_slots, outcomes) = a.dispatch_batch_outcomes(&ctx, &reqs).unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].error, S4Error::NoSuchObject);
+    assert!(
+        !outcomes[0].in_doubt,
+        "a drive-reported batch failure carries exact progress"
+    );
+}

@@ -76,7 +76,7 @@ pub use audit::{AuditRecord, AuditState, OpKind};
 pub use drive::{
     AlertCursor, AuditObserver, DriveConfig, RecoveryReport, ResyncImage, ResyncObject,
     ResyncStream, S4Drive, VersionKind, VersionRecord, ALERT_OBJECT, AUDIT_OBJECT,
-    PARTITION_OBJECT, TRACE_OBJECT,
+    PARTITION_OBJECT, TRACE_OBJECT, TXN_OBJECT,
 };
 pub use ids::{ClientId, ObjectId, RequestContext, UserId, ADMIN_USER};
 pub use rpc::{Request, Response};

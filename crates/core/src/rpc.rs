@@ -260,7 +260,19 @@ impl<D: BlockDev> S4Drive<D> {
         };
         self.clock().advance(self.config().cpu.op_cost(touched));
 
-        let result = self.execute(ctx, req);
+        // Objects pinned by an in-flight cross-shard transaction reject
+        // outside mutations (abort compensation must be able to restore
+        // the pre-transaction version without racing anyone). Reads stay
+        // allowed. The refusal still flows through the audit path below.
+        let target = req.target();
+        let locked = target.0 != 0
+            && req.mutates()
+            && self.txn_lock_holder(target).is_some();
+        let result = if locked {
+            Err(S4Error::BadRequest("object locked by an in-flight transaction"))
+        } else {
+            self.execute(ctx, req)
+        };
 
         let (arg1, arg2) = req.audit_args();
         // A Create names its object only in the response; audit the
@@ -382,6 +394,98 @@ impl<D: BlockDev> S4Drive<D> {
             Request::FlushAlerts => self.op_flush_alerts(ctx).map(Response::NewSize),
             Request::FlushTraces => self.op_flush_traces(ctx).map(Response::NewSize),
             Request::Batch(_) => Err(S4Error::BadRequest("batch inside execute")),
+        }
+    }
+
+    /// Phase 1 of two-phase commit, participant side: opens transaction
+    /// `txid`, executes `reqs` (each dispatched and audited exactly like
+    /// a batch sub-request), and — on success — flushes the yes-vote
+    /// with the precise touch scope. On any failure the partial effects
+    /// are rolled back locally (scoped compensation) before the error
+    /// propagates, so a refused prepare leaves no trace beyond audit
+    /// records.
+    pub fn txn_prepare(
+        &self,
+        ctx: &RequestContext,
+        txid: u64,
+        reqs: &[Request],
+    ) -> Result<Vec<Response>> {
+        let t0 = self.clock().now();
+        self.clock().advance(SimDuration::from_micros(1));
+        self.txn_prepare_at(ctx, txid, t0, reqs)
+    }
+
+    /// [`txn_prepare`](Self::txn_prepare) with a caller-chosen restore
+    /// point. Array workers pass the same `t0` to every mirror member
+    /// (after advancing the shared clock past it exactly once) so the
+    /// members re-execute the sub-batch with identical version stamps.
+    pub fn txn_prepare_at(
+        &self,
+        ctx: &RequestContext,
+        txid: u64,
+        t0: SimTime,
+        reqs: &[Request],
+    ) -> Result<Vec<Response>> {
+        self.txn_begin_at(txid, t0)?;
+        let mut touched_oids: Vec<u64> = Vec::new();
+        let mut touched_names: Vec<String> = Vec::new();
+        let mut last_created: Option<ObjectId> = None;
+        let result = (|| {
+            let mut out = Vec::with_capacity(reqs.len());
+            for sub in reqs {
+                match sub {
+                    Request::Batch(_) => {
+                        return Err(S4Error::BadRequest("nested batch in transaction"))
+                    }
+                    // Compensation can re-add objects but cannot restore
+                    // a name some *other* client removed concurrently,
+                    // and admin retention ops are not undoable at all.
+                    Request::PDelete { .. } => {
+                        return Err(S4Error::BadRequest("pdelete inside a transaction"))
+                    }
+                    Request::Flush { .. }
+                    | Request::FlushO { .. }
+                    | Request::SetWindow { .. }
+                    | Request::FlushAlerts
+                    | Request::FlushTraces => {
+                        return Err(S4Error::BadRequest("admin op inside a transaction"))
+                    }
+                    _ => {}
+                }
+                let resolved = substitute_oid(sub, last_created)?;
+                let resp = self.dispatch(ctx, &resolved)?;
+                if let Response::Created(oid) = &resp {
+                    last_created = Some(*oid);
+                    touched_oids.push(oid.0);
+                } else if resolved.mutates() {
+                    match &resolved {
+                        Request::PCreate { name, .. } => touched_names.push(name.clone()),
+                        _ => {
+                            let t = resolved.target();
+                            if t.0 != 0 {
+                                touched_oids.push(t.0);
+                            }
+                        }
+                    }
+                }
+                out.push(resp);
+            }
+            Ok(out)
+        })();
+        touched_oids.sort_unstable();
+        touched_oids.dedup();
+        match result {
+            Ok(out) => {
+                self.txn_vote(txid, touched_oids, touched_names)?;
+                Ok(out)
+            }
+            Err(e) => {
+                // Record the partial scope, then abort it locally — the
+                // coordinator will see the error and abort everywhere.
+                self.txn_vote(txid, touched_oids, touched_names)?;
+                self.txn_decide(txid, false)?;
+                Err(e)
+            }
         }
     }
 }

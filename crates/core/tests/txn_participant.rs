@@ -1,0 +1,303 @@
+//! Participant-side two-phase-commit behavior of a single drive: the
+//! prepare/vote/decide hooks, forward-compensation abort, object locks,
+//! and in-doubt recovery across a crash.
+
+use s4_clock::{SimClock, SimDuration};
+use s4_core::rpc::LAST_CREATED;
+use s4_core::{
+    ClientId, DriveConfig, Request, RequestContext, Response, S4Drive, S4Error, UserId,
+};
+use s4_simdisk::MemDisk;
+
+fn drive() -> S4Drive<MemDisk> {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    S4Drive::format(
+        MemDisk::with_capacity_bytes(64 << 20),
+        DriveConfig::small_test(),
+        clock,
+    )
+    .unwrap()
+}
+
+fn ctx() -> RequestContext {
+    RequestContext::user(UserId(1), ClientId(1))
+}
+
+#[test]
+fn commit_keeps_effects_and_clears_pending_state() {
+    let d = drive();
+    let c = ctx();
+    let oid = d.op_create(&c, None).unwrap();
+
+    let resps = d
+        .txn_prepare(
+            &c,
+            71,
+            &[
+                Request::Write {
+                    oid,
+                    offset: 0,
+                    data: b"committed".to_vec(),
+                },
+                Request::Create,
+                Request::Write {
+                    oid: LAST_CREATED,
+                    offset: 0,
+                    data: b"second".to_vec(),
+                },
+            ],
+        )
+        .unwrap();
+    assert_eq!(resps.len(), 3);
+    let Response::Created(new_oid) = resps[1] else {
+        panic!("expected Created");
+    };
+    assert_eq!(d.txn_in_doubt(), vec![(71, d.txn_in_doubt()[0].1)]);
+
+    d.txn_decide(71, true).unwrap();
+    assert!(d.txn_in_doubt().is_empty());
+    assert_eq!(d.op_read(&c, oid, 0, 64, None).unwrap(), b"committed");
+    assert_eq!(d.op_read(&c, new_oid, 0, 64, None).unwrap(), b"second");
+    // Deciding again is an idempotent no-op (retried fan-out).
+    d.txn_decide(71, true).unwrap();
+    d.txn_decide(71, false).unwrap();
+    assert_eq!(d.op_read(&c, oid, 0, 64, None).unwrap(), b"committed");
+}
+
+#[test]
+fn abort_restores_every_kind_of_effect() {
+    let d = drive();
+    let c = ctx();
+    // Pre-transaction state: two objects and a partition name.
+    let a = d.op_create(&c, None).unwrap();
+    d.op_write(&c, a, 0, b"alpha original content").unwrap();
+    d.op_setattr(&c, a, vec![1, 2, 3]).unwrap();
+    let victim = d.op_create(&c, None).unwrap();
+    d.op_write(&c, victim, 0, b"victim").unwrap();
+    d.op_pcreate(&c, "keep", a).unwrap();
+    d.op_sync(&c).unwrap();
+    let pre_a = d.op_read(&c, a, 0, 1024, None).unwrap();
+    let pre_attrs = d.op_getattr(&c, a, None).unwrap().opaque;
+
+    let resps = d
+        .txn_prepare(
+            &c,
+            72,
+            &[
+                Request::Write {
+                    oid: a,
+                    offset: 0,
+                    data: b"CLOBBERED".to_vec(),
+                },
+                Request::Truncate { oid: a, len: 9 },
+                Request::SetAttr {
+                    oid: a,
+                    attrs: vec![9, 9],
+                },
+                Request::Delete { oid: victim },
+                Request::Create,
+                Request::Write {
+                    oid: LAST_CREATED,
+                    offset: 0,
+                    data: b"ephemeral".to_vec(),
+                },
+                Request::PCreate {
+                    name: "txn-name".into(),
+                    oid: a,
+                },
+            ],
+        )
+        .unwrap();
+    let Response::Created(ephemeral) = resps[4] else {
+        panic!("expected Created");
+    };
+    // Mid-transaction the effects are visible (read-uncommitted).
+    assert_eq!(d.op_read(&c, a, 0, 64, None).unwrap(), b"CLOBBERED");
+    assert!(matches!(
+        d.op_read(&c, victim, 0, 8, None),
+        Err(S4Error::NoSuchObject)
+    ));
+
+    d.txn_decide(72, false).unwrap();
+    assert!(d.txn_in_doubt().is_empty());
+    // Content, size, and attrs restored.
+    assert_eq!(d.op_read(&c, a, 0, 1024, None).unwrap(), pre_a);
+    assert_eq!(d.op_getattr(&c, a, None).unwrap().opaque, pre_attrs);
+    // The deleted object is live again with its content.
+    assert_eq!(d.op_read(&c, victim, 0, 64, None).unwrap(), b"victim");
+    // The created object is dead again.
+    assert!(matches!(
+        d.op_read(&c, ephemeral, 0, 8, None),
+        Err(S4Error::NoSuchObject)
+    ));
+    // The transaction's name is gone; the pre-existing one remains.
+    let parts = d.op_plist(&c, None).unwrap();
+    assert!(parts.iter().any(|(n, _)| n == "keep"));
+    assert!(!parts.iter().any(|(n, _)| n == "txn-name"));
+}
+
+#[test]
+fn locks_reject_outside_mutations_until_resolved() {
+    let d = drive();
+    let c = ctx();
+    let a = d.op_create(&c, None).unwrap();
+    d.op_write(&c, a, 0, b"before").unwrap();
+
+    d.txn_prepare(
+        &c,
+        73,
+        &[Request::Write {
+            oid: a,
+            offset: 0,
+            data: b"pinned".to_vec(),
+        }],
+    )
+    .unwrap();
+    assert_eq!(d.txn_lock_holder(a), Some(73));
+    // Outside mutation refused; read still allowed.
+    assert!(matches!(
+        d.dispatch(
+            &c,
+            &Request::Write {
+                oid: a,
+                offset: 0,
+                data: b"intruder".to_vec()
+            }
+        ),
+        Err(S4Error::BadRequest(_))
+    ));
+    assert_eq!(
+        d.dispatch(
+            &c,
+            &Request::Read {
+                oid: a,
+                offset: 0,
+                len: 16,
+                time: None
+            }
+        )
+        .unwrap(),
+        Response::Data(b"pinned".to_vec())
+    );
+    // A second transaction touching the same object votes no (errors).
+    assert!(d
+        .txn_prepare(
+            &c,
+            74,
+            &[Request::Write {
+                oid: a,
+                offset: 0,
+                data: b"overlap".to_vec(),
+            }],
+        )
+        .is_err());
+    assert_eq!(d.txn_in_doubt(), vec![(73, d.txn_in_doubt()[0].1)]);
+
+    d.txn_decide(73, true).unwrap();
+    assert_eq!(d.txn_lock_holder(a), None);
+    d.op_write(&c, a, 0, b"after ").unwrap();
+    assert_eq!(d.op_read(&c, a, 0, 6, None).unwrap(), b"after ");
+}
+
+#[test]
+fn in_doubt_survives_a_crash_and_mount_abort_converges() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let d = S4Drive::format(
+        MemDisk::with_capacity_bytes(64 << 20),
+        DriveConfig::small_test(),
+        clock.clone(),
+    )
+    .unwrap();
+    let c = ctx();
+    let a = d.op_create(&c, None).unwrap();
+    d.op_write(&c, a, 0, b"stable state").unwrap();
+    d.op_sync(&c).unwrap();
+    let pre = d.op_read(&c, a, 0, 64, None).unwrap();
+
+    d.txn_prepare(
+        &c,
+        75,
+        &[Request::Write {
+            oid: a,
+            offset: 0,
+            data: b"doomed write".to_vec(),
+        }],
+    )
+    .unwrap();
+    // Crash after the vote, before any decision.
+    let dev = d.crash();
+    let d = S4Drive::mount(dev, DriveConfig::small_test(), clock.clone()).unwrap();
+    let open = d.txn_in_doubt();
+    assert_eq!(open.len(), 1);
+    assert_eq!(open[0].0, 75);
+    // Locks are rebuilt from the recovered log: the dispatcher still
+    // refuses outside mutations of the pinned object.
+    assert_eq!(d.txn_lock_holder(a), Some(75));
+    assert!(matches!(
+        d.dispatch(
+            &c,
+            &Request::Write {
+                oid: a,
+                offset: 0,
+                data: b"intruder".to_vec()
+            }
+        ),
+        Err(S4Error::BadRequest(_))
+    ));
+
+    // Presumed abort: no decision note means roll back.
+    d.txn_decide(75, false).unwrap();
+    assert_eq!(d.op_read(&c, a, 0, 64, None).unwrap(), pre);
+    let attrs_after_abort = d.op_getattr(&c, a, None).unwrap();
+
+    // A second crash/mount finds nothing in doubt, and re-deciding is a
+    // no-op — recovery is idempotent.
+    let dev = d.crash();
+    let d = S4Drive::mount(dev, DriveConfig::small_test(), clock).unwrap();
+    assert!(d.txn_in_doubt().is_empty());
+    assert_eq!(d.txn_lock_holder(a), None);
+    d.txn_decide(75, false).unwrap();
+    assert_eq!(d.op_read(&c, a, 0, 64, None).unwrap(), pre);
+    assert_eq!(d.op_getattr(&c, a, None).unwrap(), attrs_after_abort);
+}
+
+#[test]
+fn blanket_compensation_after_a_mid_prepare_crash() {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let d = S4Drive::format(
+        MemDisk::with_capacity_bytes(64 << 20),
+        DriveConfig::small_test(),
+        clock.clone(),
+    )
+    .unwrap();
+    let c = ctx();
+    let a = d.op_create(&c, None).unwrap();
+    d.op_write(&c, a, 0, b"pre-txn").unwrap();
+    d.op_sync(&c).unwrap();
+    let pre = d.op_read(&c, a, 0, 64, None).unwrap();
+
+    // Simulate a crash in the middle of prepare: the Prepared record is
+    // durable, some effects executed, but the vote never flushed.
+    d.txn_begin(76).unwrap();
+    d.op_write(&c, a, 0, b"torn effect").unwrap();
+    let fresh = d.op_create(&c, None).unwrap();
+    d.op_sync(&c).unwrap();
+
+    let dev = d.crash();
+    let d = S4Drive::mount(dev, DriveConfig::small_test(), clock).unwrap();
+    let open = d.txn_in_doubt();
+    assert_eq!(open.len(), 1, "prepared-without-vote is in doubt");
+
+    // A vote that never flushed can never have produced a commit
+    // decision, so recovery aborts: everything after t0 is restored.
+    d.txn_decide(76, false).unwrap();
+    assert_eq!(d.op_read(&c, a, 0, 64, None).unwrap(), pre);
+    assert!(matches!(
+        d.op_read(&c, fresh, 0, 8, None),
+        Err(S4Error::NoSuchObject)
+    ));
+    assert!(d.txn_in_doubt().is_empty());
+}

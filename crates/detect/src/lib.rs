@@ -59,7 +59,8 @@ pub use forensics::{
     CoverageReport, DamageReport, FlightEntry, TimelineEvent, TimelineSource, TreeDiff, TreeNode,
 };
 pub use recovery::{
-    execute_plan, plan_recovery, PlannedAction, RecoveryAction, RecoveryPlan, RecoveryReport,
+    execute_plan, execute_plan_atomic, execute_plan_atomic_on, plan_recovery, Dispatch, Landmark,
+    PlannedAction, RecoveryAction, RecoveryPlan, RecoveryReport,
     Suspects,
 };
 pub use timeline::{ActivityTimeline, ObjectProfile, PrincipalActivity};

@@ -12,8 +12,11 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use s4_clock::SimTime;
+use s4_core::drive::ObjectAttrs;
+use s4_core::rpc::LAST_CREATED;
 use s4_core::{
-    AclTable, AuditRecord, ClientId, ObjectId, RequestContext, S4Drive, S4Error, UserId,
+    AclEntry, AclTable, AuditRecord, ClientId, ObjectId, Request, RequestContext, Response,
+    S4Drive, S4Error, UserId,
 };
 use s4_simdisk::BlockDev;
 
@@ -371,6 +374,251 @@ pub fn execute_plan<D: BlockDev>(
     Ok(report)
 }
 
+/// Mutation sink for [`execute_plan_atomic`]: dispatches one request
+/// (reads included, so a single closure adapts a drive, an array, or a
+/// remote transport).
+pub type Dispatch<'a> = &'a mut dyn FnMut(&Request) -> Result<Response, S4Error>;
+
+/// Landmark sink for [`execute_plan_atomic`]. Landmark pinning has no
+/// RPC request variant, so it travels beside the dispatch closure;
+/// `at = None` pins the version current *now*.
+pub type Landmark<'a> = &'a mut dyn FnMut(ObjectId, Option<SimTime>) -> Result<(), S4Error>;
+
+/// Executes a plan issuing each action's mutations as a single
+/// [`Request::Batch`] dispatch.
+///
+/// Routed at an `S4Array`, a multi-shard action (e.g. unlink in one
+/// shard's directory + delete in another) rides the cross-shard
+/// two-phase commit and lands all-or-nothing; on a lone drive the
+/// batch still collapses the action into one dispatch with the
+/// drive's abort-at-first-failure contract. Like [`execute_plan`],
+/// execution continues past individual action failures and each is
+/// reported.
+pub fn execute_plan_atomic(
+    dispatch: Dispatch<'_>,
+    mark_landmark: Landmark<'_>,
+    plan: &RecoveryPlan,
+) -> Result<RecoveryReport, S4Error> {
+    let mut report = RecoveryReport::default();
+    // Same remap discipline as execute_plan: relink into resurrected
+    // directories' fresh ids.
+    let mut remap: BTreeMap<u64, ObjectId> = BTreeMap::new();
+    for (idx, pa) in plan.actions.iter().enumerate() {
+        let r = match &pa.action {
+            RecoveryAction::RestoreContent { object, to } => {
+                restore_content_atomic(&mut *dispatch, *object, *to)
+            }
+            RecoveryAction::Undelete {
+                object,
+                to,
+                parent,
+                kind,
+            } => {
+                let parent = parent
+                    .as_ref()
+                    .map(|(dir, name)| (remap.get(&dir.0).copied().unwrap_or(*dir), name.clone()));
+                undelete_atomic(&mut *dispatch, *object, *to, parent.as_ref(), *kind).map(
+                    |new_oid| {
+                        remap.insert(object.0, new_oid);
+                        report.undeleted.push((*object, new_oid));
+                    },
+                )
+            }
+            RecoveryAction::RemovePlanted { object, parent } => {
+                remove_planted_atomic(&mut *dispatch, &mut *mark_landmark, *object, parent.as_ref())
+            }
+            RecoveryAction::Quarantine { object, at } => mark_landmark(*object, Some(*at)),
+        };
+        match r {
+            Ok(()) => report.applied += 1,
+            Err(e) => report.failed.push((idx, e.to_string())),
+        }
+    }
+    Ok(report)
+}
+
+/// [`execute_plan_atomic`] adapted to a single drive's dispatch path.
+pub fn execute_plan_atomic_on<D: BlockDev>(
+    drive: &S4Drive<D>,
+    admin: &RequestContext,
+    plan: &RecoveryPlan,
+) -> Result<RecoveryReport, S4Error> {
+    execute_plan_atomic(
+        &mut |req| drive.dispatch(admin, req),
+        &mut |oid, at| drive.op_mark_landmark(admin, oid, at.unwrap_or_else(|| drive.now())),
+        plan,
+    )
+}
+
+/// Reads one version (attributes + full contents) through the
+/// dispatch closure.
+fn read_version(
+    dispatch: Dispatch<'_>,
+    oid: ObjectId,
+    time: Option<SimTime>,
+) -> Result<(ObjectAttrs, Vec<u8>), S4Error> {
+    let attrs = match dispatch(&Request::GetAttr { oid, time })? {
+        Response::Attrs(a) => a,
+        _ => return Err(S4Error::BadRequest("expected Attrs response")),
+    };
+    let data = if attrs.size > 0 {
+        match dispatch(&Request::Read {
+            oid,
+            offset: 0,
+            len: attrs.size,
+            time,
+        })? {
+            Response::Data(d) => d,
+            _ => return Err(S4Error::BadRequest("expected Data response")),
+        }
+    } else {
+        Vec::new()
+    };
+    Ok((attrs, data))
+}
+
+fn restore_content_atomic(
+    dispatch: Dispatch<'_>,
+    oid: ObjectId,
+    to: SimTime,
+) -> Result<(), S4Error> {
+    let (attrs, data) = read_version(&mut *dispatch, oid, Some(to))?;
+    let mut batch = Vec::new();
+    if !data.is_empty() {
+        batch.push(Request::Write {
+            oid,
+            offset: 0,
+            data,
+        });
+    }
+    batch.push(Request::Truncate {
+        oid,
+        len: attrs.size,
+    });
+    batch.push(Request::SetAttr {
+        oid,
+        attrs: attrs.opaque,
+    });
+    dispatch(&Request::Batch(batch)).map(|_| ())
+}
+
+/// The ACL entries of `oid`'s version at `to`, via the indexed lookup.
+fn acl_entries_at(
+    dispatch: Dispatch<'_>,
+    oid: ObjectId,
+    to: SimTime,
+) -> Result<Vec<AclEntry>, S4Error> {
+    let mut entries = Vec::new();
+    for index in 0.. {
+        match dispatch(&Request::GetAclByIndex {
+            oid,
+            index,
+            time: Some(to),
+        })? {
+            Response::Acl(Some(entry)) => entries.push(entry),
+            Response::Acl(None) => break,
+            _ => return Err(S4Error::BadRequest("expected Acl response")),
+        }
+    }
+    Ok(entries)
+}
+
+fn undelete_atomic(
+    dispatch: Dispatch<'_>,
+    oid: ObjectId,
+    to: SimTime,
+    parent: Option<&(ObjectId, String)>,
+    kind: EntryKind,
+) -> Result<ObjectId, S4Error> {
+    let (attrs, data) = read_version(&mut *dispatch, oid, Some(to))?;
+    let entries = acl_entries_at(&mut *dispatch, oid, to)?;
+    // One resurrection batch under the LAST_CREATED placeholder, so
+    // the fresh id never escapes half-initialised. The RPC surface has
+    // no create-with-ACL, so the recorded entries are upserted over
+    // the creation default.
+    let mut batch = vec![Request::Create];
+    if !data.is_empty() {
+        batch.push(Request::Write {
+            oid: LAST_CREATED,
+            offset: 0,
+            data,
+        });
+    }
+    batch.push(Request::SetAttr {
+        oid: LAST_CREATED,
+        attrs: attrs.opaque,
+    });
+    for entry in entries {
+        batch.push(Request::SetAcl {
+            oid: LAST_CREATED,
+            entry,
+        });
+    }
+    let new_oid = match dispatch(&Request::Batch(batch))? {
+        Response::Batch(rs) => match rs.first() {
+            Some(Response::Created(o)) => *o,
+            _ => return Err(S4Error::BadRequest("batch Create returned no id")),
+        },
+        _ => return Err(S4Error::BadRequest("expected Batch response")),
+    };
+    if let Some((dir, name)) = parent {
+        relink_atomic(&mut *dispatch, *dir, name, Some((new_oid, kind)), Vec::new())?;
+    }
+    Ok(new_oid)
+}
+
+fn remove_planted_atomic(
+    dispatch: Dispatch<'_>,
+    mark_landmark: Landmark<'_>,
+    oid: ObjectId,
+    parent: Option<&(ObjectId, String)>,
+) -> Result<(), S4Error> {
+    // Evidence first: pin the version being removed past the window.
+    mark_landmark(oid, None)?;
+    if let Some((dir, name)) = parent {
+        // Unlink and delete ride one batch — a failure between the two
+        // can no longer leave a dangling directory entry.
+        match relink_atomic(&mut *dispatch, *dir, name, None, vec![Request::Delete { oid }]) {
+            Ok(()) => return Ok(()),
+            // The parent directory may itself be a removed plant.
+            Err(S4Error::NoSuchObject) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    dispatch(&Request::Batch(vec![Request::Delete { oid }])).map(|_| ())
+}
+
+/// Rewrites one directory entry (`target = Some` upserts, `None`
+/// removes) and appends `tail` so callers can make follow-on
+/// mutations part of the same atomic batch.
+fn relink_atomic(
+    dispatch: Dispatch<'_>,
+    dir: ObjectId,
+    name: &str,
+    target: Option<(ObjectId, EntryKind)>,
+    tail: Vec<Request>,
+) -> Result<(), S4Error> {
+    let (_, data) = read_version(&mut *dispatch, dir, None)?;
+    let mut entries = dirblob::decode(&data)?;
+    entries.retain(|(n, _, _)| n != name);
+    if let Some((oid, kind)) = target {
+        entries.push((name.to_string(), oid.0, kind));
+    }
+    let blob = dirblob::encode(&entries);
+    let len = blob.len() as u64;
+    let mut batch = Vec::new();
+    if !blob.is_empty() {
+        batch.push(Request::Write {
+            oid: dir,
+            offset: 0,
+            data: blob,
+        });
+    }
+    batch.push(Request::Truncate { oid: dir, len });
+    batch.extend(tail);
+    dispatch(&Request::Batch(batch)).map(|_| ())
+}
+
 fn op_name(op: s4_core::OpKind) -> &'static str {
     use s4_core::OpKind::*;
     match op {
@@ -616,6 +864,59 @@ mod tests {
         let pins = d.landmarks(&admin, tool).unwrap();
         assert_eq!(pins.len(), 1);
         // And the removed planted object is pinned too (evidence).
+        assert_eq!(d.landmarks(&admin, planted).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn atomic_executor_restores_all_four_shapes_via_batches() {
+        let (d, admin, user, intruder) = setup();
+        let tampered = create(&d, &user);
+        d.dispatch(&user, &Request::Write { oid: tampered, offset: 0, data: b"good".to_vec() })
+            .unwrap();
+        let destroyed = create(&d, &user);
+        d.dispatch(&user, &Request::Write { oid: destroyed, offset: 0, data: b"keep me".to_vec() })
+            .unwrap();
+        tick(&d);
+        let t = d.now();
+        tick(&d);
+        d.dispatch(&intruder, &Request::Write { oid: tampered, offset: 0, data: b"EVIL".to_vec() })
+            .unwrap();
+        d.dispatch(&intruder, &Request::Delete { oid: destroyed }).unwrap();
+        let planted = create(&d, &intruder);
+        d.dispatch(&intruder, &Request::Write { oid: planted, offset: 0, data: b"backdoor".to_vec() })
+            .unwrap();
+        let tool = create(&d, &intruder);
+        tick(&d);
+        d.dispatch(&intruder, &Request::Delete { oid: tool }).unwrap();
+
+        let plan = plan_recovery(&d, &admin, &Suspects::client(ClientId(66)), t).unwrap();
+        // Count batch dispatches: every action's mutations must arrive
+        // as a single Request::Batch, never as loose writes.
+        let mut batches = 0usize;
+        let report = execute_plan_atomic(
+            &mut |req| {
+                if matches!(req, Request::Batch(_)) {
+                    batches += 1;
+                } else {
+                    assert!(
+                        !req.mutates(),
+                        "atomic executor issued a loose mutation: {req:?}"
+                    );
+                }
+                d.dispatch(&admin, req)
+            },
+            &mut |oid, at| d.op_mark_landmark(&admin, oid, at.unwrap_or_else(|| d.now())),
+            &plan,
+        )
+        .unwrap();
+        assert!(report.failed.is_empty(), "failures: {:?}", report.failed);
+        assert_eq!(report.applied, plan.actions.len());
+        assert!(batches >= 3, "restore/undelete/remove each batch once");
+        assert_eq!(d.op_read(&user, tampered, 0, 4, None).unwrap(), b"good");
+        assert!(d.op_getattr(&user, planted, None).is_err(), "planted object removed");
+        let (_, new_oid) = report.undeleted[0];
+        assert_eq!(d.op_read(&user, new_oid, 0, 7, None).unwrap(), b"keep me");
+        assert_eq!(d.landmarks(&admin, tool).unwrap().len(), 1);
         assert_eq!(d.landmarks(&admin, planted).unwrap().len(), 1);
     }
 

@@ -33,7 +33,10 @@ pub mod transport;
 
 pub use s4fs::{S4FileServer, S4FsConfig};
 pub use server::{FileAttr, FileKind, FileServer, FsError, FsResult, Handle};
-pub use tcp::{RpcHandler, TcpServerHandle, TcpTransport, RESHARD_FRAME_MARKER, STATS_FRAME_MARKER};
+pub use tcp::{
+    RpcHandler, TcpServerHandle, TcpTransport, RESHARD_FRAME_MARKER, STATS_FRAME_MARKER,
+    TXN_FRAME_MARKER,
+};
 #[allow(deprecated)]
 pub use tools::{damage_report, ls_at, read_file_at, restore_file, DamageReport};
 pub use transport::{LoopbackTransport, Transport};

@@ -43,6 +43,12 @@ pub const STATS_FRAME_MARKER: &[u8] = b"__stats__";
 /// object contents or per-principal data.
 pub const RESHARD_FRAME_MARKER: &[u8] = b"__reshard__";
 
+/// Request payload that asks the server for its cross-shard transaction
+/// status line (commit/abort/recovery counters) instead of dispatching
+/// an RPC. Same discipline as the other markers: shorter than any valid
+/// RPC frame, no object contents or per-principal data.
+pub const TXN_FRAME_MARKER: &[u8] = b"__txn__";
+
 /// Anything that can sit behind the TCP server and execute S4 RPCs: a
 /// single [`S4Drive`] or a sharded drive array (`s4-array`). The server
 /// is generic over this trait so both deployments share the framing,
@@ -59,6 +65,14 @@ pub trait RpcHandler: Send + Sync {
     /// drive reports that it has no shards to split.
     fn reshard_text(&self) -> String {
         "reshard unsupported".to_string()
+    }
+
+    /// One-line cross-shard transaction status served on the
+    /// out-of-band txn frame. Meaningful only for handlers that
+    /// coordinate multi-shard batches (the array); a lone drive has no
+    /// shards to coordinate across.
+    fn txn_text(&self) -> String {
+        "txn unsupported".to_string()
     }
 }
 
@@ -175,6 +189,14 @@ impl TcpServerHandle {
                             }
                             continue;
                         }
+                        if frame == TXN_FRAME_MARKER {
+                            let mut out = vec![0u8];
+                            out.extend_from_slice(handler.txn_text().as_bytes());
+                            if write_frame(&mut stream, &out).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
                         let reply = match decode_request_frame(&frame) {
                             Some((ctx, req)) => match handler.handle(&ctx, &req) {
                                 Ok(resp) => {
@@ -284,6 +306,21 @@ impl TcpTransport {
             Some(0) => String::from_utf8(reply[1..].to_vec())
                 .map_err(|_| FsError::Storage("non-utf8 reshard status".into())),
             _ => Err(FsError::Storage("reshard frame rejected".into())),
+        }
+    }
+
+    /// Fetches the server's one-line cross-shard transaction status
+    /// over this connection (the out-of-band txn frame).
+    pub fn fetch_txn_status(&self) -> FsResult<String> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, TXN_FRAME_MARKER)
+            .map_err(|e| FsError::Storage(format!("tcp write: {e}")))?;
+        let reply =
+            read_frame(&mut *stream).map_err(|e| FsError::Storage(format!("tcp read: {e}")))?;
+        match reply.first() {
+            Some(0) => String::from_utf8(reply[1..].to_vec())
+                .map_err(|_| FsError::Storage("non-utf8 txn status".into())),
+            _ => Err(FsError::Storage("txn frame rejected".into())),
         }
     }
 }

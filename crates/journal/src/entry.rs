@@ -89,6 +89,19 @@ pub enum JournalEntry {
         /// First block of the checkpoint chain.
         root: BlockAddr,
     },
+    /// Un-deletion of a deleted object — the inverse of [`Delete`],
+    /// used by transaction abort compensation to put a mid-transaction
+    /// deletion back. A distinct variant (rather than reusing `Create`)
+    /// keeps the "one `Create` begins each object's history" invariant
+    /// that point-in-time reconstruction relies on.
+    ///
+    /// [`Delete`]: JournalEntry::Delete
+    Revive {
+        /// Version stamp of the mutation.
+        stamp: HybridTimestamp,
+        /// The deletion stamp this entry cancels (restored on undo).
+        was_deleted: HybridTimestamp,
+    },
 }
 
 impl JournalEntry {
@@ -101,7 +114,8 @@ impl JournalEntry {
             | JournalEntry::Truncate { stamp, .. }
             | JournalEntry::SetAttr { stamp, .. }
             | JournalEntry::SetAcl { stamp, .. }
-            | JournalEntry::Checkpoint { stamp, .. } => *stamp,
+            | JournalEntry::Checkpoint { stamp, .. }
+            | JournalEntry::Revive { stamp, .. } => *stamp,
         }
     }
 
@@ -121,6 +135,7 @@ impl JournalEntry {
                 4 + old.len() + 4 + new.len()
             }
             JournalEntry::Checkpoint { .. } => 8,
+            JournalEntry::Revive { .. } => 16,
         };
         1 + 16 + body // type + stamp + body
     }
@@ -135,6 +150,7 @@ impl JournalEntry {
             JournalEntry::SetAttr { .. } => 5,
             JournalEntry::SetAcl { .. } => 6,
             JournalEntry::Checkpoint { .. } => 7,
+            JournalEntry::Revive { .. } => 8,
         };
         out.push(tag);
         let s = self.stamp();
@@ -171,6 +187,10 @@ impl JournalEntry {
             }
             JournalEntry::Checkpoint { root, .. } => {
                 out.extend_from_slice(&root.0.to_le_bytes());
+            }
+            JournalEntry::Revive { was_deleted, .. } => {
+                out.extend_from_slice(&was_deleted.time.as_micros().to_le_bytes());
+                out.extend_from_slice(&was_deleted.seq.to_le_bytes());
             }
         }
     }
@@ -253,6 +273,16 @@ impl JournalEntry {
                 *pos += 8;
                 JournalEntry::Checkpoint { stamp, root }
             }
+            8 => {
+                need(*pos, 16)?;
+                let time = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+                let seq = u64::from_le_bytes(buf[*pos + 8..*pos + 16].try_into().unwrap());
+                *pos += 16;
+                JournalEntry::Revive {
+                    stamp,
+                    was_deleted: HybridTimestamp::new(SimTime::from_micros(time), seq),
+                }
+            }
             _ => return Err(JournalError::Corrupt("journal entry tag")),
         };
         Ok(e)
@@ -312,6 +342,10 @@ mod tests {
                 root: BlockAddr(555),
             },
             JournalEntry::Delete { stamp: st(7, 7) },
+            JournalEntry::Revive {
+                stamp: st(8, 8),
+                was_deleted: st(7, 7),
+            },
         ]
     }
 

@@ -32,12 +32,14 @@ pub mod entry;
 pub mod meta;
 pub mod replay;
 pub mod sector;
+pub mod txn;
 
 pub use conventional::{BlockSink, ConventionalMeta, CountingSink, UpdateCost};
 pub use entry::{JournalEntry, PtrChange};
 pub use meta::ObjectMeta;
 pub use replay::{reconstruct_at, redo, undo};
 pub use sector::{decode_sector, encode_sectors, SectorPayload, MAX_SECTOR_BYTES};
+pub use txn::{in_doubt, InDoubtTxn, TxnRecord};
 
 use std::fmt;
 

@@ -51,6 +51,9 @@ pub fn redo(meta: &mut ObjectMeta, e: &JournalEntry) {
             meta.acl = new.clone();
         }
         JournalEntry::Checkpoint { .. } => {}
+        JournalEntry::Revive { .. } => {
+            meta.deleted = None;
+        }
     }
     if e.is_mutation() && e.stamp() > meta.modified {
         meta.modified = e.stamp();
@@ -94,6 +97,9 @@ pub fn undo(meta: &mut ObjectMeta, e: &JournalEntry) -> bool {
             meta.acl = old.clone();
         }
         JournalEntry::Checkpoint { .. } => {}
+        JournalEntry::Revive { was_deleted, .. } => {
+            meta.deleted = Some(*was_deleted);
+        }
     }
     true
 }
@@ -271,6 +277,28 @@ mod tests {
         let newest_first: Vec<_> = entries.iter().rev().cloned().collect();
         let v = reconstruct_at(&meta, newest_first, HybridTimestamp::MAX).unwrap();
         assert_eq!(v, meta);
+    }
+
+    #[test]
+    fn revive_cancels_a_delete_and_undoes_back_to_it() {
+        let (mut meta, _) = history(); // ends deleted @6
+        assert!(!meta.is_live());
+        let was = meta.deleted.unwrap();
+        let rv = JournalEntry::Revive {
+            stamp: st(7),
+            was_deleted: was,
+        };
+        redo(&mut meta, &rv);
+        assert!(meta.is_live());
+        assert_eq!(meta.modified, st(7));
+        // Undo restores the deletion stamp exactly.
+        assert!(undo(&mut meta, &rv));
+        assert_eq!(meta.deleted, Some(was));
+        // And reconstruction before the revive sees the deleted state.
+        let mut live = meta.clone();
+        redo(&mut live, &rv);
+        let v6 = reconstruct_at(&live, vec![rv.clone()], st(6)).unwrap();
+        assert!(!v6.is_live());
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Per-drive transaction log records for cross-shard two-phase commit.
+//!
+//! Each participant drive in a distributed transaction appends these
+//! records to a reserved, journaled table object (the drive layer owns
+//! the object; this module owns only the codec and the in-doubt fold).
+//! The record sequence per transaction is:
+//!
+//! 1. [`Prepared`] — flushed *before* the sub-batch executes, capturing
+//!    the pre-transaction time `t0`. A crash after this record but
+//!    before [`Touched`] means the sub-batch may have partially
+//!    executed; recovery compensates by restoring **everything** the
+//!    drive changed after `t0` (the worker holds the drive exclusively
+//!    during prepare, so nothing else can have written in between).
+//! 2. [`Touched`] — flushed *after* the sub-batch executed, naming the
+//!    exact objects and partition names it touched. Its presence is the
+//!    participant's yes-vote: effects are durable and scoped.
+//! 3. [`Resolved`] — the coordinator's decision has been applied here
+//!    (commit: nothing to do; abort: compensation ran). Once every
+//!    pending transaction is resolved the drive truncates the log.
+//!
+//! A `Prepared` without a matching `Resolved` is an **in-doubt**
+//! transaction; mount-time recovery resolves it by consulting the
+//! coordinator's decision note on shard 0 (present ⇒ commit, absent ⇒
+//! abort — presumed abort).
+//!
+//! [`Prepared`]: TxnRecord::Prepared
+//! [`Touched`]: TxnRecord::Touched
+//! [`Resolved`]: TxnRecord::Resolved
+
+use crate::{JournalError, Result};
+
+/// One record of a drive's transaction log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxnRecord {
+    /// Phase-1 intent: the sub-batch of transaction `txid` is about to
+    /// execute; every effect it will create is stamped strictly after
+    /// `t0_us` (microseconds).
+    Prepared {
+        /// Transaction identifier (globally unique per array lifetime).
+        txid: u64,
+        /// Pre-transaction timestamp in microseconds; compensation
+        /// restores state as of this instant.
+        t0_us: u64,
+    },
+    /// Phase-1 vote: the sub-batch executed; these are the objects and
+    /// partition names it touched.
+    Touched {
+        /// Transaction identifier.
+        txid: u64,
+        /// ObjectIDs written, created, deleted, or re-ACLed.
+        oids: Vec<u64>,
+        /// Partition names the sub-batch added.
+        names: Vec<String>,
+    },
+    /// Phase-2 outcome applied locally (true = committed).
+    Resolved {
+        /// Transaction identifier.
+        txid: u64,
+        /// Whether the coordinator decided commit.
+        committed: bool,
+    },
+}
+
+impl TxnRecord {
+    /// The transaction this record belongs to.
+    pub fn txid(&self) -> u64 {
+        match self {
+            TxnRecord::Prepared { txid, .. }
+            | TxnRecord::Touched { txid, .. }
+            | TxnRecord::Resolved { txid, .. } => *txid,
+        }
+    }
+
+    /// Appends the binary encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            TxnRecord::Prepared { txid, t0_us } => {
+                out.push(1);
+                out.extend_from_slice(&txid.to_le_bytes());
+                out.extend_from_slice(&t0_us.to_le_bytes());
+            }
+            TxnRecord::Touched { txid, oids, names } => {
+                out.push(2);
+                out.extend_from_slice(&txid.to_le_bytes());
+                out.extend_from_slice(&(oids.len() as u32).to_le_bytes());
+                for o in oids {
+                    out.extend_from_slice(&o.to_le_bytes());
+                }
+                out.extend_from_slice(&(names.len() as u32).to_le_bytes());
+                for n in names {
+                    let b = n.as_bytes();
+                    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                    out.extend_from_slice(b);
+                }
+            }
+            TxnRecord::Resolved { txid, committed } => {
+                out.push(3);
+                out.extend_from_slice(&txid.to_le_bytes());
+                out.push(u8::from(*committed));
+            }
+        }
+    }
+
+    /// Decodes one record from `buf[*pos..]`, advancing `pos`.
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<TxnRecord> {
+        let need = |p: usize, n: usize| {
+            if p + n > buf.len() {
+                Err(JournalError::Corrupt("txn record truncated"))
+            } else {
+                Ok(())
+            }
+        };
+        need(*pos, 9)?;
+        let tag = buf[*pos];
+        let txid = u64::from_le_bytes(buf[*pos + 1..*pos + 9].try_into().unwrap());
+        *pos += 9;
+        let r = match tag {
+            1 => {
+                need(*pos, 8)?;
+                let t0_us = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+                *pos += 8;
+                TxnRecord::Prepared { txid, t0_us }
+            }
+            2 => {
+                need(*pos, 4)?;
+                let no = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+                *pos += 4;
+                need(*pos, no * 8)?;
+                let mut oids = Vec::with_capacity(no);
+                for _ in 0..no {
+                    oids.push(u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap()));
+                    *pos += 8;
+                }
+                need(*pos, 4)?;
+                let nn = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+                *pos += 4;
+                let mut names = Vec::with_capacity(nn);
+                for _ in 0..nn {
+                    need(*pos, 4)?;
+                    let l = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+                    *pos += 4;
+                    need(*pos, l)?;
+                    let s = std::str::from_utf8(&buf[*pos..*pos + l])
+                        .map_err(|_| JournalError::Corrupt("txn partition name utf8"))?;
+                    names.push(s.to_string());
+                    *pos += l;
+                }
+                TxnRecord::Touched { txid, oids, names }
+            }
+            3 => {
+                need(*pos, 1)?;
+                let committed = buf[*pos] == 1;
+                *pos += 1;
+                TxnRecord::Resolved { txid, committed }
+            }
+            _ => return Err(JournalError::Corrupt("txn record tag")),
+        };
+        Ok(r)
+    }
+}
+
+/// Decodes a whole transaction log. The log object is journaled, so its
+/// recovered content is a synced prefix of what was appended — a
+/// truncated or garbled tail therefore cannot happen on the recovery
+/// path, but `scan` still refuses it loudly instead of panicking.
+pub fn scan(buf: &[u8]) -> Result<Vec<TxnRecord>> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < buf.len() {
+        out.push(TxnRecord::decode_from(buf, &mut pos)?);
+    }
+    Ok(out)
+}
+
+/// One unresolved transaction recovered from a drive's log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InDoubtTxn {
+    /// Transaction identifier.
+    pub txid: u64,
+    /// Pre-transaction timestamp (microseconds).
+    pub t0_us: u64,
+    /// Exact touch scope if the vote record made it to disk; `None`
+    /// means the crash hit mid-prepare and compensation must restore
+    /// everything stamped after `t0_us`.
+    pub touched: Option<(Vec<u64>, Vec<String>)>,
+}
+
+/// Folds a record stream into the set of in-doubt transactions: every
+/// `Prepared` without a matching `Resolved`, ordered as prepared.
+pub fn in_doubt(records: &[TxnRecord]) -> Vec<InDoubtTxn> {
+    let mut open: Vec<InDoubtTxn> = Vec::new();
+    for r in records {
+        match r {
+            TxnRecord::Prepared { txid, t0_us } => open.push(InDoubtTxn {
+                txid: *txid,
+                t0_us: *t0_us,
+                touched: None,
+            }),
+            TxnRecord::Touched { txid, oids, names } => {
+                if let Some(t) = open.iter_mut().find(|t| t.txid == *txid) {
+                    t.touched = Some((oids.clone(), names.clone()));
+                }
+            }
+            TxnRecord::Resolved { txid, .. } => open.retain(|t| t.txid != *txid),
+        }
+    }
+    open
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TxnRecord> {
+        vec![
+            TxnRecord::Prepared { txid: 7, t0_us: 1_000_000 },
+            TxnRecord::Touched {
+                txid: 7,
+                oids: vec![4, 12, 9000],
+                names: vec!["home".into(), "спул".into()],
+            },
+            TxnRecord::Resolved { txid: 7, committed: true },
+            TxnRecord::Prepared { txid: 9, t0_us: 2_000_000 },
+            TxnRecord::Resolved { txid: 9, committed: false },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        let mut buf = Vec::new();
+        for r in samples() {
+            r.encode_into(&mut buf);
+        }
+        assert_eq!(scan(&buf).unwrap(), samples());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        for r in samples() {
+            r.encode_into(&mut buf);
+        }
+        for cut in 1..buf.len() {
+            // Either a clean shorter prefix or a loud error.
+            let _ = scan(&buf[..cut]);
+        }
+        assert!(scan(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut buf = vec![0u8; 9];
+        buf[0] = 77;
+        assert!(scan(&buf).is_err());
+    }
+
+    #[test]
+    fn in_doubt_folds_prepared_without_resolved() {
+        let mut recs = samples();
+        assert!(in_doubt(&recs).is_empty(), "all sample txns resolved");
+
+        recs.push(TxnRecord::Prepared { txid: 11, t0_us: 3_000_000 });
+        recs.push(TxnRecord::Touched {
+            txid: 11,
+            oids: vec![42],
+            names: vec![],
+        });
+        recs.push(TxnRecord::Prepared { txid: 13, t0_us: 4_000_000 });
+        let open = in_doubt(&recs);
+        assert_eq!(open.len(), 2);
+        assert_eq!(open[0].txid, 11);
+        assert_eq!(open[0].touched, Some((vec![42], vec![])));
+        assert_eq!(open[1].txid, 13);
+        assert_eq!(open[1].touched, None, "crashed mid-prepare: blanket scope");
+    }
+}

@@ -61,6 +61,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod txn;
+
 use std::collections::HashMap;
 
 use s4_clock::{SimClock, SimDuration, SimTime};

@@ -1,0 +1,515 @@
+//! Exhaustive crash-point torture for cross-shard two-phase commit
+//! (DESIGN §6i).
+//!
+//! The coordinator's window runs: *prepare* each participant shard
+//! (execute + journal-flush the yes-vote), durably install the
+//! *decision note* on shard 0 — the commit point — *fan out* the
+//! decision, then *retire* the note. This module reproduces that exact
+//! on-disk request sequence member-drive by member-drive (the same way
+//! `reshard_torture` reproduces the split protocol's states) and kills
+//! the power at **every countable device request inside the window, on
+//! every device, under every torn-sector pattern**, then remounts and
+//! asserts:
+//!
+//! - **all-or-nothing**: after recovery, every participant object holds
+//!   the pre-transaction content or every one holds the
+//!   post-transaction content — never a mix, mirrors included;
+//! - **decision convergence**: no member is left in doubt, and no
+//!   decision note outlives the mount that resolved it;
+//! - **audit integrity**: every member's tamper-evident audit log is
+//!   still readable and retains the synced pre-transaction prefix;
+//! - **remount idempotence**: a second crash/remount pair reaches the
+//!   identical decision and byte-identical objects — mount resolution
+//!   is convergent.
+//!
+//! A replay is a pure function of its `(device, crash point, pattern)`
+//! coordinates: each one rebuilds the same array from scratch on a
+//! fresh simulated clock, so campaigns are reproducible request-for-
+//! request.
+
+use std::collections::BTreeMap;
+
+use s4_array::{ArrayConfig, S4Array};
+use s4_clock::SimDuration;
+use s4_clock::SimClock;
+use s4_core::{
+    ClientId, DriveConfig, ObjectId, Request, RequestContext, Response, S4Error, UserId,
+    PARTITION_OBJECT,
+};
+use s4_simdisk::{FaultPlan, FaultyDisk, MemDisk, TornPattern};
+use s4_txn::{note_name, TxId};
+
+use crate::CRASH_MASK;
+
+/// The fixed transaction id every replay uses: ids only need to be
+/// unique per array lifetime, and pinning it keeps replays
+/// byte-identical.
+const TXN_ID: u64 = 0x7777;
+
+/// Device capacity for every member (sparse in memory).
+const DISK_BYTES: u64 = 64 << 20;
+
+/// Parameters of one 2PC torture campaign.
+#[derive(Clone, Debug)]
+pub struct TxnTortureConfig {
+    /// Participant shards (every one joins the transaction).
+    pub shards: usize,
+    /// Members per shard (1 = unmirrored).
+    pub mirrors: usize,
+    /// Torn-sector patterns the campaign draws from.
+    pub torn_patterns: Vec<TornPattern>,
+    /// Patterns replayed per crash point: `None` replays all of them,
+    /// `Some(m)` cycles the set across points, m per point.
+    pub patterns_per_point: Option<usize>,
+    /// Cap on crash points (sampled evenly across every device's
+    /// window); `None` enumerates all of them.
+    pub max_crash_points: Option<usize>,
+}
+
+impl TxnTortureConfig {
+    /// The bounded CI campaign: two unmirrored shards, ≤ 24 sampled
+    /// crash points, one pattern per point cycling the standard mix.
+    pub fn bounded() -> Self {
+        TxnTortureConfig {
+            shards: 2,
+            mirrors: 1,
+            torn_patterns: standard_patterns(),
+            patterns_per_point: Some(1),
+            max_crash_points: Some(24),
+        }
+    }
+
+    /// The exhaustive campaign: three shards × two mirrors, every
+    /// countable request on every device, two patterns per point.
+    pub fn exhaustive() -> Self {
+        TxnTortureConfig {
+            shards: 3,
+            mirrors: 2,
+            torn_patterns: standard_patterns(),
+            patterns_per_point: Some(2),
+            max_crash_points: None,
+        }
+    }
+
+    /// Replays performed per crash point.
+    pub fn replays_per_point(&self) -> usize {
+        match self.patterns_per_point {
+            Some(m) => m.min(self.torn_patterns.len()),
+            None => self.torn_patterns.len(),
+        }
+    }
+
+    /// The torn patterns replayed at the `j`-th sampled crash point.
+    pub fn patterns_at(&self, j: usize) -> Vec<TornPattern> {
+        let n = self.torn_patterns.len();
+        let m = self.replays_per_point();
+        (0..m).map(|i| self.torn_patterns[(j * m + i) % n]).collect()
+    }
+
+    fn devices(&self) -> usize {
+        self.shards * self.mirrors
+    }
+}
+
+/// The same torn mix the single-drive harness uses.
+fn standard_patterns() -> Vec<TornPattern> {
+    vec![
+        TornPattern::Prefix(0),
+        TornPattern::Prefix(4),
+        TornPattern::Interleaved { phase: 0 },
+        TornPattern::Holed { start: 1, len: 2 },
+        TornPattern::Interleaved { phase: 1 },
+    ]
+}
+
+/// What the golden (fault-free) protocol run established.
+#[derive(Clone, Debug)]
+pub struct TxnGoldenSummary {
+    /// Per-device crash-point window `[start, end)`: countable request
+    /// indices the 2PC window issues on that device (indices below
+    /// `start` belong to the remount that precedes the protocol).
+    pub windows: Vec<(u64, u64)>,
+    /// Countable requests in the whole window, summed over devices —
+    /// the size of one pattern's crash-point domain.
+    pub points: u64,
+}
+
+/// Outcome of one crash-point replay (panics on invariant violation).
+#[derive(Clone, Copy, Debug)]
+pub struct TxnCrashOutcome {
+    /// Device the power-loss fault was armed on.
+    pub device: usize,
+    /// The countable-request index the fault was armed at.
+    pub crash_point: u64,
+    /// Torn-sector pattern applied to the faulting write.
+    pub torn: TornPattern,
+    /// Whether the fault actually fired.
+    pub died: bool,
+    /// The decision recovery converged on: `true` = every object holds
+    /// the post-transaction content, `false` = every object was rolled
+    /// back.
+    pub committed: bool,
+}
+
+/// Outcome of a whole campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnTortureSummary {
+    /// Crash points in the full domain (all devices).
+    pub domain: u64,
+    /// Distinct crash points replayed.
+    pub crash_points: usize,
+    /// Total replays (crash points × patterns per point).
+    pub replays: usize,
+    /// Replays in which the fault fired mid-protocol.
+    pub died: usize,
+    /// Replays that recovered to the committed state.
+    pub committed: usize,
+    /// Replays that recovered to the rolled-back state.
+    pub aborted: usize,
+}
+
+type Disk = FaultyDisk<MemDisk>;
+
+struct Rig {
+    array: S4Array<Disk>,
+    /// Participant object of shard `s`, in shard order.
+    oids: Vec<ObjectId>,
+}
+
+fn user() -> RequestContext {
+    RequestContext::user(UserId(1), ClientId(1))
+}
+
+fn admin() -> RequestContext {
+    RequestContext::admin(ClientId(0), 42)
+}
+
+fn array_cfg(mirrors: usize) -> ArrayConfig {
+    ArrayConfig {
+        mirrors,
+        ..ArrayConfig::default()
+    }
+}
+
+fn old_content(shard: usize) -> Vec<u8> {
+    format!("old-{shard:04}").into_bytes()
+}
+
+fn new_content(shard: usize) -> Vec<u8> {
+    format!("NEW-{shard:04}").into_bytes()
+}
+
+/// Formats a fresh array, seeds one synced object per shard, then
+/// remounts it with `plans[i]` armed on device `i` — faults never fire
+/// during the seeding phase, and each `FaultyDisk` counter restarts at
+/// zero on the remount wrapper, so crash points index the remount +
+/// protocol requests only. The whole build is a pure function of
+/// `cfg` and `plans`.
+fn build(cfg: &TxnTortureConfig, plans: Vec<FaultPlan>) -> Rig {
+    assert_eq!(plans.len(), cfg.devices());
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let devices = (0..cfg.devices())
+        .map(|_| FaultyDisk::new(MemDisk::with_capacity_bytes(DISK_BYTES), FaultPlan::none()))
+        .collect();
+    let a = S4Array::format(
+        devices,
+        DriveConfig::small_test(),
+        array_cfg(cfg.mirrors),
+        clock.clone(),
+    )
+    .unwrap();
+
+    // One participant object per shard, with synced pre-transaction
+    // content.
+    let ctx = user();
+    let mut oids: Vec<Option<ObjectId>> = vec![None; cfg.shards];
+    while oids.iter().any(Option::is_none) {
+        let oid = match a.dispatch(&ctx, &Request::Create).unwrap() {
+            Response::Created(oid) => oid,
+            other => panic!("unexpected response {other:?}"),
+        };
+        oids[a.shard_index_of(oid)].get_or_insert(oid);
+    }
+    let oids: Vec<ObjectId> = oids.into_iter().map(Option::unwrap).collect();
+    for (s, &oid) in oids.iter().enumerate() {
+        a.dispatch(
+            &ctx,
+            &Request::Write {
+                oid,
+                offset: 0,
+                data: old_content(s),
+            },
+        )
+        .unwrap();
+    }
+    a.dispatch(&ctx, &Request::Sync).unwrap();
+
+    let devices = a.unmount().unwrap();
+    let devices = devices
+        .into_iter()
+        .zip(plans)
+        .map(|(d, plan)| FaultyDisk::new(d.into_inner(), plan))
+        .collect();
+    let (array, _) = S4Array::mount(
+        devices,
+        DriveConfig::small_test(),
+        array_cfg(cfg.mirrors),
+        clock,
+    )
+    .unwrap();
+    Rig { array, oids }
+}
+
+/// Replays the coordinator's exact on-device request sequence against
+/// the member drives: prepare every shard (one pinned `t0` per shard,
+/// every member), install + sync the decision note on every shard-0
+/// member, fan the commit out, retire the note. Stops at the first
+/// error — once the armed device dies, the power is off and nothing
+/// later in the window runs.
+fn run_protocol(rig: &Rig, cfg: &TxnTortureConfig) -> Result<(), S4Error> {
+    let ctx = user();
+    let adm = admin();
+    let note = note_name(TxId(TXN_ID));
+    let clock = rig.array.member_drive(0, 0).clock().clone();
+    for (s, &oid) in rig.oids.iter().enumerate() {
+        let reqs = vec![Request::Write {
+            oid,
+            offset: 0,
+            data: new_content(s),
+        }];
+        let t0 = clock.now();
+        clock.advance(SimDuration::from_micros(1));
+        for m in 0..cfg.mirrors {
+            rig.array
+                .member_drive(s, m)
+                .txn_prepare_at(&ctx, TXN_ID, t0, &reqs)?;
+        }
+    }
+    for m in 0..cfg.mirrors {
+        let d = rig.array.member_drive(0, m);
+        d.op_pcreate(&adm, &note, PARTITION_OBJECT)?;
+        d.op_sync(&adm)?;
+    }
+    for s in 0..cfg.shards {
+        for m in 0..cfg.mirrors {
+            rig.array.member_drive(s, m).txn_decide(TXN_ID, true)?;
+        }
+    }
+    for m in 0..cfg.mirrors {
+        let d = rig.array.member_drive(0, m);
+        d.op_pdelete(&adm, &note)?;
+        d.op_sync(&adm)?;
+    }
+    Ok(())
+}
+
+/// Post-recovery invariant check. Returns `true` if the array holds
+/// the committed state, `false` if the rolled-back state; panics on a
+/// mix or any other violation. Also returns the per-object digests so
+/// the caller can assert remount idempotence.
+fn verify(a: &S4Array<Disk>, oids: &[ObjectId], what: &str) -> (bool, Vec<u64>) {
+    let ctx = user();
+    let adm = admin();
+    let mut states = Vec::new();
+    for (s, &oid) in oids.iter().enumerate() {
+        let data = match a
+            .dispatch(
+                &ctx,
+                &Request::Read {
+                    oid,
+                    offset: 0,
+                    len: 64,
+                    time: None,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{what}: object {oid} unreadable after crash: {e}"))
+        {
+            Response::Data(d) => d,
+            other => panic!("unexpected response {other:?}"),
+        };
+        if data == new_content(s) {
+            states.push(true);
+        } else if data == old_content(s) {
+            states.push(false);
+        } else {
+            panic!("{what}: object {oid} holds neither old nor new content: {data:?}");
+        }
+    }
+    let committed = states[0];
+    assert!(
+        states.iter().all(|&c| c == committed),
+        "{what}: atomicity violated — per-shard states {states:?}"
+    );
+
+    let mut digests = Vec::new();
+    for (s, &oid) in oids.iter().enumerate() {
+        for m in 0..a.mirror_count() {
+            let d = a.member_drive(s, m);
+            assert!(
+                d.txn_in_doubt().is_empty(),
+                "{what}: shard {s} member {m} still in doubt after mount"
+            );
+            let records = d
+                .read_audit_records(&adm)
+                .unwrap_or_else(|e| panic!("{what}: shard {s} member {m} audit unreadable: {e}"));
+            assert!(
+                records.len() >= 2,
+                "{what}: shard {s} member {m} lost its synced audit prefix"
+            );
+            let notes = d
+                .op_plist(&adm, None)
+                .unwrap()
+                .into_iter()
+                .filter(|(n, _)| s4_txn::parse_note(n).is_some())
+                .count();
+            assert_eq!(
+                notes, 0,
+                "{what}: shard {s} member {m} kept a decision note past resolution"
+            );
+        }
+        digests.push(a.shard_drive(s).object_digest(&adm, oid).unwrap());
+    }
+    (committed, digests)
+}
+
+/// Runs the protocol fault-free under counting plans and returns the
+/// per-device crash-point windows.
+pub fn txn_golden(cfg: &TxnTortureConfig) -> TxnGoldenSummary {
+    let rig = build(cfg, vec![FaultPlan::count_only(CRASH_MASK); cfg.devices()]);
+    // Requests below the post-mount watermark belong to the remount,
+    // not the window — the same remount replays see before their fault
+    // arms, so it is excluded from the crash-point domain.
+    let devices_at_mount: Vec<u64> = {
+        // Mount already happened inside build(); a second golden build
+        // that skips the protocol measures its cost per device.
+        let idle = build(cfg, vec![FaultPlan::count_only(CRASH_MASK); cfg.devices()]);
+        idle.array
+            .crash()
+            .unwrap()
+            .iter()
+            .map(|d| d.requests_seen())
+            .collect()
+    };
+    run_protocol(&rig, cfg).expect("golden protocol run must not fail");
+    let (committed, _) = verify(&rig.array, &rig.oids, "golden");
+    assert!(committed, "golden run must commit");
+    let totals: Vec<u64> = rig
+        .array
+        .crash()
+        .unwrap()
+        .iter()
+        .map(|d| d.requests_seen())
+        .collect();
+    let windows: Vec<(u64, u64)> = devices_at_mount.into_iter().zip(totals).collect();
+    let points = windows.iter().map(|(s, e)| e - s).sum();
+    assert!(points > 0, "2PC window issued no countable requests");
+    TxnGoldenSummary { windows, points }
+}
+
+/// One replay: arm a power-loss fault at countable request `k` of
+/// device `victim`, run the protocol until the power dies, then crash
+/// every device, revive, remount, and verify all-or-nothing recovery —
+/// twice, to prove mount resolution is idempotent.
+pub fn txn_torture_point(
+    cfg: &TxnTortureConfig,
+    victim: usize,
+    k: u64,
+    torn: TornPattern,
+) -> TxnCrashOutcome {
+    let mut plans = vec![FaultPlan::none(); cfg.devices()];
+    plans[victim] = FaultPlan::power_loss_with_pattern(k, torn, CRASH_MASK);
+    let rig = build(cfg, plans);
+    let result = run_protocol(&rig, cfg);
+
+    let devices = rig.array.crash().unwrap();
+    let died = devices[victim].is_dead();
+    if result.is_err() {
+        assert!(
+            died,
+            "protocol failed at point {k} on device {victim} without the fault firing: {result:?}"
+        );
+    }
+    for d in &devices {
+        d.revive();
+    }
+    let (a2, _) = S4Array::mount(
+        devices,
+        DriveConfig::small_test(),
+        array_cfg(cfg.mirrors),
+        SimClock::new(),
+    )
+    .unwrap();
+    let (committed, digests) = verify(&a2, &rig.oids, "first remount");
+    if result.is_ok() {
+        assert!(committed, "a completed protocol must stay committed");
+    }
+
+    // Idempotence: crash the recovered array and mount again — same
+    // decision, byte-identical objects, still nothing in doubt.
+    let devices = a2.crash().unwrap();
+    for d in &devices {
+        d.revive();
+    }
+    let (a3, _) = S4Array::mount(
+        devices,
+        DriveConfig::small_test(),
+        array_cfg(cfg.mirrors),
+        SimClock::new(),
+    )
+    .unwrap();
+    let (committed2, digests2) = verify(&a3, &rig.oids, "second remount");
+    assert_eq!(committed, committed2, "remount flipped the decision");
+    assert_eq!(digests, digests2, "remount changed recovered objects");
+
+    TxnCrashOutcome {
+        device: victim,
+        crash_point: k,
+        torn,
+        died,
+        committed,
+    }
+}
+
+/// A full campaign: enumerate (or evenly sample) every `(device,
+/// crash point)` pair in the golden windows and replay each with the
+/// configured torn patterns. Panics on any invariant violation.
+pub fn txn_campaign(cfg: &TxnTortureConfig) -> TxnTortureSummary {
+    let golden = txn_golden(cfg);
+    // Flatten the per-device windows into one domain of (device, k)
+    // coordinates, then sample it evenly if capped.
+    let mut all: Vec<(usize, u64)> = Vec::new();
+    for (v, &(start, end)) in golden.windows.iter().enumerate() {
+        for k in start..end {
+            all.push((v, k));
+        }
+    }
+    let picked: Vec<(usize, u64)> = match cfg.max_crash_points {
+        Some(cap) if cap < all.len() => {
+            let step = all.len() as f64 / cap as f64;
+            (0..cap).map(|i| all[(i as f64 * step) as usize]).collect()
+        }
+        _ => all,
+    };
+
+    let mut summary = TxnTortureSummary {
+        domain: golden.points,
+        crash_points: picked.len(),
+        replays: 0,
+        died: 0,
+        committed: 0,
+        aborted: 0,
+    };
+    let mut by_outcome: BTreeMap<bool, u64> = BTreeMap::new();
+    for (j, &(v, k)) in picked.iter().enumerate() {
+        for torn in cfg.patterns_at(j) {
+            let out = txn_torture_point(cfg, v, k, torn);
+            summary.replays += 1;
+            summary.died += usize::from(out.died);
+            *by_outcome.entry(out.committed).or_insert(0) += 1;
+        }
+    }
+    summary.committed = by_outcome.get(&true).copied().unwrap_or(0) as usize;
+    summary.aborted = by_outcome.get(&false).copied().unwrap_or(0) as usize;
+    summary
+}

@@ -38,11 +38,18 @@
 #    stays within one shard's queue drain and migration keeps >= 0.5x
 #    steady throughput (BENCH_JSON line; committed baseline in
 #    BENCH_reshard.json)
+# 13. the two-phase-commit torture gate (DESIGN 6i): the bounded crash
+#    campaign over the cross-shard atomic-batch window (all-or-nothing
+#    at every sampled power-loss point, double-remount idempotence),
+#    plus the concurrent-batch drill (8 TCP clients, overlapping
+#    cross-shard transactions on a mirrored 4x2 array, member death
+#    mid-prepare) and the randomized commit-or-rollback oracle
 #
-# The exhaustive campaigns (every crash point of a 500-op workload, and
-# every second-crash point inside recovery) are not part of tier-1; run
-# them with:
+# The exhaustive campaigns (every crash point of a 500-op workload,
+# every second-crash point inside recovery, and every 2PC crash point
+# on both array shapes) are not part of tier-1; run them with:
 #   cargo test --test crash_torture -- --ignored
+#   cargo test --test txn_torture -- --ignored
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -103,6 +110,13 @@ cargo test -q --test array_reshard_live
 cargo test -q --test reshard_torture
 cargo test -q --test reshard_offline
 cargo test -q --test array_broadcast_concurrency
+
+echo "== 2PC torture gate (bounded crash campaign + concurrency + oracle)"
+cargo test -q --test txn_torture -- --nocapture | tee target/txn-torture.out
+grep '^TXN_TORTURE ' target/txn-torture.out > target/txn-torture-summary.txt \
+  || { echo "verify: txn_torture emitted no TXN_TORTURE summary" >&2; exit 1; }
+cargo test -q --test txn_concurrency
+cargo test -q --test txn_property_hermetic
 
 echo "== fig_reshard bench (smoke scale, asserts flip pause <= queue drain)"
 S4_BENCH_SCALE="${S4_BENCH_SCALE:-0.25}" cargo bench -p s4-bench --bench fig_reshard \

@@ -52,6 +52,9 @@ fn usage() -> ExitCode {
                                          (split an array's residue classes onto fresh\n\
                                           images: all slots without --slot, one with;\n\
                                           target images are created, one per mirror)\n\
+           txn <image> [<image>...] [--mirrors <m>]\n\
+                                         (cross-shard transaction status; mounting\n\
+                                          resolves any in-doubt transactions)\n\
            detect <image>                (run the intrusion detectors over the audit log)\n\
            plan <image> <secs> --client <id> [--user <id>]   (recovery plan for intrusion at <secs>)\n\
            revert <image> <secs> --client <id> [--user <id>] (plan and execute the recovery)\n\
@@ -430,6 +433,35 @@ fn run() -> Result<(), String> {
             println!("{}", s4_reshard::status_text(&array));
             array.unmount().map_err(|e| format!("unmount array: {e}"))?;
         }
+        "txn" => {
+            let flag = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|s| s.parse::<usize>().ok())
+            };
+            let mirrors = flag("--mirrors").unwrap_or(1);
+            let devices = args[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .map(|p| FileDisk::open(p).map_err(|e| format!("open {p}: {e}")))
+                .collect::<Result<Vec<_>, String>>()?;
+            if devices.is_empty() {
+                return Err("txn: need at least one image".into());
+            }
+            let (array, _reports) = s4_array::S4Array::mount(
+                devices,
+                DriveConfig::default(),
+                s4_array::ArrayConfig {
+                    mirrors,
+                    ..s4_array::ArrayConfig::default()
+                },
+                SimClock::new(),
+            )
+            .map_err(|e| format!("mount array: {e}"))?;
+            println!("{}", array.txn_status_text());
+            array.unmount().map_err(|e| format!("unmount array: {e}"))?;
+        }
         "stats" => {
             let fs = open_fs(image)?;
             {
@@ -507,7 +539,7 @@ fn run() -> Result<(), String> {
                     println!("     {}", pa.reason);
                 }
                 if cmd == "revert" {
-                    let report = s4_detect::execute_plan(drive, &admin, &plan)
+                    let report = s4_detect::execute_plan_atomic_on(drive, &admin, &plan)
                         .map_err(|e| e.to_string())?;
                     for (old, new) in &report.undeleted {
                         println!("undeleted {old} as {new}");
