@@ -11,8 +11,9 @@ use std::thread::JoinHandle;
 use s4_clock::sync::{Mutex, RwLock};
 use s4_clock::{SimClock, SimDuration};
 use s4_core::{
-    ClientId, DiskFaultKind, DriveConfig, ObjectId, RecoveryReport, Request, RequestContext,
-    Response, S4Drive, S4Error, PARTITION_OBJECT,
+    ClientId, DiskFaultKind, DriveConfig, ObjectId, OpKind, RecoveryReport, Request,
+    RequestContext, Response, S4Drive, S4Error, TraceCtx, TraceIdGen, PARTITION_OBJECT,
+    PHASE_APPLY, PHASE_DECIDE, PHASE_NOTE, PHASE_PREPARE,
 };
 use s4_fs::RpcHandler;
 use s4_obs::Registry;
@@ -55,6 +56,12 @@ pub struct ArrayConfig {
     /// Base backoff between retries, charged to the simulated clock and
     /// doubled on each attempt.
     pub retry_backoff_us: u64,
+    /// Assign a causal trace id to every request entering the array
+    /// whose context carries none, so member drives persist v2 trace
+    /// records joinable across shards (DESIGN §6j). Off, requests the
+    /// caller left untraced stay untraced and records encode as v1 —
+    /// the `fig_trace` benchmark's baseline.
+    pub trace: bool,
 }
 
 impl Default for ArrayConfig {
@@ -64,6 +71,7 @@ impl Default for ArrayConfig {
             mirrors: 1,
             retries: 3,
             retry_backoff_us: 100,
+            trace: true,
         }
     }
 }
@@ -165,6 +173,9 @@ enum Job<D: BlockDev> {
     Note {
         create: Option<String>,
         remove: Option<String>,
+        /// Trace context of the transaction whose decision note this
+        /// is (default = untraced: reshard epoch notes, lazy retires).
+        trace: TraceCtx,
         reply: SyncSender<s4_core::Result<()>>,
     },
     /// Phase 1 of a cross-shard transaction on this shard: execute the
@@ -181,6 +192,7 @@ enum Job<D: BlockDev> {
     },
     /// Phase 2: commit or abort `txid` on every in-sync member.
     Decide {
+        ctx: RequestContext,
         txid: u64,
         commit: bool,
         reply: SyncSender<s4_core::Result<()>>,
@@ -264,6 +276,7 @@ pub struct S4Array<D: BlockDev> {
     reshard_reg: Registry,
     txn_ids: TxIdGen,
     txn_reg: Registry,
+    trace_ids: TraceIdGen,
 }
 
 /// One routing epoch's view of the array: the epoch itself plus the
@@ -541,7 +554,20 @@ impl<D: BlockDev + 'static> S4Array<D> {
             reshard_reg: Registry::new(),
             txn_ids: TxIdGen::new(),
             txn_reg: Registry::new(),
+            trace_ids: TraceIdGen::new(),
         }
+    }
+
+    /// The array's causal trace context for `ctx`: when tracing is on
+    /// and the caller supplied no trace id, a fresh one is minted —
+    /// every record the request leaves on any member drive then joins
+    /// into one cross-shard trace (DESIGN §6j).
+    fn traced(&self, ctx: &RequestContext) -> RequestContext {
+        let mut ctx = *ctx;
+        if self.cfg.trace && ctx.trace.trace_id == 0 {
+            ctx.trace.trace_id = self.trace_ids.next(self.clock.now().as_micros());
+        }
+        ctx
     }
 
     /// Snapshot of the current routing (cheap: one lock, one `Arc`
@@ -716,6 +742,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
                 return Err(S4Error::NoSuchPartition);
             }
         }
+        let mut ctx = self.traced(ctx);
         loop {
             let r = self.routing();
             let n = r.shards.len();
@@ -728,10 +755,13 @@ impl<D: BlockDev + 'static> S4Array<D> {
                 Route::Broadcast(_) => (0..n).map(|s| (s, req.clone())).collect(),
                 Route::SplitBatch => {
                     let Request::Batch(reqs) = req else { unreachable!() };
-                    return self.dispatch_split(ctx, reqs);
+                    return self.dispatch_split(&ctx, reqs);
                 }
             };
-            let Some(mut results) = self.try_scatter(&r, ctx, jobs) else {
+            // The entry shard annotates every record of the trace, so
+            // the assembler can tell where the request came in.
+            ctx.trace.origin = jobs.first().map_or(0, |&(s, _)| s as u8);
+            let Some(mut results) = self.try_scatter(&r, &ctx, jobs) else {
                 continue; // epoch moved between snapshot and gates: replan
             };
             return match route(req, &r.epoch) {
@@ -807,14 +837,16 @@ impl<D: BlockDev + 'static> S4Array<D> {
         ctx: &RequestContext,
         reqs: &[Request],
     ) -> s4_core::Result<(Vec<Option<Response>>, Vec<BatchOutcome>)> {
+        let mut ctx = self.traced(ctx);
         let (plan, touched, results) = loop {
             let r = self.routing();
             let n = r.shards.len();
             let plan =
                 split_batch(reqs, &r.epoch, || self.rr.fetch_add(1, Ordering::Relaxed) % n)?;
             let touched: Vec<usize> = (0..n).filter(|&s| !plan.subs[s].is_empty()).collect();
+            ctx.trace.origin = touched.first().map_or(0, |&s| s as u8);
             if touched.len() > 1 && reqs.iter().any(Request::mutates) {
-                match self.dispatch_batch_txn(&r, ctx, &plan, &touched) {
+                match self.dispatch_batch_txn(&r, &ctx, &plan, &touched) {
                     Some(out) => return Ok(out),
                     None => continue, // epoch moved: replan the split
                 }
@@ -823,7 +855,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
                 .iter()
                 .map(|&s| (s, Request::Batch(plan.subs[s].clone())))
                 .collect();
-            match self.try_scatter(&r, ctx, jobs) {
+            match self.try_scatter(&r, &ctx, jobs) {
                 Some(results) => break (plan, touched, results),
                 None => continue, // epoch moved: replan the split
             }
@@ -912,6 +944,8 @@ impl<D: BlockDev + 'static> S4Array<D> {
             ctx,
             subs: &plan.subs,
             responses: BTreeMap::new(),
+            clock: &self.clock,
+            reg: &self.txn_reg,
         };
         let outcome = s4_txn::run(&mut ops, txid, touched);
         let responses = ops.responses;
@@ -1099,6 +1133,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
         shard_call(&r.shards[0].tx, |reply| Job::Note {
             create: Some(ne.note_name()),
             remove: None,
+            trace: TraceCtx::default(),
             reply,
         })?;
 
@@ -1134,6 +1169,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
         if let Err(err) = shard_call(&r.shards[0].tx, |reply| Job::Note {
             create: Some(ne.note_name()),
             remove: Some(e.note_name()),
+            trace: TraceCtx::default(),
             reply,
         }) {
             // A vanished worker (shutdown race) is tolerable — mount's
@@ -1182,12 +1218,14 @@ fn spawn_shard<D: BlockDev + 'static>(
                     Job::Note {
                         create,
                         remove,
+                        trace,
                         reply,
                     } => {
                         let _ = reply.send(worker_note(
                             &worker_members,
                             create.as_deref(),
                             remove.as_deref(),
+                            trace,
                         ));
                     }
                     Job::Prepare {
@@ -1205,9 +1243,14 @@ fn spawn_shard<D: BlockDev + 'static>(
                             &reqs,
                         ));
                     }
-                    Job::Decide { txid, commit, reply } => {
-                        let _ =
-                            reply.send(worker_decide(slot, &worker_members, txid, commit));
+                    Job::Decide {
+                        ctx,
+                        txid,
+                        commit,
+                        reply,
+                    } => {
+                        let _ = reply
+                            .send(worker_decide(slot, &worker_members, &ctx, txid, commit));
                     }
                 }
             }
@@ -1231,6 +1274,7 @@ fn worker_note<D: BlockDev>(
     members: &[Arc<MemberSlot<D>>],
     create: Option<&str>,
     remove: Option<&str>,
+    trace: TraceCtx,
 ) -> s4_core::Result<()> {
     for m in members {
         if m.state() == MemberState::Dead {
@@ -1254,6 +1298,16 @@ fn worker_note<D: BlockDev>(
         // the journal, so the note survives a crash without paying for
         // a full anchor (checkpoint promotion) in the caller's window.
         drive.op_sync(&admin)?;
+        // A traced note (a 2PC decision install) leaves a span on the
+        // member's trace stream *after* its durability barrier — the
+        // record's presence means the commit point really passed here.
+        if create.is_some() {
+            let nctx = admin.with_trace(TraceCtx {
+                phase: PHASE_NOTE,
+                ..trace
+            });
+            drive.record_phase_trace(&nctx, OpKind::PCreate, PARTITION_OBJECT, true, 0);
+        }
     }
     Ok(())
 }
@@ -1320,19 +1374,42 @@ fn worker_prepare<D: BlockDev>(
 ) -> s4_core::Result<Vec<Response>> {
     let t0 = clock.now();
     clock.advance(SimDuration::from_micros(1));
+    // The sub-requests run through the member's regular dispatch, so a
+    // traced transaction's prepare leaves ordinary trace records —
+    // stamped with the 2PC phase so the assembler can tell them from
+    // plain applies.
+    let pctx = match ctx.trace.trace_id {
+        0 => *ctx,
+        _ => ctx.with_trace(TraceCtx {
+            phase: PHASE_PREPARE,
+            ..ctx.trace
+        }),
+    };
     worker_txn_step(shard, members, |drive| {
-        drive.txn_prepare_at(ctx, txid, t0, reqs)
+        drive.txn_prepare_at(&pctx, txid, t0, reqs)
     })
 }
 
-/// Phase 2 on this shard: commit or abort on every in-sync member.
+/// Phase 2 on this shard: commit or abort on every in-sync member. A
+/// traced decide leaves a synthetic span on each member's trace stream
+/// (`txn_decide` is a direct call, not a dispatched request, so no
+/// record would exist otherwise); `ok` carries the decision.
 fn worker_decide<D: BlockDev>(
     shard: usize,
     members: &[Arc<MemberSlot<D>>],
+    ctx: &RequestContext,
     txid: u64,
     commit: bool,
 ) -> s4_core::Result<()> {
-    worker_txn_step(shard, members, |drive| drive.txn_decide(txid, commit))
+    let dctx = ctx.with_trace(TraceCtx {
+        phase: PHASE_DECIDE,
+        ..ctx.trace
+    });
+    worker_txn_step(shard, members, |drive| {
+        drive.txn_decide(txid, commit)?;
+        drive.record_phase_trace(&dctx, OpKind::Sync, ObjectId(txid), commit, 0);
+        Ok(())
+    })
 }
 
 /// `devices / mirrors`, validating the shape.
@@ -1453,6 +1530,19 @@ fn worker_process<D: BlockDev>(
     ctx: &RequestContext,
     req: &Request,
 ) -> s4_core::Result<Response> {
+    // Records written by member drives during ordinary worker execution
+    // carry the apply phase (the entry phase stays on whatever record
+    // the frontend wrote, if any).
+    let stamped;
+    let ctx = if ctx.trace.trace_id != 0 {
+        stamped = ctx.with_trace(TraceCtx {
+            phase: PHASE_APPLY,
+            ..ctx.trace
+        });
+        &stamped
+    } else {
+        ctx
+    };
     if req.mutates() {
         let writable: Vec<usize> = (0..members.len())
             .filter(|&k| members[k].state() == MemberState::InSync)
@@ -1654,18 +1744,27 @@ struct ArrayTxn<'a, D: BlockDev> {
     ctx: &'a RequestContext,
     subs: &'a [Vec<Request>],
     responses: BTreeMap<usize, Vec<Response>>,
+    clock: &'a SimClock,
+    reg: &'a Registry,
 }
 
 impl<D: BlockDev> TwoPhaseOps for ArrayTxn<'_, D> {
     type Err = S4Error;
 
     fn prepare(&mut self, shard: usize, txid: TxId) -> Result<(), S4Error> {
+        let started = self.clock.now();
         let resps = shard_call(&self.r.shards[shard].tx, |reply| Job::Prepare {
             ctx: *self.ctx,
             txid: txid.0,
             reqs: self.subs[shard].clone(),
             reply,
         })?;
+        self.reg
+            .histogram(
+                "s4_txn_prepare_us",
+                "per-participant 2PC prepare latency (execute + journal flush)",
+            )
+            .record((self.clock.now() - started).as_micros());
         self.responses.insert(shard, resps);
         Ok(())
     }
@@ -1674,6 +1773,7 @@ impl<D: BlockDev> TwoPhaseOps for ArrayTxn<'_, D> {
         let r = shard_call(&self.r.shards[0].tx, |reply| Job::Note {
             create: Some(note_name(txid)),
             remove: None,
+            trace: self.ctx.trace,
             reply,
         });
         if r.is_err() {
@@ -1686,6 +1786,7 @@ impl<D: BlockDev> TwoPhaseOps for ArrayTxn<'_, D> {
             let _ = shard_call(&self.r.shards[0].tx, |reply| Job::Note {
                 create: None,
                 remove: Some(note_name(txid)),
+                trace: TraceCtx::default(),
                 reply,
             });
         }
@@ -1693,17 +1794,29 @@ impl<D: BlockDev> TwoPhaseOps for ArrayTxn<'_, D> {
     }
 
     fn decide(&mut self, shard: usize, txid: TxId, commit: bool) -> Result<(), S4Error> {
-        shard_call(&self.r.shards[shard].tx, |reply| Job::Decide {
+        let started = self.clock.now();
+        let r = shard_call(&self.r.shards[shard].tx, |reply| Job::Decide {
+            ctx: *self.ctx,
             txid: txid.0,
             commit,
             reply,
-        })
+        });
+        self.reg
+            .histogram(
+                "s4_txn_decide_us",
+                "per-participant 2PC decide latency (commit/abort fan-out)",
+            )
+            .record((self.clock.now() - started).as_micros());
+        r
     }
 
     fn retire_decision(&mut self, txid: TxId) -> Result<(), S4Error> {
+        // Lazy cleanup after the client already has its answer — not
+        // part of the request's causal story, so it stays untraced.
         shard_call(&self.r.shards[0].tx, |reply| Job::Note {
             create: None,
             remove: Some(note_name(txid)),
+            trace: TraceCtx::default(),
             reply,
         })
     }

@@ -10,10 +10,13 @@
 //! rewrite another shard's history.
 
 use s4_core::{AuditRecord, ObjectId, RequestContext, S4Error};
-use s4_detect::{flight_log, install_standard_monitor, object_timeline, FlightEntry, TimelineEvent};
+use s4_detect::{
+    assemble_traces, flight_log, install_standard_monitor, object_timeline, FlightEntry,
+    TimelineEvent, TraceTree,
+};
 use s4_simdisk::BlockDev;
 
-use crate::array::S4Array;
+use crate::array::{MemberState, S4Array};
 
 /// A record tagged with the shard whose log it came from.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,6 +93,40 @@ impl<D: BlockDev + 'static> S4Array<D> {
         }
         all.sort_by_key(|r| r.record.time);
         Ok(all)
+    }
+
+    /// Every *member* drive's flight log, labeled `(shard, member,
+    /// entries)` — the input to cross-shard trace assembly, where
+    /// provenance is which stream vouches for a span, so mirrors are
+    /// read individually rather than collapsed to the shard's first
+    /// live member. Dead members are skipped (their logs are
+    /// unreachable); a member whose stream fails to decode fails the
+    /// whole read.
+    pub fn member_flight_logs(
+        &self,
+        admin: &RequestContext,
+    ) -> Result<Vec<(usize, usize, Vec<FlightEntry>)>, S4Error> {
+        let mut all = Vec::new();
+        for (s, shard_states) in self.member_states().iter().enumerate() {
+            for (k, state) in shard_states.iter().enumerate() {
+                if *state == MemberState::Dead {
+                    continue;
+                }
+                all.push((s, k, flight_log(&self.member_drive(s, k), admin)?));
+            }
+        }
+        Ok(all)
+    }
+
+    /// Assembles every causal trace recorded anywhere in the array:
+    /// reads all member flight logs and joins them on trace id (DESIGN
+    /// §6j). Entirely computed from the crash-surviving per-drive
+    /// streams, so it works identically on a freshly mounted array.
+    pub fn assemble_all_traces(
+        &self,
+        admin: &RequestContext,
+    ) -> Result<Vec<TraceTree>, S4Error> {
+        Ok(assemble_traces(&self.member_flight_logs(admin)?))
     }
 
     /// Forensic timeline of one object, served by its home shard

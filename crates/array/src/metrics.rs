@@ -3,9 +3,10 @@
 //! Each shard keeps its own [`s4_obs::Registry`]; the array renders one
 //! exposition with a per-shard breakdown plus array totals. Counters
 //! and gauges sum across shards (both are per-drive magnitudes: request
-//! counts, occupancy blocks, queue depths); histograms stay per shard —
-//! summing quantiles would be meaningless, so the JSON exposition keeps
-//! them inside the per-shard documents.
+//! counts, occupancy blocks, queue depths); histograms never sum —
+//! quantiles of quantiles are meaningless — so both expositions carry
+//! them shard-labeled (percentile summaries per shard, no synthesized
+//! total).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -21,6 +22,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
         let n = self.shard_count();
         let mut counters: BTreeMap<String, Vec<(usize, u64)>> = BTreeMap::new();
         let mut gauges: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
+        let mut hists: BTreeMap<String, Vec<(usize, s4_obs::HistogramSnapshot)>> = BTreeMap::new();
         for s in 0..n {
             let drive = self.shard_drive(s);
             let slot = self.shard_slot(s);
@@ -30,6 +32,9 @@ impl<D: BlockDev + 'static> S4Array<D> {
             }
             for (name, v) in drive.registry().gauge_values() {
                 gauges.entry(name).or_default().push((slot, v));
+            }
+            for (name, v) in drive.registry().histogram_values() {
+                hists.entry(name).or_default().push((slot, v));
             }
         }
         let mut out = String::new();
@@ -69,6 +74,19 @@ impl<D: BlockDev + 'static> S4Array<D> {
                 let _ = writeln!(out, "{name}{{shard=\"{s}\"}} {v}");
             }
             let _ = writeln!(out, "{name} {total}");
+        }
+        // Histograms stay per shard: quantiles do not sum, so each
+        // shard's summary is exported under its own label and no
+        // unlabeled total is synthesized.
+        for (name, samples) in &hists {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (s, h) in samples {
+                for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                    let _ = writeln!(out, "{name}{{shard=\"{s}\",quantile=\"{q}\"}} {v}");
+                }
+                let _ = writeln!(out, "{name}_count{{shard=\"{s}\"}} {}", h.count);
+                let _ = writeln!(out, "{name}_max{{shard=\"{s}\"}} {}", h.max);
+            }
         }
         // Reshard progress (migration gauges, lag, flip pauses) and
         // cross-shard transaction outcomes live in array-level
@@ -127,17 +145,20 @@ impl<D: BlockDev + 'static> S4Array<D> {
     }
 
     /// JSON exposition:
-    /// `{"shards":N,"shard_metrics":[…],"aggregate":{"counters":…,"gauges":…}}`
+    /// `{"shards":N,"shard_metrics":[…],"aggregate":{"counters":…,"gauges":…,"histograms":…}}`
     /// where `shard_metrics[i]` is shard `i`'s full single-drive
-    /// document (histograms included) and `aggregate` sums counters and
-    /// gauges across shards.
+    /// document, `aggregate` sums counters and gauges across shards,
+    /// and `aggregate.histograms` carries each histogram's percentile
+    /// snapshot per shard label (quantiles do not sum).
     pub fn metrics_json(&self) -> String {
         let n = self.shard_count();
         let mut per_shard = Vec::with_capacity(n);
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
         let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        let mut hists: BTreeMap<String, Vec<(usize, s4_obs::HistogramSnapshot)>> = BTreeMap::new();
         for s in 0..n {
             let drive = self.shard_drive(s);
+            let slot = self.shard_slot(s);
             per_shard.push(drive.metrics_json()); // refreshes gauges too
             for (name, v) in drive.registry().counter_values() {
                 *counters.entry(name).or_insert(0) += v;
@@ -145,7 +166,29 @@ impl<D: BlockDev + 'static> S4Array<D> {
             for (name, v) in drive.registry().gauge_values() {
                 *gauges.entry(name).or_insert(0.0) += v;
             }
+            for (name, v) in drive.registry().histogram_values() {
+                hists.entry(name).or_default().push((slot, v));
+            }
         }
+        // Quantiles do not sum, so the aggregate keeps histograms
+        // shard-labeled: {"name":{"<slot>":{count,p50,p90,p99,max}}}.
+        let histograms = hists
+            .iter()
+            .map(|(name, samples)| {
+                let per = samples
+                    .iter()
+                    .map(|(s, h)| {
+                        format!(
+                            "\"{s}\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                            h.count, h.p50, h.p90, h.p99, h.max
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("\"{name}\":{{{per}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         let counters = counters
             .iter()
             .map(|(k, v)| format!("\"{k}\":{v}"))
@@ -161,7 +204,7 @@ impl<D: BlockDev + 'static> S4Array<D> {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"shards\":{n},\"mirrors\":{},\"degraded\":[{degraded}],\"reshard\":{},\"txn\":{},\"shard_metrics\":[{}],\"aggregate\":{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}}}}}}",
+            "{{\"shards\":{n},\"mirrors\":{},\"degraded\":[{degraded}],\"reshard\":{},\"txn\":{},\"shard_metrics\":[{}],\"aggregate\":{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}}}",
             self.mirror_count(),
             self.reshard_registry().render_json(),
             self.txn_registry().render_json(),

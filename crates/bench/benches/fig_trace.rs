@@ -1,0 +1,177 @@
+//! Tracing overhead: the 8-client stress workload on a 4-shard array,
+//! with request tracing on (the default) vs. off.
+//!
+//! Every dispatch already persists a v1 flight-recorder record; tracing
+//! adds the entry-point id stamp, the 10 extra v2 bytes, the per-layer
+//! latency histograms, and the tail-latency exemplar buffer. The claim
+//! (DESIGN §6j) is that the whole causal-tracing pipeline costs at most
+//! 5% of client throughput. Eight threads hammer the array in-process
+//! (the transport stamp is one branch and an atomic increment — the
+//! interesting cost is inside the drives), wall clock is taken per
+//! round, and the configs are interleaved best-of-N so background noise
+//! hits both equally.
+//!
+//! The final line is machine-readable: `BENCH_JSON {...}` — the
+//! committed baseline lives in `BENCH_trace.json`.
+
+use std::sync::Arc;
+
+use s4_array::{ArrayConfig, S4Array};
+use s4_bench::banner;
+use s4_clock::{SimClock, SimDuration};
+use s4_core::{ClientId, DriveConfig, ObjectId, Request, RequestContext, Response, UserId};
+use s4_simdisk::MemDisk;
+
+const SHARDS: usize = 4;
+const CLIENTS: u32 = 8;
+const ROUNDS: usize = 5;
+
+/// Deterministic 64-bit LCG (same constants as MMIX).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+/// One full 8-client stress run; returns the wall-clock seconds of the
+/// client phase and the array (still live) for post-run inspection.
+fn run(trace: bool, ops_per_client: u64) -> (f64, Arc<S4Array<MemDisk>>) {
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let devices = (0..SHARDS)
+        .map(|_| MemDisk::with_capacity_bytes(256 << 20))
+        .collect();
+    let array = Arc::new(
+        S4Array::format(
+            devices,
+            DriveConfig::small_test(),
+            ArrayConfig {
+                trace,
+                ..ArrayConfig::default()
+            },
+            clock,
+        )
+        .unwrap(),
+    );
+
+    let t0 = std::time::Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let a = Arc::clone(&array);
+            std::thread::spawn(move || {
+                let ctx = RequestContext::user(UserId(100 + c), ClientId(c));
+                let mut rng = Lcg(0x7452_4143 ^ u64::from(c));
+                let oid = match a.dispatch(&ctx, &Request::Create).unwrap() {
+                    Response::Created(oid) => oid,
+                    other => panic!("unexpected response {other:?}"),
+                };
+                let mut oids: Vec<ObjectId> = vec![oid];
+                for t in 0..ops_per_client {
+                    let oid = oids[(rng.next() as usize) % oids.len()];
+                    let req = match rng.next() % 10 {
+                        0 => Request::Create,
+                        1..=4 => Request::Read {
+                            oid,
+                            offset: 0,
+                            len: 256 + rng.next() % 2048,
+                            time: None,
+                        },
+                        5..=8 => Request::Write {
+                            oid,
+                            offset: rng.next() % 2048,
+                            data: vec![0x5A; 256 + (rng.next() % 2048) as usize],
+                        },
+                        _ => Request::Append {
+                            oid,
+                            data: vec![0x3C; 128],
+                        },
+                    };
+                    if let Response::Created(oid) = a.dispatch(&ctx, &req).unwrap() {
+                        oids.push(oid);
+                    }
+                    if (t + 1) % 500 == 0 {
+                        a.dispatch(&ctx, &Request::Sync).unwrap();
+                    }
+                }
+                a.dispatch(&ctx, &Request::Sync).unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    (t0.elapsed().as_secs_f64(), array)
+}
+
+fn main() {
+    let scale: f64 = std::env::var("S4_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let ops_per_client = ((3_000.0 * scale) as u64).max(500);
+    banner(
+        "Tracing overhead: 8-client stress, tracing on vs off",
+        &format!("{SHARDS} shards, {CLIENTS} clients x {ops_per_client} ops, best of {ROUNDS}"),
+    );
+
+    // Warm-up round (page-cache, allocator, thread pools) then the
+    // interleaved measurement rounds.
+    let _ = run(true, ops_per_client.min(500));
+
+    let mut traced_walls = Vec::with_capacity(ROUNDS);
+    let mut plain_walls = Vec::with_capacity(ROUNDS);
+    let mut traces_assembled = 0usize;
+    println!("{:<8} {:>14} {:>14}", "round", "traced", "untraced");
+    for round in 0..ROUNDS {
+        let (tw, traced_array) = run(true, ops_per_client);
+        let (pw, plain_array) = run(false, ops_per_client);
+        println!("{:<8} {:>13.3}s {:>13.3}s", round, tw, pw);
+        traced_walls.push(tw);
+        plain_walls.push(pw);
+        if round == 0 {
+            // Sanity on the datapoint itself: the traced run really
+            // produced assemblable causal trees, the untraced one none.
+            let admin = RequestContext::admin(ClientId(0), 42);
+            traces_assembled = traced_array.assemble_all_traces(&admin).unwrap().len();
+            let plain = plain_array.assemble_all_traces(&admin).unwrap().len();
+            assert!(traces_assembled > 0, "traced run assembled no traces");
+            assert_eq!(plain, 0, "untraced run must not record trace ids");
+        }
+        // Threads are joined, so each Arc is sole-owned again.
+        for a in [traced_array, plain_array] {
+            Arc::try_unwrap(a)
+                .unwrap_or_else(|_| panic!("client thread still holds the array"))
+                .unmount()
+                .unwrap();
+        }
+    }
+
+    let best = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let (traced, plain) = (best(&traced_walls), best(&plain_walls));
+    let overhead = traced / plain - 1.0;
+    let ops = u64::from(CLIENTS) * ops_per_client;
+    println!();
+    println!(
+        "best-of-{ROUNDS}: traced {traced:.3}s, untraced {plain:.3}s -> overhead {:.1}% \
+         (acceptance: <= 5%), {traces_assembled} traces assembled",
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.05,
+        "tracing overhead {:.2}% exceeds the 5% budget",
+        overhead * 100.0
+    );
+
+    println!(
+        "BENCH_JSON {{\"bench\":\"fig_trace\",\"shards\":{SHARDS},\"clients\":{CLIENTS},\
+\"ops_per_client\":{ops_per_client},\"total_ops\":{ops},\
+\"wall_traced_s\":{traced:.4},\"wall_untraced_s\":{plain:.4},\
+\"overhead_frac\":{overhead:.4},\"traces_assembled\":{traces_assembled}}}"
+    );
+}

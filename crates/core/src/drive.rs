@@ -34,7 +34,7 @@ use s4_simdisk::BlockDev;
 
 use crate::acl::{AclEntry, AclTable, Perm};
 use crate::alert::AlertState;
-use crate::audit::{AuditRecord, AuditState};
+use crate::audit::{AuditRecord, AuditState, OpKind};
 use crate::ids::{ObjectId, RequestContext};
 use crate::object::{DeltaRef, EvictInfo, ObjectEntry, SectorInfo, Slot};
 use crate::stats::DriveStats;
@@ -1313,7 +1313,7 @@ impl<D: BlockDev> S4Drive<D> {
     /// loss. The persisted stream assigns `seq` — record `i` of the
     /// stream always carries seq `i`, which recovery re-derives from
     /// block contents, so forensics can detect gaps.
-    pub(crate) fn record_dispatch(&self, mut rec: TraceRecord) {
+    pub(crate) fn record_dispatch(&self, rec: TraceRecord) {
         self.obs.rpc_hist.record(rec.rpc_us);
         if rec.journal_us > 0 {
             self.obs.journal_hist.record(rec.journal_us);
@@ -1324,6 +1324,58 @@ impl<D: BlockDev> S4Drive<D> {
         if rec.disk_us > 0 {
             self.obs.disk_hist.record(rec.disk_us);
         }
+        if rec.trace_id != 0 {
+            self.obs.registry.offer_exemplar(s4_obs::Exemplar {
+                trace_id: rec.trace_id,
+                time_us: rec.time_us,
+                op: rec.op,
+                object: rec.object,
+                rpc_us: rec.rpc_us,
+            });
+        }
+        self.persist_trace(rec);
+    }
+
+    /// Writes a synthetic v2 trace record for a distributed-protocol
+    /// step that does not flow through [`dispatch`](Self::dispatch) —
+    /// a 2PC decision, a coordinator note install, or a reshard
+    /// catch-up apply. No-op on an untraced context: the persisted
+    /// stream (and the torture predictor over it) only grows when a
+    /// caller opted into tracing. Latency histograms and exemplars are
+    /// left alone — phase records annotate causality, they are not
+    /// client-visible requests.
+    pub fn record_phase_trace(
+        &self,
+        ctx: &RequestContext,
+        op: OpKind,
+        object: ObjectId,
+        ok: bool,
+        rpc_us: u64,
+    ) {
+        if ctx.trace.trace_id == 0 {
+            return;
+        }
+        self.persist_trace(TraceRecord {
+            seq: 0, // assigned by the persisted stream
+            time_us: self.now().as_micros(),
+            user: ctx.user.0,
+            client: ctx.client.0,
+            op: op as u8,
+            ok,
+            object: object.0,
+            rpc_us,
+            journal_us: 0,
+            lfs_us: 0,
+            disk_us: 0,
+            trace_id: ctx.trace.trace_id,
+            origin: ctx.trace.origin,
+            phase: ctx.trace.phase,
+        });
+    }
+
+    /// Assigns the stream sequence number and persists one trace record
+    /// (ring always; spill blocks when the flight recorder is on).
+    fn persist_trace(&self, mut rec: TraceRecord) {
         if self.config.flight_recorder {
             let mut inner = self.inner.lock();
             rec.seq = inner.traces.total_alerts;

@@ -29,6 +29,79 @@ pub struct ClientId(pub u32);
 /// "physical access or well-protected cryptographic keys", §3.5).
 pub const ADMIN_USER: UserId = UserId(0);
 
+/// Causal trace context propagated with a request through every layer
+/// it touches: client entry → array router → shard worker → mirror
+/// members → 2PC prepare/decide and reshard catch-up. Each member drive
+/// a traced request reaches persists its trace record as a v2
+/// `TraceRecord` carrying these fields, so the whole distributed
+/// request can be re-joined on `trace_id` from the per-drive
+/// crash-surviving trace streams.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Causal trace id; 0 means untraced (records encode as v1).
+    pub trace_id: u64,
+    /// Dense shard index the request entered the array at.
+    pub origin: u8,
+    /// Dispatch phase (one of the `PHASE_*` constants).
+    pub phase: u8,
+}
+
+/// Phase of a record written at the request's entry point (a lone drive
+/// dispatch, or the array frontend before any worker stamped it).
+pub const PHASE_CLIENT: u8 = 0;
+/// Ordinary shard-worker execution on a mirror member.
+pub const PHASE_APPLY: u8 = 1;
+/// 2PC phase 1: the sub-batch executed under `txn_prepare_at`.
+pub const PHASE_PREPARE: u8 = 2;
+/// 2PC phase 2: the commit/abort applied by `txn_decide`.
+pub const PHASE_DECIDE: u8 = 3;
+/// Coordinator decision-note install on a shard-0 member.
+pub const PHASE_NOTE: u8 = 4;
+/// Reshard snapshot/catch-up write replayed onto a split target.
+pub const PHASE_CATCHUP: u8 = 5;
+
+impl TraceCtx {
+    /// Human name of a phase byte (unknown bytes print as `phase-N`
+    /// via the fallback — callers format those themselves).
+    pub fn phase_name(phase: u8) -> &'static str {
+        match phase {
+            PHASE_CLIENT => "client",
+            PHASE_APPLY => "apply",
+            PHASE_PREPARE => "prepare",
+            PHASE_DECIDE => "decide",
+            PHASE_NOTE => "note",
+            PHASE_CATCHUP => "catchup",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Mints nonzero trace ids: the caller's clock supplies the high bits
+/// (ids stay roughly time-ordered and survive restarts without
+/// coordination — the persisted streams they join against outlive any
+/// process) and a local counter disambiguates ids minted in the same
+/// microsecond.
+#[derive(Debug, Default)]
+pub struct TraceIdGen {
+    counter: core::sync::atomic::AtomicU64,
+}
+
+impl TraceIdGen {
+    /// A fresh generator.
+    pub fn new() -> Self {
+        TraceIdGen::default()
+    }
+
+    /// The next trace id for a request entering at `now_micros`.
+    /// Never returns 0 (0 means untraced).
+    pub fn next(&self, now_micros: u64) -> u64 {
+        let c = self
+            .counter
+            .fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+        ((now_micros << 16) | (c & 0xFFFF)).max(1)
+    }
+}
+
 /// Security context attached to every request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RequestContext {
@@ -38,6 +111,8 @@ pub struct RequestContext {
     pub client: ClientId,
     /// Present on administrative requests; must match the drive's token.
     pub admin_token: Option<u64>,
+    /// Causal trace context (default: untraced).
+    pub trace: TraceCtx,
 }
 
 impl RequestContext {
@@ -47,6 +122,7 @@ impl RequestContext {
             user,
             client,
             admin_token: None,
+            trace: TraceCtx::default(),
         }
     }
 
@@ -56,7 +132,15 @@ impl RequestContext {
             user: ADMIN_USER,
             client,
             admin_token: Some(token),
+            trace: TraceCtx::default(),
         }
+    }
+
+    /// The same context with `trace` attached (builder-style; contexts
+    /// are `Copy`).
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -69,9 +153,32 @@ mod tests {
         let u = RequestContext::user(UserId(5), ClientId(2));
         assert_eq!(u.user, UserId(5));
         assert!(u.admin_token.is_none());
+        assert_eq!(u.trace, TraceCtx::default());
         let a = RequestContext::admin(ClientId(1), 0xDEAD);
         assert_eq!(a.user, ADMIN_USER);
         assert_eq!(a.admin_token, Some(0xDEAD));
+        let t = TraceCtx {
+            trace_id: 7,
+            origin: 2,
+            phase: PHASE_PREPARE,
+        };
+        assert_eq!(u.with_trace(t).trace, t);
+    }
+
+    #[test]
+    fn trace_ids_are_nonzero_and_distinct() {
+        let g = TraceIdGen::new();
+        assert_ne!(g.next(0), 0, "id 0 means untraced");
+        let a = g.next(1_000_000);
+        let b = g.next(1_000_000);
+        assert_ne!(a, b, "same-microsecond ids must differ");
+    }
+
+    #[test]
+    fn phase_names() {
+        assert_eq!(TraceCtx::phase_name(PHASE_CLIENT), "client");
+        assert_eq!(TraceCtx::phase_name(PHASE_CATCHUP), "catchup");
+        assert_eq!(TraceCtx::phase_name(99), "unknown");
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub use drive::{
     ResyncStream, S4Drive, VersionKind, VersionRecord, ALERT_OBJECT, AUDIT_OBJECT,
     PARTITION_OBJECT, TRACE_OBJECT, TXN_OBJECT,
 };
-pub use ids::{ClientId, ObjectId, RequestContext, UserId, ADMIN_USER};
+pub use ids::{
+    ClientId, ObjectId, RequestContext, TraceCtx, TraceIdGen, UserId, ADMIN_USER, PHASE_APPLY,
+    PHASE_CATCHUP, PHASE_CLIENT, PHASE_DECIDE, PHASE_NOTE, PHASE_PREPARE,
+};
 pub use rpc::{Request, Response};
 pub use s4_obs::TraceRecord;
 pub use stats::{DriveStats, StatsSnapshot};

@@ -310,6 +310,9 @@ impl<D: BlockDev> S4Drive<D> {
             journal_us: span[s4_obs::Layer::Journal as usize],
             lfs_us: span[s4_obs::Layer::Lfs as usize],
             disk_us: span[s4_obs::Layer::Disk as usize],
+            trace_id: ctx.trace.trace_id,
+            origin: ctx.trace.origin,
+            phase: ctx.trace.phase,
         });
         result
     }

@@ -371,6 +371,12 @@ pub struct FlightEntry {
     pub lfs_us: u64,
     /// Raw device service time.
     pub disk_us: u64,
+    /// Causal trace id this record belongs to (0 = untraced v1 record).
+    pub trace_id: u64,
+    /// Dense shard index the traced request entered the array at.
+    pub origin: u8,
+    /// Dispatch phase (one of `s4_core`'s `PHASE_*` constants).
+    pub phase: u8,
 }
 
 /// Reads back the drive's persisted flight-recorder stream, oldest
@@ -397,9 +403,185 @@ pub fn flight_log<D: BlockDev>(
                 journal_us: r.journal_us,
                 lfs_us: r.lfs_us,
                 disk_us: r.disk_us,
+                trace_id: r.trace_id,
+                origin: r.origin,
+                phase: r.phase,
             })
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard trace assembly (DESIGN §6j). Each member drive persists
+// v2 trace records carrying a causal trace id; joining every member's
+// stream on that id reconstructs the whole distributed request — which
+// shards it touched, which mirror members executed it, and how long
+// each layer took on each of them — from evidence no single compromised
+// host could have forged or scrubbed.
+// ---------------------------------------------------------------------
+
+/// One span of an assembled trace: a trace record read back from a
+/// specific member drive's stream. The (shard, member) provenance comes
+/// from *which stream vouches for it*, not from the record bytes — a
+/// drive can only write its own stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Dense shard index whose member stream held the record.
+    pub shard: usize,
+    /// Mirror member index within the shard.
+    pub member: usize,
+    /// The record itself.
+    pub entry: FlightEntry,
+}
+
+/// One distributed request, re-joined from every member stream that
+/// recorded a span of it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceTree {
+    /// The causal trace id the spans joined on.
+    pub trace_id: u64,
+    /// Entry shard annotation carried by the spans.
+    pub origin: u8,
+    /// Every span, ordered causally: by phase (client, apply, prepare,
+    /// note, decide, catchup), then shard, then member, then stream
+    /// position.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl TraceTree {
+    /// Earliest span completion time (drive clock).
+    pub fn start(&self) -> SimTime {
+        self.spans.iter().map(|s| s.entry.time).min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Slowest single span's end-to-end latency — the trace's critical
+    /// path lower bound (spans on distinct shards overlap).
+    pub fn max_rpc_us(&self) -> u64 {
+        self.spans.iter().map(|s| s.entry.rpc_us).max().unwrap_or(0)
+    }
+
+    /// Distinct dense shard indices the trace touched.
+    pub fn shards(&self) -> BTreeSet<usize> {
+        self.spans.iter().map(|s| s.shard).collect()
+    }
+
+    /// Distinct `(shard, member)` pairs that vouch for a span.
+    pub fn members(&self) -> BTreeSet<(usize, usize)> {
+        self.spans.iter().map(|s| (s.shard, s.member)).collect()
+    }
+}
+
+/// Causal rank of a phase byte: the order spans are listed within a
+/// tree. Unknown phases sort last, after every known one.
+fn phase_rank(phase: u8) -> u8 {
+    use s4_core::{PHASE_APPLY, PHASE_CATCHUP, PHASE_CLIENT, PHASE_DECIDE, PHASE_NOTE, PHASE_PREPARE};
+    match phase {
+        PHASE_CLIENT => 0,
+        PHASE_APPLY => 1,
+        PHASE_PREPARE => 2,
+        PHASE_NOTE => 3,
+        PHASE_DECIDE => 4,
+        PHASE_CATCHUP => 5,
+        _ => u8::MAX,
+    }
+}
+
+/// Joins per-member trace streams on trace id: `streams` pairs each
+/// `(shard, member)` with that member drive's flight log (see
+/// [`flight_log`]). Untraced (v1) records are skipped. Returns one
+/// [`TraceTree`] per distinct id, ordered by first span time.
+pub fn assemble_traces(streams: &[(usize, usize, Vec<FlightEntry>)]) -> Vec<TraceTree> {
+    let mut by_id: BTreeMap<u64, Vec<TraceSpan>> = BTreeMap::new();
+    for (shard, member, entries) in streams {
+        for e in entries {
+            if e.trace_id == 0 {
+                continue;
+            }
+            by_id.entry(e.trace_id).or_default().push(TraceSpan {
+                shard: *shard,
+                member: *member,
+                entry: e.clone(),
+            });
+        }
+    }
+    let mut trees: Vec<TraceTree> = by_id
+        .into_iter()
+        .map(|(trace_id, mut spans)| {
+            spans.sort_by_key(|s| (phase_rank(s.entry.phase), s.shard, s.member, s.entry.seq));
+            let origin = spans[0].entry.origin;
+            TraceTree {
+                trace_id,
+                origin,
+                spans,
+            }
+        })
+        .collect();
+    trees.sort_by_key(|t| (t.start(), t.trace_id));
+    trees
+}
+
+/// The `k` slowest assembled traces by [`TraceTree::max_rpc_us`],
+/// slowest first — the cold-mount answer to "which requests hurt",
+/// computed entirely from the crash-surviving streams.
+pub fn slowest_traces(trees: &[TraceTree], k: usize) -> Vec<&TraceTree> {
+    let mut refs: Vec<&TraceTree> = trees.iter().collect();
+    refs.sort_by_key(|t| (std::cmp::Reverse(t.max_rpc_us()), t.trace_id));
+    refs.truncate(k);
+    refs
+}
+
+/// Renders one assembled trace as a causal tree, one span per line,
+/// grouped by phase and indented under per-shard headers:
+///
+/// ```text
+/// trace 0x5f3a... origin shard 1: 3 shards, 6 members, max rpc 412us
+///   phase apply
+///     shard 1
+///       member 0: Write obj:9 ok rpc=412us journal=80us lfs=64us disk=200us
+/// ```
+pub fn render_trace_tree(tree: &TraceTree) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace {:#018x} origin shard {}: {} shard(s), {} member stream(s), max rpc {}us",
+        tree.trace_id,
+        tree.origin,
+        tree.shards().len(),
+        tree.members().len(),
+        tree.max_rpc_us(),
+    );
+    let mut last_phase: Option<u8> = None;
+    let mut last_shard: Option<usize> = None;
+    for s in &tree.spans {
+        if last_phase != Some(s.entry.phase) {
+            let _ = writeln!(
+                out,
+                "  phase {}",
+                s4_core::TraceCtx::phase_name(s.entry.phase)
+            );
+            last_phase = Some(s.entry.phase);
+            last_shard = None;
+        }
+        if last_shard != Some(s.shard) {
+            let _ = writeln!(out, "    shard {}", s.shard);
+            last_shard = Some(s.shard);
+        }
+        let _ = writeln!(
+            out,
+            "      member {}: {:?} {} {} rpc={}us journal={}us lfs={}us disk={}us @{}us",
+            s.member,
+            s.entry.op,
+            s.entry.object,
+            if s.entry.ok { "ok" } else { "FAILED" },
+            s.entry.rpc_us,
+            s.entry.journal_us,
+            s.entry.lfs_us,
+            s.entry.disk_us,
+            s.entry.time.as_micros(),
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -567,6 +749,55 @@ mod tests {
             flight_log(&d, &user),
             Err(S4Error::AccessDenied)
         ));
+    }
+
+    #[test]
+    fn trace_assembly_joins_member_streams_on_id() {
+        use s4_core::{PHASE_APPLY, PHASE_DECIDE, PHASE_PREPARE};
+        let entry = |seq: u64, id: u64, phase: u8, rpc: u64| FlightEntry {
+            seq,
+            time: SimTime::from_micros(1_000 + seq),
+            user: UserId(1),
+            client: ClientId(1),
+            op: OpKind::Write,
+            ok: true,
+            object: ObjectId(9),
+            rpc_us: rpc,
+            journal_us: 0,
+            lfs_us: 0,
+            disk_us: 0,
+            trace_id: id,
+            origin: 1,
+            phase,
+        };
+        // Two shards, two members each; trace 0x42 touches both shards
+        // (prepare + decide), trace 0x43 only shard 0; untraced records
+        // are ignored.
+        let streams = vec![
+            (0usize, 0usize, vec![entry(0, 0, PHASE_APPLY, 5), entry(1, 0x42, PHASE_PREPARE, 40), entry(2, 0x42, PHASE_DECIDE, 7), entry(3, 0x43, PHASE_APPLY, 90)]),
+            (0, 1, vec![entry(1, 0x42, PHASE_PREPARE, 40), entry(2, 0x42, PHASE_DECIDE, 7), entry(3, 0x43, PHASE_APPLY, 90)]),
+            (1, 0, vec![entry(0, 0x42, PHASE_PREPARE, 55), entry(1, 0x42, PHASE_DECIDE, 6)]),
+            (1, 1, vec![entry(0, 0x42, PHASE_PREPARE, 55), entry(1, 0x42, PHASE_DECIDE, 6)]),
+        ];
+        let trees = assemble_traces(&streams);
+        assert_eq!(trees.len(), 2);
+        let t42 = trees.iter().find(|t| t.trace_id == 0x42).unwrap();
+        assert_eq!(t42.shards().len(), 2);
+        assert_eq!(t42.members().len(), 4);
+        assert_eq!(t42.max_rpc_us(), 55);
+        assert_eq!(t42.origin, 1);
+        // Causal order: every prepare span precedes every decide span.
+        let last_prepare = t42.spans.iter().rposition(|s| s.entry.phase == PHASE_PREPARE);
+        let first_decide = t42.spans.iter().position(|s| s.entry.phase == PHASE_DECIDE);
+        assert!(last_prepare.unwrap() < first_decide.unwrap());
+
+        let slow = slowest_traces(&trees, 1);
+        assert_eq!(slow[0].trace_id, 0x43);
+        let text = render_trace_tree(t42);
+        assert!(text.contains("phase prepare"), "{text}");
+        assert!(text.contains("phase decide"), "{text}");
+        assert!(text.contains("shard 1"), "{text}");
+        assert!(text.contains("member 1"), "{text}");
     }
 
     /// The drive raises its alert-object-growth self-alert with a wire

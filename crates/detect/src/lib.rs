@@ -55,8 +55,9 @@ pub use detector::{
     OnlineMonitor,
 };
 pub use forensics::{
-    audit_coverage, damage_report, flight_log, object_timeline, tree_at, tree_diff,
-    CoverageReport, DamageReport, FlightEntry, TimelineEvent, TimelineSource, TreeDiff, TreeNode,
+    assemble_traces, audit_coverage, damage_report, flight_log, object_timeline,
+    render_trace_tree, slowest_traces, tree_at, tree_diff, CoverageReport, DamageReport,
+    FlightEntry, TimelineEvent, TimelineSource, TraceSpan, TraceTree, TreeDiff, TreeNode,
 };
 pub use recovery::{
     execute_plan, execute_plan_atomic, execute_plan_atomic_on, plan_recovery, Dispatch, Landmark,

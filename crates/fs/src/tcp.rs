@@ -7,8 +7,12 @@
 //!
 //! Frame format, both directions: `u32-le length || payload`.
 //! Request payload: `user:u32 || client:u32 || has_token:u8 ||
-//! token:u64 || Request::encode()`. Response payload: `0u8 ||
-//! Response::encode()` on success, `1u8 || utf8 error` on failure.
+//! token:u64 || trace_id:u64 || origin:u8 || phase:u8 ||
+//! Request::encode()`. Response payload: `0u8 || Response::encode()`
+//! on success, `1u8 || utf8 error` on failure. The trace triple
+//! propagates the client's causal [`s4_core::TraceCtx`]; the client
+//! transport mints a fresh trace id when the caller left it 0, so every
+//! request entering over the wire is traceable end to end.
 //!
 //! One out-of-band frame: a request payload equal to
 //! [`STATS_FRAME_MARKER`] (too short to be a valid RPC frame, so it
@@ -33,7 +37,7 @@ use crate::server::{FsError, FsResult};
 use crate::transport::Transport;
 
 /// Request payload that asks the server for its metrics exposition
-/// instead of dispatching an RPC (9 bytes, shorter than the 17-byte
+/// instead of dispatching an RPC (9 bytes, shorter than the 27-byte
 /// minimum RPC frame).
 pub const STATS_FRAME_MARKER: &[u8] = b"__stats__";
 
@@ -106,7 +110,7 @@ fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
 
 fn encode_request_frame(ctx: &RequestContext, req: &Request) -> Vec<u8> {
     let body = req.encode();
-    let mut out = Vec::with_capacity(17 + body.len());
+    let mut out = Vec::with_capacity(27 + body.len());
     out.extend_from_slice(&ctx.user.0.to_le_bytes());
     out.extend_from_slice(&ctx.client.0.to_le_bytes());
     match ctx.admin_token {
@@ -119,23 +123,32 @@ fn encode_request_frame(ctx: &RequestContext, req: &Request) -> Vec<u8> {
             out.extend_from_slice(&[0u8; 8]);
         }
     }
+    out.extend_from_slice(&ctx.trace.trace_id.to_le_bytes());
+    out.push(ctx.trace.origin);
+    out.push(ctx.trace.phase);
     out.extend_from_slice(&body);
     out
 }
 
 fn decode_request_frame(buf: &[u8]) -> Option<(RequestContext, Request)> {
-    if buf.len() < 17 {
+    if buf.len() < 27 {
         return None;
     }
     let user = s4_core::UserId(u32::from_le_bytes(buf[0..4].try_into().ok()?));
     let client = s4_core::ClientId(u32::from_le_bytes(buf[4..8].try_into().ok()?));
     let token = (buf[8] == 1).then(|| u64::from_le_bytes(buf[9..17].try_into().unwrap()));
-    let req = Request::decode(&buf[17..]).ok()?;
+    let trace = s4_core::TraceCtx {
+        trace_id: u64::from_le_bytes(buf[17..25].try_into().ok()?),
+        origin: buf[25],
+        phase: buf[26],
+    };
+    let req = Request::decode(&buf[27..]).ok()?;
     Some((
         RequestContext {
             user,
             client,
             admin_token: token,
+            trace,
         },
         req,
     ))
@@ -264,6 +277,9 @@ pub struct TcpTransport {
     /// Wall-clock deployments have no shared simulated clock; this one is
     /// local and only advanced by explicit callers.
     clock: SimClock,
+    /// Mints trace ids for requests the caller left untraced, so every
+    /// RPC that crosses the wire carries a joinable causal trace id.
+    trace_ids: s4_core::TraceIdGen,
 }
 
 impl TcpTransport {
@@ -274,6 +290,7 @@ impl TcpTransport {
         Ok(TcpTransport {
             stream: Mutex::new(stream),
             clock: SimClock::new(),
+            trace_ids: s4_core::TraceIdGen::new(),
         })
     }
 }
@@ -331,8 +348,12 @@ impl Transport for TcpTransport {
     }
 
     fn call(&self, ctx: &RequestContext, req: &Request) -> FsResult<Response> {
+        let mut ctx = *ctx;
+        if ctx.trace.trace_id == 0 {
+            ctx.trace.trace_id = self.trace_ids.next(self.clock.now().as_micros());
+        }
         let mut stream = self.stream.lock();
-        let frame = encode_request_frame(ctx, req);
+        let frame = encode_request_frame(&ctx, req);
         write_frame(&mut *stream, &frame)
             .map_err(|e| FsError::Storage(format!("tcp write: {e}")))?;
         let reply =
@@ -376,6 +397,19 @@ mod tests {
         assert_eq!(dctx, ctx);
         assert_eq!(dreq, req);
         assert!(decode_request_frame(&frame[..10]).is_none());
+        assert!(decode_request_frame(&frame[..26]).is_none());
+
+        // The trace triple crosses the wire intact.
+        let traced = RequestContext::user(UserId(4), ClientId(8)).with_trace(s4_core::TraceCtx {
+            trace_id: 0xFEED_BEEF_u64,
+            origin: 3,
+            phase: s4_core::PHASE_PREPARE,
+        });
+        let frame = encode_request_frame(&traced, &req);
+        let (dctx, dreq) = decode_request_frame(&frame).unwrap();
+        assert_eq!(dctx, traced);
+        assert_eq!(dctx.trace.trace_id, 0xFEED_BEEF);
+        assert_eq!(dreq, req);
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct LoopbackTransport<D: BlockDev> {
     drive: Arc<S4Drive<D>>,
     net: NetworkModel,
     clock: SimClock,
+    /// Mints trace ids for requests the caller left untraced, so
+    /// in-process clients get the same causal traceability as wire
+    /// clients.
+    trace_ids: s4_core::TraceIdGen,
 }
 
 impl<D: BlockDev> LoopbackTransport<D> {
@@ -32,7 +36,12 @@ impl<D: BlockDev> LoopbackTransport<D> {
     /// model.
     pub fn new(drive: Arc<S4Drive<D>>, net: NetworkModel) -> Self {
         let clock = drive.clock().clone();
-        LoopbackTransport { drive, net, clock }
+        LoopbackTransport {
+            drive,
+            net,
+            clock,
+            trace_ids: s4_core::TraceIdGen::new(),
+        }
     }
 
     /// The wrapped drive.
@@ -52,7 +61,11 @@ impl<D: BlockDev> Transport for LoopbackTransport<D> {
     }
 
     fn call(&self, ctx: &RequestContext, req: &Request) -> FsResult<Response> {
-        let resp = self.drive.dispatch(ctx, req);
+        let mut ctx = *ctx;
+        if ctx.trace.trace_id == 0 {
+            ctx.trace.trace_id = self.trace_ids.next(self.clock.now().as_micros());
+        }
+        let resp = self.drive.dispatch(&ctx, req);
         // Charge the wire: request out, response (or small error) back.
         let resp_size = resp.as_ref().map(|r| r.wire_size()).unwrap_or(16);
         self.clock

@@ -35,7 +35,9 @@ use std::collections::BTreeSet;
 
 use s4_array::{is_reserved, FlipReport, S4Array};
 use s4_core::audit::OpKind;
-use s4_core::{ClientId, ObjectId, RequestContext, S4Drive, S4Error};
+use s4_core::{
+    ClientId, ObjectId, RequestContext, S4Drive, S4Error, TraceCtx, TraceIdGen, PHASE_CATCHUP,
+};
 use s4_obs::{Gauge, Histogram};
 use s4_simdisk::BlockDev;
 
@@ -137,16 +139,25 @@ fn mutates_object(op: OpKind) -> bool {
 
 /// Exports `oid`'s current state from `source` and applies it to every
 /// target (or deletes it from them if it is gone on the source).
+///
+/// Each applied object (or deletion) leaves a `PHASE_CATCHUP` trace
+/// record on the *target* member it landed on, carrying the split's
+/// trace id — so `s4 trace` can show a migration's catch-up writes as
+/// one causal tree whose spans are vouched for by the drives that
+/// actually received the data.
 fn replay_one<D: BlockDev>(
     source: &S4Drive<D>,
     targets: &[S4Drive<D>],
     admin: &RequestContext,
     oid: u64,
+    trace: TraceCtx,
 ) -> s4_core::Result<()> {
+    let tctx = admin.with_trace(trace);
     match source.reshard_export(admin, ObjectId(oid), None)? {
         Some(obj) => {
             for t in targets {
                 t.reshard_apply(admin, &obj)?;
+                t.record_phase_trace(&tctx, OpKind::Write, ObjectId(oid), true, 0);
             }
         }
         None => {
@@ -155,6 +166,7 @@ fn replay_one<D: BlockDev>(
                     Ok(()) | Err(S4Error::NoSuchObject) => {}
                     Err(e) => return Err(e),
                 }
+                t.record_phase_trace(&tctx, OpKind::Delete, ObjectId(oid), true, 0);
             }
         }
     }
@@ -185,6 +197,15 @@ pub fn split_shard<D: BlockDev + 'static>(
     let source = array.shard_drive(source_slot);
     let drive_cfg = *source.config();
     let admin = RequestContext::admin(ClientId(0), drive_cfg.admin_token);
+    // One trace id for the whole split: every catch-up replay (rounds
+    // and the quiesced final delta) stamps it, so the migration shows
+    // up in cross-shard assembly as a single causal tree rooted at the
+    // source slot.
+    let trace = TraceCtx {
+        trace_id: TraceIdGen::new().next(source.clock().now().as_micros()),
+        origin: source_slot as u8,
+        phase: PHASE_CATCHUP,
+    };
     let stride = 2 * e.base as u64;
     let target_slot = e.base + source_slot;
     let moving = |oid: u64| !is_reserved(ObjectId(oid)) && oid % stride == target_slot as u64;
@@ -242,7 +263,7 @@ pub fn split_shard<D: BlockDev + 'static>(
         prog.lag.set(dirty.len() as f64);
         prog.lag_hist.record(dirty.len() as u64);
         for &oid in &dirty {
-            replay_one(&source, &targets, &admin, oid)?;
+            replay_one(&source, &targets, &admin, oid, trace)?;
         }
         catchup_objects += dirty.len();
         prog.catchup.add(dirty.len() as f64);
@@ -306,7 +327,7 @@ pub fn split_shard<D: BlockDev + 'static>(
             all
         };
         for &oid in &dirty {
-            replay_one(src, &targets, &admin, oid)?;
+            replay_one(src, &targets, &admin, oid, trace)?;
         }
         final_delta_objects = dirty.len();
         Ok(targets)

@@ -68,7 +68,7 @@ use std::collections::HashMap;
 use s4_clock::{SimClock, SimDuration, SimTime};
 use s4_core::{
     AuditRecord, ClientId, DriveConfig, ObjectId, RecoveryReport, Request, RequestContext,
-    Response, S4Drive, TraceRecord, UserId,
+    Response, S4Drive, TraceCtx, TraceRecord, UserId,
 };
 use s4_lfs::BLOCK_SIZE;
 use s4_simdisk::{BlockDev, FaultPlan, FaultyDisk, MemDisk, RequestClassMask, TornPattern, TraceDisk};
@@ -83,9 +83,22 @@ pub const CRASH_MASK: RequestClassMask = RequestClassMask::WRITES.union(RequestC
 /// Whole audit records per 4 KiB audit block.
 const RECORDS_PER_BLOCK: usize = BLOCK_SIZE / s4_core::audit::RECORD_BYTES;
 
-/// Whole trace records per 4 KiB trace block (each record carries a
-/// 2-byte length prefix, like an alert blob).
-const TRACES_PER_BLOCK: usize = BLOCK_SIZE / (s4_obs::TRACE_RECORD_BYTES + 2);
+/// Every third workload request carries a caller-stamped trace context,
+/// so the persisted flight-recorder stream interleaves 68-byte v1 and
+/// 78-byte v2 records and the durability floor in invariant (e) has to
+/// model real (mixed-size) block packing rather than a uniform count.
+const TRACED_EVERY: usize = 3;
+
+/// Encoded size of predicted trace record `i` as it lands in the spill
+/// buffer: a 2-byte length prefix plus the version the stamped context
+/// selects (untraced dispatches stay v1).
+fn trace_blob_len(trace: &TraceCtx) -> usize {
+    2 + if trace.trace_id == 0 {
+        s4_obs::TRACE_RECORD_BYTES
+    } else {
+        s4_obs::TRACE_RECORD_V2_BYTES
+    }
+}
 
 /// Device size for every torture drive (sparse in memory).
 const DISK_BYTES: u64 = 96 << 20;
@@ -254,6 +267,9 @@ struct RunState {
     /// Creation order of oracle object ids (deterministic iteration).
     order: Vec<u64>,
     predicted: Vec<AuditRecord>,
+    /// Trace context stamped on request `i` (default = untraced → v1
+    /// record); parallel to `predicted`, it is the trace-stream oracle.
+    predicted_trace: Vec<TraceCtx>,
     checkpoints: Vec<SimTime>,
     /// Drive time of the last sync that returned `Ok`.
     last_ok_sync: Option<SimTime>,
@@ -293,6 +309,7 @@ fn run_workload<D: BlockDev>(
         oracle: HashMap::new(),
         order: Vec::new(),
         predicted: Vec::new(),
+        predicted_trace: Vec::new(),
         checkpoints: Vec::new(),
         last_ok_sync: None,
         records_at_sync: 0,
@@ -360,7 +377,20 @@ fn run_workload<D: BlockDev>(
             Planned::Req(req) => req,
         };
 
-        let result = drive.dispatch(&ctx, &req);
+        // Every TRACED_EVERY-th request opts into tracing (a stamped
+        // entry-point context, as the array router or a transport would
+        // provide), so replays exercise the mixed v1/v2 trace codec.
+        // The id is a deterministic function of the stream position.
+        let trace = if st.predicted.len().is_multiple_of(TRACED_EVERY) {
+            TraceCtx {
+                trace_id: st.predicted.len() as u64 + 1,
+                origin: 0,
+                phase: 0,
+            }
+        } else {
+            TraceCtx::default()
+        };
+        let result = drive.dispatch(&ctx.with_trace(trace), &req);
 
         // Predict the audit record dispatch just appended (same
         // construction as `S4Drive::dispatch`; CPU is free in
@@ -370,6 +400,7 @@ fn run_workload<D: BlockDev>(
             _ => req.target(),
         };
         let (arg1, arg2) = req.audit_args();
+        st.predicted_trace.push(trace);
         st.predicted.push(AuditRecord {
             time: drive.now(),
             user: ctx.user,
@@ -593,8 +624,12 @@ fn verify_audit_prefix(recovered: &[AuditRecord], st: &RunState, what: &str) {
 /// prefix of the predicted request stream. The drive writes one trace
 /// record per dispatched request, in dispatch order, sharing the audit
 /// record's identity fields — so the audit predictor doubles as the
-/// trace oracle. The durability floor mirrors (b): every full trace
-/// block flushed by the last completed sync must have survived.
+/// trace oracle, and the stamped contexts predict each record's trace
+/// id, origin, and phase (zeroes for the untraced v1 majority). The
+/// durability floor mirrors (b), but the stream mixes 68-byte v1 and
+/// 78-byte v2 records, so it re-runs the spill discipline over the
+/// predicted sizes: exactly the records in blocks spilled to the log
+/// before the last completed sync's flush are guaranteed.
 fn verify_trace_prefix(traces: &[TraceRecord], st: &RunState, what: &str) {
     assert!(
         traces.len() <= st.predicted.len(),
@@ -617,16 +652,39 @@ fn verify_trace_prefix(traces: &[TraceRecord], st: &RunState, what: &str) {
             identity, expect,
             "{what}: trace {i} diverged from its audit record"
         );
+        let want_trace = &st.predicted_trace[i];
+        assert_eq!(
+            (got.trace_id, got.origin, got.phase),
+            (want_trace.trace_id, want_trace.origin, want_trace.phase),
+            "{what}: trace {i} carried the wrong trace context"
+        );
     }
     let min_durable = if st.last_ok_sync.is_some() {
-        (st.records_at_sync / TRACES_PER_BLOCK) * TRACES_PER_BLOCK
+        // Replay the lazy spill: a record whose length-prefixed blob
+        // would overflow the 4 KiB block spills the buffered records
+        // first. Only blocks spilled by requests dispatched *before*
+        // the sync are covered by its flush; the open tail is volatile
+        // until the next anchor.
+        let mut durable = 0usize;
+        let (mut in_block, mut pending) = (0usize, 0usize);
+        for trace in &st.predicted_trace[..st.records_at_sync] {
+            let len = trace_blob_len(trace);
+            if pending + len > BLOCK_SIZE {
+                durable += in_block;
+                in_block = 0;
+                pending = 0;
+            }
+            pending += len;
+            in_block += 1;
+        }
+        durable
     } else {
         0
     };
     assert!(
         traces.len() >= min_durable,
-        "{what}: only {} trace records recovered; {} were in full blocks \
-         flushed by the last completed sync",
+        "{what}: only {} trace records recovered; {} were in blocks \
+         spilled before the last completed sync",
         traces.len(),
         min_durable
     );

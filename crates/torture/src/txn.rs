@@ -33,8 +33,8 @@ use s4_array::{ArrayConfig, S4Array};
 use s4_clock::SimDuration;
 use s4_clock::SimClock;
 use s4_core::{
-    ClientId, DriveConfig, ObjectId, Request, RequestContext, Response, S4Error, UserId,
-    PARTITION_OBJECT,
+    ClientId, DriveConfig, ObjectId, OpKind, Request, RequestContext, Response, S4Error, TraceCtx,
+    UserId, PARTITION_OBJECT, PHASE_DECIDE, PHASE_NOTE, PHASE_PREPARE,
 };
 use s4_simdisk::{FaultPlan, FaultyDisk, MemDisk, TornPattern};
 use s4_txn::{note_name, TxId};
@@ -267,8 +267,20 @@ fn build(cfg: &TxnTortureConfig, plans: Vec<FaultPlan>) -> Rig {
 /// member, fan the commit out, retire the note. Stops at the first
 /// error — once the armed device dies, the power is off and nothing
 /// later in the window runs.
+///
+/// The whole window runs traced (trace id = the pinned transaction id),
+/// mirroring the array workers span for span: prepare sub-requests
+/// dispatch under a `PHASE_PREPARE` context, and synthetic `PHASE_NOTE`
+/// / `PHASE_DECIDE` records land after the note install and the
+/// decision fan-out — so every replay also tortures the v2 trace
+/// records' crash survival alongside the data they annotate.
 fn run_protocol(rig: &Rig, cfg: &TxnTortureConfig) -> Result<(), S4Error> {
-    let ctx = user();
+    let trace = |phase| TraceCtx {
+        trace_id: TXN_ID,
+        origin: 0,
+        phase,
+    };
+    let ctx = user().with_trace(trace(PHASE_PREPARE));
     let adm = admin();
     let note = note_name(TxId(TXN_ID));
     let clock = rig.array.member_drive(0, 0).clock().clone();
@@ -290,10 +302,25 @@ fn run_protocol(rig: &Rig, cfg: &TxnTortureConfig) -> Result<(), S4Error> {
         let d = rig.array.member_drive(0, m);
         d.op_pcreate(&adm, &note, PARTITION_OBJECT)?;
         d.op_sync(&adm)?;
+        d.record_phase_trace(
+            &adm.with_trace(trace(PHASE_NOTE)),
+            OpKind::PCreate,
+            PARTITION_OBJECT,
+            true,
+            0,
+        );
     }
     for s in 0..cfg.shards {
         for m in 0..cfg.mirrors {
-            rig.array.member_drive(s, m).txn_decide(TXN_ID, true)?;
+            let d = rig.array.member_drive(s, m);
+            d.txn_decide(TXN_ID, true)?;
+            d.record_phase_trace(
+                &adm.with_trace(trace(PHASE_DECIDE)),
+                OpKind::Sync,
+                ObjectId(TXN_ID),
+                true,
+                0,
+            );
         }
     }
     for m in 0..cfg.mirrors {
@@ -367,6 +394,25 @@ fn verify(a: &S4Array<Disk>, oids: &[ObjectId], what: &str) -> (bool, Vec<u64>) 
                 notes, 0,
                 "{what}: shard {s} member {m} kept a decision note past resolution"
             );
+            // The persisted trace stream (mixed v1/v2 after the traced
+            // window) must still decode whole, and every span the
+            // transaction's id vouches for must carry a protocol phase.
+            // Presence is not asserted: trace durability is bounded by
+            // the last flush, and the crash may predate it.
+            let traces = d.read_traces(&adm).unwrap_or_else(|e| {
+                panic!("{what}: shard {s} member {m} trace stream unreadable: {e}")
+            });
+            for t in traces.iter().filter(|t| t.trace_id == TXN_ID) {
+                assert_eq!(
+                    t.origin, 0,
+                    "{what}: shard {s} member {m} trace span with foreign origin"
+                );
+                assert!(
+                    [PHASE_PREPARE, PHASE_NOTE, PHASE_DECIDE].contains(&t.phase),
+                    "{what}: shard {s} member {m} trace span with phase {} outside the 2PC window",
+                    t.phase
+                );
+            }
         }
         digests.push(a.shard_drive(s).object_digest(&adm, oid).unwrap());
     }
@@ -394,6 +440,33 @@ pub fn txn_golden(cfg: &TxnTortureConfig) -> TxnGoldenSummary {
     run_protocol(&rig, cfg).expect("golden protocol run must not fail");
     let (committed, _) = verify(&rig.array, &rig.oids, "golden");
     assert!(committed, "golden run must commit");
+    // Fault-free, the array is still live and no pending tail was lost:
+    // the transaction's *complete* causal span set must be present —
+    // every member vouches for its own PREPARE and DECIDE, and exactly
+    // the shard-0 (coordinator) members for the NOTE commit point.
+    for s in 0..cfg.shards {
+        for m in 0..cfg.mirrors {
+            let traces = rig.array.member_drive(s, m).read_traces(&admin()).unwrap();
+            let phases: Vec<u8> = traces
+                .iter()
+                .filter(|t| t.trace_id == TXN_ID)
+                .map(|t| t.phase)
+                .collect();
+            assert!(
+                phases.contains(&PHASE_PREPARE),
+                "golden: shard {s} member {m} missing its prepare span"
+            );
+            assert!(
+                phases.contains(&PHASE_DECIDE),
+                "golden: shard {s} member {m} missing its decide span"
+            );
+            assert_eq!(
+                phases.contains(&PHASE_NOTE),
+                s == 0,
+                "golden: shard {s} member {m} note span on the wrong shard"
+            );
+        }
+    }
     let totals: Vec<u64> = rig
         .array
         .crash()

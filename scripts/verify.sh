@@ -44,6 +44,13 @@
 #    plus the concurrent-batch drill (8 TCP clients, overlapping
 #    cross-shard transactions on a mirrored 4x2 array, member death
 #    mid-prepare) and the randomized commit-or-rollback oracle
+# 14. the trace-assembly smoke: a traced cross-shard batch on a
+#    mirrored 4x2 array must assemble into one causal tree spanning
+#    every member and survive crash + remount, plus the `s4 trace`
+#    CLI drill across invocations
+# 15. the tracing-overhead bench at smoke scale, which asserts request
+#    tracing costs <= 5% of 8-client stress throughput (BENCH_JSON
+#    line; committed baseline in BENCH_trace.json)
 #
 # The exhaustive campaigns (every crash point of a 500-op workload,
 # every second-crash point inside recovery, and every 2PC crash point
@@ -124,5 +131,16 @@ S4_BENCH_SCALE="${S4_BENCH_SCALE:-0.25}" cargo bench -p s4-bench --bench fig_res
 grep -q '^BENCH_JSON ' target/fig_reshard.out \
   || { echo "verify: fig_reshard emitted no BENCH_JSON line" >&2; exit 1; }
 grep '^BENCH_JSON ' target/fig_reshard.out | sed 's/^BENCH_JSON //' > target/BENCH_reshard.json
+
+echo "== trace-assembly smoke (cross-shard causal tree + s4 trace CLI)"
+cargo test -q --test trace_assembly
+cargo test -q --test cli cli_trace_assembles_across_invocations
+
+echo "== fig_trace bench (smoke scale, asserts tracing overhead <= 5%)"
+S4_BENCH_SCALE="${S4_BENCH_SCALE:-0.25}" cargo bench -p s4-bench --bench fig_trace \
+  | tee target/fig_trace.out
+grep -q '^BENCH_JSON ' target/fig_trace.out \
+  || { echo "verify: fig_trace emitted no BENCH_JSON line" >&2; exit 1; }
+grep '^BENCH_JSON ' target/fig_trace.out | sed 's/^BENCH_JSON //' > target/BENCH_trace.json
 
 echo "verify: OK"

@@ -55,6 +55,10 @@ fn usage() -> ExitCode {
            txn <image> [<image>...] [--mirrors <m>]\n\
                                          (cross-shard transaction status; mounting\n\
                                           resolves any in-doubt transactions)\n\
+           trace <image> [<image>...] [<trace-id-hex>] [--slowest <k>] [--mirrors <m>]\n\
+                                         (cross-shard causal trace assembly from the\n\
+                                          member flight recorders: one id renders its\n\
+                                          tree, --slowest the k worst, neither lists all)\n\
            detect <image>                (run the intrusion detectors over the audit log)\n\
            plan <image> <secs> --client <id> [--user <id>]   (recovery plan for intrusion at <secs>)\n\
            revert <image> <secs> --client <id> [--user <id>] (plan and execute the recovery)\n\
@@ -460,6 +464,96 @@ fn run() -> Result<(), String> {
             )
             .map_err(|e| format!("mount array: {e}"))?;
             println!("{}", array.txn_status_text());
+            array.unmount().map_err(|e| format!("unmount array: {e}"))?;
+        }
+        "trace" => {
+            let flag = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|s| s.parse::<usize>().ok())
+            };
+            let mirrors = flag("--mirrors").unwrap_or(1);
+            let slowest = flag("--slowest");
+            let parse_id = |s: &str| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok();
+            let mut positional: Vec<&String> = {
+                let mut out = Vec::new();
+                let mut skip = false;
+                for a in &args[1..] {
+                    if skip {
+                        skip = false;
+                    } else if a == "--mirrors" || a == "--slowest" {
+                        skip = true;
+                    } else if !a.starts_with("--") {
+                        out.push(a);
+                    }
+                }
+                out
+            };
+            // The last positional is the trace id when it parses as hex
+            // and is not an image on disk; everything before it is a
+            // shard image.
+            let mut wanted = None;
+            if let Some(last) = positional.last() {
+                if !std::path::Path::new(last.as_str()).exists() {
+                    if let Some(id) = parse_id(last) {
+                        wanted = Some(id);
+                        positional.pop();
+                    }
+                }
+            }
+            let devices = positional
+                .iter()
+                .map(|p| FileDisk::open(p).map_err(|e| format!("open {p}: {e}")))
+                .collect::<Result<Vec<_>, String>>()?;
+            if devices.is_empty() {
+                return Err("trace: need at least one image".into());
+            }
+            let (array, _reports) = s4_array::S4Array::mount(
+                devices,
+                DriveConfig::default(),
+                s4_array::ArrayConfig {
+                    mirrors,
+                    ..s4_array::ArrayConfig::default()
+                },
+                SimClock::new(),
+            )
+            .map_err(|e| format!("mount array: {e}"))?;
+            let admin =
+                RequestContext::admin(ClientId(0), array.shard_drive(0).config().admin_token);
+            let trees = array
+                .assemble_all_traces(&admin)
+                .map_err(|e| format!("trace: {e}"))?;
+            match (wanted, slowest) {
+                (Some(id), _) => match trees.iter().find(|t| t.trace_id == id) {
+                    Some(t) => print!("{}", s4_detect::render_trace_tree(t)),
+                    None => return Err(format!("trace: no spans recorded for id {id:#x}")),
+                },
+                (None, Some(k)) => {
+                    for t in s4_detect::slowest_traces(&trees, k) {
+                        print!("{}", s4_detect::render_trace_tree(t));
+                    }
+                }
+                (None, None) => {
+                    for t in &trees {
+                        println!(
+                            "{:#018x} origin shard {}: {} shard(s), {} member stream(s), \
+                             {} span(s), max rpc {}us",
+                            t.trace_id,
+                            t.origin,
+                            t.shards().len(),
+                            t.members().len(),
+                            t.spans.len(),
+                            t.max_rpc_us()
+                        );
+                    }
+                    eprintln!(
+                        "{} traces assembled from {} shards",
+                        trees.len(),
+                        array.shard_count()
+                    );
+                }
+            }
             array.unmount().map_err(|e| format!("unmount array: {e}"))?;
         }
         "stats" => {

@@ -200,3 +200,93 @@ fn cli_reshard_doubles_an_array() {
     a2.unmount().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `s4 trace`: a traced cross-shard batch on a two-image array shows up
+/// in the listing, renders as one causal tree by id, and ranks under
+/// `--slowest` — all from a cold CLI mount of the persisted images.
+#[test]
+fn cli_trace_assembles_across_invocations() {
+    use s4_array::{ArrayConfig, S4Array};
+    use s4_clock::{SimClock, SimDuration};
+    use s4_core::{ClientId, DriveConfig, Request, RequestContext, Response, TraceCtx, UserId};
+    use s4_simdisk::FileDisk;
+
+    let dir = std::env::temp_dir().join(format!("s4-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let img = |n: &str| dir.join(n);
+
+    // Build a 2x1 array with one object per shard and run a traced
+    // cross-shard atomic batch under a known id.
+    let clock = SimClock::new();
+    clock.advance(SimDuration::from_secs(1));
+    let devices = ["t0.s4", "t1.s4"]
+        .iter()
+        .map(|n| FileDisk::create(img(n), 64 * 2048).unwrap())
+        .collect();
+    let cfg = ArrayConfig {
+        mirrors: 1,
+        ..ArrayConfig::default()
+    };
+    let a = S4Array::format(devices, DriveConfig::default(), cfg, clock).unwrap();
+    let ctx = RequestContext::user(UserId(5), ClientId(2));
+    let mut oids = [None, None];
+    while oids.iter().any(Option::is_none) {
+        let oid = match a.dispatch(&ctx, &Request::Create).unwrap() {
+            Response::Created(oid) => oid,
+            other => panic!("unexpected response {other:?}"),
+        };
+        oids[a.shard_index_of(oid)].get_or_insert(oid);
+    }
+    let stamped = ctx.with_trace(TraceCtx {
+        trace_id: 0xBEEF,
+        origin: 0,
+        phase: 0,
+    });
+    let reqs = oids
+        .iter()
+        .map(|o| Request::Write {
+            oid: o.unwrap(),
+            offset: 0,
+            data: b"cli-traced".to_vec(),
+        })
+        .collect();
+    a.dispatch(&stamped, &Request::Batch(reqs)).unwrap();
+    a.dispatch(&ctx, &Request::Sync).unwrap();
+    for s in 0..2 {
+        a.shard_drive(s).force_anchor().unwrap();
+    }
+    a.unmount().unwrap();
+
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_s4"))
+            .arg("trace")
+            .args([img("t0.s4"), img("t1.s4")])
+            .args(extra)
+            .output()
+            .expect("spawn s4");
+        assert!(
+            out.status.success(),
+            "trace {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    // Listing: the batch's id appears with both shards joined.
+    let listing = run(&[]);
+    assert!(listing.contains("0x000000000000beef"), "{listing}");
+    assert!(listing.contains("2 shard(s)"), "{listing}");
+
+    // By id: one rendered tree with both protocol phases.
+    let tree = run(&["0xbeef"]);
+    assert!(tree.starts_with("trace 0x000000000000beef"), "{tree}");
+    assert!(tree.contains("phase prepare"), "{tree}");
+    assert!(tree.contains("phase decide"), "{tree}");
+    assert!(tree.contains("shard 1"), "{tree}");
+
+    // --slowest renders at least the batch's tree.
+    let slowest = run(&["--slowest", "1"]);
+    assert!(slowest.starts_with("trace 0x"), "{slowest}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
